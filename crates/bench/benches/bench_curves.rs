@@ -1,0 +1,54 @@
+//! Criterion micro-benchmarks for the space-filling curves (supports the A1
+//! ablation: Hilbert's locality costs a little encode/decode time over
+//! Morton's plain bit interleave).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::Rng;
+use sbon_hilbert::{HilbertCurve, MortonCurve, SpaceFillingCurve};
+use sbon_netsim::rng::rng_from_seed;
+
+fn bench_curves(c: &mut Criterion) {
+    let dims = 3;
+    let bits = 12;
+    let hilbert = HilbertCurve::new(dims, bits);
+    let morton = MortonCurve::new(dims, bits);
+    let mut rng = rng_from_seed(1);
+    let cells: Vec<Vec<u32>> = (0..1024)
+        .map(|_| (0..dims).map(|_| rng.gen_range(0..(1u32 << bits))).collect())
+        .collect();
+    let keys: Vec<u128> = cells.iter().map(|c| hilbert.encode(c)).collect();
+
+    let mut group = c.benchmark_group("curves");
+    group.bench_function("hilbert_encode_3d12b", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % cells.len();
+            black_box(hilbert.encode(&cells[i]))
+        })
+    });
+    group.bench_function("morton_encode_3d12b", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % cells.len();
+            black_box(morton.encode(&cells[i]))
+        })
+    });
+    group.bench_function("hilbert_decode_3d12b", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            black_box(hilbert.decode(keys[i]))
+        })
+    });
+    group.bench_function("morton_decode_3d12b", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            black_box(morton.decode(keys[i]))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_curves);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! **A1 — ablation**: Hilbert vs Morton (Z-order) catalog keys.
+//!
+//! The paper prescribes a Hilbert curve for coordinate linearization
+//! (Section 3.2, citing [20, 21]). This ablation justifies the choice: with
+//! the same ring, quantizer, and scan width, a Morton-keyed catalog has
+//! worse nearest-neighbour agreement and worse k-nearest recall, because
+//! Z-order's locality breaks at quadrant boundaries.
+
+use rand::Rng;
+
+use sbon_bench::{build_world, pct, section, WorldConfig};
+use sbon_dht::catalog::CoordinateCatalog;
+use sbon_hilbert::{HilbertCurve, MortonCurve, Quantizer, SpaceFillingCurve};
+use sbon_netsim::metrics::Summary;
+use sbon_netsim::rng::derive_rng;
+
+fn evaluate<C: SpaceFillingCurve>(
+    label: &str,
+    mut catalog: CoordinateCatalog<C>,
+    points: &[Vec<f64>],
+    rng: &mut impl Rng,
+) {
+    for (i, p) in points.iter().enumerate() {
+        catalog.insert(i as u32, p.clone());
+    }
+    let dims = points[0].len();
+    let mut mins = vec![f64::INFINITY; dims];
+    let mut maxs = vec![f64::NEG_INFINITY; dims];
+    for p in points {
+        for d in 0..dims {
+            mins[d] = mins[d].min(p[d]);
+            maxs[d] = maxs[d].max(p[d]);
+        }
+    }
+
+    let trials = 500;
+    let k = 8;
+    let mut nn_agree = 0usize;
+    let mut excess = Vec::new();
+    let mut recall = Vec::new();
+    for _ in 0..trials {
+        let target: Vec<f64> = (0..dims).map(|d| rng.gen_range(mins[d]..maxs[d])).collect();
+        let (dht_m, _) = catalog.lookup_closest(&target).expect("non-empty");
+        let (oracle_m, oracle_d) = catalog.exhaustive_closest(&target).expect("non-empty");
+        if dht_m == oracle_m {
+            nn_agree += 1;
+        } else {
+            let dht_d = dist(&points[dht_m as usize], &target);
+            excess.push(dht_d - oracle_d);
+        }
+        // k-nearest recall vs exhaustive top-k.
+        let approx: std::collections::HashSet<u32> =
+            catalog.k_nearest(&target, k).into_iter().map(|(m, _)| m).collect();
+        let mut exact: Vec<(u32, f64)> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i as u32, dist(p, &target)))
+            .collect();
+        exact.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        let hit = exact[..k].iter().filter(|(m, _)| approx.contains(m)).count();
+        recall.push(hit as f64 / k as f64);
+    }
+
+    println!(
+        "{:<8} nn-agreement {:>7}   excess-dist p50 {:>7.3}   k={k} recall {}",
+        label,
+        pct(nn_agree as f64 / trials as f64),
+        if excess.is_empty() { 0.0 } else { Summary::of(&excess).p50 },
+        pct(Summary::of(&recall).mean),
+    );
+}
+
+fn dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+}
+
+fn main() {
+    section("A1 — catalog key ablation: Hilbert vs Morton");
+    let world = build_world(&WorldConfig::default(), 21);
+    let points: Vec<Vec<f64>> = world
+        .space
+        .points()
+        .iter()
+        .map(|p| p.as_slice().to_vec())
+        .collect();
+    let dims = world.space.dims();
+    let bits = 12u32;
+    let quantizer = Quantizer::covering(&points, bits, 0.25);
+
+    for scan_width in [4usize, 8, 16] {
+        println!();
+        println!("scan width = {scan_width}  ({} nodes, {} dims, {} bits)", points.len(), dims, bits);
+        let mut rng = derive_rng(21, 0xA1 + scan_width as u64);
+        evaluate(
+            "hilbert",
+            CoordinateCatalog::new(HilbertCurve::new(dims, bits), quantizer.clone(), scan_width),
+            &points,
+            &mut rng,
+        );
+        let mut rng = derive_rng(21, 0xA1 + scan_width as u64);
+        evaluate(
+            "morton",
+            CoordinateCatalog::new(MortonCurve::new(dims, bits), quantizer.clone(), scan_width),
+            &points,
+            &mut rng,
+        );
+    }
+
+    println!();
+    println!("shape check: Hilbert dominates Morton on agreement and recall at every");
+    println!("scan width; the gap narrows as the scan widens (wider scans mask key-");
+    println!("order defects at higher lookup cost).");
+}

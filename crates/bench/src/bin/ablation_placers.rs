@@ -1,0 +1,83 @@
+//! **A2 — ablation**: relaxation vs centroid vs gradient virtual placement.
+//!
+//! Section 3.2 names spring relaxation as the reference algorithm and
+//! centroid / gradient descent as alternatives. This ablation measures all
+//! three on the same circuits: final circuit network usage (after oracle
+//! mapping), the virtual (pre-mapping) objective, and placement time.
+
+use std::time::Instant;
+
+use sbon_bench::{build_world, pick_hosts, section, WorldConfig};
+use sbon_core::circuit::Circuit;
+use sbon_core::optimizer::QuerySpec;
+use sbon_core::placement::{
+    map_circuit, optimal_tree_placement, CentroidPlacer, GradientPlacer, OracleMapper,
+    RelaxationPlacer, VirtualPlacer,
+};
+use sbon_netsim::latency::LatencyProvider;
+use sbon_netsim::metrics::Summary;
+use sbon_netsim::rng::derive_rng;
+
+fn main() {
+    section("A2 — virtual placement ablation: relaxation vs centroid vs gradient");
+    let world = build_world(&WorldConfig::default(), 33);
+    let mut rng = derive_rng(33, 0xA2);
+    let hosts_all = world.topology.host_candidates();
+
+    let placers: Vec<(&str, Box<dyn VirtualPlacer>)> = vec![
+        ("relaxation", Box::new(RelaxationPlacer::default())),
+        ("centroid", Box::new(CentroidPlacer)),
+        ("gradient", Box::new(GradientPlacer::default())),
+    ];
+
+    // Workload: 60 five-way joins (deep circuits separate the placers).
+    let trials = 60;
+    let mut circuits = Vec::new();
+    for _ in 0..trials {
+        let picked = pick_hosts(&world, 6, &mut rng);
+        let query = QuerySpec::join_star(&picked[..5], picked[5], 10.0, 0.02);
+        let plan = sbon_query::enumerate::dp_best_plan(&query.stats, &query.join_set).0;
+        let circuit =
+            Circuit::from_plan(&plan, &query.stats, |s| query.producer_of(s), query.consumer);
+        let (_, optimal) =
+            optimal_tree_placement(&circuit, &hosts_all, |a, b| world.latency.latency(a, b));
+        circuits.push((circuit, optimal));
+    }
+
+    println!(
+        "{:<12} {:>14} {:>14} {:>12} {:>10}",
+        "placer", "virtual cost", "mapped usage", "vs optimal", "µs/place"
+    );
+    for (name, placer) in &placers {
+        let mut virtual_cost = Vec::new();
+        let mut mapped_usage = Vec::new();
+        let mut vs_optimal = Vec::new();
+        let mut micros = Vec::new();
+        for (circuit, optimal) in &circuits {
+            let start = Instant::now();
+            let vp = placer.place(circuit, &world.space);
+            micros.push(start.elapsed().as_secs_f64() * 1e6);
+            virtual_cost.push(vp.virtual_cost(circuit));
+            let mut mapper = OracleMapper;
+            let mapped = map_circuit(circuit, &vp, &world.space, &mut mapper);
+            let usage = circuit
+                .cost_with(&mapped.placement, |a, b| world.latency.latency(a, b))
+                .network_usage;
+            mapped_usage.push(usage);
+            vs_optimal.push(usage / optimal.max(1e-9));
+        }
+        println!(
+            "{:<12} {:>14.1} {:>14.1} {:>12.3} {:>10.1}",
+            name,
+            Summary::of(&virtual_cost).mean,
+            Summary::of(&mapped_usage).mean,
+            Summary::of(&vs_optimal).mean,
+            Summary::of(&micros).mean,
+        );
+    }
+
+    println!();
+    println!("shape check: relaxation ≤ centroid on deep circuits (structure-aware);");
+    println!("gradient refines relaxation slightly on the linear objective at extra");
+    println!("iteration cost; all remain within a modest factor of the omniscient DP.");
+}

@@ -1,0 +1,82 @@
+//! **C1 — text claim (§3.2)**: "The magnitude of the mapping error depends
+//! on the dimensionality of the cost space and the distribution of physical
+//! nodes within that cost space. However, experiments have shown that for
+//! realistic topologies and latency cost spaces this error remains small."
+//!
+//! Sweep: vector dimensionality (2–5) × node count (100–1000), transit-stub
+//! topologies. For random virtual coordinates drawn inside the populated
+//! region we report the *relative* mapping error — the full-space distance
+//! from the ideal point to (a) the oracle-nearest node (the intrinsic error
+//! the paper describes: nobody sits exactly at the star) and (b) the
+//! DHT-returned node, both normalized by the network's mean latency. The
+//! DHT's excess over the oracle is the decentralization penalty.
+
+use rand::Rng;
+
+use sbon_bench::{build_world, section, WorldConfig};
+use sbon_coords::vivaldi::VivaldiConfig;
+use sbon_core::placement::{DhtMapper, OracleMapper, PhysicalMapper};
+use sbon_netsim::metrics::Summary;
+use sbon_netsim::rng::derive_rng;
+
+fn main() {
+    section("C1 — mapping error across dimensionality and scale");
+    println!(
+        "{:>5} {:>6} | {:>24} | {:>24} | {:>8}",
+        "dims", "nodes", "oracle err (rel, p50/p90)", "DHT err (rel, p50/p90)", "DHT hops"
+    );
+
+    for dims in [2usize, 3, 4, 5] {
+        for nodes in [100usize, 300, 600, 1000] {
+            let cfg = WorldConfig {
+                nodes,
+                vivaldi: VivaldiConfig { dims, ..Default::default() },
+                ..Default::default()
+            };
+            let world = build_world(&cfg, (dims * 1000 + nodes) as u64);
+            let mut rng = derive_rng(world.seed, 0xC1);
+            let mean_lat = world.latency.mean_latency();
+
+            // Sample random ideal points inside the populated bounding box
+            // of the *vector* dims (scalars ideal = 0, as in placement).
+            let vd = world.space.vector_dims();
+            let mut mins = vec![f64::INFINITY; vd];
+            let mut maxs = vec![f64::NEG_INFINITY; vd];
+            for p in world.space.points() {
+                for (d, &c) in p.vector_part(vd).iter().enumerate() {
+                    mins[d] = mins[d].min(c);
+                    maxs[d] = maxs[d].max(c);
+                }
+            }
+
+            let mut dht = DhtMapper::build(&world.space, (96 / world.space.dims()).min(12) as u32, 8);
+            let mut oracle = OracleMapper;
+            let mut oracle_err = Vec::new();
+            let mut dht_err = Vec::new();
+            let mut hops = Vec::new();
+            for _ in 0..300 {
+                let coord: Vec<f64> = (0..vd)
+                    .map(|d| rng.gen_range(mins[d]..maxs[d]))
+                    .collect();
+                let ideal = world.space.ideal_point(&coord);
+                let (n_o, _) = oracle.map_point(&world.space, &ideal);
+                let (n_d, h) = dht.map_point(&world.space, &ideal);
+                oracle_err.push(world.space.point(n_o).full_distance(&ideal) / mean_lat);
+                dht_err.push(world.space.point(n_d).full_distance(&ideal) / mean_lat);
+                hops.push(h as f64);
+            }
+            let so = Summary::of(&oracle_err);
+            let sd = Summary::of(&dht_err);
+            let sh = Summary::of(&hops);
+            println!(
+                "{:>5} {:>6} | {:>11.3} /{:>10.3} | {:>11.3} /{:>10.3} | {:>8.1}",
+                dims, world.topology.num_nodes(), so.p50, so.p90, sd.p50, sd.p90, sh.mean
+            );
+        }
+    }
+
+    println!();
+    println!("shape check (paper): relative error small (≪1× mean latency) for 2-D");
+    println!("latency spaces and realistic topologies; grows with dimensionality,");
+    println!("shrinks with node density; DHT adds only a modest excess over oracle.");
+}

@@ -1,0 +1,96 @@
+//! **C3 — text claim (§2.2)**: overlay scale is "the nail in the coffin for
+//! traditional service placement techniques unless there is substantial
+//! guidance on where to focus the search".
+//!
+//! Sweep node count 100 → 1600. Baseline: the omniscient centralized
+//! placement (exact tree DP over the full latency matrix — `O(s·n²)` work
+//! *after* an `O(n·m log n)` all-pairs computation nobody gets for free).
+//! Cost-space pipeline: virtual placement (network-size independent) +
+//! physical mapping (oracle scan `O(n)`, or DHT at `O(log n)` routed hops).
+//! Reported per n: wall time of each step, DHT hops, and the quality gap of
+//! the cost-space circuit vs the optimal bound.
+
+use std::time::Instant;
+
+use sbon_bench::{build_world, pick_hosts, section, WorldConfig};
+use sbon_core::circuit::Circuit;
+use sbon_core::optimizer::QuerySpec;
+use sbon_core::placement::{
+    map_circuit, optimal_tree_placement, DhtMapper, OracleMapper, RelaxationPlacer, VirtualPlacer,
+};
+use sbon_netsim::latency::LatencyProvider;
+use sbon_netsim::metrics::Summary;
+use sbon_netsim::rng::derive_rng;
+
+fn main() {
+    section("C3 — placement cost vs overlay scale");
+    println!(
+        "{:>6} | {:>12} {:>12} {:>12} | {:>9} | {:>12}",
+        "nodes", "tree-DP µs", "virtual µs", "map µs", "DHT hops", "cs/optimal"
+    );
+
+    for nodes in [100usize, 200, 400, 800, 1600] {
+        let world = build_world(&WorldConfig { nodes, ..Default::default() }, nodes as u64);
+        let mut rng = derive_rng(nodes as u64, 0xC3);
+        let hosts_all = world.topology.host_candidates();
+
+        let trials = 30;
+        let mut t_dp = Vec::new();
+        let mut t_virtual = Vec::new();
+        let mut t_map = Vec::new();
+        let mut hops = Vec::new();
+        let mut quality = Vec::new();
+        let mut dht = DhtMapper::build(&world.space, 12, 8);
+
+        for _ in 0..trials {
+            let picked = pick_hosts(&world, 5, &mut rng);
+            let query = QuerySpec::join_star(&picked[..4], picked[4], 10.0, 0.02);
+            // One representative plan (the optimizers' candidate loop would
+            // multiply all columns identically).
+            let plan = sbon_query::enumerate::dp_best_plan(&query.stats, &query.join_set).0;
+            let circuit = Circuit::from_plan(&plan, &query.stats, |s| query.producer_of(s), query.consumer);
+
+            // Baseline: omniscient tree DP over all candidate hosts.
+            let start = Instant::now();
+            let (_, optimal) = optimal_tree_placement(&circuit, &hosts_all, |a, b| {
+                world.latency.latency(a, b)
+            });
+            t_dp.push(start.elapsed().as_secs_f64() * 1e6);
+
+            // Cost-space: virtual placement ...
+            let placer = RelaxationPlacer::default();
+            let start = Instant::now();
+            let vp = placer.place(&circuit, &world.space);
+            t_virtual.push(start.elapsed().as_secs_f64() * 1e6);
+
+            // ... then decentralized mapping (DHT), oracle for reference.
+            let start = Instant::now();
+            let mapped = map_circuit(&circuit, &vp, &world.space, &mut dht);
+            t_map.push(start.elapsed().as_secs_f64() * 1e6);
+            hops.push(mapped.total_hops() as f64);
+
+            let mut oracle = OracleMapper;
+            let mapped_oracle = map_circuit(&circuit, &vp, &world.space, &mut oracle);
+            let cs_cost = circuit
+                .cost_with(&mapped_oracle.placement, |a, b| world.latency.latency(a, b))
+                .network_usage;
+            quality.push(cs_cost / optimal.max(1e-9));
+        }
+
+        println!(
+            "{:>6} | {:>12.0} {:>12.0} {:>12.0} | {:>9.1} | {:>12.3}",
+            world.topology.num_nodes(),
+            Summary::of(&t_dp).mean,
+            Summary::of(&t_virtual).mean,
+            Summary::of(&t_map).mean,
+            Summary::of(&hops).mean,
+            Summary::of(&quality).mean,
+        );
+    }
+
+    println!();
+    println!("shape check (paper): the centralized baseline's per-query work grows");
+    println!("~quadratically with n (plus the hidden all-pairs state), while virtual");
+    println!("placement is independent of n and DHT mapping grows ~log n — at a small");
+    println!("constant-factor cost premium over the true optimum.");
+}

@@ -1,0 +1,174 @@
+//! **F4 — Figure 4**: multi-query optimization pruned to a cost-space
+//! radius r.
+//!
+//! The figure: a new circuit's optimizer only considers reusing services of
+//! circuits "that fall within a circle with radius r" of the new service's
+//! desired coordinate; far-away circuits (C1, C2) are ignored, the nearby
+//! one (C3) is merged with.
+//!
+//! Reproduction: 120 running circuits drawn over a shared pool of 24
+//! popular streams (Zipf-weighted, so identical join signatures recur), then
+//! 40 fresh queries optimized under a radius sweep
+//! `r ∈ {0, 10, 20, 40, 80, 160, ∞}`. Reported per r: reuse candidates
+//! examined (the pruning win), reuse rate, marginal network usage (the
+//! quality cost of pruning), and wall time.
+
+use std::time::Instant;
+
+use rand::Rng;
+
+use sbon_bench::{build_world, pct, section, WorldConfig};
+use sbon_core::multiquery::{MultiQueryOptimizer, ReuseScope};
+use sbon_core::optimizer::{OptimizerConfig, QuerySpec};
+use sbon_netsim::metrics::Summary;
+use sbon_netsim::rng::{derive_rng, Zipf};
+use sbon_query::stats::StatsCatalog;
+use sbon_query::stream::{StreamCatalog, StreamId};
+
+/// Draws a query over the shared stream pool: 2–3 Zipf-popular streams and
+/// a random stub consumer.
+fn draw_query(
+    streams: &StreamCatalog,
+    stats: &StatsCatalog,
+    hosts: &[sbon_netsim::graph::NodeId],
+    zipf: &Zipf,
+    rng: &mut impl Rng,
+) -> QuerySpec {
+    let k = if rng.gen_bool(0.5) { 2 } else { 3 };
+    let mut set = Vec::new();
+    while set.len() < k {
+        let id = StreamId(zipf.sample(rng) as u32);
+        if !set.contains(&id) {
+            set.push(id);
+        }
+    }
+    let consumer = hosts[rng.gen_range(0..hosts.len())];
+    QuerySpec::new(streams.clone(), stats.clone(), set, consumer)
+}
+
+fn main() {
+    section("F4 / Figure 4 — multi-query optimization with radius-r pruning");
+
+    let world = build_world(&WorldConfig::default(), 11);
+    let mut rng = derive_rng(11, 0xF4);
+    let hosts = world.topology.host_candidates();
+
+    // Shared pool of popular streams pinned around the network.
+    let mut streams = StreamCatalog::new();
+    for i in 0..24 {
+        let host = hosts[rng.gen_range(0..hosts.len())];
+        streams.register(format!("feed{i}"), 10.0, host);
+    }
+    let stats = StatsCatalog::from_streams(&streams, 0.02);
+    let zipf = Zipf::new(24, 1.1);
+
+    // Pre-deploy the running workload (no reuse, so the instance pool is
+    // maximal and identical for every scope).
+    let mut base = MultiQueryOptimizer::new(OptimizerConfig::default());
+    for _ in 0..120 {
+        let q = draw_query(&streams, &stats, &hosts, &zipf, &mut rng);
+        base.optimize_and_deploy(&q, &world.space, &world.latency, ReuseScope::None)
+            .expect("pre-deployment always succeeds");
+    }
+    println!(
+        "pre-deployed {} circuits, {} reusable operator instances",
+        base.num_circuits(),
+        base.num_instances()
+    );
+
+    let new_queries: Vec<QuerySpec> = (0..40)
+        .map(|_| draw_query(&streams, &stats, &hosts, &zipf, &mut rng))
+        .collect();
+
+    let scopes: Vec<(String, ReuseScope)> = vec![
+        ("r = 0 (no reuse)".into(), ReuseScope::None),
+        ("r = 10".into(), ReuseScope::Radius(10.0)),
+        ("r = 20".into(), ReuseScope::Radius(20.0)),
+        ("r = 40".into(), ReuseScope::Radius(40.0)),
+        ("r = 80".into(), ReuseScope::Radius(80.0)),
+        ("r = 160".into(), ReuseScope::Radius(160.0)),
+        ("r = ∞ (exhaustive)".into(), ReuseScope::All),
+    ];
+
+    println!();
+    println!(
+        "{:<20} {:>10} {:>9} {:>14} {:>14} {:>9}",
+        "scope", "cand/query", "reuse%", "marginal cost", "standalone", "ms/query"
+    );
+    for (label, scope) in scopes {
+        let mut candidates = Vec::new();
+        let mut marginal = Vec::new();
+        let mut standalone = Vec::new();
+        let mut reused_queries = 0usize;
+        let start = Instant::now();
+        for q in &new_queries {
+            // Fresh copy of the registry so scopes are compared on equal
+            // footing and new deployments don't leak across measurements.
+            let mut mq = base.clone();
+            let out = mq
+                .optimize_and_deploy(q, &world.space, &world.latency, scope)
+                .expect("optimization succeeds");
+            candidates.push(out.candidates_examined as f64);
+            marginal.push(out.marginal_cost.network_usage);
+            standalone.push(out.standalone_cost.network_usage);
+            if !out.reused.is_empty() {
+                reused_queries += 1;
+            }
+        }
+        let elapsed_ms = start.elapsed().as_secs_f64() * 1_000.0 / new_queries.len() as f64;
+        println!(
+            "{:<20} {:>10.1} {:>9} {:>14.1} {:>14.1} {:>9.2}",
+            label,
+            Summary::of(&candidates).mean,
+            pct(reused_queries as f64 / new_queries.len() as f64),
+            Summary::of(&marginal).mean,
+            Summary::of(&standalone).mean,
+            elapsed_ms
+        );
+    }
+
+    // §3.4's decentralized implementation: discovery through Hilbert-DHT
+    // k-nearest lookups over instance hosting coordinates, instead of the
+    // exact registry scan used above.
+    println!();
+    println!("decentralized discovery (Hilbert-DHT k-nearest, k = 16), r = 40:");
+    let mut dht_base =
+        MultiQueryOptimizer::with_dht_index(OptimizerConfig::default(), &world.space, 16);
+    let mut rng2 = derive_rng(11, 0xF4);
+    for _ in 0..120 {
+        let q = draw_query(&streams, &stats, &hosts, &zipf, &mut rng2);
+        dht_base
+            .optimize_and_deploy(&q, &world.space, &world.latency, ReuseScope::None)
+            .expect("pre-deployment succeeds");
+    }
+    let mut marginal = Vec::new();
+    let mut reused_queries = 0usize;
+    let mut lookups = 0usize;
+    let mut hops = 0usize;
+    for q in &new_queries {
+        let mut mq = dht_base.clone();
+        let out = mq
+            .optimize_and_deploy(q, &world.space, &world.latency, ReuseScope::Radius(40.0))
+            .expect("optimization succeeds");
+        marginal.push(out.marginal_cost.network_usage);
+        if !out.reused.is_empty() {
+            reused_queries += 1;
+        }
+        // Stats accumulate on the per-query clone, not the shared base.
+        lookups += mq.discovery_stats().lookups;
+        hops += mq.discovery_stats().hops;
+    }
+    println!(
+        "  reuse {}  marginal cost {:.1}  ({:.1} DHT lookups and {:.1} hops per query)",
+        pct(reused_queries as f64 / new_queries.len() as f64),
+        Summary::of(&marginal).mean,
+        lookups as f64 / new_queries.len() as f64,
+        hops as f64 / new_queries.len() as f64,
+    );
+
+    println!();
+    println!("shape check (paper): candidates examined grows with r; marginal cost");
+    println!("drops from the no-reuse level and saturates at the exhaustive value");
+    println!("well before r = ∞ — nearby instances are the useful ones; the");
+    println!("decentralized DHT discovery matches the exact registry scan's quality.");
+}

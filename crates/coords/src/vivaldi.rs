@@ -1,0 +1,404 @@
+//! The Vivaldi decentralized network-coordinate algorithm.
+//!
+//! Dabek, Cox, Kaashoek, Morris: "Vivaldi: A Decentralized Network
+//! Coordinate System", SIGCOMM 2004 — the adaptive-timestep variant
+//! (Algorithm 3 in the paper): each node holds a coordinate `x_i` and a
+//! local error estimate `e_i`; a latency sample `rtt(i, j)` moves `x_i`
+//! along the spring force `(rtt − |x_i − x_j|)·u(x_i − x_j)` with a step
+//! size weighted by how confident `i` is relative to `j`.
+
+use rand::Rng;
+
+use sbon_netsim::graph::NodeId;
+use sbon_netsim::latency::LatencyProvider;
+use sbon_netsim::rng::derive_rng;
+
+/// Tunables of the Vivaldi run. Defaults follow the SIGCOMM paper
+/// (`ce = cc = 0.25`).
+#[derive(Clone, Debug)]
+pub struct VivaldiConfig {
+    /// Embedding dimensionality. The ICDE paper's figures use 2 latency
+    /// dimensions, so that is the default.
+    pub dims: usize,
+    /// Coordinate adaptation constant (step-size scale), `ce`.
+    pub ce: f64,
+    /// Error adaptation constant, `cc`.
+    pub cc: f64,
+    /// Gossip rounds to run; in each round every node takes
+    /// [`VivaldiConfig::samples_per_round`] samples.
+    pub rounds: usize,
+    /// Latency samples per node per round (random partners).
+    pub samples_per_round: usize,
+    /// Use the SIGCOMM paper's *height vector* model: each node carries a
+    /// non-negative height `h` modelling its access-link latency, and
+    /// `dist(a, b) = |a − b| + h_a + h_b`. Improves accuracy on topologies
+    /// with per-node access links (e.g. transit-stub). Note the cost-space
+    /// placement machinery operates on the Euclidean part only; heights
+    /// refine *latency estimation* (see
+    /// [`VivaldiEmbedding::estimated_latency`]).
+    pub use_height: bool,
+    /// Height floor (ms) when the height model is on.
+    pub min_height: f64,
+}
+
+impl Default for VivaldiConfig {
+    fn default() -> Self {
+        VivaldiConfig {
+            dims: 2,
+            ce: 0.25,
+            cc: 0.25,
+            rounds: 60,
+            samples_per_round: 8,
+            use_height: false,
+            min_height: 0.1,
+        }
+    }
+}
+
+impl VivaldiConfig {
+    /// Runs the full decentralized protocol over `latency` and returns the
+    /// converged embedding. Deterministic in `seed`.
+    pub fn embed<L: LatencyProvider>(&self, latency: &L, seed: u64) -> VivaldiEmbedding {
+        assert!(self.dims >= 1, "need at least one dimension");
+        assert!(self.rounds >= 1 && self.samples_per_round >= 1);
+        let n = latency.len();
+        let mut rng = derive_rng(seed, 0x0071_7141);
+
+        let mut nodes: Vec<VivaldiNode> = (0..n)
+            .map(|_| {
+                let mut node = VivaldiNode::random_start(self.dims, &mut rng);
+                if self.use_height {
+                    node.height = self.min_height;
+                }
+                node
+            })
+            .collect();
+
+        if n >= 2 {
+            for _round in 0..self.rounds {
+                for i in 0..n {
+                    for _ in 0..self.samples_per_round {
+                        let mut j = rng.gen_range(0..n);
+                        if j == i {
+                            j = (j + 1) % n;
+                        }
+                        let rtt = latency.latency(NodeId(i as u32), NodeId(j as u32));
+                        if !rtt.is_finite() {
+                            continue; // partitioned pair; skip the sample
+                        }
+                        let remote = nodes[j].clone();
+                        nodes[i].observe_with(&remote, rtt, self, &mut rng);
+                    }
+                }
+            }
+        }
+
+        VivaldiEmbedding {
+            coords: nodes.iter().map(|v| v.coord.clone()).collect(),
+            heights: nodes.iter().map(|v| v.height).collect(),
+            errors: nodes.iter().map(|v| v.error).collect(),
+        }
+    }
+}
+
+/// Per-node Vivaldi state.
+#[derive(Clone, Debug)]
+pub struct VivaldiNode {
+    /// Current coordinate.
+    pub coord: Vec<f64>,
+    /// Height component (0 when the height model is off).
+    pub height: f64,
+    /// Local relative-error estimate in `[0, ~1]`; lower is more confident.
+    pub error: f64,
+}
+
+impl VivaldiNode {
+    /// A fresh node at a small random coordinate (symmetric starts at the
+    /// exact origin make the force direction degenerate for every pair, so a
+    /// tiny random jitter is the standard bootstrap).
+    pub fn random_start<R: Rng + ?Sized>(dims: usize, rng: &mut R) -> Self {
+        VivaldiNode {
+            coord: (0..dims).map(|_| rng.gen_range(-0.5..0.5)).collect(),
+            height: 0.0,
+            error: 1.0,
+        }
+    }
+
+    /// Processes one latency sample against a remote node with explicit
+    /// constants and the height model off. `rtt` must be finite and
+    /// non-negative.
+    pub fn observe<R: Rng + ?Sized>(
+        &mut self,
+        remote: &VivaldiNode,
+        rtt: f64,
+        ce: f64,
+        cc: f64,
+        rng: &mut R,
+    ) {
+        let cfg = VivaldiConfig { ce, cc, ..Default::default() };
+        self.observe_with(remote, rtt, &cfg, rng);
+    }
+
+    /// Processes one latency sample under a full configuration (height
+    /// model honoured).
+    pub fn observe_with<R: Rng + ?Sized>(
+        &mut self,
+        remote: &VivaldiNode,
+        rtt: f64,
+        cfg: &VivaldiConfig,
+        rng: &mut R,
+    ) {
+        debug_assert!(rtt.is_finite() && rtt >= 0.0);
+        let planar = euclidean(&self.coord, &remote.coord);
+        let dist = if cfg.use_height {
+            planar + self.height + remote.height
+        } else {
+            planar
+        };
+
+        // Confidence-balanced sample weight.
+        let w = if self.error + remote.error > 0.0 {
+            self.error / (self.error + remote.error)
+        } else {
+            0.5
+        };
+
+        // Update the local error estimate with the sample's relative error.
+        // Guard rtt≈0 (same host): treat relative error as 0 there.
+        let es = if rtt > 1e-9 { (dist - rtt).abs() / rtt } else { 0.0 };
+        self.error = (es * cfg.cc * w + self.error * (1.0 - cfg.cc * w)).clamp(0.0, 10.0);
+
+        // Move along the unit vector away from (or toward) the remote. In
+        // the height model, the "unit vector" of `(v, h)` scales the planar
+        // part by `v/‖·‖` and pushes the height by `h_sum/‖·‖` (heights only
+        // ever push *apart*; Dabek et al., §5.4).
+        let delta = cfg.ce * w;
+        let force = rtt - dist;
+        let dir = unit_vector_from(&self.coord, &remote.coord, rng);
+        if cfg.use_height && dist > 1e-12 {
+            let height_frac = (self.height + remote.height) / dist.max(1e-12);
+            let planar_frac = 1.0 - height_frac.min(1.0);
+            for (x, u) in self.coord.iter_mut().zip(dir) {
+                *x += delta * force * u * planar_frac.max(0.0);
+            }
+            self.height = (self.height + delta * force * height_frac).max(cfg.min_height);
+        } else {
+            for (x, u) in self.coord.iter_mut().zip(dir) {
+                *x += delta * force * u;
+            }
+        }
+    }
+}
+
+/// The finished embedding: one coordinate per node.
+#[derive(Clone, Debug)]
+pub struct VivaldiEmbedding {
+    /// `coords[node]` = embedded coordinate.
+    pub coords: Vec<Vec<f64>>,
+    /// `heights[node]` — all zeros unless the height model was enabled.
+    pub heights: Vec<f64>,
+    /// Final per-node error estimates.
+    pub errors: Vec<f64>,
+}
+
+impl VivaldiEmbedding {
+    /// Number of embedded nodes.
+    pub fn len(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// True when no node was embedded.
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+
+    /// Embedding dimensionality.
+    pub fn dims(&self) -> usize {
+        self.coords.first().map_or(0, Vec::len)
+    }
+
+    /// Coordinate of one node.
+    pub fn coord(&self, v: NodeId) -> &[f64] {
+        &self.coords[v.index()]
+    }
+
+    /// Estimated latency: Euclidean distance between embedded coordinates,
+    /// plus both heights under the height model.
+    pub fn estimated_latency(&self, a: NodeId, b: NodeId) -> f64 {
+        euclidean(self.coord(a), self.coord(b))
+            + self.heights[a.index()]
+            + self.heights[b.index()]
+    }
+
+    /// Builds an *exact* embedding directly from ground-truth points —
+    /// used by tests and by experiments that want to isolate placement
+    /// behaviour from embedding error.
+    pub fn exact(points: Vec<Vec<f64>>) -> Self {
+        let n = points.len();
+        VivaldiEmbedding { coords: points, heights: vec![0.0; n], errors: vec![0.0; n] }
+    }
+}
+
+fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Unit vector pointing from `to` toward `from` (the push direction on
+/// `from`); random direction when the points coincide.
+fn unit_vector_from<R: Rng + ?Sized>(from: &[f64], to: &[f64], rng: &mut R) -> Vec<f64> {
+    let mut v: Vec<f64> = from.iter().zip(to).map(|(a, b)| a - b).collect();
+    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm < 1e-12 {
+        // Coincident points: pick a random direction.
+        for x in v.iter_mut() {
+            *x = rng.gen_range(-1.0..1.0);
+        }
+        let n2 = v.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-12);
+        for x in v.iter_mut() {
+            *x /= n2;
+        }
+    } else {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::relative_errors;
+    use sbon_netsim::latency::EuclideanLatency;
+    use sbon_netsim::metrics::Summary;
+    use sbon_netsim::rng::rng_from_seed;
+
+    fn euclidean_world(n: usize, seed: u64) -> EuclideanLatency {
+        let mut rng = rng_from_seed(seed);
+        EuclideanLatency::new(
+            (0..n)
+                .map(|_| vec![rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)])
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn embeds_exactly_embeddable_world_well() {
+        let world = euclidean_world(40, 1);
+        let emb = VivaldiConfig { rounds: 120, ..Default::default() }.embed(&world, 1);
+        let errs = relative_errors(&emb, &world, 2000, 1);
+        let s = Summary::of(&errs);
+        assert!(s.p50 < 0.05, "median rel err {}", s.p50);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let world = euclidean_world(20, 2);
+        let cfg = VivaldiConfig::default();
+        let a = cfg.embed(&world, 7);
+        let b = cfg.embed(&world, 7);
+        assert_eq!(a.coords, b.coords);
+        let c = cfg.embed(&world, 8);
+        assert_ne!(a.coords, c.coords);
+    }
+
+    #[test]
+    fn error_estimates_fall_below_start() {
+        let world = euclidean_world(30, 3);
+        let emb = VivaldiConfig::default().embed(&world, 3);
+        let mean_err = emb.errors.iter().sum::<f64>() / emb.errors.len() as f64;
+        assert!(mean_err < 0.5, "mean node error {mean_err} should drop from 1.0");
+    }
+
+    #[test]
+    fn more_rounds_do_not_hurt() {
+        let world = euclidean_world(30, 4);
+        let short = VivaldiConfig { rounds: 5, ..Default::default() }.embed(&world, 4);
+        let long = VivaldiConfig { rounds: 150, ..Default::default() }.embed(&world, 4);
+        let e_short = Summary::of(&relative_errors(&short, &world, 1000, 2)).p50;
+        let e_long = Summary::of(&relative_errors(&long, &world, 1000, 2)).p50;
+        assert!(e_long <= e_short * 1.05, "short={e_short} long={e_long}");
+    }
+
+    #[test]
+    fn single_node_embedding_is_fine() {
+        let world = EuclideanLatency::new(vec![vec![0.0, 0.0]]);
+        let emb = VivaldiConfig::default().embed(&world, 0);
+        assert_eq!(emb.len(), 1);
+        assert_eq!(emb.dims(), 2);
+    }
+
+    #[test]
+    fn exact_embedding_has_zero_estimated_error() {
+        let pts = vec![vec![0.0, 0.0], vec![3.0, 4.0]];
+        let emb = VivaldiEmbedding::exact(pts);
+        assert_eq!(emb.estimated_latency(NodeId(0), NodeId(1)), 5.0);
+        assert_eq!(emb.errors, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn observe_moves_toward_distant_remote() {
+        let mut rng = rng_from_seed(5);
+        let mut a = VivaldiNode { coord: vec![0.0, 0.0], height: 0.0, error: 0.5 };
+        let b = VivaldiNode { coord: vec![10.0, 0.0], height: 0.0, error: 0.5 };
+        // True rtt 2ms but embedded distance 10 → the spring is compressed
+        // and must push a *away* from b... wait: force = rtt − dist = −8,
+        // direction = a − b = (−1, 0), so a moves +x toward b. Verify that.
+        a.observe(&b, 2.0, 0.25, 0.25, &mut rng);
+        assert!(a.coord[0] > 0.0, "a should move toward b, got {:?}", a.coord);
+    }
+
+    #[test]
+    fn height_model_helps_on_access_link_topology() {
+        // Ground truth: 2-D positions plus a per-node access-link latency —
+        // exactly what the height model represents and a plain Euclidean
+        // embedding cannot.
+        use sbon_netsim::latency::LatencyMatrix;
+        let mut rng = rng_from_seed(11);
+        let n = 40;
+        let pos: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)))
+            .collect();
+        let access: Vec<f64> = (0..n).map(|_| rng.gen_range(2.0..20.0)).collect();
+        let mut m = LatencyMatrix::zeros(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dx = pos[i].0 - pos[j].0;
+                let dy = pos[i].1 - pos[j].1;
+                let d = (dx * dx + dy * dy).sqrt() + access[i] + access[j];
+                m.set(NodeId(i as u32), NodeId(j as u32), d);
+            }
+        }
+        let flat = VivaldiConfig { rounds: 120, ..Default::default() }.embed(&m, 11);
+        let tall = VivaldiConfig { rounds: 120, use_height: true, ..Default::default() }
+            .embed(&m, 11);
+        let err = |e: &VivaldiEmbedding| {
+            Summary::of(&relative_errors(e, &m, 2000, 3)).p50
+        };
+        let (ef, et) = (err(&flat), err(&tall));
+        assert!(et < ef, "height model should win on access-link truth: {et} vs {ef}");
+        assert!(tall.heights.iter().all(|&h| h >= 0.1), "heights respect the floor");
+    }
+
+    #[test]
+    fn heights_are_zero_without_the_model() {
+        let world = euclidean_world(10, 12);
+        let emb = VivaldiConfig::default().embed(&world, 12);
+        assert!(emb.heights.iter().all(|&h| h == 0.0));
+    }
+
+    #[test]
+    fn observe_handles_coincident_coordinates() {
+        let mut rng = rng_from_seed(6);
+        let mut a = VivaldiNode { coord: vec![1.0, 1.0], height: 0.0, error: 1.0 };
+        let b = VivaldiNode { coord: vec![1.0, 1.0], height: 0.0, error: 1.0 };
+        a.observe(&b, 5.0, 0.25, 0.25, &mut rng);
+        // Must have moved off the coincident point in SOME direction.
+        assert!(euclidean(&a.coord, &b.coord) > 0.0);
+    }
+}

@@ -1,0 +1,442 @@
+//! Circuits: instantiated queries in the SBON.
+//!
+//! "We will refer to the instantiation of a query in an SBON as a circuit.
+//! A circuit can contain unpinned services, which are services that can be
+//! placed, and pinned services, which have a pre-defined network location"
+//! (Section 3). Producers and consumers are pinned; operators are unpinned
+//! until placement assigns them nodes.
+
+mod cost;
+
+pub use cost::{CircuitCost, Placement};
+
+use sbon_netsim::graph::NodeId;
+use sbon_query::plan::LogicalPlan;
+use sbon_query::stats::StatsCatalog;
+use sbon_query::stream::StreamId;
+
+/// Identifier of a service within one circuit (dense).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ServiceId(pub u32);
+
+impl ServiceId {
+    /// The id as a usize, for table indexing.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Whether a service's location is fixed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServicePin {
+    /// Must run at this node (producers, consumers, reused instances).
+    Pinned(NodeId),
+    /// Placeable by the optimizer.
+    Unpinned,
+}
+
+/// What a service does.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServiceKind {
+    /// A data source for one stream.
+    Producer(StreamId),
+    /// The query's sink.
+    Consumer,
+    /// An operator service. `signature` canonically identifies the operator
+    /// *and its whole input subtree*: the [`LogicalPlan::shape_key`] with
+    /// every source leaf qualified by its producer node. Two circuits
+    /// computing the same sub-result over the same physical sources have
+    /// equal signatures — the identity used by multi-query reuse ("merge
+    /// identical services (serving different queries) into one physical
+    /// service instance", Section 2.2). Qualifying by producer prevents
+    /// false merges between unrelated queries that happen to number their
+    /// local streams identically.
+    Operator {
+        /// Canonical subtree identity.
+        signature: String,
+    },
+}
+
+/// One service of a circuit.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Service {
+    /// Dense id within the circuit.
+    pub id: ServiceId,
+    /// Role.
+    pub kind: ServiceKind,
+    /// Pinning state.
+    pub pin: ServicePin,
+    /// Rate of the service's *output* link (0 for the consumer).
+    pub output_rate: f64,
+}
+
+impl Service {
+    /// True if the service may be moved by the optimizer.
+    pub fn is_unpinned(&self) -> bool {
+        matches!(self.pin, ServicePin::Unpinned)
+    }
+}
+
+/// A directed data-flow link (child service → parent service).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Link {
+    /// Upstream (data leaves here).
+    pub from: ServiceId,
+    /// Downstream (data arrives here).
+    pub to: ServiceId,
+    /// Data rate carried, in the statistics catalog's units.
+    pub rate: f64,
+}
+
+/// A circuit: the service tree of one query.
+#[derive(Clone, Debug)]
+pub struct Circuit {
+    services: Vec<Service>,
+    links: Vec<Link>,
+    root: ServiceId,
+}
+
+impl Circuit {
+    /// Builds the circuit for `plan`: one pinned producer service per source
+    /// leaf (at `producer_of(stream)`), one unpinned operator service per
+    /// operator node, and a pinned consumer service at `consumer` fed by the
+    /// plan root. Link rates come from the statistics catalog.
+    pub fn from_plan(
+        plan: &LogicalPlan,
+        stats: &StatsCatalog,
+        producer_of: impl Fn(StreamId) -> NodeId,
+        consumer: NodeId,
+    ) -> Circuit {
+        let mut circuit = Circuit {
+            services: Vec::new(),
+            links: Vec::new(),
+            root: ServiceId(0),
+        };
+        let plan_root = circuit.build_subtree(plan, stats, &producer_of);
+        let root_rate = stats.output_rate(plan);
+        let consumer_id = circuit.push_service(
+            ServiceKind::Consumer,
+            ServicePin::Pinned(consumer),
+            0.0,
+        );
+        circuit.links.push(Link { from: plan_root, to: consumer_id, rate: root_rate });
+        circuit.root = consumer_id;
+        circuit
+    }
+
+    fn build_subtree(
+        &mut self,
+        plan: &LogicalPlan,
+        stats: &StatsCatalog,
+        producer_of: &impl Fn(StreamId) -> NodeId,
+    ) -> ServiceId {
+        let rate = stats.output_rate(plan);
+        match plan {
+            LogicalPlan::Source(id) => self.push_service(
+                ServiceKind::Producer(*id),
+                ServicePin::Pinned(producer_of(*id)),
+                rate,
+            ),
+            LogicalPlan::Unary { input, .. } => {
+                let child = self.build_subtree(input, stats, producer_of);
+                let child_rate = self.services[child.index()].output_rate;
+                let me = self.push_service(
+                    ServiceKind::Operator { signature: canonical_signature(plan, producer_of) },
+                    ServicePin::Unpinned,
+                    rate,
+                );
+                self.links.push(Link { from: child, to: me, rate: child_rate });
+                me
+            }
+            LogicalPlan::Binary { left, right, .. } => {
+                let l = self.build_subtree(left, stats, producer_of);
+                let r = self.build_subtree(right, stats, producer_of);
+                let l_rate = self.services[l.index()].output_rate;
+                let r_rate = self.services[r.index()].output_rate;
+                let me = self.push_service(
+                    ServiceKind::Operator { signature: canonical_signature(plan, producer_of) },
+                    ServicePin::Unpinned,
+                    rate,
+                );
+                self.links.push(Link { from: l, to: me, rate: l_rate });
+                self.links.push(Link { from: r, to: me, rate: r_rate });
+                me
+            }
+        }
+    }
+
+    fn push_service(&mut self, kind: ServiceKind, pin: ServicePin, output_rate: f64) -> ServiceId {
+        let id = ServiceId(self.services.len() as u32);
+        self.services.push(Service { id, kind, pin, output_rate });
+        id
+    }
+
+    /// All services.
+    pub fn services(&self) -> &[Service] {
+        &self.services
+    }
+
+    /// All links.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// The consumer (root) service.
+    pub fn root(&self) -> ServiceId {
+        self.root
+    }
+
+    /// Number of services.
+    pub fn len(&self) -> usize {
+        self.services.len()
+    }
+
+    /// True for a circuit with no services (never produced by
+    /// [`Circuit::from_plan`]).
+    pub fn is_empty(&self) -> bool {
+        self.services.is_empty()
+    }
+
+    /// Ids of the unpinned (placeable) services.
+    pub fn unpinned_services(&self) -> Vec<ServiceId> {
+        self.services
+            .iter()
+            .filter(|s| s.is_unpinned())
+            .map(|s| s.id)
+            .collect()
+    }
+
+    /// Links incident to `sid` (both directions), as
+    /// `(other endpoint, rate)`.
+    pub fn incident(&self, sid: ServiceId) -> Vec<(ServiceId, f64)> {
+        self.links
+            .iter()
+            .filter_map(|l| {
+                if l.from == sid {
+                    Some((l.to, l.rate))
+                } else if l.to == sid {
+                    Some((l.from, l.rate))
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// Children of `sid` in data-flow order (services streaming into it).
+    pub fn children(&self, sid: ServiceId) -> Vec<ServiceId> {
+        self.links
+            .iter()
+            .filter(|l| l.to == sid)
+            .map(|l| l.from)
+            .collect()
+    }
+
+    /// Pins an (operator) service to a node — used when multi-query
+    /// optimization reuses an existing instance.
+    pub fn pin_service(&mut self, sid: ServiceId, node: NodeId) {
+        self.services[sid.index()].pin = ServicePin::Pinned(node);
+    }
+
+    /// A service by id.
+    pub fn service(&self, sid: ServiceId) -> &Service {
+        &self.services[sid.index()]
+    }
+}
+
+/// The canonical reuse signature of a plan subtree: its shape key with each
+/// source leaf qualified by its producer node (`s0@n5`), order-insensitive
+/// for commutative joins.
+pub fn canonical_signature(
+    plan: &LogicalPlan,
+    producer_of: &impl Fn(StreamId) -> NodeId,
+) -> String {
+    match plan {
+        LogicalPlan::Source(id) => format!("{id}@{}", producer_of(*id)),
+        LogicalPlan::Unary { op, input } => {
+            let inner = canonical_signature(input, producer_of);
+            // Reuse the shape-key operator labels by rendering a one-level
+            // shape key and substituting the qualified child.
+            let label = match op {
+                sbon_query::plan::UnaryOp::Select { selectivity } => format!("σ{selectivity}"),
+                sbon_query::plan::UnaryOp::Project { ratio } => format!("π{ratio}"),
+                sbon_query::plan::UnaryOp::Aggregate { ratio } => format!("γ{ratio}"),
+            };
+            format!("{label}({inner})")
+        }
+        LogicalPlan::Binary { op, left, right } => {
+            let (a, b) = (
+                canonical_signature(left, producer_of),
+                canonical_signature(right, producer_of),
+            );
+            let (a, b) = if a <= b { (a, b) } else { (b, a) };
+            let label = match op {
+                sbon_query::plan::BinaryOp::Join => "⋈",
+                sbon_query::plan::BinaryOp::Union => "∪",
+            };
+            format!("({a} {label} {b})")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats2() -> StatsCatalog {
+        let mut s = StatsCatalog::new(0.1);
+        s.set_rate(StreamId(0), 10.0);
+        s.set_rate(StreamId(1), 20.0);
+        s.set_rate(StreamId(2), 5.0);
+        s
+    }
+
+    fn producer_map(id: StreamId) -> NodeId {
+        NodeId(id.0 + 100)
+    }
+
+    #[test]
+    fn two_way_join_circuit_shape() {
+        let plan = LogicalPlan::join(
+            LogicalPlan::source(StreamId(0)),
+            LogicalPlan::source(StreamId(1)),
+        );
+        let c = Circuit::from_plan(&plan, &stats2(), producer_map, NodeId(7));
+        // Services: 2 producers + 1 join + 1 consumer.
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.links().len(), 3);
+        assert_eq!(c.unpinned_services().len(), 1);
+        // Producers pinned at their nodes, consumer at 7.
+        let producers: Vec<NodeId> = c
+            .services()
+            .iter()
+            .filter_map(|s| match (&s.kind, s.pin) {
+                (ServiceKind::Producer(_), ServicePin::Pinned(n)) => Some(n),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(producers, vec![NodeId(100), NodeId(101)]);
+        assert_eq!(c.service(c.root()).pin, ServicePin::Pinned(NodeId(7)));
+    }
+
+    #[test]
+    fn link_rates_follow_stats() {
+        let plan = LogicalPlan::join(
+            LogicalPlan::source(StreamId(0)),
+            LogicalPlan::source(StreamId(1)),
+        );
+        let stats = stats2();
+        let c = Circuit::from_plan(&plan, &stats, producer_map, NodeId(7));
+        let rates: Vec<f64> = c.links().iter().map(|l| l.rate).collect();
+        // Producer links carry base rates; root link carries join output.
+        assert!(rates.contains(&10.0));
+        assert!(rates.contains(&20.0));
+        assert!(rates.contains(&stats.output_rate(&plan)));
+    }
+
+    #[test]
+    fn three_way_join_has_two_operators() {
+        let plan = LogicalPlan::join(
+            LogicalPlan::join(
+                LogicalPlan::source(StreamId(0)),
+                LogicalPlan::source(StreamId(1)),
+            ),
+            LogicalPlan::source(StreamId(2)),
+        );
+        let c = Circuit::from_plan(&plan, &stats2(), producer_map, NodeId(7));
+        assert_eq!(c.unpinned_services().len(), 2);
+        assert_eq!(c.len(), 6);
+    }
+
+    #[test]
+    fn signatures_identify_equal_subtrees() {
+        let p1 = LogicalPlan::join(
+            LogicalPlan::source(StreamId(0)),
+            LogicalPlan::source(StreamId(1)),
+        );
+        let p2 = LogicalPlan::join(
+            LogicalPlan::source(StreamId(1)),
+            LogicalPlan::source(StreamId(0)),
+        );
+        let c1 = Circuit::from_plan(&p1, &stats2(), producer_map, NodeId(7));
+        let c2 = Circuit::from_plan(&p2, &stats2(), producer_map, NodeId(8));
+        let sig = |c: &Circuit| -> String {
+            c.services()
+                .iter()
+                .find_map(|s| match &s.kind {
+                    ServiceKind::Operator { signature } => Some(signature.clone()),
+                    _ => None,
+                })
+                .unwrap()
+        };
+        assert_eq!(sig(&c1), sig(&c2), "commutative joins share a signature");
+    }
+
+    #[test]
+    fn signatures_distinguish_different_producers() {
+        // Same local stream ids, different physical producers: must NOT
+        // share a signature (this would falsely merge unrelated queries).
+        let plan = LogicalPlan::join(
+            LogicalPlan::source(StreamId(0)),
+            LogicalPlan::source(StreamId(1)),
+        );
+        let c1 = Circuit::from_plan(&plan, &stats2(), |s| NodeId(s.0), NodeId(7));
+        let c2 = Circuit::from_plan(&plan, &stats2(), |s| NodeId(s.0 + 50), NodeId(7));
+        let sig = |c: &Circuit| -> String {
+            c.services()
+                .iter()
+                .find_map(|s| match &s.kind {
+                    ServiceKind::Operator { signature } => Some(signature.clone()),
+                    _ => None,
+                })
+                .unwrap()
+        };
+        assert_ne!(sig(&c1), sig(&c2));
+    }
+
+    #[test]
+    fn filter_selectivity_is_part_of_the_signature() {
+        let mk = |sel: f64| {
+            let plan = LogicalPlan::select(sel, LogicalPlan::source(StreamId(0)));
+            canonical_signature(&plan, &|s: StreamId| NodeId(s.0))
+        };
+        assert_ne!(mk(0.5), mk(0.25), "different filters must not merge");
+        assert_eq!(mk(0.5), mk(0.5));
+    }
+
+    #[test]
+    fn children_and_incident_agree() {
+        let plan = LogicalPlan::join(
+            LogicalPlan::source(StreamId(0)),
+            LogicalPlan::source(StreamId(1)),
+        );
+        let c = Circuit::from_plan(&plan, &stats2(), producer_map, NodeId(7));
+        let join_sid = c.unpinned_services()[0];
+        assert_eq!(c.children(join_sid).len(), 2);
+        // Incident: 2 children + 1 parent (consumer).
+        assert_eq!(c.incident(join_sid).len(), 3);
+    }
+
+    #[test]
+    fn pin_service_changes_pinning() {
+        let plan = LogicalPlan::join(
+            LogicalPlan::source(StreamId(0)),
+            LogicalPlan::source(StreamId(1)),
+        );
+        let mut c = Circuit::from_plan(&plan, &stats2(), producer_map, NodeId(7));
+        let sid = c.unpinned_services()[0];
+        c.pin_service(sid, NodeId(3));
+        assert!(c.unpinned_services().is_empty());
+        assert_eq!(c.service(sid).pin, ServicePin::Pinned(NodeId(3)));
+    }
+
+    #[test]
+    fn unary_chain_builds_linear_circuit() {
+        let plan = LogicalPlan::select(0.5, LogicalPlan::source(StreamId(0)));
+        let c = Circuit::from_plan(&plan, &stats2(), producer_map, NodeId(7));
+        assert_eq!(c.len(), 3); // producer, filter, consumer
+        assert_eq!(c.links().len(), 2);
+        let filter = c.unpinned_services()[0];
+        assert_eq!(c.service(filter).output_rate, 5.0);
+    }
+}

@@ -1,0 +1,19 @@
+//! Cost spaces (Section 3.1).
+//!
+//! "A cost space is a multi-dimensional metric space that expresses cost
+//! information for service placement decisions. A point in this space
+//! corresponds to a physical node, where each coordinate component
+//! represents an aspect of the cost of using this node."
+//!
+//! Vector dimensions capture pairwise relationships (latency — embedded by
+//! `sbon-coords`); scalar dimensions capture node-local values passed
+//! through a deployer-chosen [`WeightFn`] that is "constructed to always be
+//! non-negative, where zero represents an ideal value".
+
+mod point;
+mod space;
+mod weight;
+
+pub use point::CostPoint;
+pub use space::{CostSpace, CostSpaceBuilder, CostSpaceRegistry, DimensionSpec, ScalarSource};
+pub use weight::WeightFn;

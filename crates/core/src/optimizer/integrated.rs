@@ -1,0 +1,242 @@
+//! The integrated optimizer (Section 3.3).
+
+use sbon_netsim::latency::LatencyProvider;
+use sbon_query::enumerate::{all_join_trees, all_left_deep_trees, dp_top_k_plans};
+use sbon_query::plan::LogicalPlan;
+
+use crate::circuit::Circuit;
+use crate::costspace::CostSpace;
+use crate::optimizer::{cost_both, OptimizerConfig, PlacedCircuit, QuerySpec};
+use crate::placement::{map_circuit, OracleMapper, PhysicalMapper};
+
+/// Integrated plan generation + service placement: every candidate plan is
+/// virtually placed, physically mapped, and costed as a *circuit*; the
+/// cheapest circuit wins. This is the paper's contribution.
+#[derive(Clone, Debug, Default)]
+pub struct IntegratedOptimizer {
+    config: OptimizerConfig,
+}
+
+impl IntegratedOptimizer {
+    /// Creates an optimizer.
+    pub fn new(config: OptimizerConfig) -> Self {
+        IntegratedOptimizer { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &OptimizerConfig {
+        &self.config
+    }
+
+    /// Candidate logical plans for a query: the full bushy space for small
+    /// join sets, the k-best DP plans otherwise; source filters attached.
+    pub fn candidate_plans(&self, query: &QuerySpec) -> Vec<LogicalPlan> {
+        let bare: Vec<LogicalPlan> = if query.join_set.len() <= self.config.exhaustive_below {
+            if self.config.left_deep_only {
+                all_left_deep_trees(&query.join_set)
+            } else {
+                all_join_trees(&query.join_set)
+            }
+        } else {
+            dp_top_k_plans(&query.stats, &query.join_set, self.config.candidate_plans)
+                .into_iter()
+                .map(|(p, _)| p)
+                .collect()
+        };
+        bare.into_iter().map(|p| query.apply_filters(p)).collect()
+    }
+
+    /// Optimizes with the centralized oracle mapper (the default for
+    /// experiments that isolate optimizer behaviour from DHT error).
+    pub fn optimize(
+        &self,
+        query: &QuerySpec,
+        space: &CostSpace,
+        latency: &dyn LatencyProvider,
+    ) -> Option<PlacedCircuit> {
+        let mut mapper = OracleMapper;
+        self.optimize_with_mapper(query, space, latency, &mut mapper)
+    }
+
+    /// Optimizes with an explicit physical mapper (e.g. the Hilbert-DHT
+    /// mapper, which charges routing hops).
+    pub fn optimize_with_mapper(
+        &self,
+        query: &QuerySpec,
+        space: &CostSpace,
+        latency: &dyn LatencyProvider,
+        mapper: &mut dyn PhysicalMapper,
+    ) -> Option<PlacedCircuit> {
+        let placer = self.config.placer.build();
+        let candidates = self.candidate_plans(query);
+        let examined = candidates.len();
+        let mut best: Option<PlacedCircuit> = None;
+
+        for plan in candidates {
+            let circuit =
+                Circuit::from_plan(&plan, &query.stats, |s| query.producer_of(s), query.consumer);
+            let vp = placer.place(&circuit, space);
+            let mapped = map_circuit(&circuit, &vp, space, mapper);
+            let (measured, estimated) = cost_both(&circuit, &mapped.placement, space, latency);
+            let candidate = PlacedCircuit {
+                plan,
+                mapping_hops: mapped.total_hops(),
+                mean_mapping_error: mapped.mean_mapping_error(),
+                placement: mapped.placement,
+                circuit,
+                cost: measured,
+                estimated,
+                candidates_examined: examined,
+            };
+            let better = match &best {
+                None => true,
+                Some(b) => {
+                    let (new, old) = if self.config.select_by_estimate {
+                        (candidate.estimated.network_usage, b.estimated.network_usage)
+                    } else {
+                        (candidate.cost.network_usage, b.cost.network_usage)
+                    };
+                    new < old
+                }
+            };
+            if better {
+                best = Some(candidate);
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::costspace::CostSpaceBuilder;
+    
+    use sbon_netsim::dijkstra::all_pairs_latency;
+    use sbon_netsim::graph::NodeId;
+    use sbon_netsim::topology::simple::random_geometric;
+
+    /// A small world where coordinates are exact, so estimated == measured
+    /// up to shortest-path-vs-euclidean discrepancies are avoided entirely
+    /// by using the euclidean world as ground truth too.
+    fn exact_world(n: usize, seed: u64) -> (crate::costspace::CostSpace, sbon_netsim::latency::LatencyMatrix) {
+        let topo = random_geometric(n, 100.0, 35.0, seed);
+        let lat = all_pairs_latency(&topo.graph);
+        // Embed with exact ground-truth 2-D positions is impossible for a
+        // graph metric; use Vivaldi for realism at small scale.
+        let emb = sbon_coords::vivaldi::VivaldiConfig { rounds: 80, ..Default::default() }
+            .embed(&lat, seed);
+        (CostSpaceBuilder::latency_space(&emb), lat)
+    }
+
+    #[test]
+    fn optimizer_returns_a_placed_circuit() {
+        let (space, lat) = exact_world(40, 1);
+        let q = QuerySpec::join_star(
+            &[NodeId(0), NodeId(5), NodeId(10), NodeId(15)],
+            NodeId(20),
+            10.0,
+            0.02,
+        );
+        let opt = IntegratedOptimizer::new(OptimizerConfig::default());
+        let placed = opt.optimize(&q, &space, &lat).unwrap();
+        assert!(placed.cost.network_usage > 0.0);
+        assert_eq!(placed.candidates_examined, 15); // exhaustive 4-way
+        assert_eq!(placed.placement.as_slice().len(), placed.circuit.len());
+        // Consumer stayed pinned.
+        assert_eq!(placed.placement.node_of(placed.circuit.root()), NodeId(20));
+    }
+
+    #[test]
+    fn integrated_is_no_worse_than_any_single_candidate() {
+        let (space, lat) = exact_world(40, 2);
+        let q = QuerySpec::join_star(
+            &[NodeId(1), NodeId(7), NodeId(13), NodeId(19)],
+            NodeId(25),
+            10.0,
+            0.02,
+        );
+        let opt = IntegratedOptimizer::new(OptimizerConfig::default());
+        let best = opt.optimize(&q, &space, &lat).unwrap();
+        // Re-run each candidate plan individually; none may beat the
+        // optimizer's selection on the selection metric (the estimate).
+        let placer = opt.config().placer.build();
+        for plan in opt.candidate_plans(&q) {
+            let circuit = Circuit::from_plan(&plan, &q.stats, |s| q.producer_of(s), q.consumer);
+            let vp = placer.place(&circuit, &space);
+            let mut mapper = OracleMapper;
+            let mapped = map_circuit(&circuit, &vp, &space, &mut mapper);
+            let est = circuit
+                .cost_with(&mapped.placement, |a, b| space.vector_distance(a, b));
+            assert!(
+                best.estimated.network_usage <= est.network_usage + 1e-9,
+                "candidate {plan} beat the optimizer"
+            );
+        }
+    }
+
+    #[test]
+    fn large_join_set_uses_dp_candidates() {
+        let (space, lat) = exact_world(40, 3);
+        let producers: Vec<NodeId> = (0..7).map(|i| NodeId(i * 5)).collect();
+        let q = QuerySpec::join_star(&producers, NodeId(36), 5.0, 0.01);
+        let opt = IntegratedOptimizer::new(OptimizerConfig {
+            candidate_plans: 6,
+            ..Default::default()
+        });
+        let placed = opt.optimize(&q, &space, &lat).unwrap();
+        assert!(placed.candidates_examined <= 6);
+        assert!(placed.cost.network_usage > 0.0);
+    }
+
+    #[test]
+    fn left_deep_restriction_shrinks_the_candidate_space() {
+        let (space, lat) = exact_world(40, 5);
+        let q = QuerySpec::join_star(
+            &[NodeId(0), NodeId(5), NodeId(10), NodeId(15)],
+            NodeId(20),
+            10.0,
+            0.02,
+        );
+        let bushy = IntegratedOptimizer::new(OptimizerConfig::default())
+            .optimize(&q, &space, &lat)
+            .unwrap();
+        let left_deep = IntegratedOptimizer::new(OptimizerConfig {
+            left_deep_only: true,
+            ..Default::default()
+        })
+        .optimize(&q, &space, &lat)
+        .unwrap();
+        assert_eq!(bushy.candidates_examined, 15);
+        assert_eq!(left_deep.candidates_examined, 12);
+        // The bushy space contains every left-deep tree, so its winner
+        // cannot be worse on the selection metric.
+        assert!(bushy.estimated.network_usage <= left_deep.estimated.network_usage + 1e-9);
+    }
+
+    #[test]
+    fn root_aggregate_appears_in_every_candidate() {
+        let (space, lat) = exact_world(30, 6);
+        let q = QuerySpec::join_star(&[NodeId(0), NodeId(9), NodeId(18)], NodeId(25), 10.0, 0.05)
+            .with_root_aggregate(0.2);
+        let opt = IntegratedOptimizer::new(OptimizerConfig::default());
+        for plan in opt.candidate_plans(&q) {
+            assert!(plan.render().starts_with('γ'), "{plan}");
+        }
+        let placed = opt.optimize(&q, &space, &lat).unwrap();
+        // producers(3) + joins(2) + aggregate(1) + consumer(1) = 7 services.
+        assert_eq!(placed.circuit.len(), 7);
+    }
+
+    #[test]
+    fn filters_travel_into_the_chosen_plan() {
+        let (space, lat) = exact_world(30, 4);
+        let q = QuerySpec::join_star(&[NodeId(0), NodeId(9)], NodeId(20), 10.0, 0.05)
+            .with_source_filter(sbon_query::stream::StreamId(0), 0.1);
+        let opt = IntegratedOptimizer::new(OptimizerConfig::default());
+        let placed = opt.optimize(&q, &space, &lat).unwrap();
+        assert!(placed.plan.render().contains('σ'), "{}", placed.plan);
+        // 2 producers + filter + join + consumer = 5 services.
+        assert_eq!(placed.circuit.len(), 5);
+    }
+}

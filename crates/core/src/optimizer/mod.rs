@@ -1,0 +1,121 @@
+//! Integrated plan generation + service placement (Section 3.3), and the
+//! classic two-step baseline it is evaluated against.
+//!
+//! "When a query is introduced into the system ... a set of candidate plans
+//! is created. But in the integrated approach, each plan is virtually placed
+//! and physically mapped using the desired cost space. This yields exactly
+//! one candidate circuit per plan, with the cost of the circuit representing
+//! the current node and network state. The cheapest of these candidate
+//! circuits is selected."
+
+mod integrated;
+mod query;
+mod twostep;
+
+pub use integrated::IntegratedOptimizer;
+pub use query::QuerySpec;
+pub use twostep::TwoStepOptimizer;
+
+use sbon_netsim::latency::LatencyProvider;
+use sbon_query::plan::LogicalPlan;
+
+use crate::circuit::{Circuit, CircuitCost, Placement};
+use crate::costspace::CostSpace;
+use crate::placement::{
+    CentroidPlacer, GradientConfig, GradientPlacer, RelaxationConfig, RelaxationPlacer,
+    VirtualPlacer,
+};
+
+/// Which virtual-placement algorithm an optimizer uses.
+#[derive(Clone, Copy, Debug)]
+pub enum PlacerKind {
+    /// Spring relaxation (the paper's reference algorithm).
+    Relaxation(RelaxationConfig),
+    /// One-shot rate-weighted centroid.
+    Centroid,
+    /// Weiszfeld refinement of the relaxation solution.
+    Gradient(GradientConfig),
+}
+
+impl PlacerKind {
+    /// Instantiates the placer.
+    pub fn build(&self) -> Box<dyn VirtualPlacer> {
+        match *self {
+            PlacerKind::Relaxation(cfg) => Box::new(RelaxationPlacer::new(cfg)),
+            PlacerKind::Centroid => Box::new(CentroidPlacer),
+            PlacerKind::Gradient(cfg) => Box::new(GradientPlacer::new(cfg)),
+        }
+    }
+}
+
+impl Default for PlacerKind {
+    fn default() -> Self {
+        PlacerKind::Relaxation(RelaxationConfig::default())
+    }
+}
+
+/// Optimizer tunables shared by the integrated and two-step optimizers.
+#[derive(Clone, Debug)]
+pub struct OptimizerConfig {
+    /// Candidate plans the integrated optimizer places (`k` of the k-best
+    /// DP). Ignored when exhaustive enumeration applies.
+    pub candidate_plans: usize,
+    /// Use exhaustive bushy enumeration when the join set has at most this
+    /// many streams (the F1 experiment wants the full 15-tree space of a
+    /// 4-way join).
+    pub exhaustive_below: usize,
+    /// Virtual-placement algorithm.
+    pub placer: PlacerKind,
+    /// Rank candidate circuits by the cost-space *estimate* (what a
+    /// decentralized optimizer can see) rather than ground-truth latency.
+    /// Experiments report both costs either way.
+    pub select_by_estimate: bool,
+    /// Restrict exhaustive enumeration to the classic left-deep (System R)
+    /// search space instead of all bushy trees.
+    pub left_deep_only: bool,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig {
+            candidate_plans: 8,
+            exhaustive_below: 5,
+            placer: PlacerKind::default(),
+            select_by_estimate: true,
+            left_deep_only: false,
+        }
+    }
+}
+
+/// A fully optimized, placed circuit — the optimizer's output.
+#[derive(Clone, Debug)]
+pub struct PlacedCircuit {
+    /// The chosen logical plan.
+    pub plan: LogicalPlan,
+    /// Its circuit.
+    pub circuit: Circuit,
+    /// Host assignment.
+    pub placement: Placement,
+    /// Cost under ground-truth latency (what the deployment experiences).
+    pub cost: CircuitCost,
+    /// Cost under cost-space vector distance (what the optimizer estimated).
+    pub estimated: CircuitCost,
+    /// DHT routing hops spent on physical mapping (0 with oracle mappers).
+    pub mapping_hops: usize,
+    /// Mean full-space mapping error over unpinned services.
+    pub mean_mapping_error: f64,
+    /// How many candidate plans were examined.
+    pub candidates_examined: usize,
+}
+
+/// Shared helper: cost a mapped circuit both ways.
+pub(crate) fn cost_both(
+    circuit: &Circuit,
+    placement: &Placement,
+    space: &CostSpace,
+    latency: &dyn LatencyProvider,
+) -> (CircuitCost, CircuitCost) {
+    let measured = circuit.cost_with(placement, |a, b| latency.latency(a, b));
+    let estimated = circuit.cost_with(placement, |a, b| space.vector_distance(a, b));
+    (measured, estimated)
+}

@@ -1,0 +1,208 @@
+//! Query specifications handed to the optimizers.
+
+use sbon_netsim::graph::NodeId;
+use sbon_query::plan::LogicalPlan;
+use sbon_query::stats::StatsCatalog;
+use sbon_query::stream::{StreamCatalog, StreamId};
+
+/// A continuous query: which streams to combine, where the consumer lives,
+/// and the statistics the optimizer may use.
+#[derive(Clone, Debug)]
+pub struct QuerySpec {
+    /// The source streams (rates + pinned producers).
+    pub streams: StreamCatalog,
+    /// Rates and selectivities.
+    pub stats: StatsCatalog,
+    /// The streams this query joins (ids into `streams`).
+    pub join_set: Vec<StreamId>,
+    /// The consumer's node (pinned).
+    pub consumer: NodeId,
+    /// Optional per-stream filters applied at the source side:
+    /// `(stream, selectivity)` — each adds a σ service above that producer.
+    pub source_filters: Vec<(StreamId, f64)>,
+    /// Optional aggregation above the join root (output ratio); adds a γ
+    /// service feeding the consumer — e.g. a windowed rollup before
+    /// delivery.
+    pub root_aggregate: Option<f64>,
+}
+
+impl QuerySpec {
+    /// A query joining fresh streams, one per producer, all with the same
+    /// rate, and a uniform pairwise join selectivity. This is the Figure 1
+    /// workload shape: "a four-way join operator is decomposed into three
+    /// two-way joins and then placed in the SBON".
+    pub fn join_star(producers: &[NodeId], consumer: NodeId, rate: f64, join_sel: f64) -> Self {
+        assert!(!producers.is_empty(), "need at least one producer");
+        let mut streams = StreamCatalog::new();
+        for (i, &p) in producers.iter().enumerate() {
+            streams.register(format!("stream{i}"), rate, p);
+        }
+        let stats = StatsCatalog::from_streams(&streams, join_sel);
+        let join_set = streams.iter().map(|s| s.id).collect();
+        QuerySpec {
+            streams,
+            stats,
+            join_set,
+            consumer,
+            source_filters: Vec::new(),
+            root_aggregate: None,
+        }
+    }
+
+    /// Builds a query over existing catalogs.
+    pub fn new(
+        streams: StreamCatalog,
+        stats: StatsCatalog,
+        join_set: Vec<StreamId>,
+        consumer: NodeId,
+    ) -> Self {
+        assert!(!join_set.is_empty(), "join set may not be empty");
+        QuerySpec {
+            streams,
+            stats,
+            join_set,
+            consumer,
+            source_filters: Vec::new(),
+            root_aggregate: None,
+        }
+    }
+
+    /// Overrides one stream's rate (builder style).
+    pub fn with_rate(mut self, stream: StreamId, rate: f64) -> Self {
+        self.stats.set_rate(stream, rate);
+        self
+    }
+
+    /// Overrides one pairwise selectivity (builder style).
+    pub fn with_selectivity(mut self, a: StreamId, b: StreamId, sel: f64) -> Self {
+        self.stats.set_join_selectivity(a, b, sel);
+        self
+    }
+
+    /// Adds a source-side filter (builder style).
+    pub fn with_source_filter(mut self, stream: StreamId, selectivity: f64) -> Self {
+        assert!(selectivity > 0.0 && selectivity <= 1.0);
+        self.source_filters.push((stream, selectivity));
+        self
+    }
+
+    /// Adds a root aggregation with the given output ratio (builder style).
+    pub fn with_root_aggregate(mut self, ratio: f64) -> Self {
+        assert!(ratio > 0.0 && ratio <= 1.0);
+        self.root_aggregate = Some(ratio);
+        self
+    }
+
+    /// The pinned producer of a stream.
+    pub fn producer_of(&self, id: StreamId) -> NodeId {
+        self.streams.get(id).producer
+    }
+
+    /// Wraps a raw join tree with this query's decorations: source filters
+    /// on matching leaves and the optional root aggregation. Plan
+    /// enumeration works on the bare join trees; decorations are reattached
+    /// here so every candidate plan carries them identically.
+    pub fn apply_filters(&self, plan: LogicalPlan) -> LogicalPlan {
+        let decorated = self.apply_source_filters(plan);
+        match self.root_aggregate {
+            Some(ratio) => LogicalPlan::aggregate(ratio, decorated),
+            None => decorated,
+        }
+    }
+
+    fn apply_source_filters(&self, plan: LogicalPlan) -> LogicalPlan {
+        if self.source_filters.is_empty() {
+            return plan;
+        }
+        match plan {
+            LogicalPlan::Source(id) => {
+                let mut wrapped = LogicalPlan::Source(id);
+                for &(fid, sel) in &self.source_filters {
+                    if fid == id {
+                        wrapped = LogicalPlan::select(sel, wrapped);
+                    }
+                }
+                wrapped
+            }
+            LogicalPlan::Unary { op, input } => LogicalPlan::Unary {
+                op,
+                input: Box::new(self.apply_source_filters(*input)),
+            },
+            LogicalPlan::Binary { op, left, right } => LogicalPlan::Binary {
+                op,
+                left: Box::new(self.apply_source_filters(*left)),
+                right: Box::new(self.apply_source_filters(*right)),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_star_registers_all_streams() {
+        let q = QuerySpec::join_star(
+            &[NodeId(1), NodeId(2), NodeId(3)],
+            NodeId(9),
+            10.0,
+            0.05,
+        );
+        assert_eq!(q.join_set.len(), 3);
+        assert_eq!(q.producer_of(StreamId(1)), NodeId(2));
+        assert_eq!(q.stats.rate(StreamId(0)), 10.0);
+        assert_eq!(q.stats.join_selectivity(StreamId(0), StreamId(2)), 0.05);
+    }
+
+    #[test]
+    fn builders_override_stats() {
+        let q = QuerySpec::join_star(&[NodeId(1), NodeId(2)], NodeId(9), 10.0, 0.05)
+            .with_rate(StreamId(0), 99.0)
+            .with_selectivity(StreamId(0), StreamId(1), 0.5);
+        assert_eq!(q.stats.rate(StreamId(0)), 99.0);
+        assert_eq!(q.stats.join_selectivity(StreamId(1), StreamId(0)), 0.5);
+    }
+
+    #[test]
+    fn apply_filters_wraps_matching_leaves() {
+        let q = QuerySpec::join_star(&[NodeId(1), NodeId(2)], NodeId(9), 10.0, 0.05)
+            .with_source_filter(StreamId(1), 0.2);
+        let bare = LogicalPlan::join(
+            LogicalPlan::source(StreamId(0)),
+            LogicalPlan::source(StreamId(1)),
+        );
+        let filtered = q.apply_filters(bare);
+        assert_eq!(filtered.render(), "(s0 ⋈ σ(s1))");
+        assert_eq!(filtered.num_services(), 2);
+    }
+
+    #[test]
+    fn root_aggregate_wraps_the_plan() {
+        let q = QuerySpec::join_star(&[NodeId(1), NodeId(2)], NodeId(9), 10.0, 0.05)
+            .with_root_aggregate(0.1)
+            .with_source_filter(StreamId(0), 0.5);
+        let bare = LogicalPlan::join(
+            LogicalPlan::source(StreamId(0)),
+            LogicalPlan::source(StreamId(1)),
+        );
+        let decorated = q.apply_filters(bare);
+        assert_eq!(decorated.render(), "γ((σ(s0) ⋈ s1))");
+        assert_eq!(decorated.num_services(), 3);
+        // Aggregation shrinks the final delivery rate by the ratio.
+        let join_only = LogicalPlan::join(
+            LogicalPlan::select(0.5, LogicalPlan::source(StreamId(0))),
+            LogicalPlan::source(StreamId(1)),
+        );
+        assert!(
+            (q.stats.output_rate(&decorated) - 0.1 * q.stats.output_rate(&join_only)).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one producer")]
+    fn empty_join_star_rejected() {
+        QuerySpec::join_star(&[], NodeId(0), 1.0, 0.1);
+    }
+}

@@ -1,0 +1,213 @@
+//! Exhaustive (omniscient) optimal placement for tree circuits.
+//!
+//! The "traditional service placement" baseline of the C3 scale experiment:
+//! a centralized optimizer that knows the full `n × n` latency matrix and
+//! solves the tree placement *exactly* by dynamic programming over
+//! `(service, host)` pairs — `O(services × n²)` time, `O(services × n)`
+//! space. This is what the paper says stops scaling once the overlay has
+//! "hundreds or thousands of physical node choices": not because a poly
+//! algorithm doesn't exist, but because it needs global, fresh, all-pairs
+//! state and quadratic work per query. It also serves as the quality
+//! yardstick for the cost-space pipeline: how close virtual placement +
+//! mapping gets to the true optimum.
+
+use sbon_netsim::graph::NodeId;
+
+use crate::circuit::{Circuit, Placement, ServiceId, ServicePin};
+
+/// Computes the minimum-network-usage placement of a tree circuit given a
+/// ground-truth distance oracle and the candidate host set for unpinned
+/// services. Pinned services stay put. Returns the placement and its
+/// optimal network usage.
+///
+/// Panics if `hosts` is empty or the circuit is not a tree (shared
+/// children). [`Circuit::from_plan`] always builds trees.
+pub fn optimal_tree_placement(
+    circuit: &Circuit,
+    hosts: &[NodeId],
+    mut dist: impl FnMut(NodeId, NodeId) -> f64,
+) -> (Placement, f64) {
+    assert!(!hosts.is_empty(), "need at least one candidate host");
+    let root = circuit.root();
+
+    // Candidate set per service: the pin for pinned services, `hosts`
+    // otherwise.
+    let candidates = |sid: ServiceId| -> Vec<NodeId> {
+        match circuit.service(sid).pin {
+            ServicePin::Pinned(n) => vec![n],
+            ServicePin::Unpinned => hosts.to_vec(),
+        }
+    };
+
+    // Post-order DP: best[sid][ci] = minimal cost of the subtree rooted at
+    // sid when sid is hosted at candidates(sid)[ci], counting the links
+    // below sid (not sid's own uplink).
+    struct Dp {
+        /// Per candidate host: (subtree cost, chosen child candidate indices).
+        table: Vec<(f64, Vec<usize>)>,
+        cands: Vec<NodeId>,
+        children: Vec<ServiceId>,
+    }
+
+    fn solve(
+        circuit: &Circuit,
+        sid: ServiceId,
+        candidates: &impl Fn(ServiceId) -> Vec<NodeId>,
+        dist: &mut impl FnMut(NodeId, NodeId) -> f64,
+        out: &mut std::collections::HashMap<ServiceId, Dp>,
+    ) {
+        let children = circuit.children(sid);
+        for &c in &children {
+            solve(circuit, c, candidates, dist, out);
+        }
+        let cands = candidates(sid);
+        let mut table = Vec::with_capacity(cands.len());
+        // Rate of each child's uplink.
+        let child_rates: Vec<f64> = children
+            .iter()
+            .map(|&c| circuit.service(c).output_rate)
+            .collect();
+        for &host in &cands {
+            let mut cost = 0.0;
+            let mut picks = Vec::with_capacity(children.len());
+            for (k, &child) in children.iter().enumerate() {
+                let cdp = &out[&child];
+                let mut best = f64::INFINITY;
+                let mut best_i = 0;
+                for (i, &cn) in cdp.cands.iter().enumerate() {
+                    let total = cdp.table[i].0 + child_rates[k] * dist(cn, host);
+                    if total < best {
+                        best = total;
+                        best_i = i;
+                    }
+                }
+                cost += best;
+                picks.push(best_i);
+            }
+            table.push((cost, picks));
+        }
+        out.insert(sid, Dp { table, cands, children });
+    }
+
+    let mut dp = std::collections::HashMap::new();
+    solve(circuit, root, &candidates, &mut dist, &mut dp);
+
+    // Root: pick its best candidate, then back-trace.
+    let root_dp = &dp[&root];
+    let (best_i, _) = root_dp
+        .table
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).expect("finite costs"))
+        .map(|(i, t)| (i, t.0))
+        .expect("root has at least one candidate");
+    let best_cost = root_dp.table[best_i].0;
+
+    let mut nodes = vec![NodeId(0); circuit.len()];
+    fn assign(
+        dp: &std::collections::HashMap<ServiceId, Dp>,
+        sid: ServiceId,
+        choice: usize,
+        nodes: &mut [NodeId],
+    ) {
+        let d = &dp[&sid];
+        nodes[sid.index()] = d.cands[choice];
+        for (k, &child) in d.children.iter().enumerate() {
+            let child_choice = d.table[choice].1[k];
+            assign(dp, child, child_choice, nodes);
+        }
+    }
+    assign(&dp, root, best_i, &mut nodes);
+
+    (Placement::new(circuit, nodes), best_cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbon_query::plan::LogicalPlan;
+    use sbon_query::stats::StatsCatalog;
+    use sbon_query::stream::StreamId;
+
+    fn line_dist(a: NodeId, b: NodeId) -> f64 {
+        (a.0 as f64 - b.0 as f64).abs()
+    }
+
+    fn join_circuit() -> Circuit {
+        let mut stats = StatsCatalog::new(0.01);
+        stats.set_rate(StreamId(0), 10.0);
+        stats.set_rate(StreamId(1), 10.0);
+        let plan = LogicalPlan::join(
+            LogicalPlan::source(StreamId(0)),
+            LogicalPlan::source(StreamId(1)),
+        );
+        // Producers at nodes 0 and 10, consumer at node 5.
+        Circuit::from_plan(&plan, &stats, |s| NodeId(s.0 * 10), NodeId(5))
+    }
+
+    #[test]
+    fn dp_matches_brute_force_on_single_service() {
+        let circuit = join_circuit();
+        let hosts: Vec<NodeId> = (0..11).map(NodeId).collect();
+        let (placement, cost) = optimal_tree_placement(&circuit, &hosts, line_dist);
+        // Brute force over the single unpinned service.
+        let join = circuit.unpinned_services()[0];
+        let mut best = f64::INFINITY;
+        for &h in &hosts {
+            let mut p = placement.clone();
+            p.move_service(join, h);
+            best = best.min(circuit.cost_with(&p, line_dist).network_usage);
+        }
+        assert!((cost - best).abs() < 1e-9, "dp={cost} brute={best}");
+        assert!(
+            (circuit.cost_with(&placement, line_dist).network_usage - cost).abs() < 1e-9,
+            "reported cost must match the reconstructed placement"
+        );
+    }
+
+    #[test]
+    fn dp_matches_brute_force_on_two_services() {
+        let mut stats = StatsCatalog::new(0.05);
+        for i in 0..3 {
+            stats.set_rate(StreamId(i), 10.0);
+        }
+        let plan = LogicalPlan::join(
+            LogicalPlan::join(
+                LogicalPlan::source(StreamId(0)),
+                LogicalPlan::source(StreamId(1)),
+            ),
+            LogicalPlan::source(StreamId(2)),
+        );
+        let circuit = Circuit::from_plan(&plan, &stats, |s| NodeId(s.0 * 6), NodeId(3));
+        let hosts: Vec<NodeId> = (0..13).map(NodeId).collect();
+        let (placement, cost) = optimal_tree_placement(&circuit, &hosts, line_dist);
+
+        let unpinned = circuit.unpinned_services();
+        assert_eq!(unpinned.len(), 2);
+        let mut best = f64::INFINITY;
+        for &h1 in &hosts {
+            for &h2 in &hosts {
+                let mut p = placement.clone();
+                p.move_service(unpinned[0], h1);
+                p.move_service(unpinned[1], h2);
+                best = best.min(circuit.cost_with(&p, line_dist).network_usage);
+            }
+        }
+        assert!((cost - best).abs() < 1e-9, "dp={cost} brute={best}");
+    }
+
+    #[test]
+    fn pinned_services_stay_put() {
+        let circuit = join_circuit();
+        let hosts: Vec<NodeId> = (0..11).map(NodeId).collect();
+        let (placement, _) = optimal_tree_placement(&circuit, &hosts, line_dist);
+        assert_eq!(placement.node_of(circuit.root()), NodeId(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate")]
+    fn empty_host_set_rejected() {
+        let circuit = join_circuit();
+        optimal_tree_placement(&circuit, &[], line_dist);
+    }
+}

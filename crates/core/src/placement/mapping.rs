@@ -1,0 +1,339 @@
+//! Physical mapping (Section 3.2).
+//!
+//! "The basic problem solved in physical mapping is to find a physical node
+//! that is close to the coordinate calculated in the virtual placement.
+//! ... The mapping from cost space coordinates to physical nodes introduces
+//! a mapping error if there are no physical nodes close to a desired
+//! coordinate."
+//!
+//! Three mappers:
+//!
+//! * [`OracleMapper`] — exhaustive full-space nearest node. Zero routing
+//!   cost, zero *algorithmic* error; the residual error is the intrinsic
+//!   "no node exactly at the star" error the paper discusses, which the C1
+//!   experiment measures.
+//! * [`DhtMapper`] — the decentralized implementation: the Hilbert-keyed
+//!   [`CoordinateCatalog`]. Adds routing hops and a (small) additional
+//!   error, which the A1 ablation quantifies against the oracle.
+//! * [`VectorOnlyOracleMapper`] — nearest in the *latency dimensions only*,
+//!   ignoring load: the naive mapper that picks node N1 in Figure 3. Used
+//!   as the baseline that shows why scalar dimensions matter.
+
+use sbon_dht::catalog::CoordinateCatalog;
+use sbon_hilbert::{HilbertCurve, Quantizer};
+use sbon_netsim::graph::NodeId;
+
+use crate::circuit::{Circuit, Placement, ServicePin};
+use crate::costspace::{CostPoint, CostSpace};
+use crate::placement::traits::VirtualPlacement;
+
+/// A physical-mapping strategy: ideal full-space point → real node.
+pub trait PhysicalMapper {
+    /// Resolves the node to host a service whose ideal coordinate is
+    /// `ideal`. Returns the node and the routing hops charged.
+    fn map_point(&mut self, space: &CostSpace, ideal: &CostPoint) -> (NodeId, usize);
+
+    /// Human-readable name for harness output.
+    fn name(&self) -> &'static str;
+}
+
+/// Exhaustive full-space nearest-node mapper (centralized oracle).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OracleMapper;
+
+impl PhysicalMapper for OracleMapper {
+    fn map_point(&mut self, space: &CostSpace, ideal: &CostPoint) -> (NodeId, usize) {
+        let best = (0..space.num_nodes())
+            .map(|i| NodeId(i as u32))
+            .min_by(|&a, &b| {
+                let da = space.point(a).full_distance(ideal);
+                let db = space.point(b).full_distance(ideal);
+                da.partial_cmp(&db).expect("finite distances")
+            })
+            .expect("cost space has at least one node");
+        (best, 0)
+    }
+
+    fn name(&self) -> &'static str {
+        "oracle"
+    }
+}
+
+/// Nearest node in the vector (latency) dimensions only — Figure 3's
+/// load-blind baseline that would pick the overloaded node N1.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct VectorOnlyOracleMapper;
+
+impl PhysicalMapper for VectorOnlyOracleMapper {
+    fn map_point(&mut self, space: &CostSpace, ideal: &CostPoint) -> (NodeId, usize) {
+        let vd = space.vector_dims();
+        let best = (0..space.num_nodes())
+            .map(|i| NodeId(i as u32))
+            .min_by(|&a, &b| {
+                let da = space.point(a).vector_distance(ideal, vd);
+                let db = space.point(b).vector_distance(ideal, vd);
+                da.partial_cmp(&db).expect("finite distances")
+            })
+            .expect("cost space has at least one node");
+        (best, 0)
+    }
+
+    fn name(&self) -> &'static str {
+        "vector-only-oracle"
+    }
+}
+
+/// The decentralized Hilbert-DHT mapper.
+pub struct DhtMapper {
+    catalog: CoordinateCatalog<HilbertCurve>,
+}
+
+impl DhtMapper {
+    /// Builds the catalog by registering every node of the space, sizing the
+    /// quantizer to cover all current coordinates with 25% margin.
+    /// `bits` is the per-dimension grid resolution (12 is plenty at 600-node
+    /// scale); `scan_width` is the successor-list correction window.
+    pub fn build(space: &CostSpace, bits: u32, scan_width: usize) -> Self {
+        let dims = space.dims();
+        assert!(
+            (dims as u32) * bits <= 128,
+            "dims×bits must fit the 128-bit ring; lower `bits` for high-dimensional spaces"
+        );
+        let points: Vec<Vec<f64>> = space
+            .points()
+            .iter()
+            .map(|p| p.as_slice().to_vec())
+            .collect();
+        let quantizer = Quantizer::covering(&points, bits, 0.25);
+        let curve = HilbertCurve::new(dims, bits);
+        let mut catalog = CoordinateCatalog::new(curve, quantizer, scan_width);
+        for (i, p) in points.into_iter().enumerate() {
+            catalog.insert(i as u32, p);
+        }
+        DhtMapper { catalog }
+    }
+
+    /// Re-registers one node after its coordinate changed (scalar churn).
+    pub fn update_node(&mut self, space: &CostSpace, node: NodeId) {
+        self.catalog
+            .insert(node.0, space.point(node).as_slice().to_vec());
+    }
+
+    /// Accumulated catalog traffic statistics.
+    pub fn stats(&self) -> sbon_dht::catalog::CatalogStats {
+        self.catalog.stats()
+    }
+
+    /// Direct access to the catalog (multi-query radius search needs
+    /// k-nearest queries).
+    pub fn catalog_mut(&mut self) -> &mut CoordinateCatalog<HilbertCurve> {
+        &mut self.catalog
+    }
+}
+
+impl PhysicalMapper for DhtMapper {
+    fn map_point(&mut self, space: &CostSpace, ideal: &CostPoint) -> (NodeId, usize) {
+        let _ = space; // coordinates were registered at build/update time
+        let (member, hops) = self
+            .catalog
+            .lookup_closest(ideal.as_slice())
+            .expect("catalog is non-empty by construction");
+        (NodeId(member), hops)
+    }
+
+    fn name(&self) -> &'static str {
+        "hilbert-dht"
+    }
+}
+
+/// One mapped service, with its error accounting.
+#[derive(Clone, Debug)]
+pub struct MappedService {
+    /// The service.
+    pub service: crate::circuit::ServiceId,
+    /// Chosen host.
+    pub node: NodeId,
+    /// DHT routing hops charged (0 for oracles).
+    pub lookup_hops: usize,
+    /// Full-space distance between the ideal coordinate and the chosen
+    /// node's coordinate — the paper's *mapping error*.
+    pub mapping_error: f64,
+}
+
+/// A fully mapped circuit.
+#[derive(Clone, Debug)]
+pub struct MappedCircuit {
+    /// Host assignment for every service.
+    pub placement: Placement,
+    /// Per-unpinned-service mapping details.
+    pub mapped: Vec<MappedService>,
+}
+
+impl MappedCircuit {
+    /// Total routing hops spent mapping the circuit.
+    pub fn total_hops(&self) -> usize {
+        self.mapped.iter().map(|m| m.lookup_hops).sum()
+    }
+
+    /// Mean mapping error over unpinned services (0 if none).
+    pub fn mean_mapping_error(&self) -> f64 {
+        if self.mapped.is_empty() {
+            return 0.0;
+        }
+        self.mapped.iter().map(|m| m.mapping_error).sum::<f64>() / self.mapped.len() as f64
+    }
+}
+
+/// Maps every unpinned service of `circuit` through `mapper`; pinned
+/// services keep their hosts. The ideal point of an unpinned service is its
+/// virtual coordinate extended with ideal (zero) scalar components.
+pub fn map_circuit(
+    circuit: &Circuit,
+    virtual_placement: &VirtualPlacement,
+    space: &CostSpace,
+    mapper: &mut dyn PhysicalMapper,
+) -> MappedCircuit {
+    let mut nodes = Vec::with_capacity(circuit.len());
+    let mut mapped = Vec::new();
+    for s in circuit.services() {
+        match s.pin {
+            ServicePin::Pinned(n) => nodes.push(n),
+            ServicePin::Unpinned => {
+                let ideal = space.ideal_point(virtual_placement.coord_of(s.id));
+                let (node, hops) = mapper.map_point(space, &ideal);
+                let err = space.point(node).full_distance(&ideal);
+                mapped.push(MappedService {
+                    service: s.id,
+                    node,
+                    lookup_hops: hops,
+                    mapping_error: err,
+                });
+                nodes.push(node);
+            }
+        }
+    }
+    MappedCircuit { placement: Placement::new(circuit, nodes), mapped }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::costspace::CostSpaceBuilder;
+    use crate::placement::{RelaxationPlacer, VirtualPlacer};
+    use sbon_coords::vivaldi::VivaldiEmbedding;
+    use sbon_netsim::load::{Attr, NodeAttrs};
+    use sbon_query::plan::LogicalPlan;
+    use sbon_query::stats::StatsCatalog;
+    use sbon_query::stream::StreamId;
+
+    /// Figure 3's scenario: two candidate hosts near the star; the closer
+    /// one (N1) is overloaded, the slightly farther one (N2) is idle.
+    fn figure3_space() -> crate::costspace::CostSpace {
+        let emb = VivaldiEmbedding::exact(vec![
+            vec![0.0, 0.0],   // producer P1
+            vec![100.0, 0.0], // producer P2
+            vec![50.0, 40.0], // consumer C
+            vec![52.0, 12.0], // N1: nearest in latency, overloaded
+            vec![60.0, 20.0], // N2: a bit farther, idle
+        ]);
+        let mut attrs = NodeAttrs::idle(5);
+        attrs.set(NodeId(3), Attr::CpuLoad, 0.95);
+        CostSpaceBuilder::latency_load_space_scaled(&emb, &attrs, 100.0)
+    }
+
+    fn figure3_circuit() -> Circuit {
+        let mut stats = StatsCatalog::new(0.002);
+        stats.set_rate(StreamId(0), 10.0);
+        stats.set_rate(StreamId(1), 10.0);
+        let plan = LogicalPlan::join(
+            LogicalPlan::source(StreamId(0)),
+            LogicalPlan::source(StreamId(1)),
+        );
+        Circuit::from_plan(&plan, &stats, |s| NodeId(s.0), NodeId(2))
+    }
+
+    #[test]
+    fn full_space_mapping_avoids_overloaded_node() {
+        let space = figure3_space();
+        let circuit = figure3_circuit();
+        let vp = RelaxationPlacer::default().place(&circuit, &space);
+        let join = circuit.unpinned_services()[0];
+
+        let mut full = OracleMapper;
+        let mut vector_only = VectorOnlyOracleMapper;
+        let ideal = space.ideal_point(vp.coord_of(join));
+
+        let (n_full, _) = full.map_point(&space, &ideal);
+        let (n_vec, _) = vector_only.map_point(&space, &ideal);
+        assert_eq!(n_vec, NodeId(3), "latency-only mapping picks overloaded N1");
+        assert_eq!(n_full, NodeId(4), "full-space mapping picks idle N2");
+    }
+
+    #[test]
+    fn dht_mapper_agrees_with_oracle_here() {
+        let space = figure3_space();
+        let circuit = figure3_circuit();
+        let vp = RelaxationPlacer::default().place(&circuit, &space);
+        let join = circuit.unpinned_services()[0];
+        let ideal = space.ideal_point(vp.coord_of(join));
+        let mut dht = DhtMapper::build(&space, 10, 8);
+        let (n, _hops) = dht.map_point(&space, &ideal);
+        assert_eq!(n, NodeId(4));
+        assert_eq!(dht.stats().lookups, 1);
+    }
+
+    #[test]
+    fn map_circuit_places_everything() {
+        let space = figure3_space();
+        let circuit = figure3_circuit();
+        let vp = RelaxationPlacer::default().place(&circuit, &space);
+        let mut mapper = OracleMapper;
+        let mc = map_circuit(&circuit, &vp, &space, &mut mapper);
+        assert_eq!(mc.placement.as_slice().len(), circuit.len());
+        assert_eq!(mc.mapped.len(), 1);
+        assert!(mc.mean_mapping_error() >= 0.0);
+        assert_eq!(mc.total_hops(), 0);
+        // Pinned services kept their homes.
+        assert_eq!(mc.placement.node_of(circuit.root()), NodeId(2));
+    }
+
+    #[test]
+    fn mapping_error_is_distance_to_ideal() {
+        let space = figure3_space();
+        let circuit = figure3_circuit();
+        let vp = RelaxationPlacer::default().place(&circuit, &space);
+        let join = circuit.unpinned_services()[0];
+        let ideal = space.ideal_point(vp.coord_of(join));
+        let mut mapper = OracleMapper;
+        let mc = map_circuit(&circuit, &vp, &space, &mut mapper);
+        let m = &mc.mapped[0];
+        assert_eq!(m.service, join);
+        let expect = space.point(m.node).full_distance(&ideal);
+        assert!((m.mapping_error - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "128-bit ring")]
+    fn dht_mapper_rejects_oversized_key_space() {
+        // 3 dims × 64 bits would need 192 key bits.
+        DhtMapper::build(&figure3_space(), 64, 8);
+    }
+
+    #[test]
+    fn dht_update_node_tracks_churn() {
+        let mut space = figure3_space();
+        let mut dht = DhtMapper::build(&space, 10, 8);
+        // N2 becomes overloaded; N1 cools down. Refresh and re-register.
+        let mut attrs = NodeAttrs::idle(5);
+        attrs.set(NodeId(4), Attr::CpuLoad, 0.95);
+        space.refresh_scalars(&attrs);
+        dht.update_node(&space, NodeId(3));
+        dht.update_node(&space, NodeId(4));
+        let circuit = figure3_circuit();
+        let vp = RelaxationPlacer::default().place(&circuit, &space);
+        let join = circuit.unpinned_services()[0];
+        let ideal = space.ideal_point(vp.coord_of(join));
+        let (n, _) = dht.map_point(&space, &ideal);
+        assert_eq!(n, NodeId(3), "after the load flip, N1 is the right choice");
+    }
+}

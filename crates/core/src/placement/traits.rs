@@ -1,0 +1,179 @@
+//! Virtual-placement interface.
+
+use crate::circuit::{Circuit, ServiceId, ServicePin};
+use crate::costspace::CostSpace;
+
+/// The result of virtual placement: an ideal *vector-dimension* coordinate
+/// for every service. Pinned services sit at their host's coordinate;
+/// unpinned services sit wherever the placer put them.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VirtualPlacement {
+    /// `coords[service.index()]` = vector coordinate.
+    coords: Vec<Vec<f64>>,
+}
+
+impl VirtualPlacement {
+    /// Wraps per-service vector coordinates (one per service, in id order).
+    pub fn new(coords: Vec<Vec<f64>>) -> Self {
+        VirtualPlacement { coords }
+    }
+
+    /// The ideal vector coordinate of a service.
+    pub fn coord_of(&self, sid: ServiceId) -> &[f64] {
+        &self.coords[sid.index()]
+    }
+
+    /// Number of services covered.
+    pub fn len(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// True when no coordinates are held.
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+
+    /// The circuit's *virtual cost*: Σ link rate × vector distance between
+    /// the ideal coordinates — the network-usage objective, evaluated on
+    /// ideal coordinates before any mapping error enters.
+    pub fn virtual_cost(&self, circuit: &Circuit) -> f64 {
+        circuit
+            .links()
+            .iter()
+            .map(|l| {
+                let a = self.coord_of(l.from);
+                let b = self.coord_of(l.to);
+                l.rate * euclidean(a, b)
+            })
+            .sum()
+    }
+
+    /// The spring potential energy `½ Σ rate × distance²` — the smooth
+    /// proxy objective that [`crate::placement::RelaxationPlacer`] provably
+    /// minimizes (its Gauss–Seidel fixed point is the global optimum of
+    /// this convex quadratic). The linear [`Self::virtual_cost`] usually
+    /// improves too, but only the energy is guaranteed to.
+    pub fn spring_energy(&self, circuit: &Circuit) -> f64 {
+        circuit
+            .links()
+            .iter()
+            .map(|l| {
+                let a = self.coord_of(l.from);
+                let b = self.coord_of(l.to);
+                let d = euclidean(a, b);
+                0.5 * l.rate * d * d
+            })
+            .sum()
+    }
+}
+
+/// Euclidean distance helper shared by the placers.
+pub(crate) fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Pinned services' vector coordinates; the starting point every placer
+/// shares.
+pub(crate) fn seed_coords(circuit: &Circuit, space: &CostSpace) -> Vec<Vec<f64>> {
+    let vd = space.vector_dims();
+    let pinned_mean = pinned_centroid(circuit, space);
+    circuit
+        .services()
+        .iter()
+        .map(|s| match s.pin {
+            ServicePin::Pinned(n) => space.point(n).vector_part(vd).to_vec(),
+            ServicePin::Unpinned => pinned_mean.clone(),
+        })
+        .collect()
+}
+
+/// Unweighted centroid of the pinned services' vector coordinates (origin
+/// if none are pinned, which [`crate::circuit::Circuit::from_plan`] never
+/// produces).
+pub(crate) fn pinned_centroid(circuit: &Circuit, space: &CostSpace) -> Vec<f64> {
+    let vd = space.vector_dims();
+    let mut acc = vec![0.0; vd];
+    let mut count = 0usize;
+    for s in circuit.services() {
+        if let ServicePin::Pinned(n) = s.pin {
+            for (a, c) in acc.iter_mut().zip(space.point(n).vector_part(vd)) {
+                *a += c;
+            }
+            count += 1;
+        }
+    }
+    if count > 0 {
+        for a in acc.iter_mut() {
+            *a /= count as f64;
+        }
+    }
+    acc
+}
+
+/// A virtual-placement algorithm.
+pub trait VirtualPlacer {
+    /// Computes ideal vector coordinates for every service of the circuit.
+    fn place(&self, circuit: &Circuit, space: &CostSpace) -> VirtualPlacement;
+
+    /// Human-readable name for harness output.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+    use crate::costspace::CostSpaceBuilder;
+    use sbon_coords::vivaldi::VivaldiEmbedding;
+    use sbon_netsim::graph::NodeId;
+    use sbon_query::plan::LogicalPlan;
+    use sbon_query::stats::StatsCatalog;
+    use sbon_query::stream::StreamId;
+
+    fn fixture() -> (Circuit, crate::costspace::CostSpace) {
+        let emb = VivaldiEmbedding::exact(vec![
+            vec![0.0, 0.0],
+            vec![10.0, 0.0],
+            vec![5.0, 10.0],
+        ]);
+        let space = CostSpaceBuilder::latency_space(&emb);
+        let mut stats = StatsCatalog::new(0.1);
+        stats.set_rate(StreamId(0), 10.0);
+        stats.set_rate(StreamId(1), 10.0);
+        let plan = LogicalPlan::join(
+            LogicalPlan::source(StreamId(0)),
+            LogicalPlan::source(StreamId(1)),
+        );
+        let circuit = Circuit::from_plan(&plan, &stats, |s| NodeId(s.0), NodeId(2));
+        (circuit, space)
+    }
+
+    #[test]
+    fn seed_puts_pinned_at_their_nodes() {
+        let (circuit, space) = fixture();
+        let coords = seed_coords(&circuit, &space);
+        assert_eq!(coords[0], vec![0.0, 0.0]); // producer 0 at node 0
+        assert_eq!(coords[1], vec![10.0, 0.0]); // producer 1 at node 1
+        assert_eq!(coords[3], vec![5.0, 10.0]); // consumer at node 2
+        // Unpinned join seeded at the pinned centroid (5, 10/3).
+        assert_eq!(coords[2], vec![5.0, 10.0 / 3.0]);
+    }
+
+    #[test]
+    fn virtual_cost_is_rate_weighted_distance() {
+        let (circuit, space) = fixture();
+        let vp = VirtualPlacement::new(seed_coords(&circuit, &space));
+        let cost = vp.virtual_cost(&circuit);
+        assert!(cost > 0.0);
+        // Moving the join on top of producer 0 changes the cost.
+        let mut coords = seed_coords(&circuit, &space);
+        coords[2] = vec![0.0, 0.0];
+        let vp2 = VirtualPlacement::new(coords);
+        assert_ne!(vp2.virtual_cost(&circuit), cost);
+    }
+}

@@ -1,0 +1,89 @@
+//! Ring-key arithmetic on the 128-bit identifier circle.
+
+/// A position on the identifier ring. The full `u128` space is used so
+/// Hilbert curve keys (≤128 bits) map in without hashing, preserving
+/// cost-space locality along the ring.
+pub type RingKey = u128;
+
+/// Clockwise distance from `a` to `b` (wrapping).
+#[inline]
+pub fn clockwise_dist(a: RingKey, b: RingKey) -> u128 {
+    b.wrapping_sub(a)
+}
+
+/// True if `x` lies in the half-open clockwise interval `(a, b]`.
+/// When `a == b` the interval covers the whole ring (Chord convention).
+#[inline]
+pub fn in_open_closed(x: RingKey, a: RingKey, b: RingKey) -> bool {
+    if a == b {
+        return true;
+    }
+    clockwise_dist(a, x) <= clockwise_dist(a, b) && x != a
+}
+
+/// True if `x` lies in the open clockwise interval `(a, b)`.
+#[inline]
+pub fn in_open_open(x: RingKey, a: RingKey, b: RingKey) -> bool {
+    if a == b {
+        return x != a;
+    }
+    clockwise_dist(a, x) < clockwise_dist(a, b) && x != a
+}
+
+/// Minimum of clockwise and counter-clockwise distance — how "far" two keys
+/// are on the circle, used to pick the closer of successor/predecessor.
+#[inline]
+pub fn ring_distance(a: RingKey, b: RingKey) -> u128 {
+    clockwise_dist(a, b).min(clockwise_dist(b, a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clockwise_wraps() {
+        assert_eq!(clockwise_dist(u128::MAX, 0), 1);
+        assert_eq!(clockwise_dist(0, u128::MAX), u128::MAX);
+        assert_eq!(clockwise_dist(5, 5), 0);
+    }
+
+    #[test]
+    fn open_closed_basics() {
+        assert!(in_open_closed(5, 3, 7));
+        assert!(in_open_closed(7, 3, 7)); // closed at b
+        assert!(!in_open_closed(3, 3, 7)); // open at a
+        assert!(!in_open_closed(9, 3, 7));
+    }
+
+    #[test]
+    fn open_closed_wrapping_interval() {
+        // Interval (MAX-1, 2] wraps through zero.
+        assert!(in_open_closed(0, u128::MAX - 1, 2));
+        assert!(in_open_closed(2, u128::MAX - 1, 2));
+        assert!(!in_open_closed(u128::MAX - 1, u128::MAX - 1, 2));
+        assert!(!in_open_closed(100, u128::MAX - 1, 2));
+    }
+
+    #[test]
+    fn degenerate_interval_is_full_ring() {
+        // Chord convention: (a, a] covers the whole ring, a included —
+        // with a single member, every lookup terminates at that member.
+        assert!(in_open_closed(1, 7, 7));
+        assert!(in_open_closed(7, 7, 7));
+    }
+
+    #[test]
+    fn open_open_excludes_both_ends() {
+        assert!(in_open_open(5, 3, 7));
+        assert!(!in_open_open(7, 3, 7));
+        assert!(!in_open_open(3, 3, 7));
+    }
+
+    #[test]
+    fn ring_distance_is_symmetric_min() {
+        assert_eq!(ring_distance(1, 3), 2);
+        assert_eq!(ring_distance(3, 1), 2);
+        assert_eq!(ring_distance(0, u128::MAX), 1);
+    }
+}

@@ -1,0 +1,28 @@
+//! Chord-style DHT with a Hilbert-keyed coordinate catalog.
+//!
+//! Section 3.2 of the paper: physical mapping is implemented with "a
+//! decentralized catalog, such as a distributed hash table (DHT), that
+//! returns nodes that are closest to a given coordinate. This requires each
+//! node to store its coordinates in the DHT after transforming its
+//! multi-dimensional coordinate to a one-dimensional hash key with a Hilbert
+//! curve. Due to the properties of DHT routing, a look-up of a coordinate in
+//! the DHT then returns the node with the closest existing coordinate in the
+//! system."
+//!
+//! * [`id`] — 128-bit ring-key arithmetic (clockwise distance, interval
+//!   tests).
+//! * [`ring`] — the ring itself: membership, successor/predecessor,
+//!   iterative greedy finger routing with hop accounting, join/leave churn.
+//! * [`catalog`] — the coordinate catalog on top: nodes register their
+//!   cost-space coordinates under their Hilbert key; `lookup_closest`
+//!   resolves a target coordinate to the nearest registered node, and
+//!   `k_nearest` implements the paper's radius search ("use the Hilbert DHT
+//!   to look up the closest n nodes", Section 3.4).
+
+pub mod catalog;
+pub mod id;
+pub mod ring;
+
+pub use catalog::{CatalogStats, CoordinateCatalog};
+pub use id::RingKey;
+pub use ring::{DhtConfig, DhtRing, LookupOutcome};

@@ -1,0 +1,402 @@
+//! The Chord-style identifier ring.
+//!
+//! Membership is held in one sorted structure (this is a simulator — the
+//! interesting *distributed* behaviour is routing cost, not replication), but
+//! lookups are executed as **iterative greedy finger routing** exactly as a
+//! real deployment would: each hop jumps to the member whose key most closely
+//! precedes the target among the current member's power-of-two fingers, and
+//! the hop count is reported so experiments can charge for routing.
+
+use rand::Rng;
+
+use crate::id::{clockwise_dist, in_open_closed, RingKey};
+
+/// External node identity stored on the ring (the simulator's physical node
+/// id). Kept distinct from [`RingKey`]: a node's *key* derives from its
+/// coordinate and changes when the coordinate drifts.
+pub type MemberId = u32;
+
+/// Ring configuration.
+#[derive(Clone, Debug)]
+pub struct DhtConfig {
+    /// Number of finger levels to use in greedy routing. 128 = full Chord
+    /// fingers on the u128 ring.
+    pub finger_bits: u32,
+}
+
+impl Default for DhtConfig {
+    fn default() -> Self {
+        DhtConfig { finger_bits: 128 }
+    }
+}
+
+/// Result of an iterative lookup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LookupOutcome {
+    /// The member owning the target key (its successor on the ring).
+    pub owner: MemberId,
+    /// The owner's ring key.
+    pub owner_key: RingKey,
+    /// Number of routing hops taken (0 when the start node already owns the
+    /// key's predecessor relationship).
+    pub hops: usize,
+}
+
+/// A Chord-style ring over the full `u128` key space.
+#[derive(Clone, Debug, Default)]
+pub struct DhtRing {
+    /// Members sorted by ring key. Invariant: keys strictly increasing.
+    members: Vec<(RingKey, MemberId)>,
+    config: DhtConfig,
+}
+
+impl DhtRing {
+    /// An empty ring.
+    pub fn new(config: DhtConfig) -> Self {
+        DhtRing { members: Vec::new(), config }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the ring has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Iterates `(key, member)` in ring order.
+    pub fn iter(&self) -> impl Iterator<Item = (RingKey, MemberId)> + '_ {
+        self.members.iter().copied()
+    }
+
+    /// Joins a member under `key`. If the key is taken, linear-probes
+    /// clockwise for the next free key (coordinate collisions after
+    /// quantization are common). Returns the key actually used.
+    pub fn join(&mut self, mut key: RingKey, member: MemberId) -> RingKey {
+        assert!(
+            self.members.len() < u32::MAX as usize,
+            "ring is absurdly over-populated"
+        );
+        loop {
+            match self.members.binary_search_by(|&(k, _)| k.cmp(&key)) {
+                Ok(_) => key = key.wrapping_add(1),
+                Err(pos) => {
+                    self.members.insert(pos, (key, member));
+                    return key;
+                }
+            }
+        }
+    }
+
+    /// Removes a member (all of its keys; a member normally has exactly
+    /// one). Returns how many entries were removed.
+    pub fn leave(&mut self, member: MemberId) -> usize {
+        let before = self.members.len();
+        self.members.retain(|&(_, m)| m != member);
+        before - self.members.len()
+    }
+
+    /// The member owning `key`: its successor on the ring (first member with
+    /// key ≥ target, wrapping). `None` on an empty ring.
+    pub fn successor(&self, key: RingKey) -> Option<(RingKey, MemberId)> {
+        if self.members.is_empty() {
+            return None;
+        }
+        let pos = match self.members.binary_search_by(|&(k, _)| k.cmp(&key)) {
+            Ok(pos) => pos,
+            Err(pos) => pos % self.members.len(),
+        };
+        Some(self.members[pos])
+    }
+
+    /// The member strictly preceding `key` on the ring (largest key < target,
+    /// wrapping). `None` on an empty ring.
+    pub fn predecessor(&self, key: RingKey) -> Option<(RingKey, MemberId)> {
+        if self.members.is_empty() {
+            return None;
+        }
+        let pos = match self.members.binary_search_by(|&(k, _)| k.cmp(&key)) {
+            Ok(pos) | Err(pos) => pos,
+        };
+        let idx = (pos + self.members.len() - 1) % self.members.len();
+        Some(self.members[idx])
+    }
+
+    /// Walks the ring outward from `key` in both directions, yielding up to
+    /// `count` distinct members in order of ring proximity. This is the
+    /// catalog's radius-search primitive.
+    pub fn neighbors(&self, key: RingKey, count: usize) -> Vec<(RingKey, MemberId)> {
+        let n = self.members.len();
+        if n == 0 || count == 0 {
+            return Vec::new();
+        }
+        let start = match self.members.binary_search_by(|&(k, _)| k.cmp(&key)) {
+            Ok(pos) => pos,
+            Err(pos) => pos % n,
+        };
+        let take = count.min(n);
+        let mut out = Vec::with_capacity(take);
+        let mut fwd = start; // next clockwise index to take
+        let mut bwd = (start + n - 1) % n; // next counter-clockwise index
+        // While fewer than n members are taken, the fwd/bwd arcs are
+        // disjoint, so no member is emitted twice.
+        for _ in 0..take {
+            let fdist = clockwise_dist(key, self.members[fwd].0);
+            let bdist = clockwise_dist(self.members[bwd].0, key);
+            if fdist <= bdist {
+                out.push(self.members[fwd]);
+                fwd = (fwd + 1) % n;
+            } else {
+                out.push(self.members[bwd]);
+                bwd = (bwd + n - 1) % n;
+            }
+        }
+        out
+    }
+
+    /// Iterative greedy finger lookup of `target`, starting from the member
+    /// that owns `start_key`. Returns the owner and the hop count. `None` on
+    /// an empty ring.
+    ///
+    /// Each member's finger `i` points at `successor(own_key + 2^i)`; greedy
+    /// routing forwards to the finger most closely *preceding* the target,
+    /// giving the classic O(log n) expected hops.
+    pub fn lookup(&self, start_key: RingKey, target: RingKey) -> Option<LookupOutcome> {
+        if self.members.is_empty() {
+            return None;
+        }
+        let (mut cur_key, cur_member) = self.successor(start_key)?;
+        // The starting member already owns the target (exact hit on its key).
+        if target == cur_key {
+            return Some(LookupOutcome { owner: cur_member, owner_key: cur_key, hops: 0 });
+        }
+        let mut hops = 0usize;
+        // Hard bound to guarantee termination even on adversarial inputs:
+        // 2 × finger bits is far above the expected log2(n).
+        let max_hops = (2 * self.config.finger_bits as usize).max(8);
+
+        loop {
+            // Chord: if target ∈ (cur, successor(cur)] the successor owns it.
+            let (succ_key, succ_member) = self.successor(cur_key.wrapping_add(1))?;
+            if in_open_closed(target, cur_key, succ_key) {
+                return Some(LookupOutcome {
+                    owner: succ_member,
+                    owner_key: succ_key,
+                    hops: hops + 1,
+                });
+            }
+            // Otherwise forward to the closest preceding finger: the largest
+            // finger of `cur` that lands strictly inside (cur, target).
+            let mut next: Option<RingKey> = None;
+            for i in (0..self.config.finger_bits).rev() {
+                let probe = cur_key.wrapping_add(1u128 << i);
+                let (fk, _) = self.successor(probe)?;
+                if fk != cur_key && crate::id::in_open_open(fk, cur_key, target) {
+                    next = Some(fk);
+                    break;
+                }
+            }
+            hops += 1;
+            match next {
+                Some(nk) => cur_key = nk,
+                None => {
+                    // No finger precedes the target — the target's successor
+                    // is directly reachable.
+                    let (k, m) = self.successor(target)?;
+                    return Some(LookupOutcome { owner: m, owner_key: k, hops });
+                }
+            }
+            if hops > max_hops {
+                // Unreachable in practice; fall back to the authoritative
+                // answer rather than looping (belt and braces).
+                let (k, m) = self.successor(target)?;
+                return Some(LookupOutcome { owner: m, owner_key: k, hops: hops + 1 });
+            }
+        }
+    }
+
+    /// A uniformly random member key, for choosing lookup start points.
+    pub fn random_member_key<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<RingKey> {
+        if self.members.is_empty() {
+            None
+        } else {
+            Some(self.members[rng.gen_range(0..self.members.len())].0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbon_netsim::rng::rng_from_seed;
+
+    fn ring_with(keys: &[RingKey]) -> DhtRing {
+        let mut r = DhtRing::new(DhtConfig::default());
+        for (i, &k) in keys.iter().enumerate() {
+            r.join(k, i as MemberId);
+        }
+        r
+    }
+
+    #[test]
+    fn successor_wraps_around() {
+        let r = ring_with(&[10, 20, 30]);
+        assert_eq!(r.successor(15).unwrap().0, 20);
+        assert_eq!(r.successor(20).unwrap().0, 20); // exact hit
+        assert_eq!(r.successor(31).unwrap().0, 10); // wrap
+    }
+
+    #[test]
+    fn predecessor_wraps_around() {
+        let r = ring_with(&[10, 20, 30]);
+        assert_eq!(r.predecessor(15).unwrap().0, 10);
+        assert_eq!(r.predecessor(10).unwrap().0, 30); // strict
+        assert_eq!(r.predecessor(5).unwrap().0, 30); // wrap
+    }
+
+    #[test]
+    fn join_probes_on_collision() {
+        let mut r = DhtRing::new(DhtConfig::default());
+        assert_eq!(r.join(7, 0), 7);
+        assert_eq!(r.join(7, 1), 8);
+        assert_eq!(r.join(7, 2), 9);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn leave_removes_member() {
+        let mut r = ring_with(&[10, 20, 30]);
+        assert_eq!(r.leave(1), 1);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.successor(15).unwrap().0, 30);
+        assert_eq!(r.leave(99), 0);
+    }
+
+    #[test]
+    fn lookup_matches_successor_everywhere() {
+        let mut rng = rng_from_seed(1);
+        let keys: Vec<RingKey> = (0..64).map(|_| rng.gen::<u128>()).collect();
+        let r = ring_with(&keys);
+        for _ in 0..200 {
+            let start = r.random_member_key(&mut rng).unwrap();
+            let target: RingKey = rng.gen();
+            let out = r.lookup(start, target).unwrap();
+            let truth = r.successor(target).unwrap();
+            assert_eq!(out.owner_key, truth.0, "target={target}");
+            assert_eq!(out.owner, truth.1);
+        }
+    }
+
+    #[test]
+    fn lookup_hops_scale_logarithmically() {
+        let mut rng = rng_from_seed(2);
+        let keys: Vec<RingKey> = (0..512).map(|_| rng.gen::<u128>()).collect();
+        let r = ring_with(&keys);
+        let mut total_hops = 0usize;
+        let trials = 200;
+        for _ in 0..trials {
+            let start = r.random_member_key(&mut rng).unwrap();
+            let target: RingKey = rng.gen();
+            total_hops += r.lookup(start, target).unwrap().hops;
+        }
+        let mean = total_hops as f64 / trials as f64;
+        // log2(512) = 9; greedy finger routing should stay well under 2×.
+        assert!(mean <= 14.0, "mean hops {mean} too high for 512 members");
+        assert!(mean >= 1.0, "mean hops {mean} suspiciously low");
+    }
+
+    #[test]
+    fn lookup_on_singleton_ring() {
+        let r = ring_with(&[42]);
+        let out = r.lookup(42, 7).unwrap();
+        assert_eq!(out.owner_key, 42);
+    }
+
+    #[test]
+    fn lookup_on_empty_ring_is_none() {
+        let r = DhtRing::new(DhtConfig::default());
+        assert!(r.lookup(0, 0).is_none());
+        assert!(r.successor(0).is_none());
+        assert!(r.predecessor(0).is_none());
+    }
+
+    #[test]
+    fn neighbors_returns_ring_proximate_members() {
+        let r = ring_with(&[10, 20, 30, 40, 50]);
+        let n = r.neighbors(22, 3);
+        let keys: Vec<RingKey> = n.iter().map(|&(k, _)| k).collect();
+        // Closest on the ring to 22: 30 (dist 8 clockwise), 20 (dist 2
+        // counter-clockwise), 10 or 40 next.
+        assert_eq!(n.len(), 3);
+        assert!(keys.contains(&20) && keys.contains(&30), "{keys:?}");
+    }
+
+    #[test]
+    fn neighbors_caps_at_member_count() {
+        let r = ring_with(&[10, 20]);
+        assert_eq!(r.neighbors(0, 10).len(), 2);
+    }
+
+    #[test]
+    fn neighbors_of_empty_ring() {
+        let r = DhtRing::new(DhtConfig::default());
+        assert!(r.neighbors(0, 3).is_empty());
+    }
+
+    #[test]
+    fn lookups_stay_correct_under_interleaved_churn() {
+        // Join/leave churn interleaved with lookups: after every membership
+        // change, greedy finger routing must still agree with the
+        // authoritative successor.
+        let mut rng = rng_from_seed(9);
+        let mut r = DhtRing::new(DhtConfig::default());
+        let mut next_member: MemberId = 0;
+        let mut live: Vec<MemberId> = Vec::new();
+        for step in 0..400 {
+            let action: f64 = rng.gen();
+            if live.is_empty() || action < 0.45 {
+                let key: RingKey = rng.gen();
+                r.join(key, next_member);
+                live.push(next_member);
+                next_member += 1;
+            } else if action < 0.65 && live.len() > 1 {
+                let idx = rng.gen_range(0..live.len());
+                let member = live.swap_remove(idx);
+                assert_eq!(r.leave(member), 1);
+            } else {
+                let start = r.random_member_key(&mut rng).unwrap();
+                let target: RingKey = rng.gen();
+                let out = r.lookup(start, target).unwrap();
+                let truth = r.successor(target).unwrap();
+                assert_eq!(out.owner_key, truth.0, "step {step}");
+            }
+        }
+        assert_eq!(r.len(), live.len());
+    }
+
+    #[test]
+    fn hop_counts_shrink_when_membership_shrinks() {
+        let mut rng = rng_from_seed(10);
+        let keys: Vec<RingKey> = (0..256).map(|_| rng.gen()).collect();
+        let mut r = ring_with(&keys);
+        let mean_hops = |r: &DhtRing, rng: &mut rand::rngs::StdRng| {
+            let trials = 100;
+            let mut total = 0usize;
+            for _ in 0..trials {
+                let start = r.random_member_key(rng).unwrap();
+                let target: RingKey = rng.gen();
+                total += r.lookup(start, target).unwrap().hops;
+            }
+            total as f64 / trials as f64
+        };
+        let full = mean_hops(&r, &mut rng);
+        for m in 16..256 {
+            r.leave(m as MemberId);
+        }
+        assert_eq!(r.len(), 16);
+        let small = mean_hops(&r, &mut rng);
+        assert!(small < full, "16-member ring must route in fewer hops: {small} vs {full}");
+    }
+}

@@ -1,0 +1,222 @@
+//! Shortest-path latency computation.
+//!
+//! The simulated network's ground-truth latency between two overlay nodes is
+//! the shortest-path propagation latency in the underlying topology graph,
+//! which [`all_pairs_latency`] materializes into a dense matrix. The network
+//! coordinate layer (`sbon-coords`) then embeds this matrix, and the cost
+//! space measures its embedding against it.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::graph::{Graph, NodeId};
+use crate::latency::LatencyMatrix;
+
+/// A heap entry: `Reverse`-ordered by distance so `BinaryHeap` pops minimums.
+#[derive(PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: smaller distance = greater priority. Distances are finite
+        // non-NaN by construction (edge weights validated on insert).
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.0.cmp(&self.node.0))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Single-source shortest path latencies from `src`.
+///
+/// Unreachable nodes get `f64::INFINITY`.
+pub fn single_source(graph: &Graph, src: NodeId) -> Vec<f64> {
+    let n = graph.num_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut heap = BinaryHeap::with_capacity(n);
+    dist[src.index()] = 0.0;
+    heap.push(HeapEntry { dist: 0.0, node: src });
+
+    while let Some(HeapEntry { dist: d, node: v }) = heap.pop() {
+        if d > dist[v.index()] {
+            continue; // stale entry
+        }
+        for (u, w) in graph.neighbors(v) {
+            let nd = d + w;
+            if nd < dist[u.index()] {
+                dist[u.index()] = nd;
+                heap.push(HeapEntry { dist: nd, node: u });
+            }
+        }
+    }
+    dist
+}
+
+/// Shortest path from `src` to `dst` as a node sequence (inclusive), or
+/// `None` if unreachable. Used by the overlay runtime to charge per-hop
+/// traffic to underlay links.
+pub fn shortest_path(graph: &Graph, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+    let n = graph.num_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev: Vec<Option<NodeId>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[src.index()] = 0.0;
+    heap.push(HeapEntry { dist: 0.0, node: src });
+
+    while let Some(HeapEntry { dist: d, node: v }) = heap.pop() {
+        if v == dst {
+            break;
+        }
+        if d > dist[v.index()] {
+            continue;
+        }
+        for (u, w) in graph.neighbors(v) {
+            let nd = d + w;
+            if nd < dist[u.index()] {
+                dist[u.index()] = nd;
+                prev[u.index()] = Some(v);
+                heap.push(HeapEntry { dist: nd, node: u });
+            }
+        }
+    }
+
+    if dist[dst.index()].is_infinite() {
+        return None;
+    }
+    let mut path = vec![dst];
+    let mut cur = dst;
+    while let Some(p) = prev[cur.index()] {
+        path.push(p);
+        cur = p;
+    }
+    if cur != src {
+        // src == dst case: loop above never ran.
+        if src != dst {
+            return None;
+        }
+    }
+    path.reverse();
+    Some(path)
+}
+
+/// Materializes the all-pairs shortest-path latency matrix.
+///
+/// O(n · (m log n)); fine for the paper's 600-node scale and the ≤2000-node
+/// sweeps in the bench harness.
+pub fn all_pairs_latency(graph: &Graph) -> LatencyMatrix {
+    let n = graph.num_nodes();
+    let mut rows = Vec::with_capacity(n);
+    for v in graph.nodes() {
+        rows.push(single_source(graph, v));
+    }
+    LatencyMatrix::from_rows(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::LatencyProvider;
+
+    fn line_graph() -> Graph {
+        // 0 -1ms- 1 -2ms- 2 -4ms- 3
+        let mut g = Graph::new(4);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        g.add_edge(NodeId(1), NodeId(2), 2.0);
+        g.add_edge(NodeId(2), NodeId(3), 4.0);
+        g
+    }
+
+    #[test]
+    fn single_source_on_line() {
+        let d = single_source(&line_graph(), NodeId(0));
+        assert_eq!(d, vec![0.0, 1.0, 3.0, 7.0]);
+    }
+
+    #[test]
+    fn picks_shorter_of_two_routes() {
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), 10.0);
+        g.add_edge(NodeId(0), NodeId(2), 1.0);
+        g.add_edge(NodeId(2), NodeId(1), 2.0);
+        let d = single_source(&g, NodeId(0));
+        assert_eq!(d[1], 3.0); // via node 2, not the 10ms direct edge
+    }
+
+    #[test]
+    fn unreachable_is_infinite() {
+        let g = Graph::new(2);
+        let d = single_source(&g, NodeId(0));
+        assert!(d[1].is_infinite());
+    }
+
+    #[test]
+    fn shortest_path_reconstruction() {
+        let g = line_graph();
+        let p = shortest_path(&g, NodeId(0), NodeId(3)).unwrap();
+        assert_eq!(p, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn shortest_path_self_is_singleton() {
+        let g = line_graph();
+        assert_eq!(shortest_path(&g, NodeId(2), NodeId(2)).unwrap(), vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn shortest_path_unreachable_is_none() {
+        let g = Graph::new(2);
+        assert!(shortest_path(&g, NodeId(0), NodeId(1)).is_none());
+    }
+
+    #[test]
+    fn path_latencies_sum_to_matrix_entries_on_random_topology() {
+        use crate::topology::transit_stub::{generate, TransitStubConfig};
+        let t = generate(&TransitStubConfig::with_total_nodes(80), 3);
+        let m = all_pairs_latency(&t.graph);
+        for (a, b) in [(0u32, 40u32), (5, 70), (12, 33)] {
+            let (a, b) = (NodeId(a), NodeId(b));
+            let path = shortest_path(&t.graph, a, b).unwrap();
+            let mut total = 0.0;
+            for w in path.windows(2) {
+                let hop = t
+                    .graph
+                    .neighbors(w[0])
+                    .filter(|&(n, _)| n == w[1])
+                    .map(|(_, d)| d)
+                    .fold(f64::INFINITY, f64::min);
+                total += hop;
+            }
+            assert!((total - m.latency(a, b)).abs() < 1e-9, "{a}->{b}");
+        }
+    }
+
+    #[test]
+    fn all_pairs_is_symmetric_and_triangle_holds() {
+        let g = line_graph();
+        let m = all_pairs_latency(&g);
+        for a in 0..4u32 {
+            for b in 0..4u32 {
+                assert_eq!(m.latency(NodeId(a), NodeId(b)), m.latency(NodeId(b), NodeId(a)));
+                for c in 0..4u32 {
+                    // Shortest-path metrics satisfy the triangle inequality.
+                    assert!(
+                        m.latency(NodeId(a), NodeId(b))
+                            <= m.latency(NodeId(a), NodeId(c)) + m.latency(NodeId(c), NodeId(b)) + 1e-9
+                    );
+                }
+            }
+        }
+    }
+}

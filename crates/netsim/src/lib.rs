@@ -1,0 +1,35 @@
+//! Network substrate for the SBON reproduction.
+//!
+//! The ICDE'05 paper evaluates its ideas "on top of a simulated transit-stub
+//! network topology with 600 nodes" (Figure 2 caption). This crate provides
+//! that substrate:
+//!
+//! * [`graph`] — a compact weighted undirected graph.
+//! * [`topology`] — GT-ITM-style transit-stub topologies plus simpler
+//!   generators (Waxman, geometric, ring, star, grid) used by tests.
+//! * [`dijkstra`] — single-source shortest paths and the all-pairs latency
+//!   matrix that defines "true" network latency between overlay nodes.
+//! * [`latency`] — the [`latency::LatencyProvider`] abstraction consumed by
+//!   the coordinate and placement layers.
+//! * [`load`] — per-node scalar attributes (CPU load, ...) and the churn
+//!   processes that drive the paper's "dynamic node and network
+//!   characteristics" challenge.
+//! * [`sim`] — a deterministic discrete-event clock used by the overlay
+//!   runtime and the re-optimization experiments.
+//! * [`rng`] — seedable RNG utilities so every experiment is reproducible.
+//! * [`metrics`] — small statistics helpers (percentiles, summaries) shared
+//!   by the bench harnesses.
+
+pub mod dijkstra;
+pub mod graph;
+pub mod latency;
+pub mod load;
+pub mod metrics;
+pub mod rng;
+pub mod sim;
+pub mod topology;
+
+pub use graph::{EdgeId, Graph, NodeId};
+pub use latency::{LatencyMatrix, LatencyProvider};
+pub use load::{ChurnProcess, LoadModel, NodeAttrs};
+pub use sim::{EventQueue, SimTime};

@@ -1,0 +1,177 @@
+//! Deterministic RNG utilities.
+//!
+//! Every experiment in the repository takes an explicit `u64` seed and derives
+//! any subsidiary generators through [`derive_seed`], so runs are reproducible
+//! across machines and the bench harnesses can sweep seeds.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Creates the experiment-root RNG from a seed.
+pub fn rng_from_seed(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Derives an independent child seed from `(seed, stream)`.
+///
+/// Uses the SplitMix64 finalizer so neighbouring `(seed, stream)` pairs give
+/// statistically unrelated outputs; this is how the harnesses hand separate
+/// generators to the topology, the workload, and the churn processes without
+/// accidental correlation.
+pub fn derive_seed(seed: u64, stream: u64) -> u64 {
+    let mut z = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derived child RNG; see [`derive_seed`].
+pub fn derive_rng(seed: u64, stream: u64) -> StdRng {
+    rng_from_seed(derive_seed(seed, stream))
+}
+
+/// Samples a standard normal via Box–Muller.
+///
+/// Kept local (instead of pulling in `rand_distr`) because the repository is
+/// restricted to a small sanctioned dependency set.
+pub fn sample_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    debug_assert!(std_dev >= 0.0);
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    mean + std_dev * z
+}
+
+/// Samples an exponential with the given rate parameter `lambda`.
+pub fn sample_exponential<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> f64 {
+    debug_assert!(lambda > 0.0);
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / lambda
+}
+
+/// Samples a bounded Pareto on `[min, max]` with shape `alpha`.
+///
+/// Used by the workload generators for heavy-tailed stream rates.
+pub fn sample_bounded_pareto<R: Rng + ?Sized>(
+    rng: &mut R,
+    alpha: f64,
+    min: f64,
+    max: f64,
+) -> f64 {
+    debug_assert!(alpha > 0.0 && min > 0.0 && max > min);
+    let u: f64 = rng.gen_range(0.0..1.0);
+    let lo = min.powf(-alpha);
+    let hi = max.powf(-alpha);
+    (lo - u * (lo - hi)).powf(-1.0 / alpha)
+}
+
+/// A Zipf sampler over `1..=n` with exponent `s`, built once and sampled many
+/// times (inverse-CDF over the precomputed normalized mass).
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler. Panics if `n == 0` or `s < 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one outcome");
+        assert!(s >= 0.0, "Zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Samples a rank in `0..n` (0 is the most popular outcome).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream_is_deterministic() {
+        let mut a = derive_rng(42, 7);
+        let mut b = derive_rng(42, 7);
+        for _ in 0..16 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_streams_diverge() {
+        let mut a = derive_rng(42, 1);
+        let mut b = derive_rng(42, 2);
+        // Astronomically unlikely to collide on the first draw if independent.
+        assert_ne!(a.gen::<u64>(), b.gen::<u64>());
+    }
+
+    #[test]
+    fn normal_sample_matches_moments() {
+        let mut rng = rng_from_seed(1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_normal(&mut rng, 5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean={mean}");
+        assert!((var - 4.0).abs() < 0.3, "var={var}");
+    }
+
+    #[test]
+    fn exponential_sample_matches_mean() {
+        let mut rng = rng_from_seed(2);
+        let n = 20_000;
+        let mean = (0..n).map(|_| sample_exponential(&mut rng, 0.5)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean={mean}");
+    }
+
+    #[test]
+    fn bounded_pareto_stays_in_bounds() {
+        let mut rng = rng_from_seed(3);
+        for _ in 0..5_000 {
+            let x = sample_bounded_pareto(&mut rng, 1.2, 1.0, 100.0);
+            assert!((1.0..=100.0).contains(&x), "x={x}");
+        }
+    }
+
+    #[test]
+    fn zipf_prefers_low_ranks() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = rng_from_seed(4);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[90]);
+    }
+
+    #[test]
+    fn zipf_uniform_when_s_zero() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = rng_from_seed(5);
+        let mut counts = vec![0usize; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 600.0, "counts={counts:?}");
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Deterministic discrete-event clock.
+//!
+//! The overlay runtime and the re-optimization experiments need "time"
+//! (long-running queries, churn ticks, migration delays) without the
+//! nondeterminism of wall-clock async IO. [`EventQueue`] is a classic
+//! monotonic event heap: schedule a payload at a [`SimTime`], pop events in
+//! time order, ties broken by insertion sequence so runs are reproducible.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Simulated time in milliseconds since the start of the run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, PartialOrd)]
+pub struct SimTime(pub f64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Adds a delay.
+    pub fn after(self, delay_ms: f64) -> SimTime {
+        debug_assert!(delay_ms >= 0.0, "negative delay");
+        SimTime(self.0 + delay_ms)
+    }
+
+    /// Milliseconds value.
+    pub fn millis(self) -> f64 {
+        self.0
+    }
+}
+
+struct Scheduled<E> {
+    time: f64,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap: earlier time first, then earlier sequence number.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// ```
+/// use sbon_netsim::sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime(5.0), "b");
+/// q.schedule(SimTime(1.0), "a");
+/// assert_eq!(q.pop().unwrap(), (SimTime(1.0), "a"));
+/// assert_eq!(q.now(), SimTime(1.0));
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    now: f64,
+    seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), now: 0.0, seq: 0 }
+    }
+
+    /// Current simulated time (time of the last popped event).
+    pub fn now(&self) -> SimTime {
+        SimTime(self.now)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at absolute time `at`. Panics if `at` is in the
+    /// simulated past — an event may not rewrite history.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(
+            at.0 >= self.now,
+            "cannot schedule at {} before now {}",
+            at.0,
+            self.now
+        );
+        self.heap.push(Scheduled { time: at.0, seq: self.seq, event });
+        self.seq += 1;
+    }
+
+    /// Schedules `event` after a relative delay from the current time.
+    pub fn schedule_in(&mut self, delay_ms: f64, event: E) {
+        self.schedule(self.now().after(delay_ms), event);
+    }
+
+    /// Pops the next event and advances the clock to it.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|s| {
+            self.now = s.time;
+            (SimTime(s.time), s.event)
+        })
+    }
+
+    /// Pops only if the next event is at or before `deadline`.
+    pub fn pop_until(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        match self.heap.peek() {
+            Some(s) if s.time <= deadline.0 => self.pop(),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(3.0), 3);
+        q.schedule(SimTime(1.0), 1);
+        q.schedule(SimTime(2.0), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(1.0), "first");
+        q.schedule(SimTime(1.0), "second");
+        assert_eq!(q.pop().unwrap().1, "first");
+        assert_eq!(q.pop().unwrap().1, "second");
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(10.0), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime(10.0));
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(5.0), "a");
+        q.pop();
+        q.schedule_in(2.5, "b");
+        assert_eq!(q.pop().unwrap(), (SimTime(7.5), "b"));
+    }
+
+    #[test]
+    #[should_panic(expected = "before now")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(5.0), ());
+        q.pop();
+        q.schedule(SimTime(1.0), ());
+    }
+
+    #[test]
+    fn pop_until_respects_deadline() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(4.0), ());
+        assert!(q.pop_until(SimTime(3.0)).is_none());
+        assert!(q.pop_until(SimTime(4.0)).is_some());
+    }
+}

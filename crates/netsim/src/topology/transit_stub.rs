@@ -1,0 +1,306 @@
+//! GT-ITM-style transit-stub topology generator.
+//!
+//! Internet-like structure: a small backbone of *transit domains* whose
+//! routers interconnect with high-latency links, each transit router homing
+//! several *stub domains* of edge nodes with low intra-domain latency. The
+//! paper's Figure 2 runs on a 600-node instance of this family.
+//!
+//! Latency ranges default to the conventional GT-ITM regime: inter-transit
+//! 20–80 ms, intra-transit 5–20 ms, transit→stub 2–15 ms, intra-stub 1–5 ms.
+
+use rand::Rng;
+
+use crate::graph::{Graph, NodeId};
+use crate::rng::derive_rng;
+use crate::topology::{NodeRole, Topology};
+
+/// Parameters of the transit-stub generator.
+#[derive(Clone, Debug)]
+pub struct TransitStubConfig {
+    /// Number of transit (backbone) domains.
+    pub transit_domains: usize,
+    /// Routers per transit domain.
+    pub transit_nodes_per_domain: usize,
+    /// Stub domains homed on each transit router.
+    pub stub_domains_per_transit_node: usize,
+    /// Edge nodes per stub domain.
+    pub stub_nodes_per_domain: usize,
+    /// Latency range (ms) of links between transit domains.
+    pub transit_transit_ms: (f64, f64),
+    /// Latency range (ms) of links inside a transit domain.
+    pub intra_transit_ms: (f64, f64),
+    /// Latency range (ms) of the link from a transit router to a stub
+    /// domain's gateway node.
+    pub transit_stub_ms: (f64, f64),
+    /// Latency range (ms) of links inside a stub domain.
+    pub intra_stub_ms: (f64, f64),
+    /// Probability of adding each possible extra chord inside a domain (both
+    /// transit and stub domains are generated as a ring plus random chords,
+    /// which guarantees connectivity while still looking mesh-like).
+    pub extra_edge_prob: f64,
+}
+
+impl Default for TransitStubConfig {
+    fn default() -> Self {
+        TransitStubConfig {
+            transit_domains: 4,
+            transit_nodes_per_domain: 4,
+            stub_domains_per_transit_node: 3,
+            stub_nodes_per_domain: 12,
+            transit_transit_ms: (20.0, 80.0),
+            intra_transit_ms: (5.0, 20.0),
+            transit_stub_ms: (2.0, 15.0),
+            intra_stub_ms: (1.0, 5.0),
+            extra_edge_prob: 0.2,
+        }
+    }
+}
+
+impl TransitStubConfig {
+    /// Total node count this configuration will generate.
+    pub fn total_nodes(&self) -> usize {
+        let transit = self.transit_domains * self.transit_nodes_per_domain;
+        transit + transit * self.stub_domains_per_transit_node * self.stub_nodes_per_domain
+    }
+
+    /// Picks a configuration whose size is close to (and at least) `n`,
+    /// keeping the default 4×4 backbone and scaling the stub population.
+    ///
+    /// The paper's 600-node topology corresponds to
+    /// `TransitStubConfig::with_total_nodes(600)` (4 transit domains × 4
+    /// routers, 3 stub domains each, ~12 nodes per stub domain → 592–616
+    /// nodes depending on rounding; we round up).
+    pub fn with_total_nodes(n: usize) -> Self {
+        let mut cfg = TransitStubConfig::default();
+        let transit = cfg.transit_domains * cfg.transit_nodes_per_domain;
+        if n <= transit + 1 {
+            // Degenerate ask: shrink the backbone too.
+            cfg.transit_domains = 2;
+            cfg.transit_nodes_per_domain = 2;
+            cfg.stub_domains_per_transit_node = 1;
+            cfg.stub_nodes_per_domain = 1.max(n.saturating_sub(4) / 4);
+            return cfg;
+        }
+        let stubs_needed = n - transit;
+        let stub_domains = transit * cfg.stub_domains_per_transit_node;
+        cfg.stub_nodes_per_domain = stubs_needed.div_ceil(stub_domains).max(1);
+        cfg
+    }
+}
+
+/// Generates a transit-stub topology. Deterministic in `seed`.
+pub fn generate(cfg: &TransitStubConfig, seed: u64) -> Topology {
+    assert!(cfg.transit_domains >= 1);
+    assert!(cfg.transit_nodes_per_domain >= 1);
+    let mut rng = derive_rng(seed, TOPOLOGY_STREAM);
+    let mut graph = Graph::new(0);
+    let mut roles = Vec::new();
+
+    // 1. Transit domains: ring + chords of routers.
+    let mut transit_ids: Vec<Vec<NodeId>> = Vec::with_capacity(cfg.transit_domains);
+    for d in 0..cfg.transit_domains {
+        let ids = generate_domain_ring(
+            &mut graph,
+            cfg.transit_nodes_per_domain,
+            cfg.intra_transit_ms,
+            cfg.extra_edge_prob,
+            &mut rng,
+        );
+        for _ in &ids {
+            roles.push(NodeRole::Transit { domain: d as u32 });
+        }
+        transit_ids.push(ids);
+    }
+
+    // 2. Inter-domain backbone links: connect every pair of transit domains
+    //    through one random router pair (keeps the backbone diameter small,
+    //    as GT-ITM does for modest domain counts).
+    for i in 0..cfg.transit_domains {
+        for j in (i + 1)..cfg.transit_domains {
+            let a = transit_ids[i][rng.gen_range(0..transit_ids[i].len())];
+            let b = transit_ids[j][rng.gen_range(0..transit_ids[j].len())];
+            let lat = uniform_in(&mut rng, cfg.transit_transit_ms);
+            graph.add_edge(a, b, lat);
+        }
+    }
+
+    // 3. Stub domains.
+    let mut stub_domain_counter = 0u32;
+    for domain in &transit_ids {
+        for &router in domain {
+            for _ in 0..cfg.stub_domains_per_transit_node {
+                let ids = generate_domain_ring(
+                    &mut graph,
+                    cfg.stub_nodes_per_domain,
+                    cfg.intra_stub_ms,
+                    cfg.extra_edge_prob,
+                    &mut rng,
+                );
+                for _ in &ids {
+                    roles.push(NodeRole::Stub {
+                        domain: stub_domain_counter,
+                        gateway: router,
+                    });
+                }
+                // Gateway: first node of the stub ring attaches to the router.
+                let lat = uniform_in(&mut rng, cfg.transit_stub_ms);
+                graph.add_edge(ids[0], router, lat);
+                stub_domain_counter += 1;
+            }
+        }
+    }
+
+    debug_assert_eq!(graph.num_nodes(), roles.len());
+    debug_assert!(graph.is_connected(), "transit-stub generator must be connected");
+    Topology { graph, roles }
+}
+
+/// Adds `n` new nodes connected as a ring plus random chords; returns their
+/// ids. A single node yields no edges; two nodes yield one edge.
+fn generate_domain_ring<R: Rng + ?Sized>(
+    graph: &mut Graph,
+    n: usize,
+    latency_range: (f64, f64),
+    extra_edge_prob: f64,
+    rng: &mut R,
+) -> Vec<NodeId> {
+    let ids: Vec<NodeId> = (0..n).map(|_| graph.add_node()).collect();
+    if n >= 2 {
+        for i in 0..n {
+            let j = (i + 1) % n;
+            if n == 2 && i == 1 {
+                break; // avoid the duplicate 1→0 edge in a 2-ring
+            }
+            let lat = uniform_in(rng, latency_range);
+            graph.add_edge(ids[i], ids[j], lat);
+        }
+        // Random chords.
+        for i in 0..n {
+            for j in (i + 2)..n {
+                if i == 0 && j == n - 1 {
+                    continue; // that's the ring-closing edge
+                }
+                if rng.gen_bool(extra_edge_prob) {
+                    let lat = uniform_in(rng, latency_range);
+                    graph.add_edge(ids[i], ids[j], lat);
+                }
+            }
+        }
+    }
+    ids
+}
+
+fn uniform_in<R: Rng + ?Sized>(rng: &mut R, range: (f64, f64)) -> f64 {
+    if range.0 == range.1 {
+        range.0
+    } else {
+        rng.gen_range(range.0..range.1)
+    }
+}
+
+/// RNG stream id for topology generation (see [`crate::rng::derive_seed`]).
+const TOPOLOGY_STREAM: u64 = 0x7059;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::all_pairs_latency;
+    use crate::latency::LatencyProvider;
+
+    #[test]
+    fn default_config_is_600ish() {
+        let cfg = TransitStubConfig::default();
+        assert_eq!(cfg.total_nodes(), 16 + 16 * 3 * 12); // 592
+    }
+
+    #[test]
+    fn with_total_nodes_reaches_target() {
+        for n in [100, 300, 600, 1000] {
+            let cfg = TransitStubConfig::with_total_nodes(n);
+            assert!(cfg.total_nodes() >= n, "n={n} got {}", cfg.total_nodes());
+            assert!(cfg.total_nodes() < n + 64, "n={n} got {}", cfg.total_nodes());
+        }
+    }
+
+    #[test]
+    fn generated_topology_is_connected() {
+        let t = generate(&TransitStubConfig::with_total_nodes(200), 7);
+        assert!(t.graph.is_connected());
+        assert_eq!(t.graph.num_nodes(), t.roles.len());
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_seed() {
+        let cfg = TransitStubConfig::with_total_nodes(150);
+        let a = generate(&cfg, 11);
+        let b = generate(&cfg, 11);
+        assert_eq!(a.graph.num_edges(), b.graph.num_edges());
+        assert_eq!(a.graph.total_edge_latency(), b.graph.total_edge_latency());
+        let c = generate(&cfg, 12);
+        assert_ne!(a.graph.total_edge_latency(), c.graph.total_edge_latency());
+    }
+
+    #[test]
+    fn stub_and_transit_partition_nodes() {
+        let t = generate(&TransitStubConfig::with_total_nodes(150), 3);
+        let stubs = t.stub_nodes().len();
+        let transits = t.transit_nodes().len();
+        assert_eq!(stubs + transits, t.num_nodes());
+        assert_eq!(transits, 16);
+    }
+
+    #[test]
+    fn intra_stub_latency_below_cross_domain_latency() {
+        // Structural sanity: average latency between nodes of one stub domain
+        // should be well below average latency across transit domains.
+        let t = generate(&TransitStubConfig::with_total_nodes(200), 5);
+        let m = all_pairs_latency(&t.graph);
+        let stubs = t.stub_nodes();
+        // Two nodes in the same stub domain:
+        let same: Vec<(NodeId, NodeId)> = stubs
+            .iter()
+            .flat_map(|&a| stubs.iter().map(move |&b| (a, b)))
+            .filter(|&(a, b)| {
+                a < b
+                    && matches!(
+                        (&t.roles[a.index()], &t.roles[b.index()]),
+                        (
+                            NodeRole::Stub { domain: da, .. },
+                            NodeRole::Stub { domain: db, .. }
+                        ) if da == db
+                    )
+            })
+            .take(200)
+            .collect();
+        let diff: Vec<(NodeId, NodeId)> = stubs
+            .iter()
+            .flat_map(|&a| stubs.iter().map(move |&b| (a, b)))
+            .filter(|&(a, b)| {
+                a < b
+                    && matches!(
+                        (&t.roles[a.index()], &t.roles[b.index()]),
+                        (
+                            NodeRole::Stub { domain: da, gateway: ga },
+                            NodeRole::Stub { domain: db, gateway: gb }
+                        ) if da != db && ga != gb
+                    )
+            })
+            .take(200)
+            .collect();
+        let avg = |pairs: &[(NodeId, NodeId)]| {
+            pairs.iter().map(|&(a, b)| m.latency(a, b)).sum::<f64>() / pairs.len() as f64
+        };
+        assert!(
+            avg(&same) < avg(&diff) / 2.0,
+            "same-domain {} vs cross-domain {}",
+            avg(&same),
+            avg(&diff)
+        );
+    }
+
+    #[test]
+    fn host_candidates_are_stub_nodes() {
+        let t = generate(&TransitStubConfig::with_total_nodes(120), 9);
+        assert_eq!(t.host_candidates(), t.stub_nodes());
+    }
+}

@@ -1,0 +1,77 @@
+//! Run reports: the time series a simulation produces.
+
+/// One sampled instant of a run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Sample {
+    /// Simulation time in milliseconds.
+    pub time_ms: f64,
+    /// Instantaneous network usage across all circuits
+    /// (Σ rate × latency; data in transit).
+    pub network_usage: f64,
+    /// Cumulative usage integrated up to this instant
+    /// (Σ rate × latency × dt, in usage·seconds).
+    pub cumulative_usage: f64,
+    /// Migrations executed so far.
+    pub migrations: usize,
+    /// Full circuit replacements so far.
+    pub replacements: usize,
+}
+
+/// The full record of one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    /// Periodic samples in time order.
+    pub samples: Vec<Sample>,
+    /// Total migrations.
+    pub migrations: usize,
+    /// Total full-circuit replacements.
+    pub replacements: usize,
+    /// Network-usage·seconds charged for migrations/replacements
+    /// (state-transfer penalty).
+    pub adaptation_cost: f64,
+}
+
+impl RunReport {
+    /// Final cumulative usage including adaptation penalties.
+    pub fn total_cost(&self) -> f64 {
+        self.samples.last().map_or(0.0, |s| s.cumulative_usage) + self.adaptation_cost
+    }
+
+    /// Mean instantaneous network usage across samples.
+    pub fn mean_usage(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|s| s.network_usage).sum::<f64>() / self.samples.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report_is_zero() {
+        let r = RunReport::default();
+        assert_eq!(r.total_cost(), 0.0);
+        assert_eq!(r.mean_usage(), 0.0);
+    }
+
+    #[test]
+    fn total_cost_includes_adaptation() {
+        let r = RunReport {
+            samples: vec![Sample {
+                time_ms: 1000.0,
+                network_usage: 5.0,
+                cumulative_usage: 5.0,
+                migrations: 1,
+                replacements: 0,
+            }],
+            migrations: 1,
+            replacements: 0,
+            adaptation_cost: 2.5,
+        };
+        assert_eq!(r.total_cost(), 7.5);
+        assert_eq!(r.mean_usage(), 5.0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Underlay link-stress accounting.
+//!
+//! The fluid cost model charges a circuit link `rate × latency` without
+//! saying *which physical links* carry the bytes. This module routes every
+//! circuit link over the underlay's shortest path and accumulates the data
+//! rate per physical edge — the "link stress" view used to find hot links
+//! and to cross-validate the cost model: because shortest-path latency is
+//! the sum of its edges' latencies, Σ (edge rate × edge latency) over the
+//! underlay **exactly equals** the circuit's fluid network usage.
+
+use sbon_core::circuit::{Circuit, Placement};
+use sbon_netsim::dijkstra::shortest_path;
+use sbon_netsim::graph::NodeId;
+use sbon_netsim::topology::Topology;
+
+/// Data rate carried by each underlay edge (indexed like
+/// [`sbon_netsim::graph::Graph::edges`]).
+#[derive(Clone, Debug)]
+pub struct LinkTraffic {
+    per_edge_rate: Vec<f64>,
+}
+
+impl LinkTraffic {
+    /// Zero traffic for a topology.
+    pub fn zero(topology: &Topology) -> Self {
+        LinkTraffic { per_edge_rate: vec![0.0; topology.graph.num_edges()] }
+    }
+
+    /// Routes one placed circuit over the underlay, adding each circuit
+    /// link's rate to every physical edge on its shortest path. Services
+    /// co-located on one node add nothing.
+    pub fn charge_circuit(
+        &mut self,
+        topology: &Topology,
+        circuit: &Circuit,
+        placement: &Placement,
+    ) {
+        for l in circuit.links() {
+            let from = placement.node_of(l.from);
+            let to = placement.node_of(l.to);
+            if from == to {
+                continue;
+            }
+            let path = shortest_path(&topology.graph, from, to)
+                .expect("placed circuits connect reachable nodes");
+            for hop in path.windows(2) {
+                let edge = edge_between(topology, hop[0], hop[1])
+                    .expect("path hops are adjacent");
+                self.per_edge_rate[edge] += l.rate;
+            }
+        }
+    }
+
+    /// Rate on one edge.
+    pub fn rate_on(&self, edge_index: usize) -> f64 {
+        self.per_edge_rate[edge_index]
+    }
+
+    /// The maximum per-edge rate (the hottest link).
+    pub fn max_stress(&self) -> f64 {
+        self.per_edge_rate.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Indices and rates of the `k` hottest links, descending.
+    pub fn top_hot_links(&self, k: usize) -> Vec<(usize, f64)> {
+        let mut indexed: Vec<(usize, f64)> = self
+            .per_edge_rate
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(_, r)| r > 0.0)
+            .collect();
+        indexed.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite rates"));
+        indexed.truncate(k);
+        indexed
+    }
+
+    /// Σ over edges of `rate × edge latency` — must equal the sum of the
+    /// charged circuits' fluid network usage (see module docs).
+    pub fn total_usage(&self, topology: &Topology) -> f64 {
+        topology
+            .graph
+            .edges()
+            .iter()
+            .zip(&self.per_edge_rate)
+            .map(|(e, &r)| r * e.latency_ms)
+            .sum()
+    }
+
+    /// Number of edges carrying any traffic.
+    pub fn loaded_edges(&self) -> usize {
+        self.per_edge_rate.iter().filter(|&&r| r > 0.0).count()
+    }
+}
+
+/// Finds the index of the minimum-latency edge joining `a` and `b`.
+fn edge_between(topology: &Topology, a: NodeId, b: NodeId) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, e) in topology.graph.edges().iter().enumerate() {
+        let joins = (e.a == a && e.b == b) || (e.a == b && e.b == a);
+        if joins && best.is_none_or(|(_, l)| e.latency_ms < l) {
+            best = Some((i, e.latency_ms));
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbon_core::costspace::CostSpaceBuilder;
+    use sbon_core::optimizer::{IntegratedOptimizer, OptimizerConfig, QuerySpec};
+    use sbon_coords::vivaldi::VivaldiConfig;
+    use sbon_netsim::dijkstra::all_pairs_latency;
+    use sbon_netsim::latency::LatencyProvider;
+    use sbon_netsim::load::LoadModel;
+    use sbon_netsim::rng::rng_from_seed;
+    use sbon_netsim::topology::transit_stub::{generate, TransitStubConfig};
+
+    fn placed(seed: u64) -> (Topology, Circuit, Placement, f64) {
+        let topo = generate(&TransitStubConfig::with_total_nodes(100), seed);
+        let latency = all_pairs_latency(&topo.graph);
+        let embedding = VivaldiConfig::default().embed(&latency, seed);
+        let mut rng = rng_from_seed(seed);
+        let loads = LoadModel::Random { lo: 0.0, hi: 0.5 }.generate(topo.num_nodes(), &mut rng);
+        let space = CostSpaceBuilder::latency_load_space(&embedding, &loads);
+        let hosts = topo.host_candidates();
+        let q = QuerySpec::join_star(&[hosts[0], hosts[25], hosts[50]], hosts[75], 10.0, 0.02);
+        let p = IntegratedOptimizer::new(OptimizerConfig::default())
+            .optimize(&q, &space, &latency)
+            .unwrap();
+        let usage = p
+            .circuit
+            .cost_with(&p.placement, |a, b| latency.latency(a, b))
+            .network_usage;
+        (topo, p.circuit, p.placement, usage)
+    }
+
+    #[test]
+    fn underlay_usage_equals_fluid_usage() {
+        for seed in [1u64, 2, 3] {
+            let (topo, circuit, placement, fluid) = placed(seed);
+            let mut traffic = LinkTraffic::zero(&topo);
+            traffic.charge_circuit(&topo, &circuit, &placement);
+            let underlay = traffic.total_usage(&topo);
+            assert!(
+                (underlay - fluid).abs() < 1e-6 * fluid.max(1.0),
+                "seed {seed}: underlay {underlay} vs fluid {fluid}"
+            );
+        }
+    }
+
+    #[test]
+    fn charging_twice_doubles_everything() {
+        let (topo, circuit, placement, _) = placed(4);
+        let mut once = LinkTraffic::zero(&topo);
+        once.charge_circuit(&topo, &circuit, &placement);
+        let mut twice = LinkTraffic::zero(&topo);
+        twice.charge_circuit(&topo, &circuit, &placement);
+        twice.charge_circuit(&topo, &circuit, &placement);
+        assert!((twice.total_usage(&topo) - 2.0 * once.total_usage(&topo)).abs() < 1e-9);
+        assert_eq!(twice.loaded_edges(), once.loaded_edges());
+        assert!((twice.max_stress() - 2.0 * once.max_stress()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hot_links_are_sorted_and_positive() {
+        let (topo, circuit, placement, _) = placed(5);
+        let mut traffic = LinkTraffic::zero(&topo);
+        traffic.charge_circuit(&topo, &circuit, &placement);
+        let hot = traffic.top_hot_links(5);
+        assert!(!hot.is_empty());
+        for w in hot.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        assert_eq!(hot[0].1, traffic.max_stress());
+    }
+
+    #[test]
+    fn zero_traffic_reports_nothing() {
+        let (topo, _, _, _) = placed(6);
+        let traffic = LinkTraffic::zero(&topo);
+        assert_eq!(traffic.loaded_edges(), 0);
+        assert_eq!(traffic.max_stress(), 0.0);
+        assert!(traffic.top_hot_links(3).is_empty());
+        assert_eq!(traffic.total_usage(&topo), 0.0);
+    }
+}

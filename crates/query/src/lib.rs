@@ -1,0 +1,32 @@
+//! Continuous-query model: streams, operators, logical plans, statistics,
+//! and plan enumeration.
+//!
+//! This crate is deliberately network-agnostic — it knows about data rates
+//! and selectivities, not about nodes or latencies. The classic two-step
+//! optimizer uses *only* this crate's statistics to rank plans; the paper's
+//! integrated optimizer (in `sbon-core`) re-ranks the same candidate plans
+//! by their placed-circuit cost.
+//!
+//! * [`stream`] — source streams with publication rates and pinned
+//!   producers.
+//! * [`plan`] — logical plan trees (sources, unary and binary operators).
+//! * [`stats`] — the statistics catalog: base rates and pairwise join
+//!   selectivities; rate propagation through a plan; the statistics-only
+//!   plan cost used by the two-step baseline.
+//! * [`rewrite`] — local plan rewriting (reorder / decompose / re-compose
+//!   services) used by re-optimization (paper §3.3).
+//! * [`enumerate`] — exhaustive bushy join-tree enumeration for small
+//!   queries and Selinger-style dynamic programming (with a k-best
+//!   generalization) for larger ones.
+
+pub mod enumerate;
+pub mod plan;
+pub mod rewrite;
+pub mod stats;
+pub mod stream;
+
+pub use enumerate::{all_join_trees, all_left_deep_trees, dp_best_plan, dp_top_k_plans};
+pub use plan::{BinaryOp, LogicalPlan, UnaryOp};
+pub use rewrite::{commute, fuse_filters, neighbors, rotate_left, rotate_right, split_filter};
+pub use stats::StatsCatalog;
+pub use stream::{StreamCatalog, StreamDef, StreamId};

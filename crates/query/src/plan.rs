@@ -1,0 +1,265 @@
+//! Logical plans.
+//!
+//! "Plan generation takes as input a user query and outputs a logical plan
+//! ... one or more data endpoints, possibly connected via services, to a
+//! consumer" (Section 2.1). A [`LogicalPlan`] is the operator tree between
+//! the producers (leaves) and the consumer (the root's output).
+
+use crate::stream::StreamId;
+
+/// Unary operator kinds (services with one input).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum UnaryOp {
+    /// SELECT-style filter passing the given fraction of input data.
+    Select {
+        /// Fraction of input data passed through, `(0, 1]`.
+        selectivity: f64,
+    },
+    /// Projection / compression reducing data volume by the given ratio.
+    Project {
+        /// Output-to-input data ratio, `(0, 1]`.
+        ratio: f64,
+    },
+    /// Windowed aggregation emitting summaries.
+    Aggregate {
+        /// Output-to-input data ratio, `(0, 1]`.
+        ratio: f64,
+    },
+}
+
+impl UnaryOp {
+    /// The output-to-input rate ratio of this operator.
+    pub fn rate_ratio(self) -> f64 {
+        match self {
+            UnaryOp::Select { selectivity } => selectivity,
+            UnaryOp::Project { ratio } | UnaryOp::Aggregate { ratio } => ratio,
+        }
+    }
+
+    /// Short label for plan rendering.
+    fn label(self) -> &'static str {
+        match self {
+            UnaryOp::Select { .. } => "σ",
+            UnaryOp::Project { .. } => "π",
+            UnaryOp::Aggregate { .. } => "γ",
+        }
+    }
+}
+
+/// Binary operator kinds (services with two inputs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// Windowed two-way join; its selectivity comes from the statistics
+    /// catalog (it depends on *which* streams meet here, not on the node).
+    Join,
+    /// Stream union (merge).
+    Union,
+}
+
+impl BinaryOp {
+    fn label(self) -> &'static str {
+        match self {
+            BinaryOp::Join => "⋈",
+            BinaryOp::Union => "∪",
+        }
+    }
+}
+
+/// A logical plan tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LogicalPlan {
+    /// A leaf: one source stream.
+    Source(StreamId),
+    /// A unary service over a subplan.
+    Unary {
+        /// The operator.
+        op: UnaryOp,
+        /// The input subplan.
+        input: Box<LogicalPlan>,
+    },
+    /// A binary service over two subplans.
+    Binary {
+        /// The operator.
+        op: BinaryOp,
+        /// Left input.
+        left: Box<LogicalPlan>,
+        /// Right input.
+        right: Box<LogicalPlan>,
+    },
+}
+
+impl LogicalPlan {
+    /// Leaf constructor.
+    pub fn source(id: StreamId) -> Self {
+        LogicalPlan::Source(id)
+    }
+
+    /// Join of two subplans.
+    pub fn join(left: LogicalPlan, right: LogicalPlan) -> Self {
+        LogicalPlan::Binary { op: BinaryOp::Join, left: Box::new(left), right: Box::new(right) }
+    }
+
+    /// Union of two subplans.
+    pub fn union(left: LogicalPlan, right: LogicalPlan) -> Self {
+        LogicalPlan::Binary { op: BinaryOp::Union, left: Box::new(left), right: Box::new(right) }
+    }
+
+    /// Filter over a subplan.
+    pub fn select(selectivity: f64, input: LogicalPlan) -> Self {
+        assert!(
+            selectivity > 0.0 && selectivity <= 1.0,
+            "filter selectivity must be in (0, 1], got {selectivity}"
+        );
+        LogicalPlan::Unary { op: UnaryOp::Select { selectivity }, input: Box::new(input) }
+    }
+
+    /// Aggregation over a subplan.
+    pub fn aggregate(ratio: f64, input: LogicalPlan) -> Self {
+        assert!(ratio > 0.0 && ratio <= 1.0, "aggregate ratio must be in (0, 1]");
+        LogicalPlan::Unary { op: UnaryOp::Aggregate { ratio }, input: Box::new(input) }
+    }
+
+    /// The set of source streams referenced, in first-visit order.
+    pub fn sources(&self) -> Vec<StreamId> {
+        let mut out = Vec::new();
+        self.visit(&mut |p| {
+            if let LogicalPlan::Source(id) = p {
+                if !out.contains(id) {
+                    out.push(*id);
+                }
+            }
+        });
+        out
+    }
+
+    /// Number of operator (non-leaf) nodes — the services a circuit must
+    /// place.
+    pub fn num_services(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |p| {
+            if !matches!(p, LogicalPlan::Source(_)) {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    /// Depth of the tree (a single source has depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            LogicalPlan::Source(_) => 1,
+            LogicalPlan::Unary { input, .. } => 1 + input.depth(),
+            LogicalPlan::Binary { left, right, .. } => 1 + left.depth().max(right.depth()),
+        }
+    }
+
+    /// Pre-order traversal.
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a LogicalPlan)) {
+        f(self);
+        match self {
+            LogicalPlan::Source(_) => {}
+            LogicalPlan::Unary { input, .. } => input.visit(f),
+            LogicalPlan::Binary { left, right, .. } => {
+                left.visit(f);
+                right.visit(f);
+            }
+        }
+    }
+
+    /// A canonical, order-sensitive rendering, e.g. `((s0 ⋈ s1) ⋈ s2)`.
+    /// Used as a structural identity in tests and logs.
+    pub fn render(&self) -> String {
+        match self {
+            LogicalPlan::Source(id) => id.to_string(),
+            LogicalPlan::Unary { op, input } => format!("{}({})", op.label(), input.render()),
+            LogicalPlan::Binary { op, left, right } => {
+                format!("({} {} {})", left.render(), op.label(), right.render())
+            }
+        }
+    }
+
+    /// A *shape* key that ignores left/right order of commutative joins, so
+    /// `A ⋈ B` and `B ⋈ A` compare equal. Used to dedup enumeration output.
+    pub fn shape_key(&self) -> String {
+        match self {
+            LogicalPlan::Source(id) => id.to_string(),
+            LogicalPlan::Unary { op, input } => format!("{}({})", op.label(), input.shape_key()),
+            LogicalPlan::Binary { op, left, right } => {
+                let (a, b) = (left.shape_key(), right.shape_key());
+                let (a, b) = if a <= b { (a, b) } else { (b, a) };
+                format!("({a} {} {b})", op.label())
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for LogicalPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: u32) -> LogicalPlan {
+        LogicalPlan::source(StreamId(i))
+    }
+
+    #[test]
+    fn sources_in_visit_order_without_duplicates() {
+        let p = LogicalPlan::join(LogicalPlan::join(s(2), s(0)), s(2));
+        assert_eq!(p.sources(), vec![StreamId(2), StreamId(0)]);
+    }
+
+    #[test]
+    fn num_services_counts_operators_only() {
+        let p = LogicalPlan::select(0.5, LogicalPlan::join(s(0), s(1)));
+        assert_eq!(p.num_services(), 2);
+        assert_eq!(s(0).num_services(), 0);
+    }
+
+    #[test]
+    fn depth_of_left_deep_vs_bushy() {
+        let left_deep = LogicalPlan::join(LogicalPlan::join(LogicalPlan::join(s(0), s(1)), s(2)), s(3));
+        let bushy = LogicalPlan::join(LogicalPlan::join(s(0), s(1)), LogicalPlan::join(s(2), s(3)));
+        assert_eq!(left_deep.depth(), 4);
+        assert_eq!(bushy.depth(), 3);
+    }
+
+    #[test]
+    fn render_is_structural() {
+        let p = LogicalPlan::join(s(0), s(1));
+        assert_eq!(p.render(), "(s0 ⋈ s1)");
+        let q = LogicalPlan::select(0.1, s(2));
+        assert_eq!(q.render(), "σ(s2)");
+    }
+
+    #[test]
+    fn shape_key_ignores_join_order() {
+        let ab = LogicalPlan::join(s(0), s(1));
+        let ba = LogicalPlan::join(s(1), s(0));
+        assert_eq!(ab.shape_key(), ba.shape_key());
+        assert_ne!(ab.render(), ba.render());
+    }
+
+    #[test]
+    fn shape_key_distinguishes_association() {
+        let l = LogicalPlan::join(LogicalPlan::join(s(0), s(1)), s(2));
+        let r = LogicalPlan::join(s(0), LogicalPlan::join(s(1), s(2)));
+        assert_ne!(l.shape_key(), r.shape_key());
+    }
+
+    #[test]
+    #[should_panic(expected = "selectivity")]
+    fn select_rejects_bad_selectivity() {
+        LogicalPlan::select(0.0, s(0));
+    }
+
+    #[test]
+    fn rate_ratio_accessors() {
+        assert_eq!(UnaryOp::Select { selectivity: 0.3 }.rate_ratio(), 0.3);
+        assert_eq!(UnaryOp::Aggregate { ratio: 0.1 }.rate_ratio(), 0.1);
+    }
+}

@@ -1,0 +1,309 @@
+//! Local plan rewriting.
+//!
+//! Section 3.3: "As part of re-optimization, a node can perform limited plan
+//! re-writing as long as it is running all affected services. This could
+//! involve the reordering of services, the decomposition of existing
+//! services into sub-services to reduce load, or the re-composition of
+//! services to reduce network communication."
+//!
+//! This module provides exactly those three rewrite families on
+//! [`LogicalPlan`]s:
+//!
+//! * **Reordering** — join commutation and the two associativity rotations,
+//!   applied at any node ([`neighbors`] enumerates every one-step rewrite).
+//! * **Decomposition** — [`split_filter`] splits a σ into two half-strength
+//!   σs (two cheaper services that can run on two nodes).
+//! * **Re-composition** — [`fuse_filters`] merges adjacent σs into one
+//!   service (one network link instead of two).
+//!
+//! All rewrites preserve the plan's final output rate (the cost model's
+//! invariant currency); only the *intermediate* shape changes.
+
+use crate::plan::{BinaryOp, LogicalPlan, UnaryOp};
+
+/// Swaps the two inputs of a commutative binary root. Returns `None` for
+/// other shapes.
+pub fn commute(plan: &LogicalPlan) -> Option<LogicalPlan> {
+    match plan {
+        LogicalPlan::Binary { op: op @ (BinaryOp::Join | BinaryOp::Union), left, right } => {
+            Some(LogicalPlan::Binary {
+                op: *op,
+                left: right.clone(),
+                right: left.clone(),
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Left rotation at the root: `A ⋈ (B ⋈ C)` → `(A ⋈ B) ⋈ C`.
+/// Only joins associate; returns `None` otherwise.
+pub fn rotate_left(plan: &LogicalPlan) -> Option<LogicalPlan> {
+    if let LogicalPlan::Binary { op: BinaryOp::Join, left: a, right } = plan {
+        if let LogicalPlan::Binary { op: BinaryOp::Join, left: b, right: c } = right.as_ref() {
+            return Some(LogicalPlan::join(
+                LogicalPlan::join(a.as_ref().clone(), b.as_ref().clone()),
+                c.as_ref().clone(),
+            ));
+        }
+    }
+    None
+}
+
+/// Right rotation at the root: `(A ⋈ B) ⋈ C` → `A ⋈ (B ⋈ C)`.
+pub fn rotate_right(plan: &LogicalPlan) -> Option<LogicalPlan> {
+    if let LogicalPlan::Binary { op: BinaryOp::Join, left, right: c } = plan {
+        if let LogicalPlan::Binary { op: BinaryOp::Join, left: a, right: b } = left.as_ref() {
+            return Some(LogicalPlan::join(
+                a.as_ref().clone(),
+                LogicalPlan::join(b.as_ref().clone(), c.as_ref().clone()),
+            ));
+        }
+    }
+    None
+}
+
+/// Fuses two adjacent filters at the root: `σ_a(σ_b(P))` → `σ_{a·b}(P)`.
+pub fn fuse_filters(plan: &LogicalPlan) -> Option<LogicalPlan> {
+    if let LogicalPlan::Unary { op: UnaryOp::Select { selectivity: a }, input } = plan {
+        if let LogicalPlan::Unary { op: UnaryOp::Select { selectivity: b }, input: inner } =
+            input.as_ref()
+        {
+            return Some(LogicalPlan::select(
+                (a * b).clamp(f64::MIN_POSITIVE, 1.0),
+                inner.as_ref().clone(),
+            ));
+        }
+    }
+    None
+}
+
+/// Splits a filter at the root into two half-strength stages:
+/// `σ_s(P)` → `σ_√s(σ_√s(P))`. No-op (`None`) for `s = 1`.
+pub fn split_filter(plan: &LogicalPlan) -> Option<LogicalPlan> {
+    if let LogicalPlan::Unary { op: UnaryOp::Select { selectivity: s }, input } = plan {
+        if *s < 1.0 {
+            let half = s.sqrt();
+            return Some(LogicalPlan::select(
+                half,
+                LogicalPlan::select(half, input.as_ref().clone()),
+            ));
+        }
+    }
+    None
+}
+
+/// Every plan reachable from `plan` by applying exactly one rewrite at one
+/// node (any depth), deduplicated by exact rendering (left/right order
+/// matters: a commuted join is a *different* circuit even though its shape
+/// key is equal, and composite rewrites like commute-then-rotate need the
+/// intermediate to be reachable).
+pub fn neighbors(plan: &LogicalPlan) -> Vec<LogicalPlan> {
+    let mut out = Vec::new();
+    rewrite_everywhere(plan, &mut out);
+    let mut seen = std::collections::HashSet::new();
+    seen.insert(plan.render());
+    out.retain(|p| seen.insert(p.render()));
+    out
+}
+
+/// Every plan within `depth` rewrite steps of `plan` (excluding `plan`
+/// itself), BFS over rendered plans, capped at `max_plans` results. Depth 2
+/// matters in practice: commutations are cost-neutral on their own but open
+/// up rotations that one-step search cannot reach.
+pub fn neighbors_within(plan: &LogicalPlan, depth: usize, max_plans: usize) -> Vec<LogicalPlan> {
+    let mut seen = std::collections::HashSet::new();
+    seen.insert(plan.render());
+    let mut out: Vec<LogicalPlan> = Vec::new();
+    let mut frontier = vec![plan.clone()];
+    for _ in 0..depth {
+        let mut next = Vec::new();
+        for p in &frontier {
+            for n in neighbors(p) {
+                if out.len() >= max_plans {
+                    return out;
+                }
+                if seen.insert(n.render()) {
+                    out.push(n.clone());
+                    next.push(n);
+                }
+            }
+        }
+        frontier = next;
+        if frontier.is_empty() {
+            break;
+        }
+    }
+    out
+}
+
+/// Applies every root rewrite at every position of the tree, collecting the
+/// full plans that result.
+fn rewrite_everywhere(plan: &LogicalPlan, out: &mut Vec<LogicalPlan>) {
+    // Rewrites at this node.
+    for rw in [commute, rotate_left, rotate_right, fuse_filters, split_filter] {
+        if let Some(p) = rw(plan) {
+            out.push(p);
+        }
+    }
+    // Rewrites in children, re-wrapped into this node.
+    match plan {
+        LogicalPlan::Source(_) => {}
+        LogicalPlan::Unary { op, input } => {
+            let mut inner = Vec::new();
+            rewrite_everywhere(input, &mut inner);
+            for p in inner {
+                out.push(LogicalPlan::Unary { op: *op, input: Box::new(p) });
+            }
+        }
+        LogicalPlan::Binary { op, left, right } => {
+            let mut ls = Vec::new();
+            rewrite_everywhere(left, &mut ls);
+            for p in ls {
+                out.push(LogicalPlan::Binary {
+                    op: *op,
+                    left: Box::new(p),
+                    right: right.clone(),
+                });
+            }
+            let mut rs = Vec::new();
+            rewrite_everywhere(right, &mut rs);
+            for p in rs {
+                out.push(LogicalPlan::Binary {
+                    op: *op,
+                    left: left.clone(),
+                    right: Box::new(p),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::StatsCatalog;
+    use crate::stream::StreamId;
+
+    fn s(i: u32) -> LogicalPlan {
+        LogicalPlan::source(StreamId(i))
+    }
+
+    fn stats(n: u32) -> StatsCatalog {
+        let mut c = StatsCatalog::new(0.1);
+        for i in 0..n {
+            c.set_rate(StreamId(i), 10.0);
+        }
+        c
+    }
+
+    #[test]
+    fn commute_swaps_join_inputs() {
+        let p = LogicalPlan::join(s(0), s(1));
+        let q = commute(&p).unwrap();
+        assert_eq!(q.render(), "(s1 ⋈ s0)");
+        assert!(commute(&s(0)).is_none());
+    }
+
+    #[test]
+    fn rotations_are_inverse() {
+        let p = LogicalPlan::join(LogicalPlan::join(s(0), s(1)), s(2));
+        let rotated = rotate_right(&p).unwrap();
+        assert_eq!(rotated.render(), "(s0 ⋈ (s1 ⋈ s2))");
+        let back = rotate_left(&rotated).unwrap();
+        assert_eq!(back.render(), p.render());
+    }
+
+    #[test]
+    fn rotations_preserve_output_rate() {
+        let c = stats(3);
+        let p = LogicalPlan::join(LogicalPlan::join(s(0), s(1)), s(2));
+        let r = rotate_right(&p).unwrap();
+        let (a, b) = (c.output_rate(&p), c.output_rate(&r));
+        assert!((a - b).abs() < 1e-9 * a);
+    }
+
+    #[test]
+    fn fuse_preserves_output_rate() {
+        let c = stats(1);
+        let p = LogicalPlan::select(0.5, LogicalPlan::select(0.4, s(0)));
+        let fused = fuse_filters(&p).unwrap();
+        assert_eq!(fused.render(), "σ(s0)");
+        assert!((c.output_rate(&p) - c.output_rate(&fused)).abs() < 1e-12);
+        assert_eq!(fused.num_services(), 1);
+    }
+
+    #[test]
+    fn split_preserves_output_rate_and_adds_a_service() {
+        let c = stats(1);
+        let p = LogicalPlan::select(0.25, s(0));
+        let split = split_filter(&p).unwrap();
+        assert_eq!(split.num_services(), 2);
+        assert!((c.output_rate(&p) - c.output_rate(&split)).abs() < 1e-12);
+        // Round trip: fusing the split gives the original selectivity back.
+        let fused = fuse_filters(&split).unwrap();
+        assert!((c.output_rate(&fused) - c.output_rate(&p)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_of_unit_filter_is_none() {
+        assert!(split_filter(&LogicalPlan::select(1.0, s(0))).is_none());
+    }
+
+    #[test]
+    fn neighbors_cover_join_reorderings() {
+        let p = LogicalPlan::join(LogicalPlan::join(s(0), s(1)), s(2));
+        let ns = neighbors(&p);
+        let keys: Vec<String> = ns.iter().map(|n| n.shape_key()).collect();
+        // One-step rewrites must reach the other two association classes.
+        let assoc1 = LogicalPlan::join(s(0), LogicalPlan::join(s(1), s(2))).shape_key();
+        assert!(keys.contains(&assoc1), "{keys:?}");
+        // Every neighbor joins the same source set.
+        for n in &ns {
+            let mut srcs = n.sources();
+            srcs.sort();
+            assert_eq!(srcs, vec![StreamId(0), StreamId(1), StreamId(2)]);
+        }
+    }
+
+    #[test]
+    fn neighbors_of_two_way_join_is_the_commutation() {
+        let p = LogicalPlan::join(s(0), s(1));
+        let ns = neighbors(&p);
+        assert_eq!(ns.len(), 1);
+        assert_eq!(ns[0].render(), "(s1 ⋈ s0)");
+    }
+
+    #[test]
+    fn neighbors_preserve_output_rate() {
+        let c = stats(4);
+        let p = LogicalPlan::join(
+            LogicalPlan::join(s(0), s(1)),
+            LogicalPlan::select(0.5, LogicalPlan::select(0.5, s(2))),
+        );
+        let base = c.output_rate(&p);
+        for n in neighbors(&p) {
+            let r = c.output_rate(&n);
+            assert!((r - base).abs() < 1e-9 * base.max(1.0), "{n}");
+        }
+    }
+
+    #[test]
+    fn repeated_neighbor_expansion_reaches_all_three_way_orders() {
+        // BFS over the rewrite graph from one 3-way plan must reach all 3
+        // association classes (shape keys), walking rendered plans.
+        let start = LogicalPlan::join(LogicalPlan::join(s(0), s(1)), s(2));
+        let mut rendered = std::collections::HashSet::new();
+        let mut shapes = std::collections::HashSet::new();
+        let mut frontier = vec![start];
+        while let Some(p) = frontier.pop() {
+            if rendered.insert(p.render()) {
+                shapes.insert(p.shape_key());
+                frontier.extend(neighbors(&p));
+            }
+        }
+        assert_eq!(shapes.len(), 3, "{shapes:?}");
+        // 3 shapes × 4 renderings each (2 commutations per join level).
+        assert_eq!(rendered.len(), 12, "{rendered:?}");
+    }
+}

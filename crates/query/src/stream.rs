@@ -1,0 +1,108 @@
+//! Source streams.
+//!
+//! An SBON "often relays real-time data from a particular data source ...
+//! and no other source can provide this particular data" (Section 2 — "one
+//! cannot move mountains"). A [`StreamDef`] therefore carries a *pinned*
+//! producer node along with its publication rate; there is no data-placement
+//! problem.
+
+use sbon_netsim::graph::NodeId;
+
+/// Identifier of a source stream, dense per [`StreamCatalog`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StreamId(pub u32);
+
+impl StreamId {
+    /// The id as a usize, for table indexing.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for StreamId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Definition of one source stream.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StreamDef {
+    /// The stream's id in its catalog.
+    pub id: StreamId,
+    /// Human-readable name for harness output.
+    pub name: String,
+    /// Publication rate in normalized data units per second.
+    pub rate: f64,
+    /// The physical node where the producer lives (pinned).
+    pub producer: NodeId,
+}
+
+/// The set of streams known to a deployment.
+#[derive(Clone, Debug, Default)]
+pub struct StreamCatalog {
+    streams: Vec<StreamDef>,
+}
+
+impl StreamCatalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        StreamCatalog::default()
+    }
+
+    /// Registers a stream and returns its id. Panics on non-finite or
+    /// negative rate.
+    pub fn register(&mut self, name: impl Into<String>, rate: f64, producer: NodeId) -> StreamId {
+        assert!(rate.is_finite() && rate > 0.0, "stream rate must be positive, got {rate}");
+        let id = StreamId(self.streams.len() as u32);
+        self.streams.push(StreamDef { id, name: name.into(), rate, producer });
+        id
+    }
+
+    /// Number of registered streams.
+    pub fn len(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// True when no stream is registered.
+    pub fn is_empty(&self) -> bool {
+        self.streams.is_empty()
+    }
+
+    /// Looks up one stream.
+    pub fn get(&self, id: StreamId) -> &StreamDef {
+        &self.streams[id.index()]
+    }
+
+    /// All streams, in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &StreamDef> {
+        self.streams.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_assigns_dense_ids() {
+        let mut c = StreamCatalog::new();
+        let a = c.register("temps", 10.0, NodeId(3));
+        let b = c.register("quakes", 2.5, NodeId(7));
+        assert_eq!((a, b), (StreamId(0), StreamId(1)));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(b).rate, 2.5);
+        assert_eq!(c.get(a).producer, NodeId(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        StreamCatalog::new().register("bad", 0.0, NodeId(0));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(StreamId(4).to_string(), "s4");
+    }
+}

@@ -1,0 +1,146 @@
+//! Integration tests for the overlay runtime through the facade crate:
+//! long-running adaptation, failure recovery, and fluid-vs-tuple agreement.
+
+use sbon::core::reopt::ReoptPolicy;
+use sbon::overlay::{
+    simulate_circuit, DataPlaneConfig, LatencyJitter, OverlayRuntime, RuntimeConfig,
+};
+use sbon::prelude::*;
+
+fn world(seed: u64) -> Topology {
+    transit_stub::generate(&TransitStubConfig::with_total_nodes(120), seed)
+}
+
+fn queries(topo: &Topology, count: usize) -> Vec<QuerySpec> {
+    let hosts = topo.host_candidates();
+    (0..count)
+        .map(|q| {
+            let b = q * 9;
+            QuerySpec::join_star(
+                &[hosts[b], hosts[b + 2], hosts[b + 4], hosts[b + 6]],
+                hosts[b + 8],
+                10.0,
+                0.02,
+            )
+        })
+        .collect()
+}
+
+fn run_with(adaptive: bool, seed: u64) -> sbon::overlay::RunReport {
+    let topo = world(seed);
+    let mut rt = OverlayRuntime::new(
+        &topo,
+        seed,
+        RuntimeConfig {
+            horizon_ms: 90_000.0,
+            reopt_interval_ms: adaptive.then_some(10_000.0),
+            policy: ReoptPolicy { migration_threshold: 0.05, replacement_threshold: 0.15 },
+            churn: ChurnProcess::RandomWalk { std_dev: 0.08 },
+            latency_jitter: Some(LatencyJitter { pairs_per_tick: 800, ..Default::default() }),
+            migration_penalty: 25.0,
+            ..Default::default()
+        },
+    );
+    for q in queries(&topo, 4) {
+        rt.deploy(q).unwrap();
+    }
+    rt.run()
+}
+
+#[test]
+fn adaptation_wins_on_average_across_seeds() {
+    let seeds = [1u64, 2, 3, 4];
+    let static_total: f64 = seeds.iter().map(|&s| run_with(false, s).total_cost()).sum();
+    let adaptive_total: f64 = seeds.iter().map(|&s| run_with(true, s).total_cost()).sum();
+    assert!(
+        adaptive_total < static_total,
+        "adaptive {adaptive_total} must beat static {static_total} in aggregate"
+    );
+}
+
+#[test]
+fn failure_recovery_keeps_all_surviving_circuits_running() {
+    let topo = world(5);
+    let mut rt = OverlayRuntime::new(
+        &topo,
+        5,
+        RuntimeConfig {
+            horizon_ms: 20_000.0,
+            churn: ChurnProcess::None,
+            reopt_interval_ms: None,
+            ..Default::default()
+        },
+    );
+    let handles: Vec<_> = queries(&topo, 3)
+        .into_iter()
+        .map(|q| rt.deploy(q).unwrap())
+        .collect();
+    // Kill the hosts of every unpinned service of circuit 0 at t=5s, 10s.
+    let victims: Vec<NodeId> = {
+        let placement = rt.placement(handles[0]).unwrap();
+        placement.as_slice().to_vec()
+    };
+    rt.schedule_failure(5_000.0, victims[2]); // a join host (services 0,1 = producers)
+    let report = rt.run();
+    // No sample may show zero usage unless a circuit died entirely.
+    let dead = rt.failed_circuits().len();
+    if dead == 0 {
+        assert!(report.samples.iter().all(|s| s.network_usage > 0.0));
+    }
+    // Surviving circuits have placements on live nodes only.
+    for &h in &handles {
+        if let Some(p) = rt.placement(h) {
+            assert!(p.as_slice().iter().all(|&n| rt.is_alive(n)));
+        }
+    }
+}
+
+#[test]
+fn tuple_level_dataplane_agrees_with_fluid_model_through_facade() {
+    let topo = world(6);
+    let latency = all_pairs_latency(&topo.graph);
+    let embedding = VivaldiConfig::default().embed(&latency, 6);
+    let mut rng = rng_from_seed(6);
+    let loads = LoadModel::Random { lo: 0.0, hi: 0.5 }.generate(topo.num_nodes(), &mut rng);
+    let space = CostSpaceBuilder::latency_load_space(&embedding, &loads);
+    let hosts = topo.host_candidates();
+    let q = QuerySpec::join_star(&[hosts[0], hosts[30], hosts[60]], hosts[90], 15.0, 0.02);
+    let placed = IntegratedOptimizer::new(OptimizerConfig::default())
+        .optimize(&q, &space, &latency)
+        .unwrap();
+    let report = simulate_circuit(
+        &placed.circuit,
+        &placed.placement,
+        &latency,
+        DataPlaneConfig { duration_ms: 90_000.0, seed: 6 },
+    );
+    assert!(
+        report.usage_relative_error() < 0.12,
+        "tuple-level {} vs fluid {}",
+        report.measured_network_usage,
+        report.predicted_network_usage
+    );
+    assert!(report.tuples_delivered > 0);
+}
+
+#[test]
+fn rewrite_cadence_is_usable_from_the_public_api() {
+    let topo = world(7);
+    let mut rt = OverlayRuntime::new(
+        &topo,
+        7,
+        RuntimeConfig {
+            horizon_ms: 30_000.0,
+            reopt_interval_ms: None,
+            rewrite_interval_ms: Some(10_000.0),
+            churn: ChurnProcess::RandomWalk { std_dev: 0.1 },
+            latency_jitter: Some(LatencyJitter { pairs_per_tick: 1_500, ..Default::default() }),
+            ..Default::default()
+        },
+    );
+    for q in queries(&topo, 2) {
+        rt.deploy(q).unwrap();
+    }
+    let report = rt.run();
+    assert_eq!(report.samples.len(), 30);
+}

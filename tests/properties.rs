@@ -1,0 +1,167 @@
+//! Cross-crate property-based tests (proptest): invariants that must hold
+//! for arbitrary small worlds and workloads, not just the fixtures the unit
+//! tests pin down.
+
+use proptest::prelude::*;
+
+use sbon::coords::vivaldi::VivaldiEmbedding;
+use sbon::core::circuit::Circuit;
+use sbon::core::costspace::CostSpaceBuilder;
+use sbon::core::placement::{
+    map_circuit, optimal_tree_placement, OracleMapper, RelaxationPlacer, VirtualPlacer,
+};
+use sbon::core::optimizer::{IntegratedOptimizer, OptimizerConfig, QuerySpec, TwoStepOptimizer};
+use sbon::netsim::graph::NodeId;
+use sbon::netsim::latency::{EuclideanLatency, LatencyProvider};
+use sbon::query::enumerate::{all_join_trees, dp_best_plan};
+use sbon::query::stats::StatsCatalog;
+use sbon::query::stream::StreamId;
+
+/// Strategy: a small Euclidean world of 6–20 nodes in a 200×200 box.
+fn euclidean_world() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    proptest::collection::vec((0.0f64..200.0, 0.0f64..200.0), 6..20)
+}
+
+fn world_from(points: &[(f64, f64)]) -> (EuclideanLatency, sbon::core::costspace::CostSpace) {
+    let pts: Vec<Vec<f64>> = points.iter().map(|&(x, y)| vec![x, y]).collect();
+    let lat = EuclideanLatency::new(pts.clone());
+    let space = CostSpaceBuilder::latency_space(&VivaldiEmbedding::exact(pts));
+    (lat, space)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The integrated optimizer's chosen estimate is the minimum over its
+    /// candidate set — re-placing any candidate can never beat it.
+    #[test]
+    fn integrated_selection_is_minimal(points in euclidean_world(), sel in 0.001f64..0.5) {
+        let (lat, space) = world_from(&points);
+        let n = points.len() as u32;
+        let q = QuerySpec::join_star(
+            &[NodeId(0), NodeId(1), NodeId(2)],
+            NodeId(n - 1),
+            10.0,
+            sel,
+        );
+        let opt = IntegratedOptimizer::new(OptimizerConfig::default());
+        let best = opt.optimize(&q, &space, &lat).unwrap();
+        let placer = opt.config().placer.build();
+        for plan in opt.candidate_plans(&q) {
+            let circuit = Circuit::from_plan(&plan, &q.stats, |s| q.producer_of(s), q.consumer);
+            let vp = placer.place(&circuit, &space);
+            let mut mapper = OracleMapper;
+            let mapped = map_circuit(&circuit, &vp, &space, &mut mapper);
+            let est = circuit.cost_with(&mapped.placement, |a, b| space.vector_distance(a, b));
+            prop_assert!(best.estimated.network_usage <= est.network_usage + 1e-6);
+        }
+    }
+
+    /// With exact coordinates (zero embedding error), the integrated
+    /// optimizer never does worse than two-step on *measured* usage.
+    #[test]
+    fn exact_embedding_integrated_never_loses(points in euclidean_world()) {
+        let (lat, space) = world_from(&points);
+        let n = points.len() as u32;
+        let q = QuerySpec::join_star(
+            &[NodeId(0), NodeId(1), NodeId(2), NodeId(3)],
+            NodeId(n - 1),
+            10.0,
+            0.05,
+        );
+        let int = IntegratedOptimizer::new(OptimizerConfig::default())
+            .optimize(&q, &space, &lat).unwrap();
+        let two = TwoStepOptimizer::new(OptimizerConfig::default())
+            .optimize(&q, &space, &lat).unwrap();
+        prop_assert!(int.cost.network_usage <= two.cost.network_usage + 1e-6);
+    }
+
+    /// Relaxation placement never increases the *spring energy* relative to
+    /// the centroid seed it starts from (the energy — not the linear
+    /// network-usage proxy — is what the spring system provably minimizes).
+    #[test]
+    fn relaxation_never_regresses_from_seed(points in euclidean_world(), rate in 1.0f64..100.0) {
+        let (_, space) = world_from(&points);
+        let n = points.len() as u32;
+        let q = QuerySpec::join_star(&[NodeId(0), NodeId(1), NodeId(2)], NodeId(n - 1), rate, 0.05);
+        let plan = dp_best_plan(&q.stats, &q.join_set).0;
+        let circuit = Circuit::from_plan(&plan, &q.stats, |s| q.producer_of(s), q.consumer);
+        let placer = RelaxationPlacer::default();
+        let vp = placer.place(&circuit, &space);
+        // The optimum of the spring system is ≤ any specific assignment,
+        // in particular the all-at-centroid seed.
+        let seed_cost = {
+            use sbon::core::placement::VirtualPlacement;
+            // Reconstruct the seed: pinned at their coords, unpinned at the
+            // pinned mean. (Mirrors the internal seeding.)
+            let vd = space.vector_dims();
+            let mut acc = vec![0.0; vd];
+            let mut count = 0;
+            for s in circuit.services() {
+                if let sbon::core::circuit::ServicePin::Pinned(h) = s.pin {
+                    for (a, c) in acc.iter_mut().zip(space.point(h).vector_part(vd)) {
+                        *a += c;
+                    }
+                    count += 1;
+                }
+            }
+            for a in acc.iter_mut() { *a /= count as f64; }
+            let coords: Vec<Vec<f64>> = circuit.services().iter().map(|s| match s.pin {
+                sbon::core::circuit::ServicePin::Pinned(h) =>
+                    space.point(h).vector_part(vd).to_vec(),
+                sbon::core::circuit::ServicePin::Unpinned => acc.clone(),
+            }).collect();
+            VirtualPlacement::new(coords).spring_energy(&circuit)
+        };
+        prop_assert!(vp.spring_energy(&circuit) <= seed_cost + 1e-6);
+    }
+
+    /// The omniscient tree DP lower-bounds every mapped placement of the
+    /// same circuit.
+    #[test]
+    fn tree_dp_is_a_lower_bound(points in euclidean_world()) {
+        let (lat, space) = world_from(&points);
+        let n = points.len() as u32;
+        let q = QuerySpec::join_star(&[NodeId(0), NodeId(1), NodeId(2)], NodeId(n - 1), 10.0, 0.05);
+        let plan = dp_best_plan(&q.stats, &q.join_set).0;
+        let circuit = Circuit::from_plan(&plan, &q.stats, |s| q.producer_of(s), q.consumer);
+        let hosts: Vec<NodeId> = (0..n).map(NodeId).collect();
+        let (_, optimal) = optimal_tree_placement(&circuit, &hosts, |a, b| lat.latency(a, b));
+        let placer = RelaxationPlacer::default();
+        let vp = placer.place(&circuit, &space);
+        let mut mapper = OracleMapper;
+        let mapped = map_circuit(&circuit, &vp, &space, &mut mapper);
+        let usage = circuit.cost_with(&mapped.placement, |a, b| lat.latency(a, b)).network_usage;
+        prop_assert!(usage + 1e-6 >= optimal, "mapped {usage} < optimal {optimal}");
+    }
+
+    /// Statistical plan costs reported by the DP agree with the
+    /// tree-walking cost model for arbitrary selectivities.
+    #[test]
+    fn dp_cost_model_consistency(
+        sels in proptest::collection::vec(0.001f64..1.0, 6),
+        rates in proptest::collection::vec(1.0f64..50.0, 4),
+    ) {
+        let ids: Vec<StreamId> = (0..4).map(StreamId).collect();
+        let mut stats = StatsCatalog::new(0.1);
+        for (i, &r) in rates.iter().enumerate() {
+            stats.set_rate(StreamId(i as u32), r);
+        }
+        let mut k = 0;
+        for i in 0..4u32 {
+            for j in (i + 1)..4 {
+                stats.set_join_selectivity(StreamId(i), StreamId(j), sels[k]);
+                k += 1;
+            }
+        }
+        let (plan, cost) = dp_best_plan(&stats, &ids);
+        let walked = stats.statistical_cost(&plan);
+        prop_assert!((walked - cost).abs() < 1e-6 * walked.max(1.0));
+        // And the DP minimum matches exhaustive enumeration.
+        let exhaustive = all_join_trees(&ids)
+            .into_iter()
+            .map(|t| stats.statistical_cost(&t))
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!((exhaustive - cost).abs() < 1e-6 * exhaustive.max(1.0));
+    }
+}

@@ -13,9 +13,8 @@ fn bench_curves(c: &mut Criterion) {
     let hilbert = HilbertCurve::new(dims, bits);
     let morton = MortonCurve::new(dims, bits);
     let mut rng = rng_from_seed(1);
-    let cells: Vec<Vec<u32>> = (0..1024)
-        .map(|_| (0..dims).map(|_| rng.gen_range(0..(1u32 << bits))).collect())
-        .collect();
+    let cells: Vec<Vec<u32>> =
+        (0..1024).map(|_| (0..dims).map(|_| rng.gen_range(0..(1u32 << bits))).collect()).collect();
     let keys: Vec<u128> = cells.iter().map(|c| hilbert.encode(c)).collect();
 
     let mut group = c.benchmark_group("curves");

@@ -10,12 +10,8 @@ use sbon_netsim::rng::derive_rng;
 
 fn bench_dht(c: &mut Criterion) {
     let world = build_world(&WorldConfig::default(), 3);
-    let points: Vec<Vec<f64>> = world
-        .space
-        .points()
-        .iter()
-        .map(|p| p.as_slice().to_vec())
-        .collect();
+    let points: Vec<Vec<f64>> =
+        world.space.points().iter().map(|p| p.as_slice().to_vec()).collect();
     let dims = world.space.dims();
     let quantizer = Quantizer::covering(&points, 12, 0.25);
     let mut catalog = CoordinateCatalog::new(HilbertCurve::new(dims, 12), quantizer, 8);

@@ -5,9 +5,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use sbon_bench::{build_world, pick_hosts, WorldConfig};
 use sbon_core::circuit::Circuit;
 use sbon_core::optimizer::QuerySpec;
-use sbon_core::placement::{
-    CentroidPlacer, GradientPlacer, RelaxationPlacer, VirtualPlacer,
-};
+use sbon_core::placement::{CentroidPlacer, GradientPlacer, RelaxationPlacer, VirtualPlacer};
 use sbon_netsim::rng::derive_rng;
 
 fn bench_placement(c: &mut Criterion) {

@@ -26,17 +26,13 @@ fn bench_scale(c: &mut Criterion) {
         let world = build_world(&WorldConfig { nodes, ..Default::default() }, nodes as u64);
         let queries = queries_for(&world, 8);
         let optimizer = IntegratedOptimizer::new(OptimizerConfig::default());
-        group.bench_with_input(
-            BenchmarkId::new("integrated_optimize", nodes),
-            &nodes,
-            |b, _| {
-                let mut i = 0;
-                b.iter(|| {
-                    i = (i + 1) % queries.len();
-                    black_box(optimizer.optimize(&queries[i], &world.space, &world.latency))
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("integrated_optimize", nodes), &nodes, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % queries.len();
+                black_box(optimizer.optimize(&queries[i], &world.space, &world.latency))
+            })
+        });
         let hosts = world.topology.host_candidates();
         let circuits: Vec<Circuit> = queries
             .iter()
@@ -45,19 +41,15 @@ fn bench_scale(c: &mut Criterion) {
                 Circuit::from_plan(&plan, &q.stats, |s| q.producer_of(s), q.consumer)
             })
             .collect();
-        group.bench_with_input(
-            BenchmarkId::new("omniscient_tree_dp", nodes),
-            &nodes,
-            |b, _| {
-                let mut i = 0;
-                b.iter(|| {
-                    i = (i + 1) % circuits.len();
-                    black_box(optimal_tree_placement(&circuits[i], &hosts, |x, y| {
-                        world.latency.latency(x, y)
-                    }))
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("omniscient_tree_dp", nodes), &nodes, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % circuits.len();
+                black_box(optimal_tree_placement(&circuits[i], &hosts, |x, y| {
+                    world.latency.latency(x, y)
+                }))
+            })
+        });
     }
     group.finish();
 }

@@ -51,11 +51,8 @@ fn evaluate<C: SpaceFillingCurve>(
         // k-nearest recall vs exhaustive top-k.
         let approx: std::collections::HashSet<u32> =
             catalog.k_nearest(&target, k).into_iter().map(|(m, _)| m).collect();
-        let mut exact: Vec<(u32, f64)> = points
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (i as u32, dist(p, &target)))
-            .collect();
+        let mut exact: Vec<(u32, f64)> =
+            points.iter().enumerate().map(|(i, p)| (i as u32, dist(p, &target))).collect();
         exact.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
         let hit = exact[..k].iter().filter(|(m, _)| approx.contains(m)).count();
         recall.push(hit as f64 / k as f64);
@@ -77,19 +74,20 @@ fn dist(a: &[f64], b: &[f64]) -> f64 {
 fn main() {
     section("A1 — catalog key ablation: Hilbert vs Morton");
     let world = build_world(&WorldConfig::default(), 21);
-    let points: Vec<Vec<f64>> = world
-        .space
-        .points()
-        .iter()
-        .map(|p| p.as_slice().to_vec())
-        .collect();
+    let points: Vec<Vec<f64>> =
+        world.space.points().iter().map(|p| p.as_slice().to_vec()).collect();
     let dims = world.space.dims();
     let bits = 12u32;
     let quantizer = Quantizer::covering(&points, bits, 0.25);
 
     for scan_width in [4usize, 8, 16] {
         println!();
-        println!("scan width = {scan_width}  ({} nodes, {} dims, {} bits)", points.len(), dims, bits);
+        println!(
+            "scan width = {scan_width}  ({} nodes, {} dims, {} bits)",
+            points.len(),
+            dims,
+            bits
+        );
         let mut rng = derive_rng(21, 0xA1 + scan_width as u64);
         evaluate(
             "hilbert",

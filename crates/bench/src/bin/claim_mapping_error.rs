@@ -20,14 +20,21 @@ use sbon_netsim::metrics::Summary;
 use sbon_netsim::rng::derive_rng;
 
 fn main() {
+    // `SBON_SMOKE=1` shrinks the sweep (fewer dims/nodes/samples) so CI can
+    // exercise this binary end-to-end in seconds; any other value, or unset,
+    // runs the full paper sweep.
+    let smoke = std::env::var_os("SBON_SMOKE").is_some_and(|v| v == "1");
+    let (dims_sweep, node_sweep, samples): (&[usize], &[usize], usize) =
+        if smoke { (&[2, 3], &[100], 60) } else { (&[2, 3, 4, 5], &[100, 300, 600, 1000], 300) };
+
     section("C1 — mapping error across dimensionality and scale");
     println!(
         "{:>5} {:>6} | {:>24} | {:>24} | {:>8}",
         "dims", "nodes", "oracle err (rel, p50/p90)", "DHT err (rel, p50/p90)", "DHT hops"
     );
 
-    for dims in [2usize, 3, 4, 5] {
-        for nodes in [100usize, 300, 600, 1000] {
+    for &dims in dims_sweep {
+        for &nodes in node_sweep {
             let cfg = WorldConfig {
                 nodes,
                 vivaldi: VivaldiConfig { dims, ..Default::default() },
@@ -49,15 +56,14 @@ fn main() {
                 }
             }
 
-            let mut dht = DhtMapper::build(&world.space, (96 / world.space.dims()).min(12) as u32, 8);
+            let mut dht =
+                DhtMapper::build(&world.space, (96 / world.space.dims()).min(12) as u32, 8);
             let mut oracle = OracleMapper;
             let mut oracle_err = Vec::new();
             let mut dht_err = Vec::new();
             let mut hops = Vec::new();
-            for _ in 0..300 {
-                let coord: Vec<f64> = (0..vd)
-                    .map(|d| rng.gen_range(mins[d]..maxs[d]))
-                    .collect();
+            for _ in 0..samples {
+                let coord: Vec<f64> = (0..vd).map(|d| rng.gen_range(mins[d]..maxs[d])).collect();
                 let ideal = world.space.ideal_point(&coord);
                 let (n_o, _) = oracle.map_point(&world.space, &ideal);
                 let (n_d, h) = dht.map_point(&world.space, &ideal);
@@ -70,7 +76,13 @@ fn main() {
             let sh = Summary::of(&hops);
             println!(
                 "{:>5} {:>6} | {:>11.3} /{:>10.3} | {:>11.3} /{:>10.3} | {:>8.1}",
-                dims, world.topology.num_nodes(), so.p50, so.p90, sd.p50, sd.p90, sh.mean
+                dims,
+                world.topology.num_nodes(),
+                so.p50,
+                so.p90,
+                sd.p50,
+                sd.p90,
+                sh.mean
             );
         }
     }

@@ -60,12 +60,7 @@ fn run(policy_label: &str, local: bool, full: bool, seed: u64) -> (String, f64, 
         report.migrations,
         report.replacements
     );
-    (
-        policy_label.to_string(),
-        report.total_cost(),
-        report.migrations,
-        report.replacements,
-    )
+    (policy_label.to_string(), report.total_cost(), report.migrations, report.replacements)
 }
 
 fn main() {
@@ -89,8 +84,7 @@ fn main() {
     }
 
     subsection("summary (mean across seeds)");
-    let static_mean: f64 =
-        totals[0].1.iter().sum::<f64>() / totals[0].1.len() as f64;
+    let static_mean: f64 = totals[0].1.iter().sum::<f64>() / totals[0].1.len() as f64;
     for (label, costs) in &totals {
         let mean = costs.iter().sum::<f64>() / costs.len() as f64;
         println!(

@@ -48,13 +48,13 @@ fn main() {
             // One representative plan (the optimizers' candidate loop would
             // multiply all columns identically).
             let plan = sbon_query::enumerate::dp_best_plan(&query.stats, &query.join_set).0;
-            let circuit = Circuit::from_plan(&plan, &query.stats, |s| query.producer_of(s), query.consumer);
+            let circuit =
+                Circuit::from_plan(&plan, &query.stats, |s| query.producer_of(s), query.consumer);
 
             // Baseline: omniscient tree DP over all candidate hosts.
             let start = Instant::now();
-            let (_, optimal) = optimal_tree_placement(&circuit, &hosts_all, |a, b| {
-                world.latency.latency(a, b)
-            });
+            let (_, optimal) =
+                optimal_tree_placement(&circuit, &hosts_all, |a, b| world.latency.latency(a, b));
             t_dp.push(start.elapsed().as_secs_f64() * 1e6);
 
             // Cost-space: virtual placement ...

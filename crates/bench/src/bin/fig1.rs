@@ -35,11 +35,7 @@ struct TrialResult {
     integrated_latency: f64,
 }
 
-fn run_trial(
-    world: &sbon_bench::World,
-    rng: &mut impl Rng,
-    skewed: bool,
-) -> TrialResult {
+fn run_trial(world: &sbon_bench::World, rng: &mut impl Rng, skewed: bool) -> TrialResult {
     let hosts = pick_hosts(world, 5, rng);
     let mut query = QuerySpec::join_star(&hosts[..4], hosts[4], 10.0, 0.02);
     if skewed {
@@ -61,9 +57,8 @@ fn run_trial(
     // Omniscient bound: the integrated winner's plan placed optimally by
     // the ground-truth tree DP.
     let host_set = world.topology.host_candidates();
-    let (_, optimal_bound) = optimal_tree_placement(&int.circuit, &host_set, |a, b| {
-        world.latency.latency(a, b)
-    });
+    let (_, optimal_bound) =
+        optimal_tree_placement(&int.circuit, &host_set, |a, b| world.latency.latency(a, b));
 
     TrialResult {
         two_step: two.cost.network_usage,
@@ -77,14 +72,9 @@ fn run_trial(
 fn report(label: &str, results: &[TrialResult]) {
     subsection(label);
     let ratios: Vec<f64> = results.iter().map(|r| r.two_step / r.integrated).collect();
-    let wins = results
-        .iter()
-        .filter(|r| r.integrated < r.two_step * 0.999)
-        .count();
-    let gap_to_optimal: Vec<f64> = results
-        .iter()
-        .map(|r| r.integrated / r.optimal_bound.max(1e-9))
-        .collect();
+    let wins = results.iter().filter(|r| r.integrated < r.two_step * 0.999).count();
+    let gap_to_optimal: Vec<f64> =
+        results.iter().map(|r| r.integrated / r.optimal_bound.max(1e-9)).collect();
 
     println!(
         "trials: {:<4}  integrated strictly better: {} ({})",
@@ -129,10 +119,7 @@ fn main() {
         }
     }
 
-    report(
-        "uniform selectivities (the figure's 'roughly the same' assumption)",
-        &uniform,
-    );
+    report("uniform selectivities (the figure's 'roughly the same' assumption)", &uniform);
     report("skewed selectivities (statistics actively mislead)", &skewed);
 
     println!();

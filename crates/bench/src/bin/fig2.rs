@@ -25,9 +25,11 @@ fn main() {
     };
     let world = build_world(&cfg, 42);
     let n = world.topology.num_nodes();
-    println!("topology: transit-stub, {n} nodes ({} transit, {} stub)",
+    println!(
+        "topology: transit-stub, {n} nodes ({} transit, {} stub)",
         world.topology.transit_nodes().len(),
-        world.topology.stub_nodes().len());
+        world.topology.stub_nodes().len()
+    );
 
     subsection("Vivaldi embedding quality (2-D latency plane)");
     let report = EmbeddingErrorReport::measure(&world.embedding, &world.latency, 5_000, 1);

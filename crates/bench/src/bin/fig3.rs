@@ -17,8 +17,8 @@ use sbon_bench::{build_world, pct, pick_hosts, section, subsection, WorldConfig}
 use sbon_core::circuit::Circuit;
 use sbon_core::optimizer::QuerySpec;
 use sbon_core::placement::{
-    map_circuit, DhtMapper, OracleMapper, PhysicalMapper, RelaxationPlacer,
-    VectorOnlyOracleMapper, VirtualPlacer,
+    map_circuit, DhtMapper, OracleMapper, PhysicalMapper, RelaxationPlacer, VectorOnlyOracleMapper,
+    VirtualPlacer,
 };
 use sbon_netsim::latency::LatencyProvider;
 use sbon_netsim::load::{Attr, LoadModel};
@@ -76,8 +76,7 @@ fn main() {
                 stats.mapping_error.push(m.mapping_error);
                 stats.hops.push(m.lookup_hops as f64);
             }
-            let cost = circuit
-                .cost_with(&mapped.placement, |a, b| world.latency.latency(a, b));
+            let cost = circuit.cost_with(&mapped.placement, |a, b| world.latency.latency(a, b));
             stats.circuit_usage.push(cost.network_usage);
         };
 

@@ -76,9 +76,8 @@ fn main() {
         base.num_instances()
     );
 
-    let new_queries: Vec<QuerySpec> = (0..40)
-        .map(|_| draw_query(&streams, &stats, &hosts, &zipf, &mut rng))
-        .collect();
+    let new_queries: Vec<QuerySpec> =
+        (0..40).map(|_| draw_query(&streams, &stats, &hosts, &zipf, &mut rng)).collect();
 
     let scopes: Vec<(String, ReuseScope)> = vec![
         ("r = 0 (no reuse)".into(), ReuseScope::None),

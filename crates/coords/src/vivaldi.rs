@@ -150,11 +150,7 @@ impl VivaldiNode {
     ) {
         debug_assert!(rtt.is_finite() && rtt >= 0.0);
         let planar = euclidean(&self.coord, &remote.coord);
-        let dist = if cfg.use_height {
-            planar + self.height + remote.height
-        } else {
-            planar
-        };
+        let dist = if cfg.use_height { planar + self.height + remote.height } else { planar };
 
         // Confidence-balanced sample weight.
         let w = if self.error + remote.error > 0.0 {
@@ -225,9 +221,7 @@ impl VivaldiEmbedding {
     /// Estimated latency: Euclidean distance between embedded coordinates,
     /// plus both heights under the height model.
     pub fn estimated_latency(&self, a: NodeId, b: NodeId) -> f64 {
-        euclidean(self.coord(a), self.coord(b))
-            + self.heights[a.index()]
-            + self.heights[b.index()]
+        euclidean(self.coord(a), self.coord(b)) + self.heights[a.index()] + self.heights[b.index()]
     }
 
     /// Builds an *exact* embedding directly from ground-truth points —
@@ -241,11 +235,7 @@ impl VivaldiEmbedding {
 
 fn euclidean(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| (x - y) * (x - y))
-        .sum::<f64>()
-        .sqrt()
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
 }
 
 /// Unit vector pointing from `to` toward `from` (the push direction on
@@ -281,9 +271,7 @@ mod tests {
     fn euclidean_world(n: usize, seed: u64) -> EuclideanLatency {
         let mut rng = rng_from_seed(seed);
         EuclideanLatency::new(
-            (0..n)
-                .map(|_| vec![rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)])
-                .collect(),
+            (0..n).map(|_| vec![rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)]).collect(),
         )
     }
 
@@ -361,9 +349,8 @@ mod tests {
         use sbon_netsim::latency::LatencyMatrix;
         let mut rng = rng_from_seed(11);
         let n = 40;
-        let pos: Vec<(f64, f64)> = (0..n)
-            .map(|_| (rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)))
-            .collect();
+        let pos: Vec<(f64, f64)> =
+            (0..n).map(|_| (rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0))).collect();
         let access: Vec<f64> = (0..n).map(|_| rng.gen_range(2.0..20.0)).collect();
         let mut m = LatencyMatrix::zeros(n);
         for i in 0..n {
@@ -375,11 +362,9 @@ mod tests {
             }
         }
         let flat = VivaldiConfig { rounds: 120, ..Default::default() }.embed(&m, 11);
-        let tall = VivaldiConfig { rounds: 120, use_height: true, ..Default::default() }
-            .embed(&m, 11);
-        let err = |e: &VivaldiEmbedding| {
-            Summary::of(&relative_errors(e, &m, 2000, 3)).p50
-        };
+        let tall =
+            VivaldiConfig { rounds: 120, use_height: true, ..Default::default() }.embed(&m, 11);
+        let err = |e: &VivaldiEmbedding| Summary::of(&relative_errors(e, &m, 2000, 3)).p50;
         let (ef, et) = (err(&flat), err(&tall));
         assert!(et < ef, "height model should win on access-link truth: {et} vs {ef}");
         assert!(tall.heights.iter().all(|&h| h >= 0.1), "heights respect the floor");

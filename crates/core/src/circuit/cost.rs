@@ -20,12 +20,7 @@ impl Placement {
         assert_eq!(nodes.len(), circuit.len(), "one node per service");
         for s in circuit.services() {
             if let ServicePin::Pinned(n) = s.pin {
-                assert_eq!(
-                    nodes[s.id.index()],
-                    n,
-                    "pinned service {:?} must stay at {n}",
-                    s.id
-                );
+                assert_eq!(nodes[s.id.index()], n, "pinned service {:?} must stay at {n}", s.id);
             }
         }
         Placement(nodes)
@@ -61,11 +56,8 @@ pub struct CircuitCost {
 
 impl CircuitCost {
     /// A zero cost (empty circuit).
-    pub const ZERO: CircuitCost = CircuitCost {
-        network_usage: 0.0,
-        max_path_latency: 0.0,
-        total_link_latency: 0.0,
-    };
+    pub const ZERO: CircuitCost =
+        CircuitCost { network_usage: 0.0, max_path_latency: 0.0, total_link_latency: 0.0 };
 }
 
 impl Circuit {
@@ -134,10 +126,8 @@ mod tests {
         let mut stats = StatsCatalog::new(0.1);
         stats.set_rate(StreamId(0), 10.0);
         stats.set_rate(StreamId(1), 20.0);
-        let plan = LogicalPlan::join(
-            LogicalPlan::source(StreamId(0)),
-            LogicalPlan::source(StreamId(1)),
-        );
+        let plan =
+            LogicalPlan::join(LogicalPlan::source(StreamId(0)), LogicalPlan::source(StreamId(1)));
         Circuit::from_plan(&plan, &stats, |s| NodeId(s.0), NodeId(9))
     }
 

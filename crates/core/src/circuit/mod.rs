@@ -107,18 +107,11 @@ impl Circuit {
         producer_of: impl Fn(StreamId) -> NodeId,
         consumer: NodeId,
     ) -> Circuit {
-        let mut circuit = Circuit {
-            services: Vec::new(),
-            links: Vec::new(),
-            root: ServiceId(0),
-        };
+        let mut circuit = Circuit { services: Vec::new(), links: Vec::new(), root: ServiceId(0) };
         let plan_root = circuit.build_subtree(plan, stats, &producer_of);
         let root_rate = stats.output_rate(plan);
-        let consumer_id = circuit.push_service(
-            ServiceKind::Consumer,
-            ServicePin::Pinned(consumer),
-            0.0,
-        );
+        let consumer_id =
+            circuit.push_service(ServiceKind::Consumer, ServicePin::Pinned(consumer), 0.0);
         circuit.links.push(Link { from: plan_root, to: consumer_id, rate: root_rate });
         circuit.root = consumer_id;
         circuit
@@ -199,11 +192,7 @@ impl Circuit {
 
     /// Ids of the unpinned (placeable) services.
     pub fn unpinned_services(&self) -> Vec<ServiceId> {
-        self.services
-            .iter()
-            .filter(|s| s.is_unpinned())
-            .map(|s| s.id)
-            .collect()
+        self.services.iter().filter(|s| s.is_unpinned()).map(|s| s.id).collect()
     }
 
     /// Links incident to `sid` (both directions), as
@@ -225,11 +214,7 @@ impl Circuit {
 
     /// Children of `sid` in data-flow order (services streaming into it).
     pub fn children(&self, sid: ServiceId) -> Vec<ServiceId> {
-        self.links
-            .iter()
-            .filter(|l| l.to == sid)
-            .map(|l| l.from)
-            .collect()
+        self.links.iter().filter(|l| l.to == sid).map(|l| l.from).collect()
     }
 
     /// Pins an (operator) service to a node — used when multi-query
@@ -265,10 +250,8 @@ pub fn canonical_signature(
             format!("{label}({inner})")
         }
         LogicalPlan::Binary { op, left, right } => {
-            let (a, b) = (
-                canonical_signature(left, producer_of),
-                canonical_signature(right, producer_of),
-            );
+            let (a, b) =
+                (canonical_signature(left, producer_of), canonical_signature(right, producer_of));
             let (a, b) = if a <= b { (a, b) } else { (b, a) };
             let label = match op {
                 sbon_query::plan::BinaryOp::Join => "⋈",
@@ -297,10 +280,8 @@ mod tests {
 
     #[test]
     fn two_way_join_circuit_shape() {
-        let plan = LogicalPlan::join(
-            LogicalPlan::source(StreamId(0)),
-            LogicalPlan::source(StreamId(1)),
-        );
+        let plan =
+            LogicalPlan::join(LogicalPlan::source(StreamId(0)), LogicalPlan::source(StreamId(1)));
         let c = Circuit::from_plan(&plan, &stats2(), producer_map, NodeId(7));
         // Services: 2 producers + 1 join + 1 consumer.
         assert_eq!(c.len(), 4);
@@ -321,10 +302,8 @@ mod tests {
 
     #[test]
     fn link_rates_follow_stats() {
-        let plan = LogicalPlan::join(
-            LogicalPlan::source(StreamId(0)),
-            LogicalPlan::source(StreamId(1)),
-        );
+        let plan =
+            LogicalPlan::join(LogicalPlan::source(StreamId(0)), LogicalPlan::source(StreamId(1)));
         let stats = stats2();
         let c = Circuit::from_plan(&plan, &stats, producer_map, NodeId(7));
         let rates: Vec<f64> = c.links().iter().map(|l| l.rate).collect();
@@ -337,10 +316,7 @@ mod tests {
     #[test]
     fn three_way_join_has_two_operators() {
         let plan = LogicalPlan::join(
-            LogicalPlan::join(
-                LogicalPlan::source(StreamId(0)),
-                LogicalPlan::source(StreamId(1)),
-            ),
+            LogicalPlan::join(LogicalPlan::source(StreamId(0)), LogicalPlan::source(StreamId(1))),
             LogicalPlan::source(StreamId(2)),
         );
         let c = Circuit::from_plan(&plan, &stats2(), producer_map, NodeId(7));
@@ -350,14 +326,10 @@ mod tests {
 
     #[test]
     fn signatures_identify_equal_subtrees() {
-        let p1 = LogicalPlan::join(
-            LogicalPlan::source(StreamId(0)),
-            LogicalPlan::source(StreamId(1)),
-        );
-        let p2 = LogicalPlan::join(
-            LogicalPlan::source(StreamId(1)),
-            LogicalPlan::source(StreamId(0)),
-        );
+        let p1 =
+            LogicalPlan::join(LogicalPlan::source(StreamId(0)), LogicalPlan::source(StreamId(1)));
+        let p2 =
+            LogicalPlan::join(LogicalPlan::source(StreamId(1)), LogicalPlan::source(StreamId(0)));
         let c1 = Circuit::from_plan(&p1, &stats2(), producer_map, NodeId(7));
         let c2 = Circuit::from_plan(&p2, &stats2(), producer_map, NodeId(8));
         let sig = |c: &Circuit| -> String {
@@ -376,10 +348,8 @@ mod tests {
     fn signatures_distinguish_different_producers() {
         // Same local stream ids, different physical producers: must NOT
         // share a signature (this would falsely merge unrelated queries).
-        let plan = LogicalPlan::join(
-            LogicalPlan::source(StreamId(0)),
-            LogicalPlan::source(StreamId(1)),
-        );
+        let plan =
+            LogicalPlan::join(LogicalPlan::source(StreamId(0)), LogicalPlan::source(StreamId(1)));
         let c1 = Circuit::from_plan(&plan, &stats2(), |s| NodeId(s.0), NodeId(7));
         let c2 = Circuit::from_plan(&plan, &stats2(), |s| NodeId(s.0 + 50), NodeId(7));
         let sig = |c: &Circuit| -> String {
@@ -406,10 +376,8 @@ mod tests {
 
     #[test]
     fn children_and_incident_agree() {
-        let plan = LogicalPlan::join(
-            LogicalPlan::source(StreamId(0)),
-            LogicalPlan::source(StreamId(1)),
-        );
+        let plan =
+            LogicalPlan::join(LogicalPlan::source(StreamId(0)), LogicalPlan::source(StreamId(1)));
         let c = Circuit::from_plan(&plan, &stats2(), producer_map, NodeId(7));
         let join_sid = c.unpinned_services()[0];
         assert_eq!(c.children(join_sid).len(), 2);
@@ -419,10 +387,8 @@ mod tests {
 
     #[test]
     fn pin_service_changes_pinning() {
-        let plan = LogicalPlan::join(
-            LogicalPlan::source(StreamId(0)),
-            LogicalPlan::source(StreamId(1)),
-        );
+        let plan =
+            LogicalPlan::join(LogicalPlan::source(StreamId(0)), LogicalPlan::source(StreamId(1)));
         let mut c = Circuit::from_plan(&plan, &stats2(), producer_map, NodeId(7));
         let sid = c.unpinned_services()[0];
         c.pin_service(sid, NodeId(3));

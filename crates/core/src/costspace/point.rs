@@ -9,10 +9,7 @@ pub struct CostPoint(pub Vec<f64>);
 impl CostPoint {
     /// Wraps a raw coordinate.
     pub fn new(components: Vec<f64>) -> Self {
-        assert!(
-            components.iter().all(|c| c.is_finite()),
-            "cost coordinates must be finite"
-        );
+        assert!(components.iter().all(|c| c.is_finite()), "cost coordinates must be finite");
         CostPoint(components)
     }
 
@@ -37,12 +34,7 @@ impl CostPoint {
     /// considered", Figure 3).
     pub fn full_distance(&self, other: &CostPoint) -> f64 {
         assert_eq!(self.len(), other.len(), "dimensionality mismatch");
-        self.0
-            .iter()
-            .zip(&other.0)
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum::<f64>()
-            .sqrt()
+        self.0.iter().zip(&other.0).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt()
     }
 
     /// Euclidean distance over the first `vector_dims` dimensions only —

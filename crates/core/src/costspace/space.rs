@@ -123,11 +123,7 @@ impl CostSpaceBuilder {
             name: "latency".to_string(),
             vector_dims: embedding.dims(),
             scalar_specs: Vec::new(),
-            points: embedding
-                .coords
-                .iter()
-                .map(|c| CostPoint::new(c.clone()))
-                .collect(),
+            points: embedding.coords.iter().map(|c| CostPoint::new(c.clone())).collect(),
         }
     }
 
@@ -182,12 +178,7 @@ impl CostSpaceBuilder {
             }
             points.push(CostPoint::new(full));
         }
-        CostSpace {
-            name: name.to_string(),
-            vector_dims,
-            scalar_specs,
-            points,
-        }
+        CostSpace { name: name.to_string(), vector_dims, scalar_specs, points }
     }
 }
 

@@ -136,11 +136,7 @@ impl MultiQueryOptimizer {
         assert!(k >= 1);
         let dims = space.dims();
         let bits = (96 / dims as u32).clamp(2, 12);
-        let points: Vec<Vec<f64>> = space
-            .points()
-            .iter()
-            .map(|p| p.as_slice().to_vec())
-            .collect();
+        let points: Vec<Vec<f64>> = space.points().iter().map(|p| p.as_slice().to_vec()).collect();
         let quantizer = Quantizer::covering(&points, bits, 0.25);
         let catalog = CoordinateCatalog::new(HilbertCurve::new(dims, bits), quantizer, 8);
         MultiQueryOptimizer {
@@ -155,10 +151,7 @@ impl MultiQueryOptimizer {
     /// Discovery traffic statistics (zeroes when the registry oracle is in
     /// use instead of the DHT).
     pub fn discovery_stats(&self) -> sbon_dht::catalog::CatalogStats {
-        self.dht_index
-            .as_ref()
-            .map(|i| i.catalog.stats())
-            .unwrap_or_default()
+        self.dht_index.as_ref().map(|i| i.catalog.stats()).unwrap_or_default()
     }
 
     /// Number of running circuits.
@@ -204,14 +197,18 @@ impl MultiQueryOptimizer {
 
         for plan in integrated.candidate_plans(query) {
             let outcome = self.place_one_plan(
-                &plan, query, space, latency, scope, placer.as_ref(), mapper,
+                &plan,
+                query,
+                space,
+                latency,
+                scope,
+                placer.as_ref(),
+                mapper,
                 &mut total_candidates,
             );
             let better = match (&best, &outcome) {
                 (None, Some(_)) => true,
-                (Some(b), Some(o)) => {
-                    o.marginal_cost.network_usage < b.marginal_cost.network_usage
-                }
+                (Some(b), Some(o)) => o.marginal_cost.network_usage < b.marginal_cost.network_usage,
                 _ => false,
             };
             if better {
@@ -247,8 +244,8 @@ impl MultiQueryOptimizer {
         // Standalone reference: no reuse.
         let vp0 = placer.place(&circuit, space);
         let standalone_mapped = map_circuit(&circuit, &vp0, space, mapper);
-        let standalone_cost = circuit
-            .cost_with(&standalone_mapped.placement, |a, b| latency.latency(a, b));
+        let standalone_cost =
+            circuit.cost_with(&standalone_mapped.placement, |a, b| latency.latency(a, b));
 
         // Reuse pass: walk services top-down (higher ids are closer to the
         // root in construction order); the first (largest) reusable subtree
@@ -257,8 +254,7 @@ impl MultiQueryOptimizer {
         let mut reused = Vec::new();
         if scope != ReuseScope::None {
             let order: Vec<ServiceId> = {
-                let mut ids: Vec<ServiceId> =
-                    circuit.services().iter().map(|s| s.id).collect();
+                let mut ids: Vec<ServiceId> = circuit.services().iter().map(|s| s.id).collect();
                 // Construction is post-order, so reverse id order visits
                 // parents before children.
                 ids.sort_by(|a, b| b.cmp(a));
@@ -300,10 +296,8 @@ impl MultiQueryOptimizer {
             let mut link_lat = 0.0;
             for l in circuit.links() {
                 if shared[l.to.index()] {
-                    let d = latency.latency(
-                        mapped.placement.node_of(l.from),
-                        mapped.placement.node_of(l.to),
-                    );
+                    let d = latency
+                        .latency(mapped.placement.node_of(l.from), mapped.placement.node_of(l.to));
                     usage += l.rate * d;
                     link_lat += d;
                 }
@@ -323,7 +317,7 @@ impl MultiQueryOptimizer {
             marginal_cost: marginal,
             standalone_cost,
             reused,
-            candidates_examined: 0, // caller overwrites with the total
+            candidates_examined: 0,  // caller overwrites with the total
             id: CircuitId(u64::MAX), // caller assigns
         })
     }
@@ -397,18 +391,12 @@ impl MultiQueryOptimizer {
                 if let Some(index) = &mut self.dht_index {
                     let member = index.slots.len() as u32;
                     index.slots.push(Some(instance.clone()));
-                    index
-                        .catalog
-                        .insert(member, space.point(node).as_slice().to_vec());
+                    index.catalog.insert(member, space.point(node).as_slice().to_vec());
                 }
-                self.by_signature
-                    .entry(signature.clone())
-                    .or_default()
-                    .push(instance);
+                self.by_signature.entry(signature.clone()).or_default().push(instance);
             }
         }
-        self.deployed
-            .insert(outcome.id, (outcome.circuit.clone(), outcome.placement.clone()));
+        self.deployed.insert(outcome.id, (outcome.circuit.clone(), outcome.placement.clone()));
     }
 
     /// Tears a circuit down, removing its instances from the reuse index.
@@ -424,9 +412,7 @@ impl MultiQueryOptimizer {
         self.by_signature.retain(|_, v| !v.is_empty());
         if let Some(index) = &mut self.dht_index {
             for member in 0..index.slots.len() {
-                let dead = index.slots[member]
-                    .as_ref()
-                    .is_some_and(|inst| inst.circuit == id);
+                let dead = index.slots[member].as_ref().is_some_and(|inst| inst.circuit == id);
                 if dead {
                     index.slots[member] = None;
                     index.catalog.remove(member as u32);
@@ -469,15 +455,13 @@ mod tests {
     fn identical_queries_reuse_the_join() {
         let (space, lat) = world();
         let mut mq = MultiQueryOptimizer::new(OptimizerConfig::default());
-        let first = mq
-            .optimize_and_deploy(&query(5), &space, &lat, ReuseScope::Radius(50.0))
-            .unwrap();
+        let first =
+            mq.optimize_and_deploy(&query(5), &space, &lat, ReuseScope::Radius(50.0)).unwrap();
         assert!(first.reused.is_empty(), "nothing to reuse yet");
         assert_eq!(mq.num_circuits(), 1);
 
-        let second = mq
-            .optimize_and_deploy(&query(6), &space, &lat, ReuseScope::Radius(50.0))
-            .unwrap();
+        let second =
+            mq.optimize_and_deploy(&query(6), &space, &lat, ReuseScope::Radius(50.0)).unwrap();
         assert_eq!(second.reused.len(), 1, "the s0⋈s2 instance should be shared");
         assert!(
             second.marginal_cost.network_usage < second.standalone_cost.network_usage,
@@ -491,11 +475,8 @@ mod tests {
     fn zero_radius_blocks_reuse() {
         let (space, lat) = world();
         let mut mq = MultiQueryOptimizer::new(OptimizerConfig::default());
-        mq.optimize_and_deploy(&query(5), &space, &lat, ReuseScope::None)
-            .unwrap();
-        let second = mq
-            .optimize_and_deploy(&query(6), &space, &lat, ReuseScope::None)
-            .unwrap();
+        mq.optimize_and_deploy(&query(5), &space, &lat, ReuseScope::None).unwrap();
+        let second = mq.optimize_and_deploy(&query(6), &space, &lat, ReuseScope::None).unwrap();
         assert!(second.reused.is_empty());
         assert_eq!(second.candidates_examined, 0);
     }
@@ -506,13 +487,10 @@ mod tests {
         // Deploy several identical joins with different consumers.
         let mut mq = MultiQueryOptimizer::new(OptimizerConfig::default());
         for c in [5, 6, 7, 8] {
-            mq.optimize_and_deploy(&query(c), &space, &lat, ReuseScope::None)
-                .unwrap();
+            mq.optimize_and_deploy(&query(c), &space, &lat, ReuseScope::None).unwrap();
         }
         let mut mq_all = mq; // continue on the same registry
-        let all = mq_all
-            .optimize_and_deploy(&query(9), &space, &lat, ReuseScope::All)
-            .unwrap();
+        let all = mq_all.optimize_and_deploy(&query(9), &space, &lat, ReuseScope::All).unwrap();
         assert!(all.candidates_examined >= 4, "examined {}", all.candidates_examined);
     }
 
@@ -526,9 +504,7 @@ mod tests {
         // A new query near x≈0 with a *different* join signature would not
         // match anyway; use the same signature but far away:
         let near = QuerySpec::join_star(&[NodeId(10), NodeId(11)], NodeId(0), 10.0, 0.01);
-        let tiny = mq
-            .optimize_and_deploy(&near, &space, &lat, ReuseScope::Radius(5.0))
-            .unwrap();
+        let tiny = mq.optimize_and_deploy(&near, &space, &lat, ReuseScope::Radius(5.0)).unwrap();
         // The reusable instance sits ~100 away in the cost space, far
         // outside radius 5 as measured from the new virtual coordinate...
         // but virtual placement for the same producers lands close to it.
@@ -536,9 +512,7 @@ mod tests {
         // count under the small radius is no larger than under All.
         let mut mq2 = MultiQueryOptimizer::new(OptimizerConfig::default());
         mq2.optimize_and_deploy(&far, &space, &lat, ReuseScope::None).unwrap();
-        let all = mq2
-            .optimize_and_deploy(&near, &space, &lat, ReuseScope::All)
-            .unwrap();
+        let all = mq2.optimize_and_deploy(&near, &space, &lat, ReuseScope::All).unwrap();
         assert!(tiny.candidates_examined <= all.candidates_examined);
         assert_eq!(all.reused.len(), 1);
     }
@@ -551,12 +525,9 @@ mod tests {
         for mq in [&mut registry, &mut dht] {
             mq.optimize_and_deploy(&query(5), &space, &lat, ReuseScope::All).unwrap();
         }
-        let from_registry = registry
-            .optimize_and_deploy(&query(6), &space, &lat, ReuseScope::All)
-            .unwrap();
-        let from_dht = dht
-            .optimize_and_deploy(&query(6), &space, &lat, ReuseScope::All)
-            .unwrap();
+        let from_registry =
+            registry.optimize_and_deploy(&query(6), &space, &lat, ReuseScope::All).unwrap();
+        let from_dht = dht.optimize_and_deploy(&query(6), &space, &lat, ReuseScope::All).unwrap();
         assert_eq!(from_registry.reused.len(), 1);
         assert_eq!(from_dht.reused.len(), 1);
         assert_eq!(from_dht.reused[0].node, from_registry.reused[0].node);
@@ -569,13 +540,9 @@ mod tests {
     fn dht_index_teardown_blocks_future_reuse() {
         let (space, lat) = world();
         let mut mq = MultiQueryOptimizer::with_dht_index(OptimizerConfig::default(), &space, 16);
-        let first = mq
-            .optimize_and_deploy(&query(5), &space, &lat, ReuseScope::All)
-            .unwrap();
+        let first = mq.optimize_and_deploy(&query(5), &space, &lat, ReuseScope::All).unwrap();
         assert!(mq.teardown(first.id));
-        let second = mq
-            .optimize_and_deploy(&query(6), &space, &lat, ReuseScope::All)
-            .unwrap();
+        let second = mq.optimize_and_deploy(&query(6), &space, &lat, ReuseScope::All).unwrap();
         assert!(second.reused.is_empty(), "DHT-indexed instance must be gone after teardown");
     }
 
@@ -583,9 +550,7 @@ mod tests {
     fn teardown_removes_instances() {
         let (space, lat) = world();
         let mut mq = MultiQueryOptimizer::new(OptimizerConfig::default());
-        let first = mq
-            .optimize_and_deploy(&query(5), &space, &lat, ReuseScope::None)
-            .unwrap();
+        let first = mq.optimize_and_deploy(&query(5), &space, &lat, ReuseScope::None).unwrap();
         assert!(mq.num_instances() > 0);
         assert!(mq.teardown(first.id));
         assert_eq!(mq.num_instances(), 0);
@@ -597,9 +562,7 @@ mod tests {
     fn reused_subtree_is_pinned_in_new_circuit() {
         let (space, lat) = world();
         let mut mq = MultiQueryOptimizer::new(OptimizerConfig::default());
-        let first = mq
-            .optimize_and_deploy(&query(5), &space, &lat, ReuseScope::All)
-            .unwrap();
+        let first = mq.optimize_and_deploy(&query(5), &space, &lat, ReuseScope::All).unwrap();
         let join_node = first
             .circuit
             .services()
@@ -609,9 +572,7 @@ mod tests {
                 _ => None,
             })
             .unwrap();
-        let second = mq
-            .optimize_and_deploy(&query(7), &space, &lat, ReuseScope::All)
-            .unwrap();
+        let second = mq.optimize_and_deploy(&query(7), &space, &lat, ReuseScope::All).unwrap();
         let reused_node = second.reused[0].node;
         assert_eq!(reused_node, join_node, "second circuit reuses the first's host");
     }

@@ -111,7 +111,7 @@ impl IntegratedOptimizer {
 mod tests {
     use super::*;
     use crate::costspace::CostSpaceBuilder;
-    
+
     use sbon_netsim::dijkstra::all_pairs_latency;
     use sbon_netsim::graph::NodeId;
     use sbon_netsim::topology::simple::random_geometric;
@@ -119,7 +119,10 @@ mod tests {
     /// A small world where coordinates are exact, so estimated == measured
     /// up to shortest-path-vs-euclidean discrepancies are avoided entirely
     /// by using the euclidean world as ground truth too.
-    fn exact_world(n: usize, seed: u64) -> (crate::costspace::CostSpace, sbon_netsim::latency::LatencyMatrix) {
+    fn exact_world(
+        n: usize,
+        seed: u64,
+    ) -> (crate::costspace::CostSpace, sbon_netsim::latency::LatencyMatrix) {
         let topo = random_geometric(n, 100.0, 35.0, seed);
         let lat = all_pairs_latency(&topo.graph);
         // Embed with exact ground-truth 2-D positions is impossible for a
@@ -166,8 +169,7 @@ mod tests {
             let vp = placer.place(&circuit, &space);
             let mut mapper = OracleMapper;
             let mapped = map_circuit(&circuit, &vp, &space, &mut mapper);
-            let est = circuit
-                .cost_with(&mapped.placement, |a, b| space.vector_distance(a, b));
+            let est = circuit.cost_with(&mapped.placement, |a, b| space.vector_distance(a, b));
             assert!(
                 best.estimated.network_usage <= est.network_usage + 1e-9,
                 "candidate {plan} beat the optimizer"
@@ -180,10 +182,8 @@ mod tests {
         let (space, lat) = exact_world(40, 3);
         let producers: Vec<NodeId> = (0..7).map(|i| NodeId(i * 5)).collect();
         let q = QuerySpec::join_star(&producers, NodeId(36), 5.0, 0.01);
-        let opt = IntegratedOptimizer::new(OptimizerConfig {
-            candidate_plans: 6,
-            ..Default::default()
-        });
+        let opt =
+            IntegratedOptimizer::new(OptimizerConfig { candidate_plans: 6, ..Default::default() });
         let placed = opt.optimize(&q, &space, &lat).unwrap();
         assert!(placed.candidates_examined <= 6);
         assert!(placed.cost.network_usage > 0.0);

@@ -124,10 +124,9 @@ impl QuerySpec {
                 }
                 wrapped
             }
-            LogicalPlan::Unary { op, input } => LogicalPlan::Unary {
-                op,
-                input: Box::new(self.apply_source_filters(*input)),
-            },
+            LogicalPlan::Unary { op, input } => {
+                LogicalPlan::Unary { op, input: Box::new(self.apply_source_filters(*input)) }
+            }
             LogicalPlan::Binary { op, left, right } => LogicalPlan::Binary {
                 op,
                 left: Box::new(self.apply_source_filters(*left)),
@@ -143,12 +142,7 @@ mod tests {
 
     #[test]
     fn join_star_registers_all_streams() {
-        let q = QuerySpec::join_star(
-            &[NodeId(1), NodeId(2), NodeId(3)],
-            NodeId(9),
-            10.0,
-            0.05,
-        );
+        let q = QuerySpec::join_star(&[NodeId(1), NodeId(2), NodeId(3)], NodeId(9), 10.0, 0.05);
         assert_eq!(q.join_set.len(), 3);
         assert_eq!(q.producer_of(StreamId(1)), NodeId(2));
         assert_eq!(q.stats.rate(StreamId(0)), 10.0);
@@ -168,10 +162,8 @@ mod tests {
     fn apply_filters_wraps_matching_leaves() {
         let q = QuerySpec::join_star(&[NodeId(1), NodeId(2)], NodeId(9), 10.0, 0.05)
             .with_source_filter(StreamId(1), 0.2);
-        let bare = LogicalPlan::join(
-            LogicalPlan::source(StreamId(0)),
-            LogicalPlan::source(StreamId(1)),
-        );
+        let bare =
+            LogicalPlan::join(LogicalPlan::source(StreamId(0)), LogicalPlan::source(StreamId(1)));
         let filtered = q.apply_filters(bare);
         assert_eq!(filtered.render(), "(s0 ⋈ σ(s1))");
         assert_eq!(filtered.num_services(), 2);
@@ -182,10 +174,8 @@ mod tests {
         let q = QuerySpec::join_star(&[NodeId(1), NodeId(2)], NodeId(9), 10.0, 0.05)
             .with_root_aggregate(0.1)
             .with_source_filter(StreamId(0), 0.5);
-        let bare = LogicalPlan::join(
-            LogicalPlan::source(StreamId(0)),
-            LogicalPlan::source(StreamId(1)),
-        );
+        let bare =
+            LogicalPlan::join(LogicalPlan::source(StreamId(0)), LogicalPlan::source(StreamId(1)));
         let decorated = q.apply_filters(bare);
         assert_eq!(decorated.render(), "γ((σ(s0) ⋈ s1))");
         assert_eq!(decorated.num_services(), 3);
@@ -195,8 +185,7 @@ mod tests {
             LogicalPlan::source(StreamId(1)),
         );
         assert!(
-            (q.stats.output_rate(&decorated) - 0.1 * q.stats.output_rate(&join_only)).abs()
-                < 1e-12
+            (q.stats.output_rate(&decorated) - 0.1 * q.stats.output_rate(&join_only)).abs() < 1e-12
         );
     }
 

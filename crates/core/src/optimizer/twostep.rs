@@ -116,9 +116,8 @@ mod tests {
             10.0,
             0.01,
         );
-        let two = TwoStepOptimizer::new(OptimizerConfig::default())
-            .optimize(&q, &space, &lat)
-            .unwrap();
+        let two =
+            TwoStepOptimizer::new(OptimizerConfig::default()).optimize(&q, &space, &lat).unwrap();
         let int = IntegratedOptimizer::new(OptimizerConfig::default())
             .optimize(&q, &space, &lat)
             .unwrap();
@@ -139,9 +138,8 @@ mod tests {
             10.0,
             0.01,
         );
-        let two = TwoStepOptimizer::new(OptimizerConfig::default())
-            .optimize(&q, &space, &lat)
-            .unwrap();
+        let two =
+            TwoStepOptimizer::new(OptimizerConfig::default()).optimize(&q, &space, &lat).unwrap();
         assert_eq!(two.candidates_examined, 1);
     }
 
@@ -162,9 +160,8 @@ mod tests {
             sbon_query::stream::StreamId(3),
             0.0001,
         );
-        let two = TwoStepOptimizer::new(OptimizerConfig::default())
-            .optimize(&q, &space, &lat)
-            .unwrap();
+        let two =
+            TwoStepOptimizer::new(OptimizerConfig::default()).optimize(&q, &space, &lat).unwrap();
         assert!(
             two.plan.render().contains("(s2 ⋈ s3)") || two.plan.render().contains("(s3 ⋈ s2)"),
             "stats-best plan should join the selective pair first: {}",
@@ -176,14 +173,16 @@ mod tests {
     fn measured_cost_uses_ground_truth() {
         let (space, lat) = planted_world();
         let q = QuerySpec::join_star(&[NodeId(0), NodeId(2)], NodeId(4), 10.0, 0.01);
-        let two = TwoStepOptimizer::new(OptimizerConfig::default())
-            .optimize(&q, &space, &lat)
-            .unwrap();
+        let two =
+            TwoStepOptimizer::new(OptimizerConfig::default()).optimize(&q, &space, &lat).unwrap();
         // Exact embedding → estimate equals measurement.
         assert!(
             (two.cost.network_usage - two.estimated.network_usage).abs()
                 < 1e-6 * two.cost.network_usage.max(1.0)
         );
-        assert!(two.cost.max_path_latency <= lat.latency(NodeId(0), NodeId(4)) + lat.latency(NodeId(2), NodeId(4)) + 400.0);
+        assert!(
+            two.cost.max_path_latency
+                <= lat.latency(NodeId(0), NodeId(4)) + lat.latency(NodeId(2), NodeId(4)) + 400.0
+        );
     }
 }

@@ -29,12 +29,7 @@ impl VirtualPlacer for CentroidPlacer {
                     s.output_rate
                 } else {
                     // Consumer: weight by inbound rate so the sink pulls too.
-                    circuit
-                        .links()
-                        .iter()
-                        .filter(|l| l.to == s.id)
-                        .map(|l| l.rate)
-                        .sum::<f64>()
+                    circuit.links().iter().filter(|l| l.to == s.id).map(|l| l.rate).sum::<f64>()
                 };
                 if w <= 0.0 {
                     continue;
@@ -80,19 +75,13 @@ mod tests {
 
     #[test]
     fn equal_rates_put_service_at_geometric_centroid() {
-        let emb = VivaldiEmbedding::exact(vec![
-            vec![0.0, 0.0],
-            vec![12.0, 0.0],
-            vec![0.0, 12.0],
-        ]);
+        let emb = VivaldiEmbedding::exact(vec![vec![0.0, 0.0], vec![12.0, 0.0], vec![0.0, 12.0]]);
         let space = CostSpaceBuilder::latency_space(&emb);
         let mut stats = StatsCatalog::new(0.1);
         stats.set_rate(StreamId(0), 10.0);
         stats.set_rate(StreamId(1), 10.0);
-        let plan = LogicalPlan::join(
-            LogicalPlan::source(StreamId(0)),
-            LogicalPlan::source(StreamId(1)),
-        );
+        let plan =
+            LogicalPlan::join(LogicalPlan::source(StreamId(0)), LogicalPlan::source(StreamId(1)));
         let circuit = Circuit::from_plan(&plan, &stats, |s| NodeId(s.0), NodeId(2));
         let vp = CentroidPlacer.place(&circuit, &space);
         let join = circuit.unpinned_services()[0];
@@ -117,10 +106,7 @@ mod tests {
             stats.set_rate(StreamId(i), 10.0);
         }
         let plan = LogicalPlan::join(
-            LogicalPlan::join(
-                LogicalPlan::source(StreamId(0)),
-                LogicalPlan::source(StreamId(1)),
-            ),
+            LogicalPlan::join(LogicalPlan::source(StreamId(0)), LogicalPlan::source(StreamId(1))),
             LogicalPlan::source(StreamId(2)),
         );
         let circuit = Circuit::from_plan(&plan, &stats, |s| NodeId(s.0), NodeId(3));

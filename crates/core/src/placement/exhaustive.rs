@@ -63,10 +63,8 @@ pub fn optimal_tree_placement(
         let cands = candidates(sid);
         let mut table = Vec::with_capacity(cands.len());
         // Rate of each child's uplink.
-        let child_rates: Vec<f64> = children
-            .iter()
-            .map(|&c| circuit.service(c).output_rate)
-            .collect();
+        let child_rates: Vec<f64> =
+            children.iter().map(|&c| circuit.service(c).output_rate).collect();
         for &host in &cands {
             let mut cost = 0.0;
             let mut picks = Vec::with_capacity(children.len());
@@ -137,10 +135,8 @@ mod tests {
         let mut stats = StatsCatalog::new(0.01);
         stats.set_rate(StreamId(0), 10.0);
         stats.set_rate(StreamId(1), 10.0);
-        let plan = LogicalPlan::join(
-            LogicalPlan::source(StreamId(0)),
-            LogicalPlan::source(StreamId(1)),
-        );
+        let plan =
+            LogicalPlan::join(LogicalPlan::source(StreamId(0)), LogicalPlan::source(StreamId(1)));
         // Producers at nodes 0 and 10, consumer at node 5.
         Circuit::from_plan(&plan, &stats, |s| NodeId(s.0 * 10), NodeId(5))
     }
@@ -172,10 +168,7 @@ mod tests {
             stats.set_rate(StreamId(i), 10.0);
         }
         let plan = LogicalPlan::join(
-            LogicalPlan::join(
-                LogicalPlan::source(StreamId(0)),
-                LogicalPlan::source(StreamId(1)),
-            ),
+            LogicalPlan::join(LogicalPlan::source(StreamId(0)), LogicalPlan::source(StreamId(1))),
             LogicalPlan::source(StreamId(2)),
         );
         let circuit = Circuit::from_plan(&plan, &stats, |s| NodeId(s.0 * 6), NodeId(3));

@@ -107,23 +107,14 @@ mod tests {
     use sbon_query::stream::StreamId;
 
     fn fixture(rates: &[f64]) -> (Circuit, crate::costspace::CostSpace) {
-        let emb = VivaldiEmbedding::exact(vec![
-            vec![0.0, 0.0],
-            vec![100.0, 0.0],
-            vec![50.0, 80.0],
-        ]);
+        let emb = VivaldiEmbedding::exact(vec![vec![0.0, 0.0], vec![100.0, 0.0], vec![50.0, 80.0]]);
         let space = CostSpaceBuilder::latency_space(&emb);
         let mut stats = StatsCatalog::new(0.001);
         stats.set_rate(StreamId(0), rates[0]);
         stats.set_rate(StreamId(1), rates[1]);
-        let plan = LogicalPlan::join(
-            LogicalPlan::source(StreamId(0)),
-            LogicalPlan::source(StreamId(1)),
-        );
-        (
-            Circuit::from_plan(&plan, &stats, |s| NodeId(s.0), NodeId(2)),
-            space,
-        )
+        let plan =
+            LogicalPlan::join(LogicalPlan::source(StreamId(0)), LogicalPlan::source(StreamId(1)));
+        (Circuit::from_plan(&plan, &stats, |s| NodeId(s.0), NodeId(2)), space)
     }
 
     #[test]
@@ -148,7 +139,10 @@ mod tests {
         let refined = GradientPlacer::default().place(&circuit, &space);
         let join = circuit.unpinned_services()[0];
         let c = refined.coord_of(join);
-        assert!(euclidean(c, &[0.0, 0.0]) < 5.0, "median should sit near the heavy producer, got {c:?}");
+        assert!(
+            euclidean(c, &[0.0, 0.0]) < 5.0,
+            "median should sit near the heavy producer, got {c:?}"
+        );
     }
 
     #[test]

@@ -99,11 +99,7 @@ impl DhtMapper {
             (dims as u32) * bits <= 128,
             "dims×bits must fit the 128-bit ring; lower `bits` for high-dimensional spaces"
         );
-        let points: Vec<Vec<f64>> = space
-            .points()
-            .iter()
-            .map(|p| p.as_slice().to_vec())
-            .collect();
+        let points: Vec<Vec<f64>> = space.points().iter().map(|p| p.as_slice().to_vec()).collect();
         let quantizer = Quantizer::covering(&points, bits, 0.25);
         let curve = HilbertCurve::new(dims, bits);
         let mut catalog = CoordinateCatalog::new(curve, quantizer, scan_width);
@@ -115,8 +111,7 @@ impl DhtMapper {
 
     /// Re-registers one node after its coordinate changed (scalar churn).
     pub fn update_node(&mut self, space: &CostSpace, node: NodeId) {
-        self.catalog
-            .insert(node.0, space.point(node).as_slice().to_vec());
+        self.catalog.insert(node.0, space.point(node).as_slice().to_vec());
     }
 
     /// Accumulated catalog traffic statistics.
@@ -245,10 +240,8 @@ mod tests {
         let mut stats = StatsCatalog::new(0.002);
         stats.set_rate(StreamId(0), 10.0);
         stats.set_rate(StreamId(1), 10.0);
-        let plan = LogicalPlan::join(
-            LogicalPlan::source(StreamId(0)),
-            LogicalPlan::source(StreamId(1)),
-        );
+        let plan =
+            LogicalPlan::join(LogicalPlan::source(StreamId(0)), LogicalPlan::source(StreamId(1)));
         Circuit::from_plan(&plan, &stats, |s| NodeId(s.0), NodeId(2))
     }
 

@@ -49,11 +49,7 @@ impl RelaxationPlacer {
 
     /// Runs the relaxation and additionally reports the number of sweeps
     /// used (for the A2 ablation).
-    pub fn place_counted(
-        &self,
-        circuit: &Circuit,
-        space: &CostSpace,
-    ) -> (VirtualPlacement, usize) {
+    pub fn place_counted(&self, circuit: &Circuit, space: &CostSpace) -> (VirtualPlacement, usize) {
         let mut coords = seed_coords(circuit, space);
         let unpinned = circuit.unpinned_services();
         if unpinned.is_empty() {
@@ -124,10 +120,8 @@ mod tests {
         let mut stats = StatsCatalog::new(0.001);
         stats.set_rate(StreamId(0), rate0);
         stats.set_rate(StreamId(1), rate1);
-        let plan = LogicalPlan::join(
-            LogicalPlan::source(StreamId(0)),
-            LogicalPlan::source(StreamId(1)),
-        );
+        let plan =
+            LogicalPlan::join(LogicalPlan::source(StreamId(0)), LogicalPlan::source(StreamId(1)));
         Circuit::from_plan(&plan, &stats, |s| NodeId(s.0), NodeId(2))
     }
 
@@ -199,10 +193,7 @@ mod tests {
             stats.set_rate(StreamId(i), 10.0);
         }
         let plan = LogicalPlan::join(
-            LogicalPlan::join(
-                LogicalPlan::source(StreamId(0)),
-                LogicalPlan::source(StreamId(1)),
-            ),
+            LogicalPlan::join(LogicalPlan::source(StreamId(0)), LogicalPlan::source(StreamId(1))),
             LogicalPlan::source(StreamId(2)),
         );
         let circuit = Circuit::from_plan(&plan, &stats, |s| NodeId(s.0), NodeId(3));
@@ -213,9 +204,6 @@ mod tests {
         let unpinned = circuit.unpinned_services();
         let x1 = relaxed.coord_of(unpinned[0])[0];
         let x2 = relaxed.coord_of(unpinned[1])[0];
-        assert!(
-            (x1 - x2).abs() > 10.0,
-            "joins should separate along the line: {x1} vs {x2}"
-        );
+        assert!((x1 - x2).abs() > 10.0, "joins should separate along the line: {x1} vs {x2}");
     }
 }

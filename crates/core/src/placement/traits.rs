@@ -70,11 +70,7 @@ impl VirtualPlacement {
 /// Euclidean distance helper shared by the placers.
 pub(crate) fn euclidean(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| (x - y) * (x - y))
-        .sum::<f64>()
-        .sqrt()
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
 }
 
 /// Pinned services' vector coordinates; the starting point every placer
@@ -136,19 +132,13 @@ mod tests {
     use sbon_query::stream::StreamId;
 
     fn fixture() -> (Circuit, crate::costspace::CostSpace) {
-        let emb = VivaldiEmbedding::exact(vec![
-            vec![0.0, 0.0],
-            vec![10.0, 0.0],
-            vec![5.0, 10.0],
-        ]);
+        let emb = VivaldiEmbedding::exact(vec![vec![0.0, 0.0], vec![10.0, 0.0], vec![5.0, 10.0]]);
         let space = CostSpaceBuilder::latency_space(&emb);
         let mut stats = StatsCatalog::new(0.1);
         stats.set_rate(StreamId(0), 10.0);
         stats.set_rate(StreamId(1), 10.0);
-        let plan = LogicalPlan::join(
-            LogicalPlan::source(StreamId(0)),
-            LogicalPlan::source(StreamId(1)),
-        );
+        let plan =
+            LogicalPlan::join(LogicalPlan::source(StreamId(0)), LogicalPlan::source(StreamId(1)));
         let circuit = Circuit::from_plan(&plan, &stats, |s| NodeId(s.0), NodeId(2));
         (circuit, space)
     }
@@ -160,6 +150,7 @@ mod tests {
         assert_eq!(coords[0], vec![0.0, 0.0]); // producer 0 at node 0
         assert_eq!(coords[1], vec![10.0, 0.0]); // producer 1 at node 1
         assert_eq!(coords[3], vec![5.0, 10.0]); // consumer at node 2
+
         // Unpinned join seeded at the pinned centroid (5, 10/3).
         assert_eq!(coords[2], vec![5.0, 10.0 / 3.0]);
     }

@@ -369,21 +369,16 @@ mod tests {
         use sbon_query::stream::StreamId;
         // Bad running plan: (s0 ⋈ s2) first, dragging s0's data 200ms east.
         let bad_plan = LogicalPlan::join(
-            LogicalPlan::join(
-                LogicalPlan::source(StreamId(0)),
-                LogicalPlan::source(StreamId(2)),
-            ),
+            LogicalPlan::join(LogicalPlan::source(StreamId(0)), LogicalPlan::source(StreamId(2))),
             LogicalPlan::source(StreamId(1)),
         );
-        let circuit =
-            Circuit::from_plan(&bad_plan, &q.stats, |s| q.producer_of(s), q.consumer);
+        let circuit = Circuit::from_plan(&bad_plan, &q.stats, |s| q.producer_of(s), q.consumer);
         let placer = crate::placement::RelaxationPlacer::default();
         let mut mapper = crate::placement::OracleMapper;
         let vp = crate::placement::VirtualPlacer::place(&placer, &circuit, &space);
         let mapped = crate::placement::map_circuit(&circuit, &vp, &space, &mut mapper);
-        let running_est = circuit
-            .cost_with(&mapped.placement, |a, b| space.vector_distance(a, b))
-            .network_usage;
+        let running_est =
+            circuit.cost_with(&mapped.placement, |a, b| space.vector_distance(a, b)).network_usage;
 
         match reoptimize_rewrite(
             &bad_plan,

@@ -47,16 +47,8 @@ impl<C: SpaceFillingCurve> CoordinateCatalog<C> {
     /// to correct Hilbert-order error (the paper's successor-list scan);
     /// 8 is a good default at 600-node scale.
     pub fn new(curve: C, quantizer: Quantizer, scan_width: usize) -> Self {
-        assert_eq!(
-            curve.dims(),
-            quantizer.dims(),
-            "curve and quantizer dimensionality must match"
-        );
-        assert_eq!(
-            curve.bits(),
-            quantizer.bits(),
-            "curve and quantizer resolution must match"
-        );
+        assert_eq!(curve.dims(), quantizer.dims(), "curve and quantizer dimensionality must match");
+        assert_eq!(curve.bits(), quantizer.bits(), "curve and quantizer resolution must match");
         assert!(scan_width >= 1);
         CoordinateCatalog {
             curve,
@@ -141,14 +133,11 @@ impl<C: SpaceFillingCurve> CoordinateCatalog<C> {
         self.stats.hops += outcome.hops;
         self.stats.candidates_examined += neighborhood.len();
 
-        let best = neighborhood
-            .into_iter()
-            .map(|(_, m)| m)
-            .min_by(|&a, &b| {
-                let da = self.distance_to(a, target);
-                let db = self.distance_to(b, target);
-                da.partial_cmp(&db).expect("finite distances")
-            })?;
+        let best = neighborhood.into_iter().map(|(_, m)| m).min_by(|&a, &b| {
+            let da = self.distance_to(a, target);
+            let db = self.distance_to(b, target);
+            da.partial_cmp(&db).expect("finite distances")
+        })?;
         Some((best, outcome.hops))
     }
 
@@ -175,10 +164,8 @@ impl<C: SpaceFillingCurve> CoordinateCatalog<C> {
         self.stats.lookups += 1;
         self.stats.candidates_examined += neighborhood.len();
 
-        let mut ranked: Vec<(MemberId, f64)> = neighborhood
-            .into_iter()
-            .map(|(_, m)| (m, self.distance_to(m, target)))
-            .collect();
+        let mut ranked: Vec<(MemberId, f64)> =
+            neighborhood.into_iter().map(|(_, m)| (m, self.distance_to(m, target))).collect();
         ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
         ranked.truncate(k);
         ranked
@@ -196,12 +183,7 @@ impl<C: SpaceFillingCurve> CoordinateCatalog<C> {
     /// Euclidean distance from a member's registered coordinate to `target`.
     fn distance_to(&self, member: MemberId, target: &[f64]) -> f64 {
         match self.coord_of(member) {
-            Some(c) => c
-                .iter()
-                .zip(target)
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum::<f64>()
-                .sqrt(),
+            Some(c) => c.iter().zip(target).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt(),
             // Stale ring entry without a coordinate: rank it last.
             None => f64::INFINITY,
         }
@@ -270,9 +252,8 @@ mod tests {
     fn dht_answer_matches_oracle_most_of_the_time() {
         let mut rng = rng_from_seed(1);
         let mut c = unit_catalog(8);
-        let coords: Vec<Vec<f64>> = (0..300)
-            .map(|_| vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)])
-            .collect();
+        let coords: Vec<Vec<f64>> =
+            (0..300).map(|_| vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]).collect();
         for (i, coord) in coords.iter().enumerate() {
             c.insert(i as MemberId, coord.clone());
         }

@@ -75,10 +75,7 @@ impl DhtRing {
     /// clockwise for the next free key (coordinate collisions after
     /// quantization are common). Returns the key actually used.
     pub fn join(&mut self, mut key: RingKey, member: MemberId) -> RingKey {
-        assert!(
-            self.members.len() < u32::MAX as usize,
-            "ring is absurdly over-populated"
-        );
+        assert!(self.members.len() < u32::MAX as usize, "ring is absurdly over-populated");
         loop {
             match self.members.binary_search_by(|&(k, _)| k.cmp(&key)) {
                 Ok(_) => key = key.wrapping_add(1),
@@ -140,6 +137,7 @@ impl DhtRing {
         let mut out = Vec::with_capacity(take);
         let mut fwd = start; // next clockwise index to take
         let mut bwd = (start + n - 1) % n; // next counter-clockwise index
+
         // While fewer than n members are taken, the fwd/bwd arcs are
         // disjoint, so no member is emitted twice.
         for _ in 0..take {

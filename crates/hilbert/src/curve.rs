@@ -159,10 +159,7 @@ impl SpaceFillingCurve for HilbertCurve {
     }
 
     fn decode(&self, key: CurveKey) -> Vec<u32> {
-        assert!(
-            key < self.num_cells() || self.num_cells() == u128::MAX,
-            "key out of range"
-        );
+        assert!(key < self.num_cells() || self.num_cells() == u128::MAX, "key out of range");
         let mut x = self.unpack(key);
         self.transpose_to_axes(&mut x);
         x

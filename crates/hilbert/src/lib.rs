@@ -56,11 +56,7 @@ mod integration_tests {
 
     /// Chebyshev (max-axis) distance between two cells.
     fn chebyshev(a: &[u32], b: &[u32]) -> u32 {
-        a.iter()
-            .zip(b)
-            .map(|(&x, &y)| x.abs_diff(y))
-            .max()
-            .unwrap_or(0)
+        a.iter().zip(b).map(|(&x, &y)| x.abs_diff(y)).max().unwrap_or(0)
     }
 
     /// The defining locality property: walking the Hilbert curve one key at a

@@ -20,10 +20,7 @@ impl MortonCurve {
     pub fn new(dims: usize, bits: u32) -> Self {
         assert!(dims >= 1, "need at least one dimension");
         assert!((1..=32).contains(&bits), "bits per dim must be in 1..=32");
-        assert!(
-            (dims as u32) * bits <= 128,
-            "dims*bits must fit a u128 key"
-        );
+        assert!((dims as u32) * bits <= 128, "dims*bits must fit a u128 key");
         MortonCurve { dims, bits }
     }
 }

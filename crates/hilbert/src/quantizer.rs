@@ -147,12 +147,7 @@ mod tests {
             let cell = q.quantize(p);
             let c = q.cell_center(&cell);
             // Quantize error bounded by the cell diagonal.
-            let err: f64 = p
-                .iter()
-                .zip(&c)
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum::<f64>()
-                .sqrt();
+            let err: f64 = p.iter().zip(&c).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
             assert!(err <= 2.0 * q.max_error() + 1e-12, "err={err}");
         }
     }

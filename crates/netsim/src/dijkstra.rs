@@ -213,7 +213,9 @@ mod tests {
                     // Shortest-path metrics satisfy the triangle inequality.
                     assert!(
                         m.latency(NodeId(a), NodeId(b))
-                            <= m.latency(NodeId(a), NodeId(c)) + m.latency(NodeId(c), NodeId(b)) + 1e-9
+                            <= m.latency(NodeId(a), NodeId(c))
+                                + m.latency(NodeId(c), NodeId(b))
+                                + 1e-9
                     );
                 }
             }

@@ -83,10 +83,7 @@ pub struct Graph {
 impl Graph {
     /// Creates a graph with `n` isolated nodes.
     pub fn new(n: usize) -> Self {
-        Graph {
-            edges: Vec::new(),
-            adjacency: vec![Vec::new(); n],
-        }
+        Graph { edges: Vec::new(), adjacency: vec![Vec::new(); n] }
     }
 
     /// Number of nodes.
@@ -137,9 +134,7 @@ impl Graph {
 
     /// Neighbors of `v` with the latency of the connecting edge.
     pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = (NodeId, f64)> + '_ {
-        self.adjacency[v.index()]
-            .iter()
-            .map(move |&(n, e)| (n, self.edges[e.index()].latency_ms))
+        self.adjacency[v.index()].iter().map(move |&(n, e)| (n, self.edges[e.index()].latency_ms))
     }
 
     /// Degree of `v`.

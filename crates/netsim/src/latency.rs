@@ -63,11 +63,7 @@ impl LatencyMatrix {
 
     /// Maximum finite latency in the matrix; used to normalize plots.
     pub fn max_latency(&self) -> f64 {
-        self.data
-            .iter()
-            .copied()
-            .filter(|v| v.is_finite())
-            .fold(0.0, f64::max)
+        self.data.iter().copied().filter(|v| v.is_finite()).fold(0.0, f64::max)
     }
 
     /// Mean off-diagonal latency.

@@ -46,10 +46,7 @@ pub struct NodeAttrs {
 impl NodeAttrs {
     /// All attributes zero (idle network).
     pub fn idle(n: usize) -> Self {
-        NodeAttrs {
-            n,
-            values: vec![vec![0.0; n]; Attr::ALL.len()],
-        }
+        NodeAttrs { n, values: vec![vec![0.0; n]; Attr::ALL.len()] }
     }
 
     /// Number of nodes covered.
@@ -91,7 +88,12 @@ pub enum LoadModel {
     /// Every node gets the same value.
     Uniform(f64),
     /// i.i.d. `U(lo, hi)`.
-    Random { lo: f64, hi: f64 },
+    Random {
+        /// Lower bound of the uniform draw.
+        lo: f64,
+        /// Upper bound of the uniform draw.
+        hi: f64,
+    },
     /// Mostly-idle network with a few heavily loaded hotspots, matching the
     /// "node a (overloaded)" annotation in the paper's Figure 2.
     Hotspots {
@@ -145,10 +147,16 @@ pub enum ChurnProcess {
     None,
     /// Each tick, every node's CPU load takes a Gaussian step with the given
     /// standard deviation, clamped to `[0, 1]` (bounded random walk).
-    RandomWalk { std_dev: f64 },
+    RandomWalk {
+        /// Standard deviation of each per-tick Gaussian step.
+        std_dev: f64,
+    },
     /// Each tick, each node flips to a fresh `U(0,1)` load with probability
     /// `p` (abrupt step churn: job arrivals/departures).
-    Step { p: f64 },
+    Step {
+        /// Per-node, per-tick probability of drawing a fresh load.
+        p: f64,
+    },
 }
 
 impl ChurnProcess {

@@ -53,12 +53,7 @@ pub fn sample_exponential<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> f64 {
 /// Samples a bounded Pareto on `[min, max]` with shape `alpha`.
 ///
 /// Used by the workload generators for heavy-tailed stream rates.
-pub fn sample_bounded_pareto<R: Rng + ?Sized>(
-    rng: &mut R,
-    alpha: f64,
-    min: f64,
-    max: f64,
-) -> f64 {
+pub fn sample_bounded_pareto<R: Rng + ?Sized>(rng: &mut R, alpha: f64, min: f64, max: f64) -> f64 {
     debug_assert!(alpha > 0.0 && min > 0.0 && max > min);
     let u: f64 = rng.gen_range(0.0..1.0);
     let lo = min.powf(-alpha);

@@ -104,12 +104,7 @@ impl<E> EventQueue<E> {
     /// Schedules `event` at absolute time `at`. Panics if `at` is in the
     /// simulated past — an event may not rewrite history.
     pub fn schedule(&mut self, at: SimTime, event: E) {
-        assert!(
-            at.0 >= self.now,
-            "cannot schedule at {} before now {}",
-            at.0,
-            self.now
-        );
+        assert!(at.0 >= self.now, "cannot schedule at {} before now {}", at.0, self.now);
         self.heap.push(Scheduled { time: at.0, seq: self.seq, event });
         self.seq += 1;
     }

@@ -52,9 +52,8 @@ pub fn grid(rows: usize, cols: usize, hop_latency_ms: f64) -> Topology {
 /// Falls back to nearest-neighbour stitching for stray components.
 pub fn random_geometric(n: usize, side_ms: f64, radius_ms: f64, seed: u64) -> Topology {
     let mut rng = derive_rng(seed, 0x6e0); // geometric stream
-    let pts: Vec<(f64, f64)> = (0..n)
-        .map(|_| (rng.gen_range(0.0..side_ms), rng.gen_range(0.0..side_ms)))
-        .collect();
+    let pts: Vec<(f64, f64)> =
+        (0..n).map(|_| (rng.gen_range(0.0..side_ms), rng.gen_range(0.0..side_ms))).collect();
     let dist = |i: usize, j: usize| {
         let dx = pts[i].0 - pts[j].0;
         let dy = pts[i].1 - pts[j].1;

@@ -137,10 +137,7 @@ pub fn generate(cfg: &TransitStubConfig, seed: u64) -> Topology {
                     &mut rng,
                 );
                 for _ in &ids {
-                    roles.push(NodeRole::Stub {
-                        domain: stub_domain_counter,
-                        gateway: router,
-                    });
+                    roles.push(NodeRole::Stub { domain: stub_domain_counter, gateway: router });
                 }
                 // Gateway: first node of the stub ring attaches to the router.
                 let lat = uniform_in(&mut rng, cfg.transit_stub_ms);

@@ -27,12 +27,7 @@ pub struct WaxmanConfig {
 
 impl Default for WaxmanConfig {
     fn default() -> Self {
-        WaxmanConfig {
-            nodes: 100,
-            alpha: 0.4,
-            beta: 0.2,
-            max_latency_ms: 120.0,
-        }
+        WaxmanConfig { nodes: 100, alpha: 0.4, beta: 0.2, max_latency_ms: 120.0 }
     }
 }
 
@@ -45,9 +40,8 @@ pub fn generate(cfg: &WaxmanConfig, seed: u64) -> Topology {
     let mut rng = derive_rng(seed, 0x7a61);
 
     let side = cfg.max_latency_ms / std::f64::consts::SQRT_2;
-    let pts: Vec<(f64, f64)> = (0..cfg.nodes)
-        .map(|_| (rng.gen_range(0.0..side), rng.gen_range(0.0..side)))
-        .collect();
+    let pts: Vec<(f64, f64)> =
+        (0..cfg.nodes).map(|_| (rng.gen_range(0.0..side), rng.gen_range(0.0..side))).collect();
     let dist = |i: usize, j: usize| -> f64 {
         let dx = pts[i].0 - pts[j].0;
         let dy = pts[i].1 - pts[j].1;
@@ -136,14 +130,8 @@ mod tests {
 
     #[test]
     fn higher_alpha_gives_denser_graphs() {
-        let sparse = generate(
-            &WaxmanConfig { nodes: 80, alpha: 0.1, ..Default::default() },
-            1,
-        );
-        let dense = generate(
-            &WaxmanConfig { nodes: 80, alpha: 0.9, ..Default::default() },
-            1,
-        );
+        let sparse = generate(&WaxmanConfig { nodes: 80, alpha: 0.1, ..Default::default() }, 1);
+        let dense = generate(&WaxmanConfig { nodes: 80, alpha: 0.9, ..Default::default() }, 1);
         assert!(dense.graph.num_edges() > sparse.graph.num_edges());
     }
 

@@ -100,12 +100,7 @@ pub fn simulate_circuit(
         parent[l.from.index()] = Some(l.to);
     }
     for s in circuit.services() {
-        let inbound: f64 = circuit
-            .links()
-            .iter()
-            .filter(|l| l.to == s.id)
-            .map(|l| l.rate)
-            .sum();
+        let inbound: f64 = circuit.links().iter().filter(|l| l.to == s.id).map(|l| l.rate).sum();
         if inbound > 0.0 {
             forward_prob[s.id.index()] = (s.output_rate / inbound).clamp(0.0, 1.0);
         }
@@ -154,8 +149,8 @@ pub fn simulate_circuit(
                         // Operator: thin the stream to the modeled rate.
                         if rng.gen_bool(forward_prob[sid.index()]) {
                             if let Some(p) = parent[sid.index()] {
-                                let d = latency
-                                    .latency(placement.node_of(sid), placement.node_of(p));
+                                let d =
+                                    latency.latency(placement.node_of(sid), placement.node_of(p));
                                 hop_latency_sum += d;
                                 queue.schedule(
                                     now.after(d),
@@ -193,11 +188,11 @@ pub fn simulate_circuit(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sbon_core::optimizer::{IntegratedOptimizer, OptimizerConfig, QuerySpec};
     use sbon_coords::vivaldi::VivaldiConfig;
     use sbon_core::costspace::CostSpaceBuilder;
+    use sbon_core::optimizer::{IntegratedOptimizer, OptimizerConfig, QuerySpec};
     use sbon_netsim::dijkstra::all_pairs_latency;
-    
+
     use sbon_netsim::load::LoadModel;
     use sbon_netsim::rng::rng_from_seed;
     use sbon_netsim::topology::transit_stub::{generate, TransitStubConfig};
@@ -289,6 +284,10 @@ mod tests {
         // 3 producers × 20 tuples/s × 60 s = 3600 expected emissions.
         let expected = 3.0 * 20.0 * 60.0;
         let ratio = report.tuples_emitted as f64 / expected;
-        assert!((0.9..1.1).contains(&ratio), "emitted {} vs expected {expected}", report.tuples_emitted);
+        assert!(
+            (0.9..1.1).contains(&ratio),
+            "emitted {} vs expected {expected}",
+            report.tuples_emitted
+        );
     }
 }

@@ -28,11 +28,11 @@
 //! stress accounting.
 
 pub mod dataplane;
-pub mod traffic;
 pub mod report;
 pub mod runtime;
+pub mod traffic;
 
 pub use dataplane::{simulate_circuit, DataPlaneConfig, DataPlaneReport};
 pub use report::{RunReport, Sample};
-pub use traffic::LinkTraffic;
 pub use runtime::{CircuitHandle, LatencyJitter, OverlayRuntime, RuntimeConfig};
+pub use traffic::LinkTraffic;

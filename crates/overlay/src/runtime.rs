@@ -35,11 +35,7 @@ pub struct LatencyJitter {
 
 impl Default for LatencyJitter {
     fn default() -> Self {
-        LatencyJitter {
-            pairs_per_tick: 0,
-            factor_range: (0.7, 1.45),
-            band: (0.5, 3.0),
-        }
+        LatencyJitter { pairs_per_tick: 0, factor_range: (0.7, 1.45), band: (0.5, 3.0) }
     }
 }
 
@@ -179,7 +175,8 @@ impl OverlayRuntime {
         let embedding = config.vivaldi.embed(&latency, seed);
         let mut rng = derive_rng(seed, 0x0ead);
         let attrs = config.initial_load.generate(topology.num_nodes(), &mut rng);
-        let space = CostSpaceBuilder::latency_load_space_scaled(&embedding, &attrs, config.load_scale);
+        let space =
+            CostSpaceBuilder::latency_load_space_scaled(&embedding, &attrs, config.load_scale);
         let n = topology.num_nodes();
         OverlayRuntime {
             optimizer: IntegratedOptimizer::new(OptimizerConfig::default()),
@@ -229,9 +226,10 @@ impl OverlayRuntime {
         // Tear down circuits whose pinned services died.
         let mut idx = 0;
         while idx < self.circuits.len() {
-            let dead_pin = self.circuits[idx].circuit.services().iter().any(|s| {
-                matches!(s.pin, sbon_core::circuit::ServicePin::Pinned(n) if n == node)
-            });
+            let dead_pin =
+                self.circuits[idx].circuit.services().iter().any(
+                    |s| matches!(s.pin, sbon_core::circuit::ServicePin::Pinned(n) if n == node),
+                );
             if dead_pin {
                 let handle = self.circuits[idx].handle;
                 self.failed_circuits.push(handle);
@@ -257,8 +255,11 @@ impl OverlayRuntime {
             let mut mapper = AliveOracleMapper { alive: &self.alive };
             for sid in stranded {
                 let ideal = self.space.ideal_point(vp.coord_of(sid));
-                let (new_node, _) =
-                    sbon_core::placement::PhysicalMapper::map_point(&mut mapper, &self.space, &ideal);
+                let (new_node, _) = sbon_core::placement::PhysicalMapper::map_point(
+                    &mut mapper,
+                    &self.space,
+                    &ideal,
+                );
                 d.placement.move_service(sid, new_node);
                 evacuated += 1;
             }
@@ -281,9 +282,7 @@ impl OverlayRuntime {
         self.circuits
             .iter()
             .map(|d| {
-                d.circuit
-                    .cost_with(&d.placement, |a, b| self.latency.latency(a, b))
-                    .network_usage
+                d.circuit.cost_with(&d.placement, |a, b| self.latency.latency(a, b)).network_usage
             })
             .sum()
     }
@@ -410,8 +409,7 @@ impl OverlayRuntime {
                     let evacuated = self.fail_node(node);
                     // Evacuations are migrations: charge the same penalty.
                     report.migrations += evacuated;
-                    report.adaptation_cost +=
-                        evacuated as f64 * self.config.migration_penalty;
+                    report.adaptation_cost += evacuated as f64 * self.config.migration_penalty;
                 }
                 Event::FullReopt => {
                     let mut swaps = 0;
@@ -485,12 +483,7 @@ mod tests {
 
     fn demo_query(topo: &Topology) -> QuerySpec {
         let hosts = topo.host_candidates();
-        QuerySpec::join_star(
-            &[hosts[0], hosts[10], hosts[20], hosts[30]],
-            hosts[40],
-            10.0,
-            0.02,
-        )
+        QuerySpec::join_star(&[hosts[0], hosts[10], hosts[20], hosts[30]], hosts[40], 10.0, 0.02)
     }
 
     #[test]
@@ -636,11 +629,7 @@ mod tests {
             // producers/consumer; just kill the host of service index via
             // the circuit's unpinned list.
             let d = &rt.circuits[0];
-            d.circuit
-                .unpinned_services()
-                .iter()
-                .map(|&sid| placement.node_of(sid))
-                .collect()
+            d.circuit.unpinned_services().iter().map(|&sid| placement.node_of(sid)).collect()
         };
         let victim = circuits_services[0];
         rt.schedule_failure(2_000.0, victim);
@@ -719,11 +708,7 @@ mod tests {
         let mut rt = OverlayRuntime::new(
             &topo,
             9,
-            RuntimeConfig {
-                horizon_ms: 5_000.0,
-                churn: ChurnProcess::None,
-                ..Default::default()
-            },
+            RuntimeConfig { horizon_ms: 5_000.0, churn: ChurnProcess::None, ..Default::default() },
         );
         rt.deploy(demo_query(&topo)).unwrap();
         let victim = topo.host_candidates()[70];

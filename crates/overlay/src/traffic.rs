@@ -44,8 +44,7 @@ impl LinkTraffic {
             let path = shortest_path(&topology.graph, from, to)
                 .expect("placed circuits connect reachable nodes");
             for hop in path.windows(2) {
-                let edge = edge_between(topology, hop[0], hop[1])
-                    .expect("path hops are adjacent");
+                let edge = edge_between(topology, hop[0], hop[1]).expect("path hops are adjacent");
                 self.per_edge_rate[edge] += l.rate;
             }
         }
@@ -63,13 +62,8 @@ impl LinkTraffic {
 
     /// Indices and rates of the `k` hottest links, descending.
     pub fn top_hot_links(&self, k: usize) -> Vec<(usize, f64)> {
-        let mut indexed: Vec<(usize, f64)> = self
-            .per_edge_rate
-            .iter()
-            .copied()
-            .enumerate()
-            .filter(|&(_, r)| r > 0.0)
-            .collect();
+        let mut indexed: Vec<(usize, f64)> =
+            self.per_edge_rate.iter().copied().enumerate().filter(|&(_, r)| r > 0.0).collect();
         indexed.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite rates"));
         indexed.truncate(k);
         indexed
@@ -78,13 +72,7 @@ impl LinkTraffic {
     /// Σ over edges of `rate × edge latency` — must equal the sum of the
     /// charged circuits' fluid network usage (see module docs).
     pub fn total_usage(&self, topology: &Topology) -> f64 {
-        topology
-            .graph
-            .edges()
-            .iter()
-            .zip(&self.per_edge_rate)
-            .map(|(e, &r)| r * e.latency_ms)
-            .sum()
+        topology.graph.edges().iter().zip(&self.per_edge_rate).map(|(e, &r)| r * e.latency_ms).sum()
     }
 
     /// Number of edges carrying any traffic.
@@ -108,9 +96,9 @@ fn edge_between(topology: &Topology, a: NodeId, b: NodeId) -> Option<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sbon_coords::vivaldi::VivaldiConfig;
     use sbon_core::costspace::CostSpaceBuilder;
     use sbon_core::optimizer::{IntegratedOptimizer, OptimizerConfig, QuerySpec};
-    use sbon_coords::vivaldi::VivaldiConfig;
     use sbon_netsim::dijkstra::all_pairs_latency;
     use sbon_netsim::latency::LatencyProvider;
     use sbon_netsim::load::LoadModel;
@@ -129,10 +117,7 @@ mod tests {
         let p = IntegratedOptimizer::new(OptimizerConfig::default())
             .optimize(&q, &space, &latency)
             .unwrap();
-        let usage = p
-            .circuit
-            .cost_with(&p.placement, |a, b| latency.latency(a, b))
-            .network_usage;
+        let usage = p.circuit.cost_with(&p.placement, |a, b| latency.latency(a, b)).network_usage;
         (topo, p.circuit, p.placement, usage)
     }
 

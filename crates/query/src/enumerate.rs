@@ -82,10 +82,8 @@ fn permute_left_deep(perm: &mut Vec<StreamId>, k: usize, out: &mut Vec<LogicalPl
     if k == n {
         // Skip mirrored duplicates: require the first pair ordered.
         if perm[0] <= perm[1] {
-            let mut plan = LogicalPlan::join(
-                LogicalPlan::source(perm[0]),
-                LogicalPlan::source(perm[1]),
-            );
+            let mut plan =
+                LogicalPlan::join(LogicalPlan::source(perm[0]), LogicalPlan::source(perm[1]));
             for &s in &perm[2..] {
                 plan = LogicalPlan::join(plan, LogicalPlan::source(s));
             }
@@ -164,10 +162,7 @@ pub fn dp_top_k_plans(
         dp[mask as usize] = candidates;
     }
 
-    dp[full as usize]
-        .iter()
-        .map(|(p, c, _)| (p.clone(), *c))
-        .collect()
+    dp[full as usize].iter().map(|(p, c, _)| (p.clone(), *c)).collect()
 }
 
 fn cross_selectivity_masks(
@@ -177,10 +172,7 @@ fn cross_selectivity_masks(
     right: u32,
 ) -> f64 {
     let members = |m: u32| -> Vec<StreamId> {
-        (0..streams.len())
-            .filter(|i| m & (1u32 << i) != 0)
-            .map(|i| streams[i])
-            .collect()
+        (0..streams.len()).filter(|i| m & (1u32 << i) != 0).map(|i| streams[i]).collect()
     };
     stats.cross_selectivity(&members(left), &members(right))
 }
@@ -305,10 +297,8 @@ mod tests {
 
     #[test]
     fn left_deep_is_a_subset_of_bushy() {
-        let bushy: std::collections::HashSet<String> = all_join_trees(&streams(4))
-            .iter()
-            .map(|t| t.shape_key())
-            .collect();
+        let bushy: std::collections::HashSet<String> =
+            all_join_trees(&streams(4)).iter().map(|t| t.shape_key()).collect();
         for t in all_left_deep_trees(&streams(4)) {
             assert!(bushy.contains(&t.shape_key()), "{t}");
         }

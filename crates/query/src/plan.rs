@@ -222,7 +222,8 @@ mod tests {
 
     #[test]
     fn depth_of_left_deep_vs_bushy() {
-        let left_deep = LogicalPlan::join(LogicalPlan::join(LogicalPlan::join(s(0), s(1)), s(2)), s(3));
+        let left_deep =
+            LogicalPlan::join(LogicalPlan::join(LogicalPlan::join(s(0), s(1)), s(2)), s(3));
         let bushy = LogicalPlan::join(LogicalPlan::join(s(0), s(1)), LogicalPlan::join(s(2), s(3)));
         assert_eq!(left_deep.depth(), 4);
         assert_eq!(bushy.depth(), 3);

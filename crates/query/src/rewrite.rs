@@ -26,11 +26,7 @@ use crate::plan::{BinaryOp, LogicalPlan, UnaryOp};
 pub fn commute(plan: &LogicalPlan) -> Option<LogicalPlan> {
     match plan {
         LogicalPlan::Binary { op: op @ (BinaryOp::Join | BinaryOp::Union), left, right } => {
-            Some(LogicalPlan::Binary {
-                op: *op,
-                left: right.clone(),
-                right: left.clone(),
-            })
+            Some(LogicalPlan::Binary { op: *op, left: right.clone(), right: left.clone() })
         }
         _ => None,
     }
@@ -160,20 +156,12 @@ fn rewrite_everywhere(plan: &LogicalPlan, out: &mut Vec<LogicalPlan>) {
             let mut ls = Vec::new();
             rewrite_everywhere(left, &mut ls);
             for p in ls {
-                out.push(LogicalPlan::Binary {
-                    op: *op,
-                    left: Box::new(p),
-                    right: right.clone(),
-                });
+                out.push(LogicalPlan::Binary { op: *op, left: Box::new(p), right: right.clone() });
             }
             let mut rs = Vec::new();
             rewrite_everywhere(right, &mut rs);
             for p in rs {
-                out.push(LogicalPlan::Binary {
-                    op: *op,
-                    left: left.clone(),
-                    right: Box::new(p),
-                });
+                out.push(LogicalPlan::Binary { op: *op, left: left.clone(), right: Box::new(p) });
             }
         }
     }

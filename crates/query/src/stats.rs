@@ -76,10 +76,7 @@ impl StatsCatalog {
     /// Base rate of a stream. Panics if the stream is unknown — the
     /// optimizer must never cost a plan over unregistered sources.
     pub fn rate(&self, id: StreamId) -> f64 {
-        *self
-            .rates
-            .get(&id)
-            .unwrap_or_else(|| panic!("no rate registered for {id}"))
+        *self.rates.get(&id).unwrap_or_else(|| panic!("no rate registered for {id}"))
     }
 
     /// Sets the pairwise selectivity between two streams (symmetric).

@@ -48,19 +48,11 @@ fn main() {
     let adaptive_report = run(true);
 
     println!("\n{:>8} {:>14} {:>14}", "t (s)", "static usage", "adaptive usage");
-    for (s, a) in static_report
-        .samples
-        .iter()
-        .zip(&adaptive_report.samples)
-        .step_by(10)
-    {
+    for (s, a) in static_report.samples.iter().zip(&adaptive_report.samples).step_by(10) {
         println!("{:>8.0} {:>14.1} {:>14.1}", s.time_ms / 1000.0, s.network_usage, a.network_usage);
     }
 
-    println!(
-        "\nstatic   total cost: {:>12.0}",
-        static_report.total_cost()
-    );
+    println!("\nstatic   total cost: {:>12.0}", static_report.total_cost());
     println!(
         "adaptive total cost: {:>12.0} ({} migrations, adaptation penalty {:.0})",
         adaptive_report.total_cost(),

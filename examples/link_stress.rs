@@ -39,7 +39,10 @@ fn main() {
     let report = |label: &str, usage_and_traffic: (f64, LinkTraffic)| {
         let (usage, traffic) = usage_and_traffic;
         println!("\n{label}:");
-        println!("  total network usage {usage:.1}; {} underlay links loaded", traffic.loaded_edges());
+        println!(
+            "  total network usage {usage:.1}; {} underlay links loaded",
+            traffic.loaded_edges()
+        );
         println!("  hottest links (rate / latency / kind):");
         for (edge_idx, rate) in traffic.top_hot_links(5) {
             let e = &topo.graph.edges()[edge_idx];
@@ -48,10 +51,7 @@ fn main() {
                 (NodeRole::Stub { .. }, NodeRole::Stub { .. }) => "stub",
                 _ => "access",
             };
-            println!(
-                "    {} ↔ {}  rate {:>7.1}  {:>6.1} ms  {kind}",
-                e.a, e.b, rate, e.latency_ms
-            );
+            println!("    {} ↔ {}  rate {:>7.1}  {:>6.1} ms  {kind}", e.a, e.b, rate, e.latency_ms);
         }
         println!("  max link stress: {:.1}", traffic.max_stress());
     };

@@ -53,7 +53,10 @@ fn main() {
     let mut total_marginal = 0.0;
     let mut total_standalone = 0.0;
     let mut reused_count = 0;
-    println!("{:<8} {:>12} {:>12} {:>8} {:>10}", "tenant", "standalone", "marginal", "reused", "saved");
+    println!(
+        "{:<8} {:>12} {:>12} {:>8} {:>10}",
+        "tenant", "standalone", "marginal", "reused", "saved"
+    );
     for tenant in 0..30 {
         let q = draw_query(&mut rng);
         let out = mq
@@ -71,8 +74,10 @@ fn main() {
                 out.standalone_cost.network_usage,
                 out.marginal_cost.network_usage,
                 out.reused.len(),
-                100.0 * (1.0 - out.marginal_cost.network_usage
-                    / out.standalone_cost.network_usage.max(1e-9))
+                100.0
+                    * (1.0
+                        - out.marginal_cost.network_usage
+                            / out.standalone_cost.network_usage.max(1e-9))
             );
         }
     }

@@ -45,9 +45,7 @@ fn main() {
     //    placed (spring relaxation), physically mapped, and costed; the
     //    cheapest circuit wins.
     let optimizer = IntegratedOptimizer::new(OptimizerConfig::default());
-    let placed = optimizer
-        .optimize(&query, &space, &latency)
-        .expect("optimization succeeds");
+    let placed = optimizer.optimize(&query, &space, &latency).expect("optimization succeeds");
     println!("\nchosen plan:      {}", placed.plan);
     println!("candidates tried: {}", placed.candidates_examined);
     println!(

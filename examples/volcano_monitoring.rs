@@ -66,16 +66,15 @@ fn main() {
 
     // Variant 2: station-side event triggering — filters that pass 5% of
     // samples, attached above each seismometer.
-    let filtered_query = base
-        .clone()
-        .with_source_filter(seismo_a, 0.05)
-        .with_source_filter(seismo_b, 0.05);
-    let filtered = optimizer
-        .optimize(&filtered_query, &space, &latency)
-        .expect("optimizes");
+    let filtered_query =
+        base.clone().with_source_filter(seismo_a, 0.05).with_source_filter(seismo_b, 0.05);
+    let filtered = optimizer.optimize(&filtered_query, &space, &latency).expect("optimizes");
 
     println!("\nraw correlation plan:      {}", raw.plan);
-    println!("  network usage {:.1}, worst path {:.1} ms", raw.cost.network_usage, raw.cost.max_path_latency);
+    println!(
+        "  network usage {:.1}, worst path {:.1} ms",
+        raw.cost.network_usage, raw.cost.max_path_latency
+    );
     println!("triggered (σ=0.05) plan:   {}", filtered.plan);
     println!(
         "  network usage {:.1}, worst path {:.1} ms",
@@ -89,21 +88,13 @@ fn main() {
     // Where did the services land? Near the volcano: the optimizer keeps
     // high-rate links short by pushing operators toward the sources.
     let near = |n: NodeId| {
-        volcano_domain
-            .iter()
-            .map(|&v| latency.latency(n, v))
-            .fold(f64::INFINITY, f64::min)
+        volcano_domain.iter().map(|&v| latency.latency(n, v)).fold(f64::INFINITY, f64::min)
     };
     println!("\noperator hosts (distance to the volcano's stub domain):");
     for s in filtered.circuit.services() {
         if s.is_unpinned() {
             let host = filtered.placement.node_of(s.id);
-            println!(
-                "  service {:?} -> {}  ({:.1} ms from the volcano)",
-                s.id,
-                host,
-                near(host)
-            );
+            println!("  service {:?} -> {}  ({:.1} ms from the volcano)", s.id, host, near(host));
         }
     }
     let consumer_dist = near(observatory);

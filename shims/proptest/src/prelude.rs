@@ -1,0 +1,5 @@
+//! One-stop imports, mirroring `proptest::prelude`.
+
+pub use crate::strategy::{Just, Strategy};
+pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+pub use crate::{prop_assert, prop_assert_eq, proptest};

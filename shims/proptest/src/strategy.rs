@@ -1,0 +1,61 @@
+//! Value-generation strategies.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// A recipe for generating test-case values (no shrinking in this shim).
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
+/// Strategy producing a constant value (mirrors `proptest::strategy::Just`).
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}

@@ -1,0 +1,55 @@
+//! Case execution support for the [`proptest!`](crate::proptest) macro.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// RNG handed to strategies while generating a case.
+pub type TestRng = StdRng;
+
+/// Runner configuration (mirrors the fields of `proptest`'s config that the
+/// workspace uses).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Failure raised by `prop_assert!`-style macros inside a case body.
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into() }
+    }
+}
+
+impl core::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Deterministic per-case generator: case `i` always sees the same stream.
+pub fn case_rng(case: u32) -> TestRng {
+    // Fixed golden-ratio offset keeps neighbouring cases decorrelated.
+    TestRng::seed_from_u64(0x9E37_79B9_7F4A_7C15 ^ u64::from(case))
+}

@@ -2,9 +2,9 @@
 //! across several seeds. These tests pin down the cross-crate behaviour the
 //! figures rely on.
 
-use sbon::prelude::*;
 use sbon::core::placement::optimal_tree_placement;
 use sbon::netsim::rng::derive_rng;
+use sbon::prelude::*;
 
 fn world(nodes: usize, seed: u64) -> (Topology, LatencyMatrix, sbon::core::costspace::CostSpace) {
     let topo = transit_stub::generate(&TransitStubConfig::with_total_nodes(nodes), seed);
@@ -84,9 +84,8 @@ fn cost_space_pipeline_is_within_factor_of_omniscient_optimum() {
             .optimize(&q, &space, &latency)
             .unwrap();
         let hosts = topo.host_candidates();
-        let (_, optimal) = optimal_tree_placement(&int.circuit, &hosts, |a, b| {
-            latency.latency(a, b)
-        });
+        let (_, optimal) =
+            optimal_tree_placement(&int.circuit, &hosts, |a, b| latency.latency(a, b));
         ratios.push(int.cost.network_usage / optimal.max(1e-9));
     }
     let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
@@ -106,9 +105,7 @@ fn dht_mapped_circuits_stay_close_to_oracle_mapped() {
         let opt = IntegratedOptimizer::new(OptimizerConfig::default());
         let oracle = opt.optimize(&q, &space, &latency).unwrap();
         let mut dht = DhtMapper::build(&space, 12, 8);
-        let dhted = opt
-            .optimize_with_mapper(&q, &space, &latency, &mut dht)
-            .unwrap();
+        let dhted = opt.optimize_with_mapper(&q, &space, &latency, &mut dht).unwrap();
         assert!(dhted.mapping_hops > 0, "DHT must route");
         assert!(
             dhted.cost.network_usage <= oracle.cost.network_usage * 1.8 + 1e-9,

@@ -61,8 +61,7 @@ fn identical_queries_from_different_consumers_share_work() {
 fn different_stream_sets_never_merge() {
     let f = fixture(2);
     let mut mq = MultiQueryOptimizer::new(OptimizerConfig::default());
-    mq.optimize_and_deploy(&query(&f, &[0, 1], 5), &f.space, &f.latency, ReuseScope::All)
-        .unwrap();
+    mq.optimize_and_deploy(&query(&f, &[0, 1], 5), &f.space, &f.latency, ReuseScope::All).unwrap();
     let other = mq
         .optimize_and_deploy(&query(&f, &[2, 3], 6), &f.space, &f.latency, ReuseScope::All)
         .unwrap();
@@ -93,9 +92,7 @@ fn wider_radius_never_examines_fewer_candidates() {
     for r in [0.0, 20.0, 60.0, 200.0] {
         let scope = if r == 0.0 { ReuseScope::None } else { ReuseScope::Radius(r) };
         let mut mq = base.clone();
-        let out = mq
-            .optimize_and_deploy(&probe, &f.space, &f.latency, scope)
-            .unwrap();
+        let out = mq.optimize_and_deploy(&probe, &f.space, &f.latency, scope).unwrap();
         assert!(
             out.candidates_examined >= last,
             "radius {r}: {} < {last}",
@@ -117,12 +114,7 @@ fn marginal_cost_never_exceeds_standalone_under_all_scope() {
             b = (b + 1) % 8;
         }
         let out = mq
-            .optimize_and_deploy(
-                &query(&f, &[a, b], 10 + i),
-                &f.space,
-                &f.latency,
-                ReuseScope::All,
-            )
+            .optimize_and_deploy(&query(&f, &[a, b], 10 + i), &f.space, &f.latency, ReuseScope::All)
             .unwrap();
         assert!(
             out.marginal_cost.network_usage <= out.standalone_cost.network_usage + 1e-6,
@@ -152,8 +144,7 @@ fn three_way_queries_can_reuse_two_way_subjoins() {
     let f = fixture(6);
     let mut mq = MultiQueryOptimizer::new(OptimizerConfig::default());
     // Deploy a 2-way join of feeds 0 and 1.
-    mq.optimize_and_deploy(&query(&f, &[0, 1], 5), &f.space, &f.latency, ReuseScope::All)
-        .unwrap();
+    mq.optimize_and_deploy(&query(&f, &[0, 1], 5), &f.space, &f.latency, ReuseScope::All).unwrap();
     // A 3-way query over feeds 0, 1, 2 can reuse the (0 ⋈ 1) instance when
     // its chosen plan contains that subtree.
     let out = mq

@@ -71,10 +71,7 @@ fn failure_recovery_keeps_all_surviving_circuits_running() {
             ..Default::default()
         },
     );
-    let handles: Vec<_> = queries(&topo, 3)
-        .into_iter()
-        .map(|q| rt.deploy(q).unwrap())
-        .collect();
+    let handles: Vec<_> = queries(&topo, 3).into_iter().map(|q| rt.deploy(q).unwrap()).collect();
     // Kill the hosts of every unpinned service of circuit 0 at t=5s, 10s.
     let victims: Vec<NodeId> = {
         let placement = rt.placement(handles[0]).unwrap();

@@ -7,10 +7,10 @@ use proptest::prelude::*;
 use sbon::coords::vivaldi::VivaldiEmbedding;
 use sbon::core::circuit::Circuit;
 use sbon::core::costspace::CostSpaceBuilder;
+use sbon::core::optimizer::{IntegratedOptimizer, OptimizerConfig, QuerySpec, TwoStepOptimizer};
 use sbon::core::placement::{
     map_circuit, optimal_tree_placement, OracleMapper, RelaxationPlacer, VirtualPlacer,
 };
-use sbon::core::optimizer::{IntegratedOptimizer, OptimizerConfig, QuerySpec, TwoStepOptimizer};
 use sbon::netsim::graph::NodeId;
 use sbon::netsim::latency::{EuclideanLatency, LatencyProvider};
 use sbon::query::enumerate::{all_join_trees, dp_best_plan};

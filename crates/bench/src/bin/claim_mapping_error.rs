@@ -23,7 +23,7 @@ fn main() {
     // `SBON_SMOKE=1` shrinks the sweep (fewer dims/nodes/samples) so CI can
     // exercise this binary end-to-end in seconds; any other value, or unset,
     // runs the full paper sweep.
-    let smoke = std::env::var_os("SBON_SMOKE").is_some_and(|v| v == "1");
+    let smoke = sbon_bench::smoke();
     let (dims_sweep, node_sweep, samples): (&[usize], &[usize], usize) =
         if smoke { (&[2, 3], &[100], 60) } else { (&[2, 3, 4, 5], &[100, 300, 600, 1000], 300) };
 

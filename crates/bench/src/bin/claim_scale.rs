@@ -12,29 +12,38 @@
 
 use std::time::Instant;
 
-use sbon_bench::{build_world, pick_hosts, section, WorldConfig};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use sbon_bench::{build_world, pick_hosts, section, smoke, WorldConfig};
 use sbon_core::circuit::Circuit;
 use sbon_core::optimizer::QuerySpec;
 use sbon_core::placement::{
     map_circuit, optimal_tree_placement, DhtMapper, OracleMapper, RelaxationPlacer, VirtualPlacer,
 };
+use sbon_netsim::dijkstra::all_pairs_latency;
+use sbon_netsim::graph::EdgeId;
 use sbon_netsim::latency::LatencyProvider;
+use sbon_netsim::lazy::LazyLatency;
 use sbon_netsim::metrics::Summary;
 use sbon_netsim::rng::derive_rng;
+use sbon_netsim::topology::transit_stub::{generate, TransitStubConfig};
 
 fn main() {
+    let smoke = smoke();
     section("C3 — placement cost vs overlay scale");
     println!(
         "{:>6} | {:>12} {:>12} {:>12} | {:>9} | {:>12}",
         "nodes", "tree-DP µs", "virtual µs", "map µs", "DHT hops", "cs/optimal"
     );
 
-    for nodes in [100usize, 200, 400, 800, 1600] {
+    let sizes: &[usize] = if smoke { &[100, 200, 400] } else { &[100, 200, 400, 800, 1600] };
+    for &nodes in sizes {
         let world = build_world(&WorldConfig { nodes, ..Default::default() }, nodes as u64);
         let mut rng = derive_rng(nodes as u64, 0xC3);
         let hosts_all = world.topology.host_candidates();
 
-        let trials = 30;
+        let trials = if smoke { 8 } else { 30 };
         let mut t_dp = Vec::new();
         let mut t_virtual = Vec::new();
         let mut t_map = Vec::new();
@@ -93,4 +102,118 @@ fn main() {
     println!("~quadratically with n (plus the hidden all-pairs state), while virtual");
     println!("placement is independent of n and DHT mapping grows ~log n — at a small");
     println!("constant-factor cost premium over the true optimum.");
+
+    backend_comparison(smoke);
+}
+
+/// C3b — the *state* side of the scale claim: what it costs just to hold
+/// and maintain ground-truth latency at size n. Dense pays `O(n²)` memory
+/// up front and a full all-pairs recompute whenever edge churn dirties the
+/// underlay; the lazy backend computes only the rows an optimizer workload
+/// touches and, after churn, recomputes only the touched-AND-dirty ones.
+fn backend_comparison(smoke: bool) {
+    section("C3b — dense vs lazy latency backend (state + churn cost)");
+    println!(
+        "{:>6} | {:>11} {:>9} | {:>11} {:>7} {:>9} | {:>11} {:>11} | {:>7}",
+        "nodes",
+        "dense ms",
+        "dense MB",
+        "lazy ms",
+        "rows",
+        "lazy MB",
+        "churn:dense",
+        "churn:lazy",
+        "speedup"
+    );
+
+    let sizes: &[usize] = if smoke { &[200, 400] } else { &[400, 800, 1600, 3200] };
+    for &nodes in sizes {
+        let topo = generate(&TransitStubConfig::with_total_nodes(nodes), nodes as u64);
+        let n = topo.num_nodes();
+        let mut rng = derive_rng(nodes as u64, 0xC3B);
+
+        // Dense: materialize everything.
+        let start = Instant::now();
+        let dense = all_pairs_latency(&topo.graph);
+        let t_dense_ms = start.elapsed().as_secs_f64() * 1e3;
+        // current + base copy, as the jitter-capable runtime holds them.
+        let dense_mb = (2 * n * n * 8) as f64 / (1024.0 * 1024.0);
+
+        // Lazy: serve a realistic optimizer workload — host pairs of a
+        // few dozen queries — computing only the touched rows.
+        let mut lazy = LazyLatency::new(topo.graph.clone());
+        let queries = 30;
+        let workload: Vec<Vec<sbon_netsim::graph::NodeId>> = (0..queries)
+            .map(|_| {
+                let mut hosts = topo.host_candidates();
+                hosts.shuffle(&mut rng);
+                hosts.truncate(6);
+                hosts
+            })
+            .collect();
+        let run_workload = |lazy: &LazyLatency| {
+            let mut acc = 0.0;
+            for hosts in &workload {
+                for &a in hosts {
+                    for &b in hosts {
+                        acc += lazy.latency(a, b);
+                    }
+                }
+            }
+            acc
+        };
+        let start = Instant::now();
+        let check_lazy = run_workload(&lazy);
+        let t_lazy_ms = start.elapsed().as_secs_f64() * 1e3;
+        let stats = lazy.stats();
+        let lazy_mb = (stats.rows_cached * n * 8) as f64 / (1024.0 * 1024.0);
+
+        // Spot-check equivalence while the dense matrix is still around.
+        let check_dense: f64 = workload
+            .iter()
+            .flat_map(|hosts| hosts.iter().flat_map(|&a| hosts.iter().map(move |&b| (a, b))))
+            .map(|(a, b)| dense.latency(a, b))
+            .sum();
+        assert_eq!(check_lazy, check_dense, "backends must serve identical latencies");
+
+        // One churn tick dirties 64 random edges. Ground truth under the
+        // dense backend needs a full all-pairs recompute; the lazy backend
+        // re-runs the workload, recomputing only dirty touched rows.
+        let m = lazy.graph().num_edges();
+        for _ in 0..64 {
+            let e = EdgeId(rng.gen_range(0..m) as u32);
+            let f = rng.gen_range(0.7..1.45);
+            lazy.scale_edge_clamped(e, f, (0.5, 3.0));
+        }
+        let start = Instant::now();
+        let refreshed = all_pairs_latency(lazy.graph());
+        let t_churn_dense_ms = start.elapsed().as_secs_f64() * 1e3;
+        let start = Instant::now();
+        let check_after = run_workload(&lazy);
+        let t_churn_lazy_ms = start.elapsed().as_secs_f64() * 1e3;
+        let check_refreshed: f64 = workload
+            .iter()
+            .flat_map(|hosts| hosts.iter().flat_map(|&a| hosts.iter().map(move |&b| (a, b))))
+            .map(|(a, b)| refreshed.latency(a, b))
+            .sum();
+        assert_eq!(check_after, check_refreshed, "churned backends must still agree");
+
+        println!(
+            "{:>6} | {:>11.1} {:>9.1} | {:>11.2} {:>7} {:>9.3} | {:>11.1} {:>11.2} | {:>6.0}x",
+            n,
+            t_dense_ms,
+            dense_mb,
+            t_lazy_ms,
+            stats.rows_computed,
+            lazy_mb,
+            t_churn_dense_ms,
+            t_churn_lazy_ms,
+            t_churn_dense_ms / t_churn_lazy_ms.max(1e-9),
+        );
+    }
+
+    println!();
+    println!("shape check: dense precompute and memory grow ~n² while the lazy");
+    println!("backend's cost tracks the workload's touched rows (~queries·hosts),");
+    println!("and a churn tick costs a full recompute only for the dense path.");
 }

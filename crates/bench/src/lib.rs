@@ -14,6 +14,7 @@ use sbon_core::costspace::{CostSpace, CostSpaceBuilder};
 use sbon_netsim::dijkstra::all_pairs_latency;
 use sbon_netsim::graph::NodeId;
 use sbon_netsim::latency::LatencyMatrix;
+use sbon_netsim::lazy::LazyLatency;
 use sbon_netsim::load::{LoadModel, NodeAttrs};
 use sbon_netsim::rng::derive_rng;
 use sbon_netsim::topology::transit_stub::{generate, TransitStubConfig};
@@ -68,6 +69,49 @@ pub fn build_world(config: &WorldConfig, seed: u64) -> World {
     let attrs = config.load.generate(topology.num_nodes(), &mut rng);
     let space = CostSpaceBuilder::latency_load_space_scaled(&embedding, &attrs, config.load_scale);
     World { topology, latency, embedding, attrs, space, seed }
+}
+
+/// A world whose ground-truth latency is served by the demand-driven
+/// [`LazyLatency`] backend instead of a dense matrix — the shape used by
+/// the thousand-node sweeps, where `O(n²)` state is the bottleneck.
+pub struct LazyWorld {
+    /// The underlay topology.
+    pub topology: Topology,
+    /// Demand-driven ground-truth latency (bit-identical to the dense
+    /// matrix on every query).
+    pub latency: LazyLatency,
+    /// Vivaldi embedding of the latency.
+    pub embedding: VivaldiEmbedding,
+    /// Node attributes (CPU load etc.).
+    pub attrs: NodeAttrs,
+    /// The latency+load² cost space over the embedding.
+    pub space: CostSpace,
+    /// The seed the world was built from.
+    pub seed: u64,
+}
+
+/// Builds a deterministic lazy-backend world. Identical to [`build_world`]
+/// in every produced value (the backends serve bit-identical latencies).
+/// Note the Vivaldi warm-up still transiently caches all `n` rows — one
+/// `n × n` peak, half the dense path's two resident copies — before they
+/// are evicted; afterwards the resident latency state is only what the
+/// caller queries. Construct `LazyLatency::with_capacity` yourself to
+/// bound even the warm-up peak, at the cost of per-round row recompute.
+pub fn build_lazy_world(config: &WorldConfig, seed: u64) -> LazyWorld {
+    let topology = generate(&TransitStubConfig::with_total_nodes(config.nodes), seed);
+    let latency = LazyLatency::new(topology.graph.clone());
+    let embedding = config.vivaldi.embed(&latency, seed);
+    latency.evict_all();
+    let mut rng = derive_rng(seed, 0x10ad);
+    let attrs = config.load.generate(topology.num_nodes(), &mut rng);
+    let space = CostSpaceBuilder::latency_load_space_scaled(&embedding, &attrs, config.load_scale);
+    LazyWorld { topology, latency, embedding, attrs, space, seed }
+}
+
+/// True when `SBON_SMOKE=1`: claim binaries shrink their sweeps to a
+/// seconds-long CI smoke run.
+pub fn smoke() -> bool {
+    std::env::var_os("SBON_SMOKE").is_some_and(|v| v == "1")
 }
 
 /// Draws `count` distinct stub-node hosts.
@@ -137,5 +181,26 @@ mod tests {
     #[test]
     fn geomean_of_constant_is_constant() {
         assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    /// The lazy world must be indistinguishable from the dense world built
+    /// from the same config and seed — same embedding, same cost space.
+    #[test]
+    fn lazy_world_matches_dense_world() {
+        use sbon_netsim::latency::LatencyProvider;
+        let cfg = WorldConfig { nodes: 100, ..Default::default() };
+        let dense = build_world(&cfg, 9);
+        let lazy = build_lazy_world(&cfg, 9);
+        assert_eq!(dense.embedding.coords, lazy.embedding.coords);
+        assert_eq!(dense.topology.num_nodes(), lazy.topology.num_nodes());
+        // Ground truth agrees bit-for-bit on sampled pairs.
+        for (a, b) in [(0u32, 50u32), (3, 97), (40, 41)] {
+            assert_eq!(
+                dense.latency.latency(NodeId(a), NodeId(b)),
+                lazy.latency.latency(NodeId(a), NodeId(b)),
+            );
+        }
+        // And the warm-up rows were evicted: only the queried rows reside.
+        assert!(lazy.latency.stats().rows_cached <= 3);
     }
 }

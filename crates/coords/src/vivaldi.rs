@@ -78,10 +78,7 @@ impl VivaldiConfig {
             for _round in 0..self.rounds {
                 for i in 0..n {
                     for _ in 0..self.samples_per_round {
-                        let mut j = rng.gen_range(0..n);
-                        if j == i {
-                            j = (j + 1) % n;
-                        }
+                        let j = gossip_partner(&mut rng, i, n);
                         let rtt = latency.latency(NodeId(i as u32), NodeId(j as u32));
                         if !rtt.is_finite() {
                             continue; // partitioned pair; skip the sample
@@ -233,6 +230,25 @@ impl VivaldiEmbedding {
     }
 }
 
+/// Draws a uniform gossip partner for node `i` among the other `n - 1`
+/// nodes by rejection sampling. Remapping a self-draw to a fixed neighbour
+/// (the old `(i + 1) % n`) gave that neighbour twice the probability of any
+/// other partner — a systematic ring-successor bias in the embedding.
+/// Still deterministic in the caller's seeded RNG; the expected number of
+/// draws per call is `n / (n - 1) ≤ 2` (i.e. `1 / (n - 1)` expected
+/// redraws).
+pub fn gossip_partner<R: Rng + ?Sized>(rng: &mut R, i: usize, n: usize) -> usize {
+    // Hard assert: with n <= 1 the rejection loop below could never
+    // terminate, so fail loudly instead of hanging in release builds.
+    assert!(n >= 2, "a partner requires at least two nodes, got {n}");
+    loop {
+        let j = rng.gen_range(0..n);
+        if j != i {
+            return j;
+        }
+    }
+}
+
 fn euclidean(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
     a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
@@ -375,6 +391,39 @@ mod tests {
         let world = euclidean_world(10, 12);
         let emb = VivaldiConfig::default().embed(&world, 12);
         assert!(emb.heights.iter().all(|&h| h == 0.0));
+    }
+
+    /// Frequency test for the gossip partner distribution: every `j != i`
+    /// must be drawn (close to) uniformly — in particular the ring successor
+    /// `i + 1` must NOT appear at double frequency, which the old
+    /// `(i + 1) % n` self-sample remap caused.
+    #[test]
+    fn gossip_partner_distribution_is_uniform() {
+        let n = 8;
+        let i = 3;
+        let draws = 70_000;
+        let mut counts = vec![0usize; n];
+        let mut rng = rng_from_seed(42);
+        for _ in 0..draws {
+            counts[gossip_partner(&mut rng, i, n)] += 1;
+        }
+        assert_eq!(counts[i], 0, "a node never samples itself");
+        let expected = draws as f64 / (n - 1) as f64;
+        for (j, &c) in counts.iter().enumerate() {
+            if j == i {
+                continue;
+            }
+            let ratio = c as f64 / expected;
+            // ±10% is > 5σ slack at these counts; the old remap put the
+            // successor at ratio 2.0.
+            assert!((0.9..1.1).contains(&ratio), "partner {j}: count {c}, ratio {ratio:.3}");
+        }
+        let successor = (i + 1) % n;
+        assert!(
+            (counts[successor] as f64) < expected * 1.1,
+            "ring successor must not be over-sampled: {}",
+            counts[successor]
+        );
     }
 
     #[test]

@@ -132,6 +132,29 @@ impl Graph {
         id
     }
 
+    /// The edge with the given id. Panics if `id` is out of range.
+    #[inline]
+    pub fn edge(&self, id: EdgeId) -> Edge {
+        self.edges[id.index()]
+    }
+
+    /// Overwrites the latency of an existing edge, returning the previous
+    /// value. Panics if `id` is out of range, or the new latency is not
+    /// finite or is negative — the same contract as [`Graph::add_edge`].
+    ///
+    /// This is the mutation hook used by churn/jitter processes that perturb
+    /// the underlay over time; consumers holding derived state (such as
+    /// cached shortest-path rows) must be invalidated by the caller.
+    pub fn set_edge_latency(&mut self, id: EdgeId, latency_ms: f64) -> f64 {
+        assert!(
+            latency_ms.is_finite() && latency_ms >= 0.0,
+            "edge latency must be finite and non-negative, got {latency_ms}"
+        );
+        let old = self.edges[id.index()].latency_ms;
+        self.edges[id.index()].latency_ms = latency_ms;
+        old
+    }
+
     /// Neighbors of `v` with the latency of the connecting edge.
     pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = (NodeId, f64)> + '_ {
         self.adjacency[v.index()].iter().map(move |&(n, e)| (n, self.edges[e.index()].latency_ms))
@@ -222,6 +245,25 @@ mod tests {
     fn add_edge_rejects_negative_latency() {
         let mut g = Graph::new(2);
         g.add_edge(NodeId(0), NodeId(1), -1.0);
+    }
+
+    #[test]
+    fn set_edge_latency_updates_both_directions() {
+        let mut g = Graph::new(2);
+        let e = g.add_edge(NodeId(0), NodeId(1), 3.0);
+        let old = g.set_edge_latency(e, 9.0);
+        assert_eq!(old, 3.0);
+        assert_eq!(g.edge(e).latency_ms, 9.0);
+        assert_eq!(g.neighbors(NodeId(0)).next(), Some((NodeId(1), 9.0)));
+        assert_eq!(g.neighbors(NodeId(1)).next(), Some((NodeId(0), 9.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn set_edge_latency_rejects_nan() {
+        let mut g = Graph::new(2);
+        let e = g.add_edge(NodeId(0), NodeId(1), 1.0);
+        g.set_edge_latency(e, f64::NAN);
     }
 
     #[test]

@@ -23,6 +23,16 @@ pub trait LatencyProvider {
     }
 }
 
+impl<T: LatencyProvider + ?Sized> LatencyProvider for &T {
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn latency(&self, a: NodeId, b: NodeId) -> f64 {
+        (**self).latency(a, b)
+    }
+}
+
 /// Dense all-pairs latency matrix (ground truth for the simulations).
 #[derive(Clone, Debug)]
 pub struct LatencyMatrix {

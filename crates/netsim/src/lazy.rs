@@ -1,0 +1,414 @@
+//! Lazy, churn-aware shortest-path latency provider.
+//!
+//! [`crate::dijkstra::all_pairs_latency`] materializes the full `n × n`
+//! matrix up front: `O(n²)` memory and `O(n·(m + n log n))` precompute.
+//! That is fine at the paper's 600-node scale but caps the thousand-node
+//! runs the cost-space argument is about — the baseline's *data structure*
+//! becomes the bottleneck before the placement algorithm does.
+//!
+//! [`LazyLatency`] keeps the topology graph instead and computes
+//! **per-source single-source-shortest-path rows on demand**, caching each
+//! row the first time any latency out of that source is queried. A steady
+//! simulation tick therefore touches only the rows the optimizer actually
+//! reads (the hosts of deployed circuits), not all `n` of them.
+//!
+//! # Invalidation contract
+//!
+//! Edge mutations go through [`LazyLatency::set_edge_latency`] (or the
+//! jitter convenience [`LazyLatency::scale_edge_clamped`]). On a weight
+//! change `w_old → w_new` of edge `(u, v)`, a cached row with distances `d`
+//! is dropped iff the edge is *relevant* to it, i.e. it lies on a shortest
+//! path under the old weight or can create a shortcut under the new one:
+//!
+//! ```text
+//! relevant(w) := d[u] + w ≤ d[v] + ε  ∨  d[v] + w ≤ d[u] + ε
+//! stale       := relevant(w_old) ∨ relevant(w_new)
+//! ```
+//!
+//! The check is conservative (`ε` absorbs float ties, alternate equal-cost
+//! paths only cause a spurious recompute), so every row served after a
+//! mutation is **bit-identical** to the corresponding row of
+//! `all_pairs_latency` recomputed on the mutated graph — rows are produced
+//! by the same [`crate::dijkstra::single_source`] routine either way. The
+//! property suite in `tests/properties.rs` pins this equivalence across
+//! random topologies, jitter sequences, and interleavings.
+//!
+//! # Memory bound
+//!
+//! [`LazyLatency::with_capacity`] caps the number of resident rows with
+//! FIFO eviction, bounding memory at `O(capacity · n)` regardless of query
+//! pattern; [`LazyLatency::evict_all`] drops the whole cache (useful after
+//! a warm-up phase, e.g. a Vivaldi embedding, whose rows the steady state
+//! will never read again).
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+
+use crate::dijkstra::single_source;
+use crate::graph::{EdgeId, Graph, NodeId};
+use crate::latency::LatencyProvider;
+
+/// Absolute slack (ms) used when testing whether an edge is tight on a
+/// cached shortest-path row. Latencies are milliseconds-scale, so this is
+/// far below any real tie yet far above accumulated float error.
+const TIGHT_EPS_MS: f64 = 1e-9;
+
+/// Counters describing how a [`LazyLatency`] has been exercised.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LazyLatencyStats {
+    /// Dijkstra rows computed (cache misses).
+    pub rows_computed: u64,
+    /// Queries answered from a cached row.
+    pub cache_hits: u64,
+    /// Rows dropped because an edge mutation made them stale.
+    pub rows_invalidated: u64,
+    /// Rows dropped while still valid: capacity-bound evictions plus
+    /// explicit [`LazyLatency::evict_all`] calls (e.g. the runtime's
+    /// post-embedding warm-up flush).
+    pub rows_evicted: u64,
+    /// Rows currently resident.
+    pub rows_cached: usize,
+}
+
+struct RowCache {
+    /// `rows[src]` — cached SSSP distances from `src`, if resident.
+    rows: Vec<Option<Box<[f64]>>>,
+    /// Insertion order of resident rows, for FIFO eviction.
+    order: VecDeque<u32>,
+    rows_computed: u64,
+    cache_hits: u64,
+    rows_invalidated: u64,
+    rows_evicted: u64,
+}
+
+impl RowCache {
+    fn new(n: usize) -> Self {
+        RowCache {
+            rows: vec![None; n],
+            order: VecDeque::new(),
+            rows_computed: 0,
+            cache_hits: 0,
+            rows_invalidated: 0,
+            rows_evicted: 0,
+        }
+    }
+}
+
+/// Demand-driven shortest-path latency over a mutable topology graph.
+///
+/// Implements [`LatencyProvider`]; see the [module docs](self) for the
+/// caching and invalidation contract.
+///
+/// ```
+/// use sbon_netsim::graph::{Graph, NodeId};
+/// use sbon_netsim::latency::LatencyProvider;
+/// use sbon_netsim::lazy::LazyLatency;
+///
+/// let mut g = Graph::new(3);
+/// g.add_edge(NodeId(0), NodeId(1), 2.0);
+/// let e = g.add_edge(NodeId(1), NodeId(2), 3.0);
+/// let mut lat = LazyLatency::new(g);
+/// assert_eq!(lat.latency(NodeId(0), NodeId(2)), 5.0);
+/// lat.set_edge_latency(e, 1.0); // invalidates the stale row
+/// assert_eq!(lat.latency(NodeId(0), NodeId(2)), 3.0);
+/// ```
+pub struct LazyLatency {
+    graph: Graph,
+    /// Edge latencies at construction time — the reference for jitter bands.
+    base_edges: Vec<f64>,
+    capacity: Option<usize>,
+    cache: RefCell<RowCache>,
+}
+
+impl LazyLatency {
+    /// Wraps a topology graph with an unbounded row cache.
+    pub fn new(graph: Graph) -> Self {
+        Self::build(graph, None)
+    }
+
+    /// Wraps a topology graph keeping at most `capacity` rows resident
+    /// (FIFO eviction). `capacity` is clamped to at least 1.
+    pub fn with_capacity(graph: Graph, capacity: usize) -> Self {
+        Self::build(graph, Some(capacity.max(1)))
+    }
+
+    fn build(graph: Graph, capacity: Option<usize>) -> Self {
+        let n = graph.num_nodes();
+        let base_edges = graph.edges().iter().map(|e| e.latency_ms).collect();
+        LazyLatency { graph, base_edges, capacity, cache: RefCell::new(RowCache::new(n)) }
+    }
+
+    /// The underlying (possibly mutated) topology graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The latency an edge had at construction time.
+    pub fn base_edge_latency(&self, id: EdgeId) -> f64 {
+        self.base_edges[id.index()]
+    }
+
+    /// Overwrites the latency of edge `id`, dropping every cached row the
+    /// change could make stale (see the [module docs](self)). Returns the
+    /// previous latency. No-op (and no invalidation) if the value is
+    /// unchanged.
+    pub fn set_edge_latency(&mut self, id: EdgeId, latency_ms: f64) -> f64 {
+        let edge = self.graph.edge(id);
+        let old = edge.latency_ms;
+        if latency_ms == old {
+            return old;
+        }
+        self.graph.set_edge_latency(id, latency_ms);
+        self.invalidate_stale(edge.a, edge.b, old, latency_ms);
+        old
+    }
+
+    /// Jitter convenience: multiplies edge `id` by `factor` and clamps the
+    /// result to `band` × the edge's *base* latency, mirroring the
+    /// mean-reverting pair jitter of the dense path at edge granularity.
+    /// Returns the new latency.
+    pub fn scale_edge_clamped(&mut self, id: EdgeId, factor: f64, band: (f64, f64)) -> f64 {
+        let base = self.base_edges[id.index()];
+        let cur = self.graph.edge(id).latency_ms;
+        let next = (cur * factor).clamp(base * band.0, base * band.1);
+        self.set_edge_latency(id, next);
+        next
+    }
+
+    /// Drops every cached row. Counters other than `rows_cached` are kept.
+    pub fn evict_all(&self) {
+        let mut cache = self.cache.borrow_mut();
+        let dropped = cache.order.len() as u64;
+        cache.rows_evicted += dropped;
+        cache.order.clear();
+        for row in cache.rows.iter_mut() {
+            *row = None;
+        }
+    }
+
+    /// Usage counters so far.
+    pub fn stats(&self) -> LazyLatencyStats {
+        let cache = self.cache.borrow();
+        LazyLatencyStats {
+            rows_computed: cache.rows_computed,
+            cache_hits: cache.cache_hits,
+            rows_invalidated: cache.rows_invalidated,
+            rows_evicted: cache.rows_evicted,
+            rows_cached: cache.order.len(),
+        }
+    }
+
+    /// Drops cached rows for which the `(u, v)` edge changing `w_old →
+    /// w_new` could alter any distance.
+    fn invalidate_stale(&mut self, u: NodeId, v: NodeId, w_old: f64, w_new: f64) {
+        let cache = self.cache.get_mut();
+        let mut dropped = 0u64;
+        cache.order.retain(|&src| {
+            let row = cache.rows[src as usize].as_deref().expect("ordered rows are resident");
+            let (du, dv) = (row[u.index()], row[v.index()]);
+            // A weight change cannot connect a component the source does not
+            // already reach (edges are never *added* through this path), so
+            // doubly-unreachable endpoints leave the row valid. A mixed
+            // finite/infinite pair is impossible while the edge exists.
+            if du.is_infinite() && dv.is_infinite() {
+                return true;
+            }
+            let relevant = |w: f64| du + w <= dv + TIGHT_EPS_MS || dv + w <= du + TIGHT_EPS_MS;
+            if relevant(w_old) || relevant(w_new) {
+                cache.rows[src as usize] = None;
+                dropped += 1;
+                false
+            } else {
+                true
+            }
+        });
+        cache.rows_invalidated += dropped;
+    }
+}
+
+impl LatencyProvider for LazyLatency {
+    fn len(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    fn latency(&self, a: NodeId, b: NodeId) -> f64 {
+        let mut cache = self.cache.borrow_mut();
+        if let Some(row) = cache.rows[a.index()].as_deref() {
+            let value = row[b.index()];
+            cache.cache_hits += 1;
+            return value;
+        }
+        let row = single_source(&self.graph, a).into_boxed_slice();
+        let value = row[b.index()];
+        cache.rows_computed += 1;
+        if let Some(cap) = self.capacity {
+            while cache.order.len() >= cap {
+                let victim = cache.order.pop_front().expect("capacity >= 1");
+                cache.rows[victim as usize] = None;
+                cache.rows_evicted += 1;
+            }
+        }
+        cache.rows[a.index()] = Some(row);
+        cache.order.push_back(a.0);
+        value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::all_pairs_latency;
+    use crate::rng::rng_from_seed;
+    use crate::topology::transit_stub::{generate, TransitStubConfig};
+    use rand::Rng;
+
+    /// Every (source, destination) latency must be bit-identical to the
+    /// dense matrix built from the same graph.
+    fn assert_matches_dense(lazy: &LazyLatency) {
+        let dense = all_pairs_latency(lazy.graph());
+        let n = lazy.len();
+        for a in 0..n as u32 {
+            for b in 0..n as u32 {
+                let (a, b) = (NodeId(a), NodeId(b));
+                let (l, d) = (lazy.latency(a, b), dense.latency(a, b));
+                assert!(l == d || (l.is_nan() && d.is_nan()), "lazy {l} != dense {d} for {a}->{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_dense_on_fresh_topology() {
+        let t = generate(&TransitStubConfig::with_total_nodes(80), 11);
+        let lazy = LazyLatency::new(t.graph);
+        assert_matches_dense(&lazy);
+    }
+
+    #[test]
+    fn matches_dense_after_random_edge_churn() {
+        let t = generate(&TransitStubConfig::with_total_nodes(60), 3);
+        let mut lazy = LazyLatency::new(t.graph);
+        let mut rng = rng_from_seed(3);
+        let m = lazy.graph().num_edges();
+        for round in 0..6 {
+            // Warm some rows, mutate some edges, then verify everything.
+            for _ in 0..10 {
+                let a = NodeId(rng.gen_range(0..lazy.len() as u32));
+                let b = NodeId(rng.gen_range(0..lazy.len() as u32));
+                lazy.latency(a, b);
+            }
+            for _ in 0..8 {
+                let e = EdgeId(rng.gen_range(0..m as u32));
+                let f = rng.gen_range(0.5..2.0);
+                lazy.scale_edge_clamped(e, f, (0.25, 4.0));
+            }
+            assert_matches_dense(&lazy);
+            assert!(lazy.stats().rows_computed > 0, "round {round}");
+        }
+    }
+
+    #[test]
+    fn repeat_queries_hit_the_cache() {
+        let t = generate(&TransitStubConfig::with_total_nodes(40), 5);
+        let lazy = LazyLatency::new(t.graph);
+        lazy.latency(NodeId(0), NodeId(7));
+        lazy.latency(NodeId(0), NodeId(9));
+        let s = lazy.stats();
+        assert_eq!(s.rows_computed, 1);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.rows_cached, 1);
+    }
+
+    #[test]
+    fn irrelevant_edge_mutation_keeps_rows() {
+        // Line 0 -1- 1 -1- 2, plus a far-away pair 3 -1- 4: changing the
+        // (3,4) edge cannot affect distances out of node 0.
+        let mut g = Graph::new(5);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        g.add_edge(NodeId(1), NodeId(2), 1.0);
+        let far = g.add_edge(NodeId(3), NodeId(4), 1.0);
+        let mut lazy = LazyLatency::new(g);
+        assert_eq!(lazy.latency(NodeId(0), NodeId(2)), 2.0);
+        lazy.set_edge_latency(far, 5.0);
+        let s = lazy.stats();
+        assert_eq!(s.rows_invalidated, 0, "disconnected-component edge must not dirty row 0");
+        assert_eq!(s.rows_cached, 1);
+    }
+
+    #[test]
+    fn relevant_edge_mutation_drops_only_stale_rows() {
+        // 0 -1- 1 -1- 2 (a line). Row from 0 uses edge (1,2); row from 2
+        // also uses it; both must drop when it changes.
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        let e = g.add_edge(NodeId(1), NodeId(2), 1.0);
+        let mut lazy = LazyLatency::new(g);
+        lazy.latency(NodeId(0), NodeId(2));
+        lazy.latency(NodeId(2), NodeId(0));
+        lazy.set_edge_latency(e, 10.0);
+        assert_eq!(lazy.stats().rows_cached, 0);
+        assert_eq!(lazy.latency(NodeId(0), NodeId(2)), 11.0);
+        assert_eq!(lazy.latency(NodeId(2), NodeId(0)), 11.0);
+    }
+
+    #[test]
+    fn unchanged_weight_is_a_noop() {
+        let mut g = Graph::new(2);
+        let e = g.add_edge(NodeId(0), NodeId(1), 4.0);
+        let mut lazy = LazyLatency::new(g);
+        lazy.latency(NodeId(0), NodeId(1));
+        lazy.set_edge_latency(e, 4.0);
+        assert_eq!(lazy.stats().rows_invalidated, 0);
+        assert_eq!(lazy.stats().rows_cached, 1);
+    }
+
+    #[test]
+    fn capacity_bounds_resident_rows() {
+        let t = generate(&TransitStubConfig::with_total_nodes(50), 7);
+        let lazy = LazyLatency::with_capacity(t.graph, 3);
+        for src in 0..10u32 {
+            lazy.latency(NodeId(src), NodeId(20));
+        }
+        let s = lazy.stats();
+        assert_eq!(s.rows_cached, 3);
+        assert_eq!(s.rows_computed, 10);
+        assert_eq!(s.rows_evicted, 7);
+        // Evicted rows recompute correctly.
+        assert_matches_dense(&lazy);
+    }
+
+    #[test]
+    fn evict_all_clears_cache_but_not_the_graph() {
+        let t = generate(&TransitStubConfig::with_total_nodes(40), 9);
+        let lazy = LazyLatency::new(t.graph);
+        let before = lazy.latency(NodeId(1), NodeId(30));
+        lazy.evict_all();
+        assert_eq!(lazy.stats().rows_cached, 0);
+        assert_eq!(lazy.latency(NodeId(1), NodeId(30)), before);
+    }
+
+    #[test]
+    fn unreachable_pairs_are_infinite() {
+        let g = Graph::new(2);
+        let lazy = LazyLatency::new(g);
+        assert!(lazy.latency(NodeId(0), NodeId(1)).is_infinite());
+        assert_eq!(lazy.latency(NodeId(0), NodeId(0)), 0.0);
+    }
+
+    #[test]
+    fn scale_edge_respects_band() {
+        let mut g = Graph::new(2);
+        let e = g.add_edge(NodeId(0), NodeId(1), 10.0);
+        let mut lazy = LazyLatency::new(g);
+        // Repeated inflation saturates at band.1 × base.
+        for _ in 0..10 {
+            lazy.scale_edge_clamped(e, 2.0, (0.5, 3.0));
+        }
+        assert_eq!(lazy.latency(NodeId(0), NodeId(1)), 30.0);
+        assert_eq!(lazy.base_edge_latency(e), 10.0);
+        // And repeated deflation saturates at band.0 × base.
+        for _ in 0..10 {
+            lazy.scale_edge_clamped(e, 0.5, (0.5, 3.0));
+        }
+        assert_eq!(lazy.latency(NodeId(0), NodeId(1)), 5.0);
+    }
+}

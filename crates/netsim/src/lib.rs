@@ -11,6 +11,9 @@
 //!   matrix that defines "true" network latency between overlay nodes.
 //! * [`latency`] — the [`latency::LatencyProvider`] abstraction consumed by
 //!   the coordinate and placement layers.
+//! * [`lazy`] — a demand-driven alternative to the dense matrix:
+//!   per-source shortest-path rows computed on first use, cached, and
+//!   invalidated per dirty source when churn mutates edges.
 //! * [`load`] — per-node scalar attributes (CPU load, ...) and the churn
 //!   processes that drive the paper's "dynamic node and network
 //!   characteristics" challenge.
@@ -19,10 +22,26 @@
 //! * [`rng`] — seedable RNG utilities so every experiment is reproducible.
 //! * [`metrics`] — small statistics helpers (percentiles, summaries) shared
 //!   by the bench harnesses.
+//!
+//! # Choosing a latency backend
+//!
+//! Two interchangeable [`latency::LatencyProvider`] ground-truth backends
+//! cover different scales:
+//!
+//! | backend | memory | precompute | best for |
+//! |---|---|---|---|
+//! | [`latency::LatencyMatrix`] (via [`dijkstra::all_pairs_latency`]) | `O(n²)` always | `O(n·(m + n log n))` up front | `n ≲ 1000`, query-everything workloads |
+//! | [`lazy::LazyLatency`] | `O(rows_touched · n)`, boundable via `with_capacity` | none — each row `O(m + n log n)` on first touch | thousand-node runs, churn, sparse query sets |
+//!
+//! Both produce bit-identical latencies for any query (rows come from the
+//! same Dijkstra); the lazy backend additionally survives edge churn by
+//! invalidating only the rows a mutated edge could affect — see the
+//! [`lazy`] module docs for the exact invalidation contract.
 
 pub mod dijkstra;
 pub mod graph;
 pub mod latency;
+pub mod lazy;
 pub mod load;
 pub mod metrics;
 pub mod rng;
@@ -31,5 +50,6 @@ pub mod topology;
 
 pub use graph::{EdgeId, Graph, NodeId};
 pub use latency::{LatencyMatrix, LatencyProvider};
+pub use lazy::{LazyLatency, LazyLatencyStats};
 pub use load::{ChurnProcess, LoadModel, NodeAttrs};
 pub use sim::{EventQueue, SimTime};

@@ -17,8 +17,11 @@ impl SimTime {
     /// Time zero.
     pub const ZERO: SimTime = SimTime(0.0);
 
-    /// Adds a delay.
+    /// Adds a delay. Panics if the delay is not finite — a NaN or infinite
+    /// delay would silently produce an unschedulable time and, pre-guard,
+    /// corrupt the event heap's ordering.
     pub fn after(self, delay_ms: f64) -> SimTime {
+        assert!(delay_ms.is_finite(), "delay must be finite, got {delay_ms}");
         debug_assert!(delay_ms >= 0.0, "negative delay");
         SimTime(self.0 + delay_ms)
     }
@@ -43,12 +46,10 @@ impl<E> PartialEq for Scheduled<E> {
 impl<E> Eq for Scheduled<E> {}
 impl<E> Ord for Scheduled<E> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Min-heap: earlier time first, then earlier sequence number.
-        other
-            .time
-            .partial_cmp(&self.time)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| other.seq.cmp(&self.seq))
+        // Min-heap: earlier time first, then earlier sequence number. Times
+        // are finite (enforced by `schedule`), so `total_cmp` agrees with
+        // the numeric order while staying a proper total order.
+        other.time.total_cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 impl<E> PartialOrd for Scheduled<E> {
@@ -101,9 +102,12 @@ impl<E> EventQueue<E> {
         self.heap.is_empty()
     }
 
-    /// Schedules `event` at absolute time `at`. Panics if `at` is in the
-    /// simulated past — an event may not rewrite history.
+    /// Schedules `event` at absolute time `at`. Panics if `at` is not
+    /// finite (a NaN would compare `Equal` to everything and corrupt the
+    /// heap's ordering; `∞` would never fire) or is in the simulated past —
+    /// an event may not rewrite history.
     pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(at.0.is_finite(), "cannot schedule at non-finite time {}", at.0);
         assert!(at.0 >= self.now, "cannot schedule at {} before now {}", at.0, self.now);
         self.heap.push(Scheduled { time: at.0, seq: self.seq, event });
         self.seq += 1;
@@ -179,6 +183,40 @@ mod tests {
         q.schedule(SimTime(5.0), ());
         q.pop();
         q.schedule(SimTime(1.0), ());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn scheduling_at_nan_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(f64::NAN), ());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn scheduling_at_infinity_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(f64::INFINITY), ());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn after_rejects_nan_delay() {
+        let _ = SimTime::ZERO.after(f64::NAN);
+    }
+
+    /// Regression: before the `schedule` guard, a NaN time compared `Equal`
+    /// to every other entry and could bury finite events under it. Finite
+    /// events around the guard's boundary must still pop in order.
+    #[test]
+    fn finite_times_pop_in_order_after_guard() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(f64::MAX), "max");
+        q.schedule(SimTime(1.0), "one");
+        q.schedule(SimTime(0.0), "zero");
+        assert_eq!(q.pop().unwrap().1, "zero");
+        assert_eq!(q.pop().unwrap().1, "one");
+        assert_eq!(q.pop().unwrap().1, "max");
     }
 
     #[test]

@@ -235,11 +235,13 @@ mod tests {
     #[test]
     fn delivery_latency_bounded_by_worst_path() {
         let (circuit, placement, latency) = placed_fixture(2);
+        // Long enough that the (selectivity-thinned) join output certainly
+        // delivers tuples at this seed.
         let report = simulate_circuit(
             &circuit,
             &placement,
             &latency,
-            DataPlaneConfig { duration_ms: 30_000.0, seed: 2 },
+            DataPlaneConfig { duration_ms: 120_000.0, seed: 2 },
         );
         // Propagation-only data plane: nothing can take longer than the
         // longest producer→consumer path.
@@ -249,6 +251,7 @@ mod tests {
             report.max_delivery_latency_ms,
             report.predicted_max_path_latency_ms
         );
+        assert!(report.tuples_delivered > 0, "delivered {}", report.tuples_delivered);
         assert!(report.mean_delivery_latency_ms > 0.0);
     }
 

@@ -34,5 +34,5 @@ pub mod traffic;
 
 pub use dataplane::{simulate_circuit, DataPlaneConfig, DataPlaneReport};
 pub use report::{RunReport, Sample};
-pub use runtime::{CircuitHandle, LatencyJitter, OverlayRuntime, RuntimeConfig};
+pub use runtime::{CircuitHandle, LatencyBackend, LatencyJitter, OverlayRuntime, RuntimeConfig};
 pub use traffic::LinkTraffic;

@@ -9,8 +9,9 @@ use sbon_core::optimizer::{IntegratedOptimizer, OptimizerConfig, QuerySpec};
 use sbon_core::placement::{OracleMapper, RelaxationPlacer};
 use sbon_core::reopt::{reoptimize_full, reoptimize_local, FullReoptOutcome, ReoptPolicy};
 use sbon_netsim::dijkstra::all_pairs_latency;
-use sbon_netsim::graph::NodeId;
+use sbon_netsim::graph::{EdgeId, NodeId};
 use sbon_netsim::latency::{LatencyMatrix, LatencyProvider};
+use sbon_netsim::lazy::{LazyLatency, LazyLatencyStats};
 use sbon_netsim::load::{ChurnProcess, LoadModel, NodeAttrs};
 use sbon_netsim::rng::derive_rng;
 use sbon_netsim::sim::{EventQueue, SimTime};
@@ -23,9 +24,16 @@ use crate::report::{RunReport, Sample};
 /// Mean-reverting: the perturbed latency is clamped to `band` × the
 /// topology's base latency, so jitter models congestion episodes rather
 /// than an unboundedly drifting network.
+///
+/// Granularity depends on the [`LatencyBackend`]: the dense backend rescales
+/// end-to-end *node pair* entries of the materialized matrix, while the lazy
+/// backend rescales *underlay edges* of the topology graph (congestion on a
+/// link perturbs every path crossing it), invalidating only the cached
+/// shortest-path rows the edge could affect.
 #[derive(Clone, Copy, Debug)]
 pub struct LatencyJitter {
-    /// Node pairs rescaled per tick.
+    /// Node pairs (dense backend) or underlay edges (lazy backend) rescaled
+    /// per tick.
     pub pairs_per_tick: usize,
     /// Multiplicative factor range `(lo, hi)` applied to a pair's latency.
     pub factor_range: (f64, f64),
@@ -37,6 +45,23 @@ impl Default for LatencyJitter {
     fn default() -> Self {
         LatencyJitter { pairs_per_tick: 0, factor_range: (0.7, 1.45), band: (0.5, 3.0) }
     }
+}
+
+/// Ground-truth latency data structure used by the runtime.
+///
+/// `Dense` materializes the all-pairs matrix up front — `O(n²)` memory,
+/// `O(n·(m + n log n))` precompute — and stays the default for the paper's
+/// ≤600-node scale. `Lazy` keeps the topology graph and computes per-source
+/// shortest-path rows on demand ([`LazyLatency`]), which is what makes
+/// thousand-node runs with churn tractable; see the `sbon_netsim::lazy`
+/// module docs for the invalidation contract.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LatencyBackend {
+    /// Eager all-pairs matrix (the historical behaviour).
+    #[default]
+    Dense,
+    /// Demand-driven per-source rows with churn-aware invalidation.
+    Lazy,
 }
 
 /// Runtime configuration.
@@ -70,6 +95,12 @@ pub struct RuntimeConfig {
     pub load_scale: f64,
     /// Vivaldi settings for the embedding built at start-up.
     pub vivaldi: VivaldiConfig,
+    /// Ground-truth latency backend.
+    pub latency_backend: LatencyBackend,
+    /// Cap on resident shortest-path rows under [`LatencyBackend::Lazy`]
+    /// (`None` = unbounded). Bounds steady-state latency memory at
+    /// `O(cap · n)` instead of `O(n²)`; ignored by the dense backend.
+    pub lazy_row_cache: Option<usize>,
 }
 
 impl Default for RuntimeConfig {
@@ -88,6 +119,8 @@ impl Default for RuntimeConfig {
             initial_load: LoadModel::Random { lo: 0.0, hi: 0.6 },
             load_scale: 100.0,
             vivaldi: VivaldiConfig::default(),
+            latency_backend: LatencyBackend::default(),
+            lazy_row_cache: None,
         }
     }
 }
@@ -143,12 +176,34 @@ impl sbon_core::placement::PhysicalMapper for AliveOracleMapper<'_> {
     }
 }
 
+/// Backend-selected ground-truth latency state.
+enum LatencyState {
+    /// Materialized matrix plus its unperturbed copy (the jitter band
+    /// reference).
+    Dense { current: LatencyMatrix, base: LatencyMatrix },
+    /// Demand-driven rows; the provider carries its own base edge weights.
+    Lazy(LazyLatency),
+}
+
+impl LatencyState {
+    /// The active provider as a trait object.
+    fn provider(&self) -> &dyn LatencyProvider {
+        match self {
+            LatencyState::Dense { current, .. } => current,
+            LatencyState::Lazy(lazy) => lazy,
+        }
+    }
+
+    /// Ground-truth latency between two nodes.
+    fn query(&self, a: NodeId, b: NodeId) -> f64 {
+        self.provider().latency(a, b)
+    }
+}
+
 /// The simulated SBON.
 pub struct OverlayRuntime {
     config: RuntimeConfig,
-    latency: LatencyMatrix,
-    /// Unperturbed latency, the reference for the jitter band.
-    base_latency: LatencyMatrix,
+    latency: LatencyState,
     attrs: NodeAttrs,
     space: CostSpace,
     #[allow(dead_code)]
@@ -167,12 +222,32 @@ pub struct OverlayRuntime {
 }
 
 impl OverlayRuntime {
-    /// Builds the runtime: ground-truth latency from the topology, a Vivaldi
+    /// Builds the runtime: ground-truth latency from the topology (dense
+    /// matrix or lazy rows per [`RuntimeConfig::latency_backend`]), a Vivaldi
     /// embedding over it, an initial load assignment, and the Figure-2-style
-    /// latency+load² cost space. Deterministic in `seed`.
+    /// latency+load² cost space. Deterministic in `seed`; both backends
+    /// serve bit-identical latencies, so the backend choice does not change
+    /// results — only the cost of obtaining them.
     pub fn new(topology: &Topology, seed: u64, config: RuntimeConfig) -> Self {
-        let latency = all_pairs_latency(&topology.graph);
-        let embedding = config.vivaldi.embed(&latency, seed);
+        let latency = match config.latency_backend {
+            LatencyBackend::Dense => {
+                let current = all_pairs_latency(&topology.graph);
+                LatencyState::Dense { base: current.clone(), current }
+            }
+            LatencyBackend::Lazy => {
+                let graph = topology.graph.clone();
+                LatencyState::Lazy(match config.lazy_row_cache {
+                    Some(cap) => LazyLatency::with_capacity(graph, cap),
+                    None => LazyLatency::new(graph),
+                })
+            }
+        };
+        let embedding = config.vivaldi.embed(&latency.provider(), seed);
+        if let LatencyState::Lazy(lazy) = &latency {
+            // The embedding touched every row once; the steady state only
+            // reads rows of circuit hosts, so free the warm-up cache.
+            lazy.evict_all();
+        }
         let mut rng = derive_rng(seed, 0x0ead);
         let attrs = config.initial_load.generate(topology.num_nodes(), &mut rng);
         let space =
@@ -181,7 +256,6 @@ impl OverlayRuntime {
         OverlayRuntime {
             optimizer: IntegratedOptimizer::new(OptimizerConfig::default()),
             config,
-            base_latency: latency.clone(),
             latency,
             attrs,
             space,
@@ -272,9 +346,19 @@ impl OverlayRuntime {
         &self.space
     }
 
-    /// Ground-truth latency (for inspection).
-    pub fn latency(&self) -> &LatencyMatrix {
-        &self.latency
+    /// Ground-truth latency (for inspection). Backed by the dense matrix or
+    /// the lazy row cache depending on [`RuntimeConfig::latency_backend`];
+    /// both serve identical values.
+    pub fn latency(&self) -> &dyn LatencyProvider {
+        self.latency.provider()
+    }
+
+    /// Row-cache counters of the lazy backend; `None` under the dense one.
+    pub fn lazy_latency_stats(&self) -> Option<LazyLatencyStats> {
+        match &self.latency {
+            LatencyState::Lazy(lazy) => Some(lazy.stats()),
+            LatencyState::Dense { .. } => None,
+        }
     }
 
     /// Current instantaneous network usage across deployed circuits.
@@ -282,14 +366,14 @@ impl OverlayRuntime {
         self.circuits
             .iter()
             .map(|d| {
-                d.circuit.cost_with(&d.placement, |a, b| self.latency.latency(a, b)).network_usage
+                d.circuit.cost_with(&d.placement, |a, b| self.latency.query(a, b)).network_usage
             })
             .sum()
     }
 
     /// Optimizes and deploys a query; returns its handle.
     pub fn deploy(&mut self, query: QuerySpec) -> Option<CircuitHandle> {
-        let placed = self.optimizer.optimize(&query, &self.space, &self.latency)?;
+        let placed = self.optimizer.optimize(&query, &self.space, self.latency.provider())?;
         let handle = CircuitHandle(self.next_handle);
         self.next_handle += 1;
         self.circuits.push(Deployed {
@@ -383,7 +467,7 @@ impl OverlayRuntime {
                             running_est,
                             &d.query,
                             &self.space,
-                            &self.latency,
+                            self.latency.provider(),
                             &placer,
                             &mut mapper,
                             self.config.policy,
@@ -424,7 +508,7 @@ impl OverlayRuntime {
                             running_est,
                             &self.circuits[i].query,
                             &self.space,
-                            &self.latency,
+                            self.latency.provider(),
                             OptimizerConfig::default(),
                             self.config.policy,
                         );
@@ -451,21 +535,39 @@ impl OverlayRuntime {
     fn apply_churn(&mut self) {
         self.config.churn.tick(&mut self.attrs, &mut self.rng);
         self.space.refresh_scalars(&self.attrs);
-        if let Some(jitter) = self.config.latency_jitter {
-            let n = self.latency.len();
-            if n >= 2 {
+        let Some(jitter) = self.config.latency_jitter else {
+            return;
+        };
+        let rng = &mut self.rng;
+        match &mut self.latency {
+            LatencyState::Dense { current, base } => {
+                let n = current.len();
+                if n < 2 {
+                    return;
+                }
                 for _ in 0..jitter.pairs_per_tick {
-                    let a = self.rng.gen_range(0..n);
-                    let mut b = self.rng.gen_range(0..n);
-                    if a == b {
-                        b = (b + 1) % n;
-                    }
+                    let a = rng.gen_range(0..n);
+                    // Rejection-sample the partner: remapping a == b to a
+                    // fixed neighbour would jitter ring successors at double
+                    // frequency (the Vivaldi sampling-bias bug, same shape).
+                    let b = sbon_coords::vivaldi::gossip_partner(rng, a, n);
                     let (a, b) = (NodeId(a as u32), NodeId(b as u32));
-                    let f = self.rng.gen_range(jitter.factor_range.0..jitter.factor_range.1);
-                    let base = self.base_latency.latency(a, b);
-                    let next = (self.latency.latency(a, b) * f)
-                        .clamp(base * jitter.band.0, base * jitter.band.1);
-                    self.latency.set(a, b, next);
+                    let f = rng.gen_range(jitter.factor_range.0..jitter.factor_range.1);
+                    let floor = base.latency(a, b) * jitter.band.0;
+                    let ceil = base.latency(a, b) * jitter.band.1;
+                    let next = (current.latency(a, b) * f).clamp(floor, ceil);
+                    current.set(a, b, next);
+                }
+            }
+            LatencyState::Lazy(lazy) => {
+                let m = lazy.graph().num_edges();
+                if m == 0 {
+                    return;
+                }
+                for _ in 0..jitter.pairs_per_tick {
+                    let e = EdgeId(rng.gen_range(0..m) as u32);
+                    let f = rng.gen_range(jitter.factor_range.0..jitter.factor_range.1);
+                    lazy.scale_edge_clamped(e, f, jitter.band);
                 }
             }
         }
@@ -610,28 +712,44 @@ mod tests {
 
     #[test]
     fn failing_an_operator_host_evacuates_the_service() {
-        let topo = small_world(7);
-        let mut rt = OverlayRuntime::new(
-            &topo,
-            7,
-            RuntimeConfig {
-                horizon_ms: 5_000.0,
-                churn: ChurnProcess::None,
-                reopt_interval_ms: None,
-                ..Default::default()
-            },
-        );
-        let handle = rt.deploy(demo_query(&topo)).unwrap();
-        // Find a host of an unpinned service.
-        let placement = rt.placement(handle).unwrap().clone();
-        let circuits_services: Vec<NodeId> = {
-            // The join services are whichever hosts are not pinned
-            // producers/consumer; just kill the host of service index via
-            // the circuit's unpinned list.
-            let d = &rt.circuits[0];
-            d.circuit.unpinned_services().iter().map(|&sid| placement.node_of(sid)).collect()
-        };
-        let victim = circuits_services[0];
+        // Deterministically scan seeds for a deployment where some unpinned
+        // service lives apart from every pinned (producer/consumer) host —
+        // killing a pinned host would tear the circuit down instead of
+        // evacuating, which is not the scenario under test.
+        let (mut rt, handle, victim) = (7u64..32)
+            .find_map(|seed| {
+                let topo = small_world(seed);
+                let mut rt = OverlayRuntime::new(
+                    &topo,
+                    seed,
+                    RuntimeConfig {
+                        horizon_ms: 5_000.0,
+                        churn: ChurnProcess::None,
+                        reopt_interval_ms: None,
+                        ..Default::default()
+                    },
+                );
+                let handle = rt.deploy(demo_query(&topo))?;
+                let placement = rt.placement(handle)?.clone();
+                let d = &rt.circuits[0];
+                let pinned: Vec<NodeId> = d
+                    .circuit
+                    .services()
+                    .iter()
+                    .filter_map(|s| match s.pin {
+                        sbon_core::circuit::ServicePin::Pinned(n) => Some(n),
+                        sbon_core::circuit::ServicePin::Unpinned => None,
+                    })
+                    .collect();
+                let victim = d
+                    .circuit
+                    .unpinned_services()
+                    .iter()
+                    .map(|&sid| placement.node_of(sid))
+                    .find(|n| !pinned.contains(n))?;
+                Some((rt, handle, victim))
+            })
+            .expect("some seed separates an unpinned service from the pinned hosts");
         rt.schedule_failure(2_000.0, victim);
         let report = rt.run();
         assert!(!rt.is_alive(victim));
@@ -700,6 +818,100 @@ mod tests {
         if plan_after.render() != plan_before.render() {
             assert!(report.replacements > 0);
         }
+    }
+
+    /// Without jitter the two backends see bit-identical latencies at every
+    /// query, so entire runs — embedding, deployment, churn, re-opt — must
+    /// produce bit-identical reports.
+    #[test]
+    fn lazy_backend_run_is_bit_identical_to_dense() {
+        let topo = small_world(11);
+        let run = |backend| {
+            let mut rt = OverlayRuntime::new(
+                &topo,
+                11,
+                RuntimeConfig {
+                    horizon_ms: 10_000.0,
+                    latency_backend: backend,
+                    ..Default::default()
+                },
+            );
+            rt.deploy(demo_query(&topo)).unwrap();
+            rt.run()
+        };
+        let dense = run(LatencyBackend::Dense);
+        let lazy = run(LatencyBackend::Lazy);
+        assert_eq!(dense.samples.len(), lazy.samples.len());
+        for (d, l) in dense.samples.iter().zip(&lazy.samples) {
+            assert_eq!(d.network_usage, l.network_usage);
+            assert_eq!(d.cumulative_usage, l.cumulative_usage);
+        }
+        assert_eq!(dense.migrations, lazy.migrations);
+        assert_eq!(dense.replacements, lazy.replacements);
+    }
+
+    #[test]
+    fn lazy_backend_jitter_run_is_deterministic_and_moves_usage() {
+        let topo = small_world(12);
+        let run = || {
+            let mut rt = OverlayRuntime::new(
+                &topo,
+                12,
+                RuntimeConfig {
+                    horizon_ms: 6_000.0,
+                    churn: ChurnProcess::None,
+                    reopt_interval_ms: None,
+                    latency_backend: LatencyBackend::Lazy,
+                    latency_jitter: Some(LatencyJitter {
+                        // Gradual edge inflation: a small slice of the
+                        // ~100-edge underlay rescales upward each tick, so
+                        // usage keeps rising across the horizon instead of
+                        // saturating the band inside tick 1.
+                        pairs_per_tick: 25,
+                        factor_range: (1.5, 2.0),
+                        band: (0.5, 3.0),
+                    }),
+                    ..Default::default()
+                },
+            );
+            rt.deploy(demo_query(&topo)).unwrap();
+            let report = rt.run();
+            let stats = rt.lazy_latency_stats().expect("lazy backend exposes stats");
+            (report, stats)
+        };
+        let (a, sa) = run();
+        let (b, sb) = run();
+        for (x, y) in a.samples.iter().zip(&b.samples) {
+            assert_eq!(x.network_usage, y.network_usage);
+        }
+        assert_eq!(sa, sb);
+        let first = a.samples[0].network_usage;
+        let last = a.samples.last().unwrap().network_usage;
+        assert!(last > first, "persistent edge inflation must raise usage: {first} -> {last}");
+        assert!(sa.rows_invalidated > 0, "edge jitter must dirty cached rows");
+    }
+
+    #[test]
+    fn lazy_row_cache_capacity_is_respected() {
+        let topo = small_world(13);
+        let mut rt = OverlayRuntime::new(
+            &topo,
+            13,
+            RuntimeConfig {
+                horizon_ms: 5_000.0,
+                latency_backend: LatencyBackend::Lazy,
+                lazy_row_cache: Some(4),
+                ..Default::default()
+            },
+        );
+        rt.deploy(demo_query(&topo)).unwrap();
+        rt.run();
+        let stats = rt.lazy_latency_stats().unwrap();
+        assert!(stats.rows_cached <= 4, "cache holds {} rows", stats.rows_cached);
+        assert!(rt.lazy_latency_stats().is_some());
+        // Dense runtimes expose no lazy stats.
+        let dense = OverlayRuntime::new(&topo, 13, RuntimeConfig::default());
+        assert!(dense.lazy_latency_stats().is_none());
     }
 
     #[test]

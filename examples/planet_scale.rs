@@ -1,0 +1,152 @@
+//! Planet scale: a 2,000-node overlay with churn, jitter, and
+//! re-optimization — the regime the paper claims cost spaces for
+//! ("hundreds or thousands of physical node choices", §2.2).
+//!
+//! The run uses the **lazy latency backend**: ground-truth latency rows are
+//! computed on demand and invalidated per dirty source as jitter rescales
+//! underlay edges, so a steady tick touches only the rows the optimizer
+//! actually reads. The dense all-pairs baseline at the same scale is also
+//! measured: its matrix alone is tens of MiB, and keeping it truthful under
+//! *edge* churn would cost a full all-pairs recompute every tick.
+//!
+//! ```sh
+//! cargo run --release --example planet_scale          # full 2,000 nodes
+//! SBON_SMOKE=1 cargo run --release --example planet_scale   # CI-sized
+//! ```
+
+use std::time::Instant;
+
+use rand::seq::SliceRandom;
+
+use sbon::core::reopt::ReoptPolicy;
+use sbon::netsim::dijkstra::all_pairs_latency;
+use sbon::netsim::rng::derive_rng;
+use sbon::overlay::{LatencyBackend, LatencyJitter, OverlayRuntime, RuntimeConfig};
+use sbon::prelude::*;
+
+fn main() {
+    let smoke = std::env::var_os("SBON_SMOKE").is_some_and(|v| v == "1");
+    let nodes = if smoke { 300 } else { 2_000 };
+    let horizon_ms = if smoke { 10_000.0 } else { 30_000.0 };
+    let queries = if smoke { 4 } else { 8 };
+    let seed = 2_000;
+
+    println!("generating a {nodes}-node transit-stub underlay...");
+    let start = Instant::now();
+    let topo = transit_stub::generate(&TransitStubConfig::with_total_nodes(nodes), seed);
+    let n = topo.num_nodes();
+    let m = topo.graph.num_edges();
+    println!(
+        "  {} nodes, {} edges, {} stub hosts  ({:.2} s)",
+        n,
+        m,
+        topo.host_candidates().len(),
+        start.elapsed().as_secs_f64()
+    );
+
+    // ── Lazy-backend run: jitter + local & full re-optimization ──────────
+    let config = RuntimeConfig {
+        tick_ms: 1_000.0,
+        horizon_ms,
+        reopt_interval_ms: Some(5_000.0),
+        full_reopt_interval_ms: Some(15_000.0),
+        policy: ReoptPolicy { migration_threshold: 0.05, replacement_threshold: 0.15 },
+        churn: ChurnProcess::RandomWalk { std_dev: 0.05 },
+        // Edge-granular jitter under the lazy backend: congestion on a link
+        // perturbs every path crossing it.
+        latency_jitter: Some(LatencyJitter {
+            pairs_per_tick: m / 16,
+            factor_range: (0.7, 1.45),
+            band: (0.5, 3.0),
+        }),
+        latency_backend: LatencyBackend::Lazy,
+        ..Default::default()
+    };
+
+    println!("\nbuilding runtime (lazy backend: Vivaldi warm-up rows are evicted)...");
+    let start = Instant::now();
+    let mut rt = OverlayRuntime::new(&topo, seed, config);
+    let t_build = start.elapsed().as_secs_f64();
+    let warmup = rt.lazy_latency_stats().expect("lazy backend");
+    println!(
+        "  built in {:.2} s — {} rows computed for the embedding, {} resident after eviction",
+        t_build, warmup.rows_computed, warmup.rows_cached
+    );
+
+    let hosts = topo.host_candidates();
+    let mut rng = derive_rng(seed, 0x9a7e);
+    let start = Instant::now();
+    for q in 0..queries {
+        let mut picked = hosts.clone();
+        picked.shuffle(&mut rng);
+        let query = QuerySpec::join_star(&picked[..4], picked[4], 10.0, 0.02);
+        rt.deploy(query).unwrap_or_else(|| panic!("query {q} deploys"));
+    }
+    println!("  deployed {} join circuits in {:.2} s", queries, start.elapsed().as_secs_f64());
+
+    let start = Instant::now();
+    let report = rt.run();
+    let t_run = start.elapsed().as_secs_f64();
+    let ticks = report.samples.len();
+    let stats = rt.lazy_latency_stats().expect("lazy backend");
+
+    println!("\nlazy-backend run:");
+    println!(
+        "  {} ticks in {:.2} s ({:.1} ms/tick wall)",
+        ticks,
+        t_run,
+        1e3 * t_run / ticks as f64
+    );
+    println!(
+        "  usage {:.0} -> {:.0}, {} migrations, {} replacements",
+        report.samples.first().map_or(0.0, |s| s.network_usage),
+        report.samples.last().map_or(0.0, |s| s.network_usage),
+        report.migrations,
+        report.replacements
+    );
+    println!(
+        "  latency rows: {} computed total, {} resident ({:.2} MiB), {} invalidated by jitter",
+        stats.rows_computed,
+        stats.rows_cached,
+        (stats.rows_cached * n * 8) as f64 / (1024.0 * 1024.0),
+        stats.rows_invalidated
+    );
+
+    // ── The dense baseline at the same scale ─────────────────────────────
+    println!("\ndense baseline at {n} nodes:");
+    let start = Instant::now();
+    let dense = all_pairs_latency(&topo.graph);
+    let t_allpairs = start.elapsed().as_secs_f64();
+    let dense_mib = (2 * n * n * 8) as f64 / (1024.0 * 1024.0);
+    println!(
+        "  all-pairs precompute: {:.2} s; matrix + jitter-band copy: {:.1} MiB resident forever",
+        t_allpairs, dense_mib
+    );
+    // Under edge churn the dense ground truth goes stale every tick; the
+    // only way to keep it truthful is a full recompute per tick.
+    println!(
+        "  keeping it truthful under edge churn: {:.2} s × {} ticks ≈ {:.1} s of recompute\n  \
+         (the lazy run above did the whole simulation in {:.2} s)",
+        t_allpairs,
+        ticks,
+        t_allpairs * ticks as f64,
+        t_run
+    );
+    let _ = dense.mean_latency();
+
+    // ── Where this is headed ─────────────────────────────────────────────
+    println!("\ndense-state projection (2 copies × n² × 8 B):");
+    for scale in [2_000usize, 5_000, 10_000, 20_000] {
+        let gib = (2 * scale * scale * 8) as f64 / (1024.0 * 1024.0 * 1024.0);
+        println!("  {:>6} nodes: {:>8.2} GiB", scale, gib);
+    }
+    println!(
+        "the lazy backend's steady state is O(touched rows × n): at {} nodes this run \
+         held {} rows ({:.2} MiB).\n(the Vivaldi warm-up transiently peaks at one n×n \
+         pass before eviction; set RuntimeConfig::lazy_row_cache to bound that too, \
+         trading per-round row recompute.)",
+        n,
+        stats.rows_cached,
+        (stats.rows_cached * n * 8) as f64 / (1024.0 * 1024.0)
+    );
+}

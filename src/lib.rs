@@ -74,6 +74,7 @@ pub mod prelude {
     pub use sbon_netsim::dijkstra::all_pairs_latency;
     pub use sbon_netsim::graph::NodeId;
     pub use sbon_netsim::latency::{LatencyMatrix, LatencyProvider};
+    pub use sbon_netsim::lazy::{LazyLatency, LazyLatencyStats};
     pub use sbon_netsim::load::{Attr, ChurnProcess, LoadModel, NodeAttrs};
     pub use sbon_netsim::rng::rng_from_seed;
     pub use sbon_netsim::topology::transit_stub::{self, TransitStubConfig};

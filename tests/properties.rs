@@ -3,6 +3,7 @@
 //! tests pin down.
 
 use proptest::prelude::*;
+use rand::Rng;
 
 use sbon::coords::vivaldi::VivaldiEmbedding;
 use sbon::core::circuit::Circuit;
@@ -11,8 +12,13 @@ use sbon::core::optimizer::{IntegratedOptimizer, OptimizerConfig, QuerySpec, Two
 use sbon::core::placement::{
     map_circuit, optimal_tree_placement, OracleMapper, RelaxationPlacer, VirtualPlacer,
 };
-use sbon::netsim::graph::NodeId;
+use sbon::netsim::dijkstra::all_pairs_latency;
+use sbon::netsim::graph::{EdgeId, NodeId};
 use sbon::netsim::latency::{EuclideanLatency, LatencyProvider};
+use sbon::netsim::lazy::LazyLatency;
+use sbon::netsim::rng::derive_rng;
+use sbon::netsim::topology::transit_stub::{self, TransitStubConfig};
+use sbon::netsim::topology::waxman::{self, WaxmanConfig};
 use sbon::query::enumerate::{all_join_trees, dp_best_plan};
 use sbon::query::stats::StatsCatalog;
 use sbon::query::stream::StreamId;
@@ -133,6 +139,62 @@ proptest! {
         let mapped = map_circuit(&circuit, &vp, &space, &mut mapper);
         let usage = circuit.cost_with(&mapped.placement, |a, b| lat.latency(a, b)).network_usage;
         prop_assert!(usage + 1e-6 >= optimal, "mapped {usage} < optimal {optimal}");
+    }
+
+    /// The lazy latency provider must return **bit-identical** values to
+    /// the dense all-pairs matrix recomputed from the same (mutated) graph,
+    /// across random topology families, jitter sequences, invalidation
+    /// orders, and cache capacities — the contract that makes
+    /// `LatencyBackend::Lazy` a drop-in for `Dense` in the overlay runtime.
+    #[test]
+    fn lazy_provider_is_bit_identical_to_all_pairs(
+        seed in 0u64..1_000_000,
+        nodes in 16usize..56,
+        rounds in 1usize..5,
+    ) {
+        // Alternate the topology family and cache capacity by seed so one
+        // strategy covers transit-stub + Waxman and bounded + unbounded.
+        let topo = if seed % 2 == 0 {
+            transit_stub::generate(&TransitStubConfig::with_total_nodes(nodes), seed)
+        } else {
+            waxman::generate(&WaxmanConfig { nodes, ..Default::default() }, seed)
+        };
+        let mut lazy = if seed % 3 == 0 {
+            LazyLatency::with_capacity(topo.graph.clone(), 1 + nodes / 8)
+        } else {
+            LazyLatency::new(topo.graph.clone())
+        };
+        let n = lazy.len();
+        let m = lazy.graph().num_edges();
+        let mut rng = derive_rng(seed, 0x1a27);
+        for _ in 0..rounds {
+            // Random interleaving of row-warming queries and edge jitter:
+            // each op is either a query (possibly of a stale row) or a
+            // mutation (possibly of an edge whose rows are cached).
+            for _ in 0..24 {
+                if rng.gen_range(0..2) == 0 {
+                    let a = NodeId(rng.gen_range(0..n as u32));
+                    let b = NodeId(rng.gen_range(0..n as u32));
+                    let _ = lazy.latency(a, b);
+                } else {
+                    let e = EdgeId(rng.gen_range(0..m as u32));
+                    let f = rng.gen_range(0.4..2.2);
+                    lazy.scale_edge_clamped(e, f, (0.25, 4.0));
+                }
+            }
+            // Full equivalence sweep against a fresh dense recompute.
+            let dense = all_pairs_latency(lazy.graph());
+            for a in 0..n as u32 {
+                for b in 0..n as u32 {
+                    let (a, b) = (NodeId(a), NodeId(b));
+                    let (l, d) = (lazy.latency(a, b), dense.latency(a, b));
+                    prop_assert!(
+                        l.to_bits() == d.to_bits(),
+                        "lazy {l} != dense {d} for {a}->{b} (seed {seed})"
+                    );
+                }
+            }
+        }
     }
 
     /// Statistical plan costs reported by the DP agree with the

@@ -23,7 +23,16 @@ fn bench_scale(c: &mut Criterion) {
     let mut group = c.benchmark_group("scale");
     group.sample_size(20);
     for nodes in [100usize, 300, 600] {
-        let world = build_world(&WorldConfig { nodes, ..Default::default() }, nodes as u64);
+        // The omniscient tree-DP target scans every host pair: dense
+        // workload.
+        let world = build_world(
+            &WorldConfig {
+                nodes,
+                backend: sbon_bench::GroundTruthBackend::Dense,
+                ..Default::default()
+            },
+            nodes as u64,
+        );
         let queries = queries_for(&world, 8);
         let optimizer = IntegratedOptimizer::new(OptimizerConfig::default());
         group.bench_with_input(BenchmarkId::new("integrated_optimize", nodes), &nodes, |b, _| {

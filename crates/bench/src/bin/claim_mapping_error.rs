@@ -38,11 +38,13 @@ fn main() {
             let cfg = WorldConfig {
                 nodes,
                 vivaldi: VivaldiConfig { dims, ..Default::default() },
+                // Mean-latency normalization reads the whole matrix.
+                backend: sbon_bench::GroundTruthBackend::Dense,
                 ..Default::default()
             };
             let world = build_world(&cfg, (dims * 1000 + nodes) as u64);
             let mut rng = derive_rng(world.seed, 0xC1);
-            let mean_lat = world.latency.mean_latency();
+            let mean_lat = world.latency.matrix().expect("dense world").mean_latency();
 
             // Sample random ideal points inside the populated bounding box
             // of the *vector* dims (scalars ideal = 0, as in placement).

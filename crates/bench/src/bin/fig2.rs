@@ -21,6 +21,9 @@ fn main() {
         nodes: 600,
         load: LoadModel::Hotspots { base: 0.15, count: 12, hot: 0.95 },
         load_scale: 100.0,
+        // This figure reports whole-matrix latency statistics, one of the
+        // few consumers that genuinely needs the dense backend.
+        backend: sbon_bench::GroundTruthBackend::Dense,
         ..Default::default()
     };
     let world = build_world(&cfg, 42);
@@ -87,8 +90,9 @@ fn main() {
     }
 
     subsection("latency plane spread vs ground truth");
-    let max_lat = world.latency.max_latency();
-    let mean_lat = world.latency.mean_latency();
+    let matrix = world.latency.matrix().expect("fig2 builds a dense world");
+    let max_lat = matrix.max_latency();
+    let mean_lat = matrix.mean_latency();
     println!("ground truth: mean latency {mean_lat:.1} ms, max {max_lat:.1} ms");
     let spread = Summary::of(
         &(0..n)

@@ -9,6 +9,29 @@
 //! `sbon-coords`); scalar dimensions capture node-local values passed
 //! through a deployer-chosen [`WeightFn`] that is "constructed to always be
 //! non-negative, where zero represents an ideal value".
+//!
+//! # Maintenance contract: bulk load once, delta-update forever
+//!
+//! [`CostSpaceBuilder`] is the **bulk-load** path: it materializes all `n`
+//! points at start-up (and is the reference a delta-maintained space is
+//! tested against). Steady-state churn goes through the **delta** API:
+//!
+//! * [`CostSpace::update_scalars`] recomputes one node's scalar components
+//!   from the attribute table — `O(dims)` — and returns whether the point
+//!   actually changed, so callers forward only real deltas to coordinate
+//!   consumers (the Hilbert-DHT catalog re-registers via
+//!   `DhtMapper::update_node`).
+//! * [`CostSpace::set_vector_coord`] is the same delta path for embedding
+//!   refinement of the vector (latency) prefix.
+//! * [`CostSpaceRegistry::refresh_dirty`] fans one churn delta out to every
+//!   registered space; [`CostSpace::refresh_scalars`] /
+//!   [`CostSpaceRegistry::refresh_all`] remain as the full-universe sweeps.
+//!
+//! Both paths evaluate the identical weighting expression, so a sequence of
+//! delta updates is **bit-identical** to a rebuild from the same inputs —
+//! pinned by the `incremental_costspace_matches_rebuild` property test. A
+//! tick whose churn touches `k` nodes therefore costs `O(k·dims)` control
+//! plane work, not `O(n·dims)`.
 
 mod point;
 mod space;

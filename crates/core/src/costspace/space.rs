@@ -96,19 +96,58 @@ impl CostSpace {
     }
 
     /// Recomputes every node's scalar components from fresh attributes —
-    /// the periodic coordinate maintenance that keeps the space current as
-    /// load churns.
+    /// the bulk maintenance path. Steady-state churn should prefer
+    /// [`CostSpace::update_scalars`] over the dirty set: a tick touching `k`
+    /// nodes then costs `O(k·dims)` instead of `O(n·dims)`. Both paths
+    /// evaluate the identical weighting expression, so a dirty-set update is
+    /// bit-identical to a full refresh over the same attribute table.
     pub fn refresh_scalars(&mut self, attrs: &NodeAttrs) {
         assert_eq!(attrs.len(), self.points.len(), "attribute table size");
-        for (i, point) in self.points.iter_mut().enumerate() {
-            let node = NodeId(i as u32);
-            for (d, spec) in self.scalar_specs.iter().enumerate() {
-                let raw = match spec.source {
-                    ScalarSource::Attr(a) => attrs.get(node, a),
-                };
-                point.0[self.vector_dims + d] = spec.weight.apply(raw);
+        for i in 0..self.points.len() {
+            self.update_scalars(NodeId(i as u32), attrs);
+        }
+    }
+
+    /// Recomputes one node's scalar components from the attribute table —
+    /// the delta path of the maintenance contract. Returns `true` when any
+    /// component actually changed (bit-level), which is the signal to
+    /// re-register the node with coordinate consumers such as
+    /// [`crate::placement::DhtMapper::update_node`]; clamped or repeated
+    /// attribute writes that leave the weighted value unchanged return
+    /// `false` so downstream sync can be skipped.
+    pub fn update_scalars(&mut self, node: NodeId, attrs: &NodeAttrs) -> bool {
+        let point = &mut self.points[node.index()];
+        let mut changed = false;
+        for (d, spec) in self.scalar_specs.iter().enumerate() {
+            let raw = match spec.source {
+                ScalarSource::Attr(a) => attrs.get(node, a),
+            };
+            let next = spec.weight.apply(raw);
+            let slot = &mut point.0[self.vector_dims + d];
+            if slot.to_bits() != next.to_bits() {
+                *slot = next;
+                changed = true;
             }
         }
+        changed
+    }
+
+    /// Replaces one node's vector (latency) coordinate — the delta path for
+    /// embedding refinement, where a node "constantly refines" its network
+    /// coordinate. Scalar components are untouched. Returns `true` when the
+    /// coordinate actually changed (bit-level).
+    pub fn set_vector_coord(&mut self, node: NodeId, coord: &[f64]) -> bool {
+        assert_eq!(coord.len(), self.vector_dims, "vector coordinate dims");
+        assert!(coord.iter().all(|c| c.is_finite()), "cost coordinates must be finite");
+        let point = &mut self.points[node.index()];
+        let mut changed = false;
+        for (slot, &c) in point.0[..self.vector_dims].iter_mut().zip(coord) {
+            if slot.to_bits() != c.to_bits() {
+                *slot = c;
+                changed = true;
+            }
+        }
+        changed
     }
 }
 
@@ -211,6 +250,34 @@ impl CostSpaceRegistry {
         self.spaces.get_mut(name)
     }
 
+    /// Bulk-refreshes the scalar components of **every** registered space
+    /// from one attribute table (all spaces observe the same physical
+    /// nodes). The full-universe counterpart of
+    /// [`CostSpaceRegistry::refresh_dirty`].
+    pub fn refresh_all(&mut self, attrs: &NodeAttrs) {
+        for space in self.spaces.values_mut() {
+            space.refresh_scalars(attrs);
+        }
+    }
+
+    /// Fans a churn delta out to every registered space: only the `dirty`
+    /// nodes are recomputed, so a tick touching `k` nodes costs
+    /// `O(spaces · k · dims)` regardless of overlay size. Returns the number
+    /// of `(space, node)` points that actually changed. Bit-identical to
+    /// [`CostSpaceRegistry::refresh_all`] when `dirty` covers the nodes
+    /// whose attributes changed since the last refresh.
+    pub fn refresh_dirty(&mut self, attrs: &NodeAttrs, dirty: &[NodeId]) -> usize {
+        let mut changed = 0;
+        for space in self.spaces.values_mut() {
+            for &node in dirty {
+                if space.update_scalars(node, attrs) {
+                    changed += 1;
+                }
+            }
+        }
+        changed
+    }
+
     /// Number of registered spaces.
     pub fn len(&self) -> usize {
         self.spaces.len()
@@ -274,6 +341,68 @@ mod tests {
         attrs.set(NodeId(0), Attr::CpuLoad, 1.0);
         s.refresh_scalars(&attrs);
         assert_eq!(s.point(NodeId(0)).scalar_part(2), &[100.0]);
+    }
+
+    #[test]
+    fn update_scalars_matches_full_refresh_and_detects_change() {
+        let mut attrs = NodeAttrs::idle(3);
+        let mut delta = CostSpaceBuilder::latency_load_space_scaled(&embedding3(), &attrs, 100.0);
+        let mut full = delta.clone();
+
+        attrs.set(NodeId(1), Attr::CpuLoad, 0.7);
+        assert!(delta.update_scalars(NodeId(1), &attrs), "a real change reports true");
+        full.refresh_scalars(&attrs);
+        for i in 0..3u32 {
+            assert_eq!(delta.point(NodeId(i)), full.point(NodeId(i)));
+        }
+        // Re-applying the same attributes is a no-op.
+        assert!(!delta.update_scalars(NodeId(1), &attrs));
+        // A clamped write that leaves the weighted value unchanged too.
+        attrs.set(NodeId(0), Attr::CpuLoad, -5.0);
+        assert!(!delta.update_scalars(NodeId(0), &attrs));
+    }
+
+    #[test]
+    fn set_vector_coord_moves_only_the_vector_prefix() {
+        let attrs = NodeAttrs::idle(3);
+        let mut s = CostSpaceBuilder::latency_load_space_scaled(&embedding3(), &attrs, 100.0);
+        assert!(s.set_vector_coord(NodeId(2), &[7.0, 8.0]));
+        assert_eq!(s.point(NodeId(2)).as_slice(), &[7.0, 8.0, 0.0]);
+        assert!(!s.set_vector_coord(NodeId(2), &[7.0, 8.0]), "identical coord is a no-op");
+    }
+
+    #[test]
+    #[should_panic(expected = "vector coordinate dims")]
+    fn set_vector_coord_rejects_wrong_dims() {
+        let attrs = NodeAttrs::idle(3);
+        let mut s = CostSpaceBuilder::latency_load_space(&embedding3(), &attrs);
+        s.set_vector_coord(NodeId(0), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn registry_refresh_dirty_matches_refresh_all() {
+        let mut attrs = NodeAttrs::idle(3);
+        let mut delta_reg = CostSpaceRegistry::new();
+        delta_reg.register(CostSpaceBuilder::latency_load_space(&embedding3(), &attrs));
+        delta_reg.register(CostSpaceBuilder::latency_space(&embedding3()));
+        let mut full_reg = CostSpaceRegistry::new();
+        full_reg.register(CostSpaceBuilder::latency_load_space(&embedding3(), &attrs));
+        full_reg.register(CostSpaceBuilder::latency_space(&embedding3()));
+
+        attrs.set(NodeId(0), Attr::CpuLoad, 0.9);
+        attrs.set(NodeId(2), Attr::CpuLoad, 0.4);
+        // Only the load space has a scalar dimension, so 2 points change.
+        assert_eq!(delta_reg.refresh_dirty(&attrs, &[NodeId(0), NodeId(2)]), 2);
+        full_reg.refresh_all(&attrs);
+        for name in ["latency+cpu²", "latency"] {
+            let d = delta_reg.get(name).unwrap();
+            let f = full_reg.get(name).unwrap();
+            for i in 0..3u32 {
+                assert_eq!(d.point(NodeId(i)), f.point(NodeId(i)), "{name} node {i}");
+            }
+        }
+        // Nothing changed since: the delta path reports zero.
+        assert_eq!(delta_reg.refresh_dirty(&attrs, &[NodeId(0), NodeId(1), NodeId(2)]), 0);
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub use optimizer::{
     IntegratedOptimizer, OptimizerConfig, PlacedCircuit, PlacerKind, QuerySpec, TwoStepOptimizer,
 };
 pub use placement::{
-    CentroidPlacer, DhtMapper, GradientPlacer, MappedService, OracleMapper, PhysicalMapper,
-    RelaxationConfig, RelaxationPlacer, VectorOnlyOracleMapper, VirtualPlacement, VirtualPlacer,
+    CentroidPlacer, DhtMapper, DhtMapperConfig, GradientPlacer, LiveOracleMapper, MappedService,
+    OracleMapper, PhysicalMapper, RelaxationConfig, RelaxationPlacer, VectorOnlyOracleMapper,
+    VirtualPlacement, VirtualPlacer,
 };

@@ -6,15 +6,22 @@
 //! a mapping error if there are no physical nodes close to a desired
 //! coordinate."
 //!
-//! Three mappers:
+//! The mappers:
 //!
-//! * [`OracleMapper`] — exhaustive full-space nearest node. Zero routing
-//!   cost, zero *algorithmic* error; the residual error is the intrinsic
-//!   "no node exactly at the star" error the paper discusses, which the C1
-//!   experiment measures.
-//! * [`DhtMapper`] — the decentralized implementation: the Hilbert-keyed
-//!   [`CoordinateCatalog`]. Adds routing hops and a (small) additional
-//!   error, which the A1 ablation quantifies against the oracle.
+//! * [`DhtMapper`] — the decentralized implementation and the overlay
+//!   runtime's default: the Hilbert-keyed [`CoordinateCatalog`], answering
+//!   in `O(log n)` routed hops. Kept current through the
+//!   [`PhysicalMapper`] maintenance contract (`update_node` on every
+//!   cost-point delta, `remove_node` on failure — liveness lives in the
+//!   catalog itself). Adds a (small) additional error over the oracle,
+//!   which the A1 ablation quantifies.
+//! * [`OracleMapper`] — exhaustive full-space nearest node, `O(n)` per
+//!   call. Zero routing cost, zero *algorithmic* error; the residual error
+//!   is the intrinsic "no node exactly at the star" error the paper
+//!   discusses, which the C1 experiment measures. Survives as the
+//!   verification backend the DHT answers are compared against.
+//! * [`LiveOracleMapper`] — the oracle scan restricted to live nodes; the
+//!   runtime's verification backend when failures are in play.
 //! * [`VectorOnlyOracleMapper`] — nearest in the *latency dimensions only*,
 //!   ignoring load: the naive mapper that picks node N1 in Figure 3. Used
 //!   as the baseline that shows why scalar dimensions matter.
@@ -28,6 +35,14 @@ use crate::costspace::{CostPoint, CostSpace};
 use crate::placement::traits::VirtualPlacement;
 
 /// A physical-mapping strategy: ideal full-space point → real node.
+///
+/// Beyond resolving points, the trait carries the **maintenance contract**
+/// that keeps a long-lived mapper in sync with a delta-updated
+/// [`CostSpace`]: the owner calls [`PhysicalMapper::update_node`] for every
+/// cost-point delta and [`PhysicalMapper::remove_node`] on node failure.
+/// Stateless mappers that re-scan the live space on every call (the
+/// oracles) implement these as no-ops; stateful ones (the Hilbert-DHT
+/// catalog) re-register or unregister the node.
 pub trait PhysicalMapper {
     /// Resolves the node to host a service whose ideal coordinate is
     /// `ideal`. Returns the node and the routing hops charged.
@@ -35,6 +50,19 @@ pub trait PhysicalMapper {
 
     /// Human-readable name for harness output.
     fn name(&self) -> &'static str;
+
+    /// Informs the mapper that `node`'s cost point changed (scalar churn or
+    /// embedding refinement). Default: no-op, for mappers without derived
+    /// state.
+    fn update_node(&mut self, space: &CostSpace, node: NodeId) {
+        let _ = (space, node);
+    }
+
+    /// Informs the mapper that `node` failed or left: it must never be
+    /// returned by [`PhysicalMapper::map_point`] again. Default: no-op.
+    fn remove_node(&mut self, node: NodeId) {
+        let _ = node;
+    }
 }
 
 /// Exhaustive full-space nearest-node mapper (centralized oracle).
@@ -83,7 +111,86 @@ impl PhysicalMapper for VectorOnlyOracleMapper {
     }
 }
 
+/// Oracle scan restricted to live nodes — the runtime's verification
+/// backend. Same exhaustive `O(n)` scan as [`OracleMapper`], but it honors
+/// the [`PhysicalMapper::remove_node`] part of the maintenance contract so
+/// failed hosts are never chosen. With no failures it selects exactly what
+/// [`OracleMapper`] would (same scan order, same tie-breaking).
+#[derive(Clone, Debug)]
+pub struct LiveOracleMapper {
+    alive: Vec<bool>,
+}
+
+impl LiveOracleMapper {
+    /// A mapper over `n` initially live nodes.
+    pub fn new(n: usize) -> Self {
+        LiveOracleMapper { alive: vec![true; n] }
+    }
+
+    /// Whether the mapper still considers `node` mappable.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.alive.get(node.index()).copied().unwrap_or(false)
+    }
+}
+
+impl PhysicalMapper for LiveOracleMapper {
+    fn map_point(&mut self, space: &CostSpace, ideal: &CostPoint) -> (NodeId, usize) {
+        let best = (0..space.num_nodes())
+            .map(|i| NodeId(i as u32))
+            .filter(|n| self.is_alive(*n))
+            .min_by(|&a, &b| {
+                let da = space.point(a).full_distance(ideal);
+                let db = space.point(b).full_distance(ideal);
+                da.partial_cmp(&db).expect("finite distances")
+            })
+            .expect("at least one node is alive");
+        (best, 0)
+    }
+
+    fn name(&self) -> &'static str {
+        "live-oracle"
+    }
+
+    fn remove_node(&mut self, node: NodeId) {
+        if let Some(slot) = self.alive.get_mut(node.index()) {
+            *slot = false;
+        }
+    }
+}
+
+/// Construction options for [`DhtMapper`].
+#[derive(Clone, Copy, Debug)]
+pub struct DhtMapperConfig {
+    /// Per-dimension grid resolution (12 is plenty at 600-node scale).
+    /// `dims × bits` must fit the 128-bit ring.
+    pub bits: u32,
+    /// Successor-list correction window of the catalog lookup.
+    pub scan_width: usize,
+    /// Proportional headroom added around the covered coordinates.
+    pub margin: f64,
+    /// When `true`, each scalar dimension's quantizer range is the weight
+    /// function's full output range `[0, w(1.0)]` instead of the span of
+    /// the current points — so attribute churn can never push a registered
+    /// coordinate outside the box. Long-lived (runtime-owned) mappers want
+    /// this; one-shot experiment mappers don't need it.
+    pub scalar_full_range: bool,
+}
+
+impl Default for DhtMapperConfig {
+    fn default() -> Self {
+        DhtMapperConfig { bits: 12, scan_width: 8, margin: 0.25, scalar_full_range: true }
+    }
+}
+
 /// The decentralized Hilbert-DHT mapper.
+///
+/// Once built it is **self-contained**: lookups read only the registered
+/// coordinates, so the owner must forward cost-point deltas via
+/// [`PhysicalMapper::update_node`] (an `O(log n)` re-registration) and
+/// failures via [`PhysicalMapper::remove_node`]. Maintained this way it
+/// answers exactly like a mapper freshly rebuilt from the same space over
+/// the same quantizer — pinned by the `dht_mapper_deltas_match_fresh_build`
+/// property test.
 pub struct DhtMapper {
     catalog: CoordinateCatalog<HilbertCurve>,
 }
@@ -94,29 +201,76 @@ impl DhtMapper {
     /// `bits` is the per-dimension grid resolution (12 is plenty at 600-node
     /// scale); `scan_width` is the successor-list correction window.
     pub fn build(space: &CostSpace, bits: u32, scan_width: usize) -> Self {
+        Self::build_with(
+            space,
+            &DhtMapperConfig { bits, scan_width, margin: 0.25, scalar_full_range: false },
+        )
+    }
+
+    /// Builds the catalog per `config` (see [`DhtMapperConfig`]).
+    pub fn build_with(space: &CostSpace, config: &DhtMapperConfig) -> Self {
         let dims = space.dims();
+        assert!(
+            (dims as u32) * config.bits <= 128,
+            "dims×bits must fit the 128-bit ring; lower `bits` for high-dimensional spaces"
+        );
+        let covering = Quantizer::covering_iter(
+            space.points().iter().map(|p| p.as_slice()),
+            config.bits,
+            config.margin,
+        );
+        let quantizer = if config.scalar_full_range {
+            let vd = space.vector_dims();
+            let mut mins = covering.mins().to_vec();
+            let mut maxs = covering.maxs().to_vec();
+            for (d, spec) in space.scalar_specs().iter().enumerate() {
+                // Weight functions are monotone on the clamped [0, 1] input,
+                // so [w(0), w(1)] = [0, scale] bounds every future value.
+                mins[vd + d] = 0.0;
+                maxs[vd + d] = spec.weight.apply(1.0).max(1e-9);
+            }
+            Quantizer::new(mins, maxs, config.bits)
+        } else {
+            covering
+        };
+        Self::build_with_quantizer(space, quantizer, config.scan_width)
+    }
+
+    /// Builds the catalog over an explicitly chosen quantizer — the
+    /// constructor equivalence tests use to compare a delta-maintained
+    /// mapper against a fresh build over identical bounds.
+    pub fn build_with_quantizer(
+        space: &CostSpace,
+        quantizer: Quantizer,
+        scan_width: usize,
+    ) -> Self {
+        let dims = space.dims();
+        let bits = quantizer.bits();
         assert!(
             (dims as u32) * bits <= 128,
             "dims×bits must fit the 128-bit ring; lower `bits` for high-dimensional spaces"
         );
-        let points: Vec<Vec<f64>> = space.points().iter().map(|p| p.as_slice().to_vec()).collect();
-        let quantizer = Quantizer::covering(&points, bits, 0.25);
         let curve = HilbertCurve::new(dims, bits);
         let mut catalog = CoordinateCatalog::new(curve, quantizer, scan_width);
-        for (i, p) in points.into_iter().enumerate() {
-            catalog.insert(i as u32, p);
+        for (i, p) in space.points().iter().enumerate() {
+            catalog.insert(i as u32, p.as_slice().to_vec());
         }
         DhtMapper { catalog }
-    }
-
-    /// Re-registers one node after its coordinate changed (scalar churn).
-    pub fn update_node(&mut self, space: &CostSpace, node: NodeId) {
-        self.catalog.insert(node.0, space.point(node).as_slice().to_vec());
     }
 
     /// Accumulated catalog traffic statistics.
     pub fn stats(&self) -> sbon_dht::catalog::CatalogStats {
         self.catalog.stats()
+    }
+
+    /// Registered members still in the catalog.
+    pub fn len(&self) -> usize {
+        self.catalog.len()
+    }
+
+    /// True when every member has been removed.
+    pub fn is_empty(&self) -> bool {
+        self.catalog.is_empty()
     }
 
     /// Direct access to the catalog (multi-query radius search needs
@@ -138,6 +292,18 @@ impl PhysicalMapper for DhtMapper {
 
     fn name(&self) -> &'static str {
         "hilbert-dht"
+    }
+
+    /// Re-registers one node after its coordinate changed (scalar churn or
+    /// embedding refinement).
+    fn update_node(&mut self, space: &CostSpace, node: NodeId) {
+        self.catalog.insert(node.0, space.point(node).as_slice().to_vec());
+    }
+
+    /// Unregisters a failed node: liveness filtering is folded into the
+    /// catalog itself, so lookups can never return a dead host.
+    fn remove_node(&mut self, node: NodeId) {
+        self.catalog.remove(node.0);
     }
 }
 
@@ -310,6 +476,63 @@ mod tests {
     fn dht_mapper_rejects_oversized_key_space() {
         // 3 dims × 64 bits would need 192 key bits.
         DhtMapper::build(&figure3_space(), 64, 8);
+    }
+
+    #[test]
+    fn live_oracle_matches_oracle_until_nodes_die() {
+        let space = figure3_space();
+        let circuit = figure3_circuit();
+        let vp = RelaxationPlacer::default().place(&circuit, &space);
+        let join = circuit.unpinned_services()[0];
+        let ideal = space.ideal_point(vp.coord_of(join));
+
+        let mut oracle = OracleMapper;
+        let mut live = LiveOracleMapper::new(space.num_nodes());
+        assert_eq!(live.map_point(&space, &ideal).0, oracle.map_point(&space, &ideal).0);
+
+        // Kill the winner: the live oracle must fall back to the runner-up.
+        let (winner, _) = oracle.map_point(&space, &ideal);
+        live.remove_node(winner);
+        assert!(!live.is_alive(winner));
+        let (second, _) = live.map_point(&space, &ideal);
+        assert_ne!(second, winner);
+    }
+
+    #[test]
+    fn dht_remove_node_excludes_dead_hosts() {
+        let space = figure3_space();
+        let circuit = figure3_circuit();
+        let vp = RelaxationPlacer::default().place(&circuit, &space);
+        let join = circuit.unpinned_services()[0];
+        let ideal = space.ideal_point(vp.coord_of(join));
+        let mut dht = DhtMapper::build(&space, 10, 8);
+        let (winner, _) = dht.map_point(&space, &ideal);
+        dht.remove_node(winner);
+        assert_eq!(dht.len(), space.num_nodes() - 1);
+        let (next, _) = dht.map_point(&space, &ideal);
+        assert_ne!(next, winner, "a removed node must never be mapped to");
+    }
+
+    #[test]
+    fn build_with_full_scalar_range_survives_out_of_band_churn() {
+        let mut space = figure3_space();
+        // Long-lived config: scalar bounds are [0, w(1.0)] regardless of the
+        // currently observed loads.
+        let mut dht = DhtMapper::build_with(&space, &DhtMapperConfig::default());
+        // Flip the load: N1 cools down, N2 goes to full load — beyond the
+        // initial scalar span — and re-register the two changed points.
+        let mut attrs = NodeAttrs::idle(5);
+        attrs.set(NodeId(4), Attr::CpuLoad, 1.0);
+        space.refresh_scalars(&attrs);
+        dht.update_node(&space, NodeId(3));
+        dht.update_node(&space, NodeId(4));
+        let circuit = figure3_circuit();
+        let vp = RelaxationPlacer::default().place(&circuit, &space);
+        let join = circuit.unpinned_services()[0];
+        let ideal = space.ideal_point(vp.coord_of(join));
+        let (n, _) = dht.map_point(&space, &ideal);
+        let mut oracle = OracleMapper;
+        assert_eq!(n, oracle.map_point(&space, &ideal).0, "full-range quantizer keeps fidelity");
     }
 
     #[test]

@@ -188,17 +188,22 @@ pub enum FullReoptOutcome {
 }
 
 /// Re-runs the full integrated optimization against (possibly updated)
-/// statistics and compares with the running circuit's current cost.
+/// statistics and compares with the running circuit's current cost. The
+/// caller supplies the physical mapper — typically the same long-lived,
+/// delta-maintained instance that served the initial deployment — so full
+/// re-opt shares the control-plane state instead of instantiating mappers
+/// per call.
 pub fn reoptimize_full(
     running_cost_estimate: f64,
     query: &QuerySpec,
     space: &CostSpace,
     latency: &dyn LatencyProvider,
+    mapper: &mut dyn PhysicalMapper,
     config: OptimizerConfig,
     policy: ReoptPolicy,
 ) -> FullReoptOutcome {
     let optimizer = IntegratedOptimizer::new(config);
-    let Some(candidate) = optimizer.optimize(query, space, latency) else {
+    let Some(candidate) = optimizer.optimize_with_mapper(query, space, latency, mapper) else {
         return FullReoptOutcome::Keep;
     };
     let new_cost = candidate.estimated.network_usage;
@@ -331,11 +336,13 @@ mod tests {
         let opt = IntegratedOptimizer::new(OptimizerConfig::default());
         let fresh = opt.optimize(&q, &space, &lat).unwrap();
         let inflated = fresh.estimated.network_usage * 10.0;
+        let mut mapper = OracleMapper;
         match reoptimize_full(
             inflated,
             &q,
             &space,
             &lat,
+            &mut mapper,
             OptimizerConfig::default(),
             ReoptPolicy::default(),
         ) {
@@ -434,11 +441,13 @@ mod tests {
         let q = QuerySpec::join_star(&[NodeId(0), NodeId(8)], NodeId(4), 10.0, 0.01);
         let opt = IntegratedOptimizer::new(OptimizerConfig::default());
         let fresh = opt.optimize(&q, &space, &lat).unwrap();
+        let mut mapper = OracleMapper;
         match reoptimize_full(
             fresh.estimated.network_usage,
             &q,
             &space,
             &lat,
+            &mut mapper,
             OptimizerConfig::default(),
             ReoptPolicy::default(),
         ) {

@@ -32,11 +32,23 @@ impl Quantizer {
     /// A quantizer sized to cover `points` with a proportional margin (e.g.
     /// `0.25` adds 25% of each dimension's span on both sides).
     pub fn covering(points: &[Vec<f64>], bits: u32, margin: f64) -> Self {
-        assert!(!points.is_empty(), "need at least one point");
+        Self::covering_iter(points.iter().map(|p| p.as_slice()), bits, margin)
+    }
+
+    /// [`Quantizer::covering`] over borrowed coordinate slices, so callers
+    /// holding points in another representation need not materialize a
+    /// `Vec<Vec<f64>>` to derive bounds.
+    pub fn covering_iter<'a>(
+        points: impl IntoIterator<Item = &'a [f64]>,
+        bits: u32,
+        margin: f64,
+    ) -> Self {
         assert!(margin >= 0.0);
-        let d = points[0].len();
-        let mut mins = vec![f64::INFINITY; d];
-        let mut maxs = vec![f64::NEG_INFINITY; d];
+        let mut points = points.into_iter();
+        let first = points.next().expect("need at least one point");
+        let d = first.len();
+        let mut mins = first.to_vec();
+        let mut maxs = first.to_vec();
         for p in points {
             assert_eq!(p.len(), d, "points must share dimensionality");
             for i in 0..d {
@@ -55,6 +67,16 @@ impl Quantizer {
     /// Number of dimensions.
     pub fn dims(&self) -> usize {
         self.mins.len()
+    }
+
+    /// Per-dimension lower bounds of the box.
+    pub fn mins(&self) -> &[f64] {
+        &self.mins
+    }
+
+    /// Per-dimension upper bounds of the box.
+    pub fn maxs(&self) -> &[f64] {
+        &self.maxs
     }
 
     /// Bits of resolution per dimension.

@@ -157,11 +157,49 @@ pub enum ChurnProcess {
         /// Per-node, per-tick probability of drawing a fresh load.
         p: f64,
     },
+    /// Each tick, `nodes_per_tick` randomly drawn nodes (with replacement)
+    /// take a Gaussian load step — the planet-scale regime where a tick sees
+    /// load reports from a *fraction* of the overlay, so consumers of the
+    /// dirty set ([`ChurnProcess::tick_dirty`]) do `O(nodes_per_tick)` work
+    /// per tick instead of `O(n)`.
+    SparseWalk {
+        /// Nodes stepped per tick (drawn with replacement).
+        nodes_per_tick: usize,
+        /// Standard deviation of each Gaussian step.
+        std_dev: f64,
+    },
 }
 
 impl ChurnProcess {
     /// Applies one tick of dynamics to the CPU-load column.
     pub fn tick<R: Rng + ?Sized>(&self, attrs: &mut NodeAttrs, rng: &mut R) {
+        self.tick_with(attrs, rng, |_| {});
+    }
+
+    /// Applies one tick of dynamics and reports which nodes were touched, so
+    /// downstream state (cost points, DHT registrations) can be refreshed as
+    /// a delta instead of a full-universe rebuild. A touched node's value may
+    /// still be unchanged (a step clamped at 0 or 1); callers that need
+    /// change detection compare before/after themselves. Consumes the RNG
+    /// identically to [`ChurnProcess::tick`].
+    pub fn tick_dirty<R: Rng + ?Sized>(&self, attrs: &mut NodeAttrs, rng: &mut R) -> Vec<NodeId> {
+        let mut dirty = match *self {
+            ChurnProcess::None | ChurnProcess::Step { .. } => Vec::new(),
+            ChurnProcess::RandomWalk { .. } => Vec::with_capacity(attrs.len()),
+            ChurnProcess::SparseWalk { nodes_per_tick, .. } => Vec::with_capacity(nodes_per_tick),
+        };
+        self.tick_with(attrs, rng, |node| dirty.push(node));
+        dirty
+    }
+
+    /// The single churn implementation behind [`ChurnProcess::tick`] and
+    /// [`ChurnProcess::tick_dirty`]: `on_touch` observes every touched node.
+    fn tick_with<R: Rng + ?Sized, F: FnMut(NodeId)>(
+        &self,
+        attrs: &mut NodeAttrs,
+        rng: &mut R,
+        mut on_touch: F,
+    ) {
         match *self {
             ChurnProcess::None => {}
             ChurnProcess::RandomWalk { std_dev } => {
@@ -169,6 +207,7 @@ impl ChurnProcess {
                     let node = NodeId(i as u32);
                     let step = sample_normal(rng, 0.0, std_dev);
                     attrs.add(node, Attr::CpuLoad, step);
+                    on_touch(node);
                 }
             }
             ChurnProcess::Step { p } => {
@@ -176,7 +215,20 @@ impl ChurnProcess {
                     if rng.gen_bool(p) {
                         let node = NodeId(i as u32);
                         attrs.set(node, Attr::CpuLoad, rng.gen_range(0.0..1.0));
+                        on_touch(node);
                     }
+                }
+            }
+            ChurnProcess::SparseWalk { nodes_per_tick, std_dev } => {
+                let n = attrs.len();
+                if n == 0 {
+                    return;
+                }
+                for _ in 0..nodes_per_tick {
+                    let node = NodeId(rng.gen_range(0..n as u32));
+                    let step = sample_normal(rng, 0.0, std_dev);
+                    attrs.add(node, Attr::CpuLoad, step);
+                    on_touch(node);
                 }
             }
         }
@@ -255,6 +307,52 @@ mod tests {
         ChurnProcess::Step { p: 0.5 }.tick(&mut a, &mut rng);
         let changed = a.column(Attr::CpuLoad).iter().filter(|&&v| v != 0.5).count();
         assert!(changed > 50, "changed={changed}");
+    }
+
+    #[test]
+    fn tick_dirty_reports_exactly_the_touched_nodes() {
+        // Step churn: the dirty set is the set of flipped nodes.
+        let mut rng_a = rng_from_seed(7);
+        let mut rng_b = rng_from_seed(7);
+        let mut a = LoadModel::Uniform(0.5).generate(100, &mut rng_a);
+        let mut b = a.clone();
+        let churn = ChurnProcess::Step { p: 0.3 };
+        let dirty = churn.tick_dirty(&mut a, &mut rng_b);
+        // Same seed, same process: `tick` consumes the RNG identically.
+        churn.tick(&mut b, &mut rng_a);
+        assert_eq!(a.column(Attr::CpuLoad), b.column(Attr::CpuLoad));
+        for i in 0..100u32 {
+            let changed = a.get(NodeId(i), Attr::CpuLoad) != 0.5;
+            if changed {
+                assert!(dirty.contains(&NodeId(i)), "changed node {i} missing from dirty set");
+            }
+        }
+        assert!(!dirty.is_empty());
+    }
+
+    #[test]
+    fn sparse_walk_touches_only_its_budget() {
+        let mut rng = rng_from_seed(8);
+        let mut a = LoadModel::Uniform(0.5).generate(500, &mut rng);
+        let churn = ChurnProcess::SparseWalk { nodes_per_tick: 16, std_dev: 0.2 };
+        let dirty = churn.tick_dirty(&mut a, &mut rng);
+        assert_eq!(dirty.len(), 16);
+        // Every node outside the dirty set is untouched.
+        for i in 0..500u32 {
+            if !dirty.contains(&NodeId(i)) {
+                assert_eq!(a.get(NodeId(i), Attr::CpuLoad), 0.5);
+            }
+        }
+        assert!(a.column(Attr::CpuLoad).iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn none_churn_tick_dirty_is_empty() {
+        let mut rng = rng_from_seed(9);
+        let mut a = LoadModel::Uniform(0.3).generate(10, &mut rng);
+        assert!(ChurnProcess::None.tick_dirty(&mut a, &mut rng).is_empty());
+        let dirty = ChurnProcess::RandomWalk { std_dev: 0.1 }.tick_dirty(&mut a, &mut rng);
+        assert_eq!(dirty.len(), 10, "a full random walk dirties every node");
     }
 
     #[test]

@@ -34,5 +34,8 @@ pub mod traffic;
 
 pub use dataplane::{simulate_circuit, DataPlaneConfig, DataPlaneReport};
 pub use report::{RunReport, Sample};
-pub use runtime::{CircuitHandle, LatencyBackend, LatencyJitter, OverlayRuntime, RuntimeConfig};
+pub use runtime::{
+    CircuitHandle, ControlPlaneStats, LatencyBackend, LatencyJitter, MapperBackend, OverlayRuntime,
+    RuntimeConfig,
+};
 pub use traffic::LinkTraffic;

@@ -1,4 +1,23 @@
 //! The simulated overlay runtime.
+//!
+//! The control plane is **delta-driven**: one long-lived
+//! [`PhysicalMapper`] (the Hilbert-DHT catalog by default, see
+//! [`MapperBackend`]) serves deployment, local/full re-optimization, plan
+//! rewriting, and failure evacuation. Each churn tick refreshes only the
+//! cost points of the nodes the churn actually touched
+//! ([`ChurnProcess::tick_dirty`] → [`CostSpace::update_scalars`]) and
+//! forwards each real change to the mapper (`update_node`), so per-tick
+//! control-plane work tracks the churned-node count instead of the overlay
+//! size: `O(dims)` per refreshed point plus one catalog re-registration
+//! per changed point (a log-n ring search; the Vec-backed ring adds an
+//! O(n) memmove per re-registration — see ROADMAP's open items). At scale,
+//! pair a fixed-budget churn process ([`ChurnProcess::SparseWalk`]) with
+//! the default DHT backend; a full-universe walk re-registers every node
+//! every tick by definition. Node failures unregister from the mapper
+//! (`remove_node`): liveness filtering lives in the catalog, not in
+//! per-call-site wrapper mappers.
+
+use std::time::Instant;
 
 use rand::Rng;
 
@@ -6,8 +25,11 @@ use sbon_coords::vivaldi::{VivaldiConfig, VivaldiEmbedding};
 use sbon_core::circuit::{Circuit, Placement};
 use sbon_core::costspace::{CostSpace, CostSpaceBuilder};
 use sbon_core::optimizer::{IntegratedOptimizer, OptimizerConfig, QuerySpec};
-use sbon_core::placement::{OracleMapper, RelaxationPlacer};
+use sbon_core::placement::{
+    DhtMapper, DhtMapperConfig, LiveOracleMapper, PhysicalMapper, RelaxationPlacer,
+};
 use sbon_core::reopt::{reoptimize_full, reoptimize_local, FullReoptOutcome, ReoptPolicy};
+use sbon_dht::catalog::CatalogStats;
 use sbon_netsim::dijkstra::all_pairs_latency;
 use sbon_netsim::graph::{EdgeId, NodeId};
 use sbon_netsim::latency::{LatencyMatrix, LatencyProvider};
@@ -64,6 +86,37 @@ pub enum LatencyBackend {
     Lazy,
 }
 
+/// Physical-mapping backend owned by the runtime.
+///
+/// The runtime keeps **one** long-lived mapper in sync with the cost space
+/// (deltas via `update_node`, failures via `remove_node`) and threads it
+/// through every control-plane path: deployment, local re-optimization,
+/// plan rewriting, full re-optimization, and failure evacuation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MapperBackend {
+    /// The paper-faithful decentralized mapper: Hilbert-keyed DHT catalog,
+    /// `O(log n)` routed hops per mapped service. The default.
+    Dht {
+        /// Per-dimension grid resolution. Capped at runtime-build time to
+        /// `128 / dims` so high-dimensional cost spaces (many Vivaldi
+        /// dimensions) degrade to a coarser grid instead of overflowing
+        /// the 128-bit ring.
+        bits: u32,
+        /// Successor-list correction window.
+        scan_width: usize,
+    },
+    /// Exhaustive oracle scan over live nodes — `O(n)` per mapped service.
+    /// The centralized verification backend the DHT answers are measured
+    /// against.
+    Oracle,
+}
+
+impl Default for MapperBackend {
+    fn default() -> Self {
+        MapperBackend::Dht { bits: 12, scan_width: 8 }
+    }
+}
+
 /// Runtime configuration.
 #[derive(Clone, Debug)]
 pub struct RuntimeConfig {
@@ -101,6 +154,8 @@ pub struct RuntimeConfig {
     /// (`None` = unbounded). Bounds steady-state latency memory at
     /// `O(cap · n)` instead of `O(n²)`; ignored by the dense backend.
     pub lazy_row_cache: Option<usize>,
+    /// Physical-mapping backend for the runtime-owned mapper.
+    pub mapper_backend: MapperBackend,
 }
 
 impl Default for RuntimeConfig {
@@ -121,6 +176,7 @@ impl Default for RuntimeConfig {
             vivaldi: VivaldiConfig::default(),
             latency_backend: LatencyBackend::default(),
             lazy_row_cache: None,
+            mapper_backend: MapperBackend::default(),
         }
     }
 }
@@ -147,33 +203,43 @@ enum Event {
     Fail(NodeId),
 }
 
-/// An oracle mapper that refuses dead nodes — failure recovery must
-/// re-place services only on live hosts.
-struct AliveOracleMapper<'a> {
-    alive: &'a [bool],
+/// The runtime-owned mapper behind [`MapperBackend`].
+enum MapperState {
+    Dht(DhtMapper),
+    Oracle(LiveOracleMapper),
 }
 
-impl sbon_core::placement::PhysicalMapper for AliveOracleMapper<'_> {
-    fn map_point(
-        &mut self,
-        space: &CostSpace,
-        ideal: &sbon_core::costspace::CostPoint,
-    ) -> (NodeId, usize) {
-        let best = (0..space.num_nodes())
-            .map(|i| NodeId(i as u32))
-            .filter(|n| self.alive[n.index()])
-            .min_by(|&a, &b| {
-                let da = space.point(a).full_distance(ideal);
-                let db = space.point(b).full_distance(ideal);
-                da.partial_cmp(&db).expect("finite distances")
-            })
-            .expect("at least one node is alive");
-        (best, 0)
+impl MapperState {
+    fn as_dyn(&mut self) -> &mut dyn PhysicalMapper {
+        match self {
+            MapperState::Dht(m) => m,
+            MapperState::Oracle(m) => m,
+        }
     }
+}
 
-    fn name(&self) -> &'static str {
-        "alive-oracle"
-    }
+/// Accumulated control-plane accounting of a runtime, split so the cost of
+/// *maintaining* the optimizer's view (coordinate refresh + mapper sync)
+/// is visible separately from the cost of *using* it (re-optimization and
+/// evacuation mapping) and from plain latency-provider reads.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ControlPlaneStats {
+    /// Churn ticks processed.
+    pub ticks: usize,
+    /// Nodes the churn process reported touched (dirty set sizes, summed).
+    pub dirty_nodes: usize,
+    /// Cost points that actually changed — each one cost a mapper
+    /// re-registration (`update_node`).
+    pub points_updated: usize,
+    /// Wall time in coordinate maintenance: dirty-set scalar refresh plus
+    /// mapper re-registrations.
+    pub refresh_ns: u128,
+    /// Wall time in re-optimization events (local, rewrite, full) and
+    /// failure evacuation — the mapping-heavy control-plane paths.
+    pub reopt_ns: u128,
+    /// Wall time reading the ground-truth latency provider for usage
+    /// accounting (the data-plane proxy, for comparison).
+    pub usage_ns: u128,
 }
 
 /// Backend-selected ground-truth latency state.
@@ -211,6 +277,10 @@ pub struct OverlayRuntime {
     circuits: Vec<Deployed>,
     rng: rand::rngs::StdRng,
     optimizer: IntegratedOptimizer,
+    /// The single long-lived physical mapper, kept in sync with `space`.
+    mapper: MapperState,
+    /// Control-plane accounting.
+    control: ControlPlaneStats,
     /// `alive[node]` — failed nodes host nothing and map to nothing.
     alive: Vec<bool>,
     /// Failures to inject during `run`, as `(time_ms, node)`.
@@ -253,6 +323,20 @@ impl OverlayRuntime {
         let space =
             CostSpaceBuilder::latency_load_space_scaled(&embedding, &attrs, config.load_scale);
         let n = topology.num_nodes();
+        let mapper = match config.mapper_backend {
+            MapperBackend::Dht { bits, scan_width } => {
+                // Cap the grid resolution so the Hilbert key fits the
+                // 128-bit ring whatever the space's dimensionality.
+                let bits = bits.min((128 / space.dims() as u32).max(1));
+                MapperState::Dht(DhtMapper::build_with(
+                    &space,
+                    // Full scalar range: load churn must never push a
+                    // registered coordinate outside the quantizer box.
+                    &DhtMapperConfig { bits, scan_width, ..DhtMapperConfig::default() },
+                ))
+            }
+            MapperBackend::Oracle => MapperState::Oracle(LiveOracleMapper::new(n)),
+        };
         OverlayRuntime {
             optimizer: IntegratedOptimizer::new(OptimizerConfig::default()),
             config,
@@ -262,6 +346,8 @@ impl OverlayRuntime {
             embedding,
             circuits: Vec::new(),
             rng,
+            mapper,
+            control: ControlPlaneStats::default(),
             alive: vec![true; n],
             pending_failures: Vec::new(),
             failed_circuits: Vec::new(),
@@ -294,6 +380,9 @@ impl OverlayRuntime {
             return 0;
         }
         self.alive[node.index()] = false;
+        // The maintenance contract: the dead node leaves the mapper, so no
+        // control-plane path can ever map onto it again.
+        self.mapper.as_dyn().remove_node(node);
         let placer = RelaxationPlacer::default();
         let mut evacuated = 0;
 
@@ -313,7 +402,8 @@ impl OverlayRuntime {
             }
         }
 
-        // Evacuate unpinned services stranded on the dead node.
+        // Evacuate unpinned services stranded on the dead node, through the
+        // same runtime-owned mapper every other control-plane path uses.
         for d in &mut self.circuits {
             let stranded: Vec<_> = d
                 .circuit
@@ -326,14 +416,9 @@ impl OverlayRuntime {
                 continue;
             }
             let vp = sbon_core::placement::VirtualPlacer::place(&placer, &d.circuit, &self.space);
-            let mut mapper = AliveOracleMapper { alive: &self.alive };
             for sid in stranded {
                 let ideal = self.space.ideal_point(vp.coord_of(sid));
-                let (new_node, _) = sbon_core::placement::PhysicalMapper::map_point(
-                    &mut mapper,
-                    &self.space,
-                    &ideal,
-                );
+                let (new_node, _) = self.mapper.as_dyn().map_point(&self.space, &ideal);
                 d.placement.move_service(sid, new_node);
                 evacuated += 1;
             }
@@ -361,6 +446,29 @@ impl OverlayRuntime {
         }
     }
 
+    /// Name of the active physical-mapping backend.
+    pub fn mapper_name(&self) -> &'static str {
+        match &self.mapper {
+            MapperState::Dht(m) => m.name(),
+            MapperState::Oracle(m) => m.name(),
+        }
+    }
+
+    /// Catalog traffic counters of the DHT mapper; `None` under the oracle
+    /// backend.
+    pub fn dht_stats(&self) -> Option<CatalogStats> {
+        match &self.mapper {
+            MapperState::Dht(m) => Some(m.stats()),
+            MapperState::Oracle(_) => None,
+        }
+    }
+
+    /// Accumulated control-plane accounting (refresh vs mapping vs
+    /// latency-read time).
+    pub fn control_plane_stats(&self) -> ControlPlaneStats {
+        self.control
+    }
+
     /// Current instantaneous network usage across deployed circuits.
     pub fn instantaneous_usage(&self) -> f64 {
         self.circuits
@@ -371,9 +479,16 @@ impl OverlayRuntime {
             .sum()
     }
 
-    /// Optimizes and deploys a query; returns its handle.
+    /// Optimizes and deploys a query; returns its handle. Candidate plans
+    /// are physically mapped through the runtime-owned mapper (routed DHT
+    /// lookups under the default backend).
     pub fn deploy(&mut self, query: QuerySpec) -> Option<CircuitHandle> {
-        let placed = self.optimizer.optimize(&query, &self.space, self.latency.provider())?;
+        let placed = self.optimizer.optimize_with_mapper(
+            &query,
+            &self.space,
+            self.latency.provider(),
+            self.mapper.as_dyn(),
+        )?;
         let handle = CircuitHandle(self.next_handle);
         self.next_handle += 1;
         self.circuits.push(Deployed {
@@ -417,7 +532,9 @@ impl OverlayRuntime {
                 Event::Tick => {
                     self.apply_churn();
                     // Accrue usage over the elapsed tick (usage·seconds).
+                    let t_usage = Instant::now();
                     let usage = self.instantaneous_usage();
+                    self.control.usage_ns += t_usage.elapsed().as_nanos();
                     cumulative += usage * self.config.tick_ms / 1_000.0;
                     report.samples.push(Sample {
                         time_ms: now.millis(),
@@ -431,8 +548,8 @@ impl OverlayRuntime {
                     }
                 }
                 Event::LocalReopt => {
+                    let t0 = Instant::now();
                     let placer = RelaxationPlacer::default();
-                    let mut mapper = OracleMapper;
                     let mut moved = 0;
                     for d in &mut self.circuits {
                         let outcome = reoptimize_local(
@@ -440,11 +557,12 @@ impl OverlayRuntime {
                             &mut d.placement,
                             &self.space,
                             &placer,
-                            &mut mapper,
+                            self.mapper.as_dyn(),
                             self.config.policy,
                         );
                         moved += outcome.migrations.len();
                     }
+                    self.control.reopt_ns += t0.elapsed().as_nanos();
                     report.migrations += moved;
                     report.adaptation_cost += moved as f64 * self.config.migration_penalty;
                     if let Some(interval) = self.config.reopt_interval_ms {
@@ -454,6 +572,7 @@ impl OverlayRuntime {
                     }
                 }
                 Event::Rewrite => {
+                    let t0 = Instant::now();
                     let placer = RelaxationPlacer::default();
                     let mut swaps = 0;
                     for d in &mut self.circuits {
@@ -461,7 +580,6 @@ impl OverlayRuntime {
                             .circuit
                             .cost_with(&d.placement, |a, b| self.space.vector_distance(a, b))
                             .network_usage;
-                        let mut mapper = AliveOracleMapper { alive: &self.alive };
                         let outcome = sbon_core::reopt::reoptimize_rewrite(
                             &d.running_plan,
                             running_est,
@@ -469,7 +587,7 @@ impl OverlayRuntime {
                             &self.space,
                             self.latency.provider(),
                             &placer,
-                            &mut mapper,
+                            self.mapper.as_dyn(),
                             self.config.policy,
                         );
                         if let sbon_core::reopt::RewriteOutcome::Rewrite { replacement, .. } =
@@ -481,6 +599,7 @@ impl OverlayRuntime {
                             swaps += 1;
                         }
                     }
+                    self.control.reopt_ns += t0.elapsed().as_nanos();
                     report.replacements += swaps;
                     report.adaptation_cost += swaps as f64 * self.config.replacement_penalty;
                     if let Some(interval) = self.config.rewrite_interval_ms {
@@ -490,12 +609,15 @@ impl OverlayRuntime {
                     }
                 }
                 Event::Fail(node) => {
+                    let t0 = Instant::now();
                     let evacuated = self.fail_node(node);
+                    self.control.reopt_ns += t0.elapsed().as_nanos();
                     // Evacuations are migrations: charge the same penalty.
                     report.migrations += evacuated;
                     report.adaptation_cost += evacuated as f64 * self.config.migration_penalty;
                 }
                 Event::FullReopt => {
+                    let t0 = Instant::now();
                     let mut swaps = 0;
                     for i in 0..self.circuits.len() {
                         let running_est = self.circuits[i]
@@ -509,6 +631,7 @@ impl OverlayRuntime {
                             &self.circuits[i].query,
                             &self.space,
                             self.latency.provider(),
+                            self.mapper.as_dyn(),
                             OptimizerConfig::default(),
                             self.config.policy,
                         );
@@ -518,6 +641,7 @@ impl OverlayRuntime {
                             swaps += 1;
                         }
                     }
+                    self.control.reopt_ns += t0.elapsed().as_nanos();
                     report.replacements += swaps;
                     report.adaptation_cost += swaps as f64 * self.config.replacement_penalty;
                     if let Some(interval) = self.config.full_reopt_interval_ms {
@@ -531,10 +655,29 @@ impl OverlayRuntime {
         report
     }
 
-    /// One tick of environment dynamics.
+    /// One tick of environment dynamics. Cost-point maintenance is
+    /// delta-driven: only the nodes the churn touched are recomputed, and
+    /// only the points that actually changed are re-registered with the
+    /// mapper — work proportional to the churned set, not the overlay.
     fn apply_churn(&mut self) {
-        self.config.churn.tick(&mut self.attrs, &mut self.rng);
-        self.space.refresh_scalars(&self.attrs);
+        let dirty = self.config.churn.tick_dirty(&mut self.attrs, &mut self.rng);
+        // Timing starts after the churn simulation itself: refresh_ns bills
+        // only the control plane's reaction (point refresh + mapper sync).
+        let t0 = Instant::now();
+        self.control.ticks += 1;
+        self.control.dirty_nodes += dirty.len();
+        for node in dirty {
+            // Dead nodes must not be re-registered with the mapper — their
+            // catalog entry was removed on failure.
+            if !self.alive[node.index()] {
+                continue;
+            }
+            if self.space.update_scalars(node, &self.attrs) {
+                self.mapper.as_dyn().update_node(&self.space, node);
+                self.control.points_updated += 1;
+            }
+        }
+        self.control.refresh_ns += t0.elapsed().as_nanos();
         let Some(jitter) = self.config.latency_jitter else {
             return;
         };
@@ -912,6 +1055,118 @@ mod tests {
         // Dense runtimes expose no lazy stats.
         let dense = OverlayRuntime::new(&topo, 13, RuntimeConfig::default());
         assert!(dense.lazy_latency_stats().is_none());
+    }
+
+    #[test]
+    fn default_backend_is_dht_and_charges_catalog_traffic() {
+        let topo = small_world(14);
+        let mut rt = OverlayRuntime::new(
+            &topo,
+            14,
+            RuntimeConfig { horizon_ms: 5_000.0, ..Default::default() },
+        );
+        assert_eq!(rt.mapper_name(), "hilbert-dht");
+        rt.deploy(demo_query(&topo)).unwrap();
+        let stats = rt.dht_stats().expect("dht backend exposes catalog stats");
+        assert!(stats.lookups > 0, "deployment must route through the catalog");
+    }
+
+    #[test]
+    fn oracle_backend_runs_and_exposes_no_dht_stats() {
+        let topo = small_world(15);
+        let mut rt = OverlayRuntime::new(
+            &topo,
+            15,
+            RuntimeConfig {
+                horizon_ms: 5_000.0,
+                mapper_backend: MapperBackend::Oracle,
+                ..Default::default()
+            },
+        );
+        assert_eq!(rt.mapper_name(), "live-oracle");
+        rt.deploy(demo_query(&topo)).unwrap();
+        assert!(rt.dht_stats().is_none());
+        let report = rt.run();
+        assert_eq!(report.samples.len(), 5);
+    }
+
+    #[test]
+    fn control_plane_stats_track_churned_nodes_only() {
+        let topo = small_world(16);
+        let n = topo.num_nodes();
+        let run = |churn: ChurnProcess| {
+            let mut rt = OverlayRuntime::new(
+                &topo,
+                16,
+                RuntimeConfig {
+                    horizon_ms: 10_000.0,
+                    churn,
+                    reopt_interval_ms: None,
+                    ..Default::default()
+                },
+            );
+            rt.deploy(demo_query(&topo)).unwrap();
+            rt.run();
+            rt.control_plane_stats()
+        };
+        let none = run(ChurnProcess::None);
+        assert_eq!(none.dirty_nodes, 0);
+        assert_eq!(none.points_updated, 0);
+        assert_eq!(none.ticks, 10);
+
+        let sparse = run(ChurnProcess::SparseWalk { nodes_per_tick: 4, std_dev: 0.2 });
+        assert_eq!(sparse.dirty_nodes, 4 * 10, "sparse churn dirties its budget per tick");
+        assert!(sparse.points_updated <= sparse.dirty_nodes);
+        assert!(sparse.points_updated > 0);
+
+        let full = run(ChurnProcess::RandomWalk { std_dev: 0.2 });
+        assert_eq!(full.dirty_nodes, n * 10, "a full walk dirties every node every tick");
+        assert!(
+            sparse.dirty_nodes < full.dirty_nodes / 10,
+            "delta maintenance must track churn, not overlay size"
+        );
+    }
+
+    #[test]
+    fn high_dimensional_space_caps_dht_bits_instead_of_panicking() {
+        // 10 Vivaldi dims + 1 scalar = 11 dims; a fixed 12-bit grid would
+        // need 132 key bits. The runtime must degrade to a coarser grid.
+        let topo = small_world(18);
+        let mut rt = OverlayRuntime::new(
+            &topo,
+            18,
+            RuntimeConfig {
+                horizon_ms: 3_000.0,
+                vivaldi: VivaldiConfig { dims: 10, ..Default::default() },
+                ..Default::default()
+            },
+        );
+        assert_eq!(rt.mapper_name(), "hilbert-dht");
+        rt.deploy(demo_query(&topo)).unwrap();
+        let report = rt.run();
+        assert_eq!(report.samples.len(), 3);
+    }
+
+    #[test]
+    fn dht_evacuation_never_lands_on_dead_nodes() {
+        // Kill several hosts mid-run under the DHT backend with churn and
+        // re-opt active: every surviving placement must be on live nodes.
+        let topo = small_world(17);
+        let mut rt = OverlayRuntime::new(
+            &topo,
+            17,
+            RuntimeConfig { horizon_ms: 20_000.0, ..Default::default() },
+        );
+        let handles: Vec<_> = (0..2).filter_map(|_| rt.deploy(demo_query(&topo))).collect();
+        let victims = [topo.host_candidates()[55], topo.host_candidates()[61]];
+        rt.schedule_failure(3_000.0, victims[0]);
+        rt.schedule_failure(9_000.0, victims[1]);
+        rt.run();
+        for &h in &handles {
+            if let Some(p) = rt.placement(h) {
+                assert!(p.as_slice().iter().all(|&n| rt.is_alive(n)));
+            }
+        }
     }
 
     #[test]

@@ -9,6 +9,15 @@
 //! measured: its matrix alone is tens of MiB, and keeping it truthful under
 //! *edge* churn would cost a full all-pairs recompute every tick.
 //!
+//! The **control plane** is delta-driven too: load churn arrives as sparse
+//! per-tick reports ([`ChurnProcess::SparseWalk`]), only the touched cost
+//! points are recomputed and re-registered with the runtime's Hilbert-DHT
+//! mapper, and every mapping (deployment, re-optimization, evacuation) is
+//! an `O(log n)` routed lookup instead of an `O(n)` oracle scan. The run
+//! reports coordinate-maintenance and re-optimization wall time separately
+//! from latency-provider time, so both halves of the scaling story are
+//! visible in one run.
+//!
 //! ```sh
 //! cargo run --release --example planet_scale          # full 2,000 nodes
 //! SBON_SMOKE=1 cargo run --release --example planet_scale   # CI-sized
@@ -51,7 +60,10 @@ fn main() {
         reopt_interval_ms: Some(5_000.0),
         full_reopt_interval_ms: Some(15_000.0),
         policy: ReoptPolicy { migration_threshold: 0.05, replacement_threshold: 0.15 },
-        churn: ChurnProcess::RandomWalk { std_dev: 0.05 },
+        // Sparse load reports: each tick a fixed budget of nodes (not a
+        // fixed fraction of n) reports fresh load, so control-plane
+        // maintenance cost tracks churn, not overlay size.
+        churn: ChurnProcess::SparseWalk { nodes_per_tick: 64, std_dev: 0.1 },
         // Edge-granular jitter under the lazy backend: congestion on a link
         // perturbs every path crossing it.
         latency_jitter: Some(LatencyJitter {
@@ -111,6 +123,36 @@ fn main() {
         (stats.rows_cached * n * 8) as f64 / (1024.0 * 1024.0),
         stats.rows_invalidated
     );
+
+    // ── Control-plane breakdown ──────────────────────────────────────────
+    let cp = rt.control_plane_stats();
+    println!("\ncontrol plane ({} mapper):", rt.mapper_name());
+    println!(
+        "  coordinate maintenance: {:.2} ms total ({:.0} µs/tick) — {} dirty reports, \
+         {} point updates ({:.1}/tick at {n} nodes)",
+        cp.refresh_ns as f64 / 1e6,
+        cp.refresh_ns as f64 / 1e3 / cp.ticks.max(1) as f64,
+        cp.dirty_nodes,
+        cp.points_updated,
+        cp.points_updated as f64 / cp.ticks.max(1) as f64,
+    );
+    println!(
+        "  re-optimization + mapping: {:.2} ms total over the run's re-opt/rewrite events",
+        cp.reopt_ns as f64 / 1e6
+    );
+    println!(
+        "  latency-provider reads (usage accounting): {:.2} ms total",
+        cp.usage_ns as f64 / 1e6
+    );
+    if let Some(dht) = rt.dht_stats() {
+        println!(
+            "  catalog traffic: {} lookups, {} routed hops ({:.1} hops/lookup ~ log₂ n = {:.1})",
+            dht.lookups,
+            dht.hops,
+            dht.hops as f64 / dht.lookups.max(1) as f64,
+            (n as f64).log2()
+        );
+    }
 
     // ── The dense baseline at the same scale ─────────────────────────────
     println!("\ndense baseline at {n} nodes:");

@@ -65,8 +65,8 @@ pub mod prelude {
         IntegratedOptimizer, OptimizerConfig, PlacedCircuit, TwoStepOptimizer,
     };
     pub use sbon_core::placement::{
-        CentroidPlacer, GradientPlacer, OracleMapper, PhysicalMapper, RelaxationConfig,
-        RelaxationPlacer, VirtualPlacer,
+        CentroidPlacer, DhtMapper, DhtMapperConfig, GradientPlacer, LiveOracleMapper, OracleMapper,
+        PhysicalMapper, RelaxationConfig, RelaxationPlacer, VirtualPlacer,
     };
     pub use sbon_core::QuerySpec;
     pub use sbon_dht::catalog::CoordinateCatalog;

@@ -7,15 +7,18 @@ use rand::Rng;
 
 use sbon::coords::vivaldi::VivaldiEmbedding;
 use sbon::core::circuit::Circuit;
-use sbon::core::costspace::CostSpaceBuilder;
+use sbon::core::costspace::{CostSpaceBuilder, DimensionSpec, ScalarSource, WeightFn};
 use sbon::core::optimizer::{IntegratedOptimizer, OptimizerConfig, QuerySpec, TwoStepOptimizer};
 use sbon::core::placement::{
-    map_circuit, optimal_tree_placement, OracleMapper, RelaxationPlacer, VirtualPlacer,
+    map_circuit, optimal_tree_placement, DhtMapper, OracleMapper, PhysicalMapper, RelaxationPlacer,
+    VirtualPlacer,
 };
+use sbon::hilbert::Quantizer;
 use sbon::netsim::dijkstra::all_pairs_latency;
 use sbon::netsim::graph::{EdgeId, NodeId};
 use sbon::netsim::latency::{EuclideanLatency, LatencyProvider};
 use sbon::netsim::lazy::LazyLatency;
+use sbon::netsim::load::{Attr, NodeAttrs};
 use sbon::netsim::rng::derive_rng;
 use sbon::netsim::topology::transit_stub::{self, TransitStubConfig};
 use sbon::netsim::topology::waxman::{self, WaxmanConfig};
@@ -194,6 +197,145 @@ proptest! {
                     );
                 }
             }
+        }
+    }
+
+    /// A cost space maintained through the delta API
+    /// (`update_scalars` / `set_vector_coord`) must be **bit-identical** to
+    /// a `CostSpaceBuilder` bulk rebuild from the same final embedding and
+    /// attribute table, across random interleavings of attribute churn and
+    /// coordinate refinement — the contract that lets the runtime refresh
+    /// `O(churned)` points per tick instead of rebuilding the universe.
+    #[test]
+    fn incremental_costspace_matches_rebuild(
+        seed in 0u64..1_000_000,
+        nodes in 4usize..24,
+        ops in 8usize..80,
+    ) {
+        let mut rng = derive_rng(seed, 0xDE17A);
+        let mut coords: Vec<Vec<f64>> = (0..nodes)
+            .map(|_| vec![rng.gen_range(0.0..200.0), rng.gen_range(0.0..200.0)])
+            .collect();
+        let mut attrs = NodeAttrs::idle(nodes);
+        for i in 0..nodes as u32 {
+            attrs.set(NodeId(i), Attr::CpuLoad, rng.gen_range(0.0..1.0));
+            attrs.set(NodeId(i), Attr::MemLoad, rng.gen_range(0.0..1.0));
+        }
+        let specs = vec![
+            DimensionSpec {
+                name: "cpu²".to_string(),
+                source: ScalarSource::Attr(Attr::CpuLoad),
+                weight: WeightFn::Squared { scale: 100.0 },
+            },
+            DimensionSpec {
+                name: "mem".to_string(),
+                source: ScalarSource::Attr(Attr::MemLoad),
+                weight: WeightFn::Linear { scale: 50.0 },
+            },
+        ];
+        let mut space = CostSpaceBuilder::custom(
+            &VivaldiEmbedding::exact(coords.clone()),
+            &attrs,
+            specs.clone(),
+            "delta-maintained",
+        );
+        for _ in 0..ops {
+            let node = NodeId(rng.gen_range(0..nodes as u32));
+            match rng.gen_range(0..4) {
+                // Attribute churn (absolute set, possibly out of band —
+                // clamped identically on both paths).
+                0 => {
+                    attrs.set(node, Attr::CpuLoad, rng.gen_range(-0.2..1.2));
+                    space.update_scalars(node, &attrs);
+                }
+                // Relative attribute step.
+                1 => {
+                    attrs.add(node, Attr::MemLoad, rng.gen_range(-0.4..0.4));
+                    space.update_scalars(node, &attrs);
+                }
+                // Embedding refinement of the vector prefix.
+                2 => {
+                    let c = vec![rng.gen_range(0.0..200.0), rng.gen_range(0.0..200.0)];
+                    space.set_vector_coord(node, &c);
+                    coords[node.index()] = c;
+                }
+                // Redundant refresh of an untouched node (must be a no-op).
+                _ => {
+                    prop_assert!(!space.update_scalars(node, &attrs));
+                }
+            }
+        }
+        let rebuilt = CostSpaceBuilder::custom(
+            &VivaldiEmbedding::exact(coords.clone()),
+            &attrs,
+            specs,
+            "bulk-rebuilt",
+        );
+        for i in 0..nodes as u32 {
+            let (d, r) = (space.point(NodeId(i)), rebuilt.point(NodeId(i)));
+            for (a, b) in d.as_slice().iter().zip(r.as_slice()) {
+                prop_assert!(
+                    a.to_bits() == b.to_bits(),
+                    "node {i}: delta {a} != rebuilt {b} (seed {seed})"
+                );
+            }
+        }
+    }
+
+    /// A `DhtMapper` maintained by forwarding cost-point deltas
+    /// (`update_node`) must answer every lookup exactly like a mapper
+    /// freshly built from the final space over the same quantizer — the
+    /// contract that lets the runtime keep one long-lived catalog instead
+    /// of rebuilding it per tick.
+    #[test]
+    fn dht_mapper_deltas_match_fresh_build(
+        seed in 0u64..1_000_000,
+        nodes in 4usize..24,
+        ops in 1usize..60,
+    ) {
+        let mut rng = derive_rng(seed, 0xD47D);
+        let coords: Vec<Vec<f64>> = (0..nodes)
+            .map(|_| vec![rng.gen_range(0.0..200.0), rng.gen_range(0.0..200.0)])
+            .collect();
+        let mut attrs = NodeAttrs::idle(nodes);
+        for i in 0..nodes as u32 {
+            attrs.set(NodeId(i), Attr::CpuLoad, rng.gen_range(0.0..1.0));
+        }
+        let mut space = CostSpaceBuilder::latency_load_space_scaled(
+            &VivaldiEmbedding::exact(coords),
+            &attrs,
+            100.0,
+        );
+        // Fixed bounds with headroom for every churned value, so both
+        // mappers quantize identically no matter where the deltas end up.
+        let quantizer =
+            Quantizer::new(vec![-50.0, -50.0, -1.0], vec![250.0, 250.0, 101.0], 12);
+        let mut maintained = DhtMapper::build_with_quantizer(&space, quantizer.clone(), 8);
+        for _ in 0..ops {
+            let node = NodeId(rng.gen_range(0..nodes as u32));
+            if rng.gen_range(0..4) == 0 {
+                let c = vec![rng.gen_range(0.0..200.0), rng.gen_range(0.0..200.0)];
+                if space.set_vector_coord(node, &c) {
+                    maintained.update_node(&space, node);
+                }
+            } else {
+                attrs.set(node, Attr::CpuLoad, rng.gen_range(-0.1..1.1));
+                if space.update_scalars(node, &attrs) {
+                    maintained.update_node(&space, node);
+                }
+            }
+        }
+        let mut fresh = DhtMapper::build_with_quantizer(&space, quantizer, 8);
+        prop_assert!(maintained.len() == fresh.len());
+        for _ in 0..16 {
+            let ideal = space
+                .ideal_point(&[rng.gen_range(0.0..200.0), rng.gen_range(0.0..200.0)]);
+            let (m, _) = maintained.map_point(&space, &ideal);
+            let (f, _) = fresh.map_point(&space, &ideal);
+            prop_assert!(
+                m == f,
+                "maintained {m:?} != fresh {f:?} for {ideal:?} (seed {seed})"
+            );
         }
     }
 

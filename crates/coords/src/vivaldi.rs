@@ -7,6 +7,7 @@
 //! along the spring force `(rtt − |x_i − x_j|)·u(x_i − x_j)` with a step
 //! size weighted by how confident `i` is relative to `j`.
 
+use rand::seq::SliceRandom;
 use rand::Rng;
 
 use sbon_netsim::graph::NodeId;
@@ -39,6 +40,17 @@ pub struct VivaldiConfig {
     pub use_height: bool,
     /// Height floor (ms) when the height model is on.
     pub min_height: f64,
+    /// `Some(k)`: **landmark mode** — embed `k` landmark nodes with the
+    /// full all-pairs gossip protocol, then place every remaining node
+    /// against the (frozen) landmarks only. Cuts the warm-up's latency
+    /// sampling from all `n` sources to `k` sources: under a lazy
+    /// shortest-path backend only `k` Dijkstra rows are ever computed,
+    /// instead of one per node. Costs accuracy — non-landmark nodes
+    /// trilaterate against `k` references instead of gossiping with the
+    /// whole overlay (`bench_control_plane` records the trade-off).
+    /// `None` (the default) runs the full decentralized protocol;
+    /// `Some(k)` with `k ≥ n` falls back to it too.
+    pub landmarks: Option<usize>,
 }
 
 impl Default for VivaldiConfig {
@@ -51,17 +63,28 @@ impl Default for VivaldiConfig {
             samples_per_round: 8,
             use_height: false,
             min_height: 0.1,
+            landmarks: None,
         }
     }
 }
 
 impl VivaldiConfig {
-    /// Runs the full decentralized protocol over `latency` and returns the
-    /// converged embedding. Deterministic in `seed`.
+    /// Runs the protocol over `latency` and returns the converged
+    /// embedding: the full decentralized gossip by default, or the
+    /// landmark/sampled variant when [`VivaldiConfig::landmarks`] is set.
+    /// Deterministic in `seed`.
     pub fn embed<L: LatencyProvider>(&self, latency: &L, seed: u64) -> VivaldiEmbedding {
         assert!(self.dims >= 1, "need at least one dimension");
         assert!(self.rounds >= 1 && self.samples_per_round >= 1);
         let n = latency.len();
+        if let Some(k) = self.landmarks {
+            assert!(k >= 2, "landmark embedding needs at least two landmarks, got {k}");
+            if k < n {
+                return self.embed_landmarks(latency, seed, k);
+            }
+            // k ≥ n: the landmark set would be the whole overlay — the
+            // full protocol is both cheaper and more accurate.
+        }
         let mut rng = derive_rng(seed, 0x0071_7141);
 
         let mut nodes: Vec<VivaldiNode> = (0..n)
@@ -86,6 +109,88 @@ impl VivaldiConfig {
                         let remote = nodes[j].clone();
                         nodes[i].observe_with(&remote, rtt, self, &mut rng);
                     }
+                }
+            }
+        }
+
+        VivaldiEmbedding {
+            coords: nodes.iter().map(|v| v.coord.clone()).collect(),
+            heights: nodes.iter().map(|v| v.height).collect(),
+            errors: nodes.iter().map(|v| v.error).collect(),
+        }
+    }
+
+    /// The landmark variant behind [`VivaldiConfig::landmarks`]. Phase 1
+    /// embeds `k` deterministically drawn landmarks with the standard
+    /// gossip protocol restricted to the landmark set; phase 2 freezes them
+    /// and lets every other node converge against random landmarks.
+    ///
+    /// Latency is only ever queried **with a landmark as the source**
+    /// (`rtt(i, ℓ)` is read as `latency(ℓ, i)`; the underlay is
+    /// undirected, so rows are symmetric) — that is what caps a lazy
+    /// backend's warm-up at `k` shortest-path rows total.
+    fn embed_landmarks<L: LatencyProvider>(
+        &self,
+        latency: &L,
+        seed: u64,
+        k: usize,
+    ) -> VivaldiEmbedding {
+        let n = latency.len();
+        debug_assert!((2..n).contains(&k));
+        let mut rng = derive_rng(seed, 0x1a4d_3a4c);
+
+        // Deterministic landmark draw: k distinct nodes.
+        let mut ids: Vec<usize> = (0..n).collect();
+        ids.shuffle(&mut rng);
+        let landmarks: Vec<usize> = ids[..k].to_vec();
+        let mut is_landmark = vec![false; n];
+        for &l in &landmarks {
+            is_landmark[l] = true;
+        }
+
+        let mut nodes: Vec<VivaldiNode> = (0..n)
+            .map(|_| {
+                let mut node = VivaldiNode::random_start(self.dims, &mut rng);
+                if self.use_height {
+                    node.height = self.min_height;
+                }
+                node
+            })
+            .collect();
+
+        // Phase 1: all-pairs gossip among the landmarks only.
+        for _round in 0..self.rounds {
+            for li in 0..k {
+                let i = landmarks[li];
+                for _ in 0..self.samples_per_round {
+                    let lj = gossip_partner(&mut rng, li, k);
+                    let j = landmarks[lj];
+                    let rtt = latency.latency(NodeId(i as u32), NodeId(j as u32));
+                    if !rtt.is_finite() {
+                        continue; // partitioned pair; skip the sample
+                    }
+                    let remote = nodes[j].clone();
+                    nodes[i].observe_with(&remote, rtt, self, &mut rng);
+                }
+            }
+        }
+
+        // Phase 2: place the remaining nodes against the frozen landmarks.
+        for _round in 0..self.rounds {
+            for i in 0..n {
+                if is_landmark[i] {
+                    continue;
+                }
+                for _ in 0..self.samples_per_round {
+                    let l = landmarks[rng.gen_range(0..k)];
+                    // Landmark as the latency *source*: only landmark rows
+                    // are ever demanded from the provider.
+                    let rtt = latency.latency(NodeId(l as u32), NodeId(i as u32));
+                    if !rtt.is_finite() {
+                        continue;
+                    }
+                    let remote = nodes[l].clone();
+                    nodes[i].observe_with(&remote, rtt, self, &mut rng);
                 }
             }
         }
@@ -424,6 +529,75 @@ mod tests {
             "ring successor must not be over-sampled: {}",
             counts[successor]
         );
+    }
+
+    #[test]
+    fn landmark_embedding_is_accurate_on_embeddable_world() {
+        let world = euclidean_world(60, 21);
+        let full = VivaldiConfig { rounds: 120, ..Default::default() }.embed(&world, 21);
+        let lm = VivaldiConfig { rounds: 120, landmarks: Some(16), ..Default::default() }
+            .embed(&world, 21);
+        let err = |e: &VivaldiEmbedding| Summary::of(&relative_errors(e, &world, 2000, 4)).p50;
+        let (ef, el) = (err(&full), err(&lm));
+        // Landmark placement trades accuracy for warm-up cost; on an
+        // exactly-embeddable world it must still be a *good* embedding.
+        assert!(el < 0.15, "landmark median rel err {el} too high (full: {ef})");
+    }
+
+    #[test]
+    fn landmark_embedding_is_deterministic_in_seed() {
+        let world = euclidean_world(30, 22);
+        let cfg = VivaldiConfig { landmarks: Some(8), ..Default::default() };
+        let a = cfg.embed(&world, 5);
+        let b = cfg.embed(&world, 5);
+        assert_eq!(a.coords, b.coords);
+        let c = cfg.embed(&world, 6);
+        assert_ne!(a.coords, c.coords);
+    }
+
+    #[test]
+    fn oversized_landmark_set_falls_back_to_full_protocol() {
+        let world = euclidean_world(20, 23);
+        let full = VivaldiConfig::default().embed(&world, 9);
+        let lm = VivaldiConfig { landmarks: Some(20), ..Default::default() }.embed(&world, 9);
+        // k ≥ n: bit-identical to the full protocol (same rng stream).
+        assert_eq!(full.coords, lm.coords);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two landmarks")]
+    fn single_landmark_is_rejected() {
+        let world = euclidean_world(10, 24);
+        VivaldiConfig { landmarks: Some(1), ..Default::default() }.embed(&world, 0);
+    }
+
+    /// The point of landmark mode: under a lazy shortest-path backend the
+    /// warm-up demands exactly `k` Dijkstra rows — not one per node.
+    #[test]
+    fn landmark_mode_touches_only_k_lazy_rows() {
+        use sbon_netsim::lazy::LazyLatency;
+        use sbon_netsim::topology::transit_stub::{generate, TransitStubConfig};
+        let topo = generate(&TransitStubConfig::with_total_nodes(80), 25);
+        let n = topo.num_nodes();
+        let k = 8;
+        let lazy = LazyLatency::new(topo.graph.clone());
+        let emb = VivaldiConfig { landmarks: Some(k), ..Default::default() }.embed(&lazy, 25);
+        assert_eq!(emb.len(), n);
+        let rows = lazy.stats().rows_computed;
+        assert_eq!(rows, k as u64, "landmark warm-up must compute exactly k rows");
+
+        // The full protocol on the same world touches every row.
+        let lazy_full = LazyLatency::new(topo.graph.clone());
+        VivaldiConfig::default().embed(&lazy_full, 25);
+        assert_eq!(lazy_full.stats().rows_computed, n as u64);
+    }
+
+    #[test]
+    fn landmark_mode_supports_the_height_model() {
+        let world = euclidean_world(40, 26);
+        let emb = VivaldiConfig { landmarks: Some(10), use_height: true, ..Default::default() }
+            .embed(&world, 26);
+        assert!(emb.heights.iter().all(|&h| h >= 0.1), "heights respect the floor");
     }
 
     #[test]

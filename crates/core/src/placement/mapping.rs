@@ -58,6 +58,16 @@ pub trait PhysicalMapper {
         let _ = (space, node);
     }
 
+    /// Registers a node **arriving** in a deployment wave: from now on
+    /// [`PhysicalMapper::map_point`] may return it. Default: delegates to
+    /// [`PhysicalMapper::update_node`], which is the right behaviour for
+    /// mappers whose registration is an idempotent (re-)insert. The owner
+    /// must not re-add a node it already removed via
+    /// [`PhysicalMapper::remove_node`].
+    fn add_node(&mut self, space: &CostSpace, node: NodeId) {
+        self.update_node(space, node);
+    }
+
     /// Informs the mapper that `node` failed or left: it must never be
     /// returned by [`PhysicalMapper::map_point`] again. Default: no-op.
     fn remove_node(&mut self, node: NodeId) {
@@ -127,6 +137,17 @@ impl LiveOracleMapper {
         LiveOracleMapper { alive: vec![true; n] }
     }
 
+    /// A mapper over `n` nodes of which only `members` are initially
+    /// registered — the deployment-wave constructor. Remaining nodes join
+    /// later through [`PhysicalMapper::add_node`].
+    pub fn with_members(n: usize, members: impl IntoIterator<Item = NodeId>) -> Self {
+        let mut mapper = LiveOracleMapper { alive: vec![false; n] };
+        for node in members {
+            mapper.alive[node.index()] = true;
+        }
+        mapper
+    }
+
     /// Whether the mapper still considers `node` mappable.
     pub fn is_alive(&self, node: NodeId) -> bool {
         self.alive.get(node.index()).copied().unwrap_or(false)
@@ -149,6 +170,15 @@ impl PhysicalMapper for LiveOracleMapper {
 
     fn name(&self) -> &'static str {
         "live-oracle"
+    }
+
+    /// A joining node becomes mappable (the scan reads its coordinate live
+    /// from the space, so there is nothing else to register).
+    fn add_node(&mut self, space: &CostSpace, node: NodeId) {
+        let _ = space;
+        if let Some(slot) = self.alive.get_mut(node.index()) {
+            *slot = true;
+        }
     }
 
     fn remove_node(&mut self, node: NodeId) {
@@ -209,6 +239,21 @@ impl DhtMapper {
 
     /// Builds the catalog per `config` (see [`DhtMapperConfig`]).
     pub fn build_with(space: &CostSpace, config: &DhtMapperConfig) -> Self {
+        let members: Vec<NodeId> = (0..space.num_nodes() as u32).map(NodeId).collect();
+        Self::build_with_members(space, config, &members)
+    }
+
+    /// Builds the catalog registering only `members` — the deployment-wave
+    /// constructor. The quantizer is still sized over **every** node of the
+    /// space (plus the usual margin / full scalar range), so nodes that
+    /// arrive later through [`PhysicalMapper::add_node`] quantize into the
+    /// same box the initial members did: an incrementally grown catalog is
+    /// indistinguishable from one bulk-built after the last arrival.
+    pub fn build_with_members(
+        space: &CostSpace,
+        config: &DhtMapperConfig,
+        members: &[NodeId],
+    ) -> Self {
         let dims = space.dims();
         assert!(
             (dims as u32) * config.bits <= 128,
@@ -233,7 +278,7 @@ impl DhtMapper {
         } else {
             covering
         };
-        Self::build_with_quantizer(space, quantizer, config.scan_width)
+        Self::build_members_over_quantizer(space, quantizer, config.scan_width, members)
     }
 
     /// Builds the catalog over an explicitly chosen quantizer — the
@@ -244,6 +289,18 @@ impl DhtMapper {
         quantizer: Quantizer,
         scan_width: usize,
     ) -> Self {
+        let members: Vec<NodeId> = (0..space.num_nodes() as u32).map(NodeId).collect();
+        Self::build_members_over_quantizer(space, quantizer, scan_width, &members)
+    }
+
+    /// Shared constructor: registers exactly `members` under the given
+    /// quantizer.
+    fn build_members_over_quantizer(
+        space: &CostSpace,
+        quantizer: Quantizer,
+        scan_width: usize,
+        members: &[NodeId],
+    ) -> Self {
         let dims = space.dims();
         let bits = quantizer.bits();
         assert!(
@@ -252,8 +309,8 @@ impl DhtMapper {
         );
         let curve = HilbertCurve::new(dims, bits);
         let mut catalog = CoordinateCatalog::new(curve, quantizer, scan_width);
-        for (i, p) in space.points().iter().enumerate() {
-            catalog.insert(i as u32, p.as_slice().to_vec());
+        for &node in members {
+            catalog.insert(node.0, space.point(node).as_slice().to_vec());
         }
         DhtMapper { catalog }
     }
@@ -533,6 +590,51 @@ mod tests {
         let (n, _) = dht.map_point(&space, &ideal);
         let mut oracle = OracleMapper;
         assert_eq!(n, oracle.map_point(&space, &ideal).0, "full-range quantizer keeps fidelity");
+    }
+
+    /// The deployment-wave contract: a catalog started from a subset and
+    /// grown with `add_node` answers exactly like one bulk-built after the
+    /// last arrival.
+    #[test]
+    fn dht_incremental_joins_match_bulk_build() {
+        let space = figure3_space();
+        let config = DhtMapperConfig::default();
+        let initial = [NodeId(0), NodeId(2)];
+        let mut grown = DhtMapper::build_with_members(&space, &config, &initial);
+        assert_eq!(grown.len(), 2);
+        for node in [NodeId(1), NodeId(3), NodeId(4)] {
+            grown.add_node(&space, node);
+        }
+        let mut bulk = DhtMapper::build_with(&space, &config);
+        assert_eq!(grown.len(), bulk.len());
+        let circuit = figure3_circuit();
+        let vp = RelaxationPlacer::default().place(&circuit, &space);
+        let join = circuit.unpinned_services()[0];
+        let ideal = space.ideal_point(vp.coord_of(join));
+        assert_eq!(grown.map_point(&space, &ideal).0, bulk.map_point(&space, &ideal).0);
+    }
+
+    /// Before a node arrives it must never be mapped to; after `add_node`
+    /// it becomes eligible — for both the DHT catalog and the live oracle.
+    #[test]
+    fn unarrived_nodes_are_unmappable_until_added() {
+        let space = figure3_space();
+        let circuit = figure3_circuit();
+        let vp = RelaxationPlacer::default().place(&circuit, &space);
+        let join = circuit.unpinned_services()[0];
+        let ideal = space.ideal_point(vp.coord_of(join));
+        // Full-space oracle picks N2 (NodeId 4) in Figure 3's scenario;
+        // start both mappers without it.
+        let present = [NodeId(0), NodeId(1), NodeId(2), NodeId(3)];
+        let mut dht = DhtMapper::build_with_members(&space, &DhtMapperConfig::default(), &present);
+        let mut live = LiveOracleMapper::with_members(space.num_nodes(), present);
+        assert_ne!(dht.map_point(&space, &ideal).0, NodeId(4));
+        assert_ne!(live.map_point(&space, &ideal).0, NodeId(4));
+        assert!(!live.is_alive(NodeId(4)));
+        dht.add_node(&space, NodeId(4));
+        live.add_node(&space, NodeId(4));
+        assert_eq!(dht.map_point(&space, &ideal).0, NodeId(4));
+        assert_eq!(live.map_point(&space, &ideal).0, NodeId(4));
     }
 
     #[test]

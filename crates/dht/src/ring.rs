@@ -1,11 +1,29 @@
 //! The Chord-style identifier ring.
 //!
-//! Membership is held in one sorted structure (this is a simulator — the
+//! Membership is held in one ordered structure (this is a simulator — the
 //! interesting *distributed* behaviour is routing cost, not replication), but
 //! lookups are executed as **iterative greedy finger routing** exactly as a
 //! real deployment would: each hop jumps to the member whose key most closely
 //! precedes the target among the current member's power-of-two fingers, and
 //! the hop count is reported so experiments can charge for routing.
+//!
+//! # Per-update cost model
+//!
+//! Members live in a `BTreeMap<RingKey, MemberId>` plus a reverse
+//! member→keys index, so **every maintenance primitive is `O(log n)`**:
+//! `join` is an ordered insert (plus a clockwise probe over the — almost
+//! always empty — run of colliding keys), `leave` is one reverse-index
+//! lookup and one ordered removal per held key, and
+//! `successor`/`predecessor`/`neighbors` are ordered range scans. The
+//! original `Vec`-backed ring answered the same queries from one sorted
+//! array, which made join/leave a binary search **plus an `O(n)` memmove**
+//! — fine at the paper's 600-node scale, the bottleneck at 100k+ members
+//! (`bench_control_plane` measures the difference). The two representations
+//! are behaviourally identical; the `btree_ring_matches_vec_reference`
+//! property test pins the new ring bit-for-bit against the seed Vec
+//! implementation over random join/leave/lookup interleavings.
+
+use std::collections::{BTreeMap, HashMap};
 
 use rand::Rng;
 
@@ -43,17 +61,23 @@ pub struct LookupOutcome {
 }
 
 /// A Chord-style ring over the full `u128` key space.
+///
+/// See the [module docs](self) for the `O(log n)` per-update cost model.
 #[derive(Clone, Debug, Default)]
 pub struct DhtRing {
-    /// Members sorted by ring key. Invariant: keys strictly increasing.
-    members: Vec<(RingKey, MemberId)>,
+    /// Members ordered by ring key. Invariant: exactly the entries recorded
+    /// in `keys_of`, one per (member, key) registration.
+    members: BTreeMap<RingKey, MemberId>,
+    /// Reverse index: every key a member currently holds (normally exactly
+    /// one), so `leave` needs no ring scan.
+    keys_of: HashMap<MemberId, Vec<RingKey>>,
     config: DhtConfig,
 }
 
 impl DhtRing {
     /// An empty ring.
     pub fn new(config: DhtConfig) -> Self {
-        DhtRing { members: Vec::new(), config }
+        DhtRing { members: BTreeMap::new(), keys_of: HashMap::new(), config }
     }
 
     /// Number of members.
@@ -68,89 +92,132 @@ impl DhtRing {
 
     /// Iterates `(key, member)` in ring order.
     pub fn iter(&self) -> impl Iterator<Item = (RingKey, MemberId)> + '_ {
-        self.members.iter().copied()
+        self.members.iter().map(|(&k, &m)| (k, m))
     }
 
     /// Joins a member under `key`. If the key is taken, linear-probes
     /// clockwise for the next free key (coordinate collisions after
     /// quantization are common). Returns the key actually used.
-    pub fn join(&mut self, mut key: RingKey, member: MemberId) -> RingKey {
+    pub fn join(&mut self, key: RingKey, member: MemberId) -> RingKey {
         assert!(self.members.len() < u32::MAX as usize, "ring is absurdly over-populated");
-        loop {
-            match self.members.binary_search_by(|&(k, _)| k.cmp(&key)) {
-                Ok(_) => key = key.wrapping_add(1),
-                Err(pos) => {
-                    self.members.insert(pos, (key, member));
-                    return key;
-                }
+        let key = self.first_free_key(key);
+        let evicted = self.members.insert(key, member);
+        debug_assert!(evicted.is_none(), "probe must land on a free key");
+        self.keys_of.entry(member).or_default().push(key);
+        key
+    }
+
+    /// The first unoccupied key clockwise from `from` (inclusive): occupied
+    /// keys ≥ `from` can only delay the probe while they form a contiguous
+    /// run starting exactly at `from`, so one ordered scan of that run finds
+    /// the gap — same answer as the seed ring's key-by-key probe, without
+    /// re-searching per step.
+    fn first_free_key(&self, from: RingKey) -> RingKey {
+        let mut candidate = from;
+        for (&k, _) in self.members.range(from..) {
+            if k != candidate {
+                break;
+            }
+            match candidate.checked_add(1) {
+                Some(next) => candidate = next,
+                // The run reaches u128::MAX: wrap and probe from 0 (the
+                // ring cannot be full — membership is capped well below
+                // 2^128). Depth-1 recursion only.
+                None => return self.first_free_key(0),
             }
         }
+        candidate
     }
 
     /// Removes a member (all of its keys; a member normally has exactly
     /// one). Returns how many entries were removed.
     pub fn leave(&mut self, member: MemberId) -> usize {
-        let before = self.members.len();
-        self.members.retain(|&(_, m)| m != member);
-        before - self.members.len()
+        match self.keys_of.remove(&member) {
+            None => 0,
+            Some(keys) => {
+                let mut removed = 0;
+                for k in keys {
+                    let entry = self.members.remove(&k);
+                    debug_assert_eq!(entry, Some(member), "reverse index tracks ring entries");
+                    removed += usize::from(entry.is_some());
+                }
+                removed
+            }
+        }
     }
 
     /// The member owning `key`: its successor on the ring (first member with
     /// key ≥ target, wrapping). `None` on an empty ring.
     pub fn successor(&self, key: RingKey) -> Option<(RingKey, MemberId)> {
-        if self.members.is_empty() {
-            return None;
-        }
-        let pos = match self.members.binary_search_by(|&(k, _)| k.cmp(&key)) {
-            Ok(pos) => pos,
-            Err(pos) => pos % self.members.len(),
-        };
-        Some(self.members[pos])
+        self.members
+            .range(key..)
+            .next()
+            .or_else(|| self.members.iter().next())
+            .map(|(&k, &m)| (k, m))
     }
 
     /// The member strictly preceding `key` on the ring (largest key < target,
     /// wrapping). `None` on an empty ring.
     pub fn predecessor(&self, key: RingKey) -> Option<(RingKey, MemberId)> {
-        if self.members.is_empty() {
-            return None;
-        }
-        let pos = match self.members.binary_search_by(|&(k, _)| k.cmp(&key)) {
-            Ok(pos) | Err(pos) => pos,
-        };
-        let idx = (pos + self.members.len() - 1) % self.members.len();
-        Some(self.members[idx])
+        self.members
+            .range(..key)
+            .next_back()
+            .or_else(|| self.members.iter().next_back())
+            .map(|(&k, &m)| (k, m))
     }
 
     /// Walks the ring outward from `key` in both directions, yielding up to
     /// `count` distinct members in order of ring proximity. This is the
     /// catalog's radius-search primitive.
+    ///
+    /// No ring entry can be emitted twice, for any `count` (including
+    /// `count ≥ n`) — and hence no member either, given each holds one key
+    /// (a multi-key member's entries are distinct entries): the walk draws
+    /// from two full-cycle cursors — clockwise from the target's successor,
+    /// counter-clockwise from its predecessor — and stops after
+    /// `min(count, n)` picks. After `f` clockwise and `b` counter-clockwise
+    /// picks the two consumed arcs overlap only if `f + b > n`, which the
+    /// cap makes unreachable; at the boundary `f + b = n` the arcs exactly
+    /// tile the ring. (The seed Vec ring's index arithmetic relied on the
+    /// same invariant implicitly; the cursor form also terminates
+    /// structurally instead of trusting modular stepping, and is pinned by
+    /// regression tests at `count ∈ {n−1, n, n+1}`.)
     pub fn neighbors(&self, key: RingKey, count: usize) -> Vec<(RingKey, MemberId)> {
         let n = self.members.len();
         if n == 0 || count == 0 {
             return Vec::new();
         }
-        let start = match self.members.binary_search_by(|&(k, _)| k.cmp(&key)) {
-            Ok(pos) => pos,
-            Err(pos) => pos % n,
-        };
         let take = count.min(n);
+        // Clockwise cycle starting at successor(key); counter-clockwise
+        // cycle starting at predecessor(key). Each cursor visits every
+        // member exactly once.
+        let mut fwd = self.members.range(key..).chain(self.members.range(..key)).peekable();
+        let mut bwd =
+            self.members.range(..key).rev().chain(self.members.range(key..).rev()).peekable();
         let mut out = Vec::with_capacity(take);
-        let mut fwd = start; // next clockwise index to take
-        let mut bwd = (start + n - 1) % n; // next counter-clockwise index
-
-        // While fewer than n members are taken, the fwd/bwd arcs are
-        // disjoint, so no member is emitted twice.
-        for _ in 0..take {
-            let fdist = clockwise_dist(key, self.members[fwd].0);
-            let bdist = clockwise_dist(self.members[bwd].0, key);
-            if fdist <= bdist {
-                out.push(self.members[fwd]);
-                fwd = (fwd + 1) % n;
-            } else {
-                out.push(self.members[bwd]);
-                bwd = (bwd + n - 1) % n;
+        while out.len() < take {
+            let pick_fwd = match (fwd.peek(), bwd.peek()) {
+                (Some(&(&fk, _)), Some(&(&bk, _))) => {
+                    clockwise_dist(key, fk) <= clockwise_dist(bk, key)
+                }
+                (Some(_), None) => true,
+                // Both cursors exhausted before `take` picks is impossible
+                // (each holds n ≥ take items); bail rather than spin.
+                (None, _) => false,
+            };
+            match if pick_fwd { fwd.next() } else { bwd.next() } {
+                Some((&k, &m)) => out.push((k, m)),
+                None => break,
             }
         }
+        debug_assert!(
+            {
+                let mut ks: Vec<RingKey> = out.iter().map(|&(k, _)| k).collect();
+                ks.sort_unstable();
+                ks.windows(2).all(|w| w[0] != w[1])
+            },
+            "neighbors must never emit a ring entry twice"
+        );
         out
     }
 
@@ -216,11 +283,14 @@ impl DhtRing {
     }
 
     /// A uniformly random member key, for choosing lookup start points.
+    /// `O(n)` ordered walk — a test/experiment helper, not a maintenance
+    /// primitive.
     pub fn random_member_key<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<RingKey> {
         if self.members.is_empty() {
             None
         } else {
-            Some(self.members[rng.gen_range(0..self.members.len())].0)
+            let idx = rng.gen_range(0..self.members.len());
+            self.members.keys().nth(idx).copied()
         }
     }
 }
@@ -264,12 +334,35 @@ mod tests {
     }
 
     #[test]
+    fn join_probe_wraps_past_key_space_end() {
+        let mut r = DhtRing::new(DhtConfig::default());
+        assert_eq!(r.join(u128::MAX, 0), u128::MAX);
+        // MAX is taken: the probe must wrap to 0, exactly like the seed
+        // ring's wrapping_add probe.
+        assert_eq!(r.join(u128::MAX, 1), 0);
+        assert_eq!(r.join(u128::MAX, 2), 1);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
     fn leave_removes_member() {
         let mut r = ring_with(&[10, 20, 30]);
         assert_eq!(r.leave(1), 1);
         assert_eq!(r.len(), 2);
         assert_eq!(r.successor(15).unwrap().0, 30);
         assert_eq!(r.leave(99), 0);
+    }
+
+    #[test]
+    fn leave_removes_every_key_of_a_multi_key_member() {
+        let mut r = DhtRing::new(DhtConfig::default());
+        r.join(10, 7);
+        r.join(500, 7);
+        r.join(20, 8);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.leave(7), 2);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.successor(0).unwrap().1, 8);
     }
 
     #[test]
@@ -341,6 +434,74 @@ mod tests {
     fn neighbors_of_empty_ring() {
         let r = DhtRing::new(DhtConfig::default());
         assert!(r.neighbors(0, 3).is_empty());
+    }
+
+    /// The fwd-meets-bwd regression the walk's no-duplicate argument must
+    /// survive: for every tiny ring size and every `count` around the
+    /// membership boundary (`n−1`, `n`, `n+1`), the walk returns exactly
+    /// `min(count, n)` **distinct** members.
+    #[test]
+    fn neighbors_never_duplicates_at_membership_boundary() {
+        let mut rng = rng_from_seed(21);
+        for n in 1usize..=6 {
+            let keys: Vec<RingKey> = (0..n).map(|i| (i as u128) * 1000 + 10).collect();
+            let r = ring_with(&keys);
+            // Targets on members, between members, and off both ends.
+            let mut targets: Vec<RingKey> = keys.clone();
+            targets.extend(keys.iter().map(|k| k + 500));
+            targets.extend([0u128, u128::MAX, rng.gen()]);
+            for &key in &targets {
+                for count in [n.saturating_sub(1), n, n + 1] {
+                    let out = r.neighbors(key, count);
+                    assert_eq!(out.len(), count.min(n), "n={n} count={count} key={key}");
+                    let mut members: Vec<MemberId> = out.iter().map(|&(_, m)| m).collect();
+                    members.sort_unstable();
+                    members.dedup();
+                    assert_eq!(
+                        members.len(),
+                        count.min(n),
+                        "duplicate member in neighbors(n={n}, count={count}, key={key})"
+                    );
+                }
+            }
+        }
+    }
+
+    /// A member holding several keys is several distinct ring entries: the
+    /// walk may (and must) return each of them — distinctness is per
+    /// entry, not per member.
+    #[test]
+    fn neighbors_returns_every_entry_of_a_multi_key_member() {
+        let mut r = DhtRing::new(DhtConfig::default());
+        r.join(10, 7);
+        r.join(500, 7);
+        let out = r.neighbors(0, 2);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|&(_, m)| m == 7));
+        let keys: Vec<RingKey> = out.iter().map(|&(k, _)| k).collect();
+        assert!(keys.contains(&10) && keys.contains(&500));
+    }
+
+    /// With `count == n`, the walk must enumerate the whole ring — the
+    /// fwd and bwd arcs tile it exactly, touching each member once.
+    #[test]
+    fn neighbors_count_n_covers_the_whole_ring() {
+        let r = ring_with(&[10, 20, 30, 40]);
+        for key in [0u128, 10, 15, 39, 200] {
+            let mut members: Vec<MemberId> = r.neighbors(key, 4).iter().map(|&(_, m)| m).collect();
+            members.sort_unstable();
+            assert_eq!(members, vec![0, 1, 2, 3], "key={key}");
+        }
+    }
+
+    #[test]
+    fn neighbors_orders_by_ring_proximity() {
+        let r = ring_with(&[10, 20, 30, 40, 50]);
+        // From 22, by ring proximity: 20 (ccw 2), 30 (cw 8), 10 (ccw 12),
+        // 40 (cw 18), then 50 (cw 28; counter-clockwise it would wrap).
+        let out = r.neighbors(22, 5);
+        let keys: Vec<RingKey> = out.iter().map(|&(k, _)| k).collect();
+        assert_eq!(keys, vec![20, 30, 10, 40, 50]);
     }
 
     #[test]

@@ -90,6 +90,14 @@ impl Quantizer {
     }
 
     /// Quantizes a point to its grid cell, clamping to the box.
+    ///
+    /// Non-finite inputs are defined explicitly: `±∞` clamps to the box
+    /// surface like any other out-of-box value, while **NaN is rejected by
+    /// panic** — `NaN.clamp(0.0, 1.0)` stays NaN and `NaN as u64 == 0`, so
+    /// silently accepting it would alias every NaN coordinate into cell 0
+    /// (a corrupted coordinate registering itself at a legitimate-looking
+    /// catalog position). Mirrors the event queue's non-finite time
+    /// hardening: fail loudly where the poison enters.
     pub fn quantize(&self, point: &[f64]) -> Vec<u32> {
         assert_eq!(point.len(), self.dims(), "point dimensionality mismatch");
         let cells = self.cells_per_dim() as f64;
@@ -97,6 +105,7 @@ impl Quantizer {
             .iter()
             .zip(self.mins.iter().zip(&self.maxs))
             .map(|(&v, (&lo, &hi))| {
+                assert!(!v.is_nan(), "cannot quantize a NaN coordinate");
                 let unit = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
                 // unit == 1.0 must land in the last cell, not one past it.
                 ((unit * cells) as u64).min(self.cells_per_dim() - 1) as u32
@@ -150,6 +159,22 @@ mod tests {
     fn out_of_box_clamps() {
         let q = unit_square(3);
         assert_eq!(q.quantize(&[-5.0, 2.0]), vec![0, 7]);
+    }
+
+    /// Regression: a NaN coordinate used to sail through `clamp` (NaN stays
+    /// NaN) and `as u64` (NaN casts to 0), silently registering in cell 0.
+    #[test]
+    #[should_panic(expected = "NaN coordinate")]
+    fn nan_coordinate_is_rejected() {
+        unit_square(3).quantize(&[f64::NAN, 0.5]);
+    }
+
+    /// Infinities are just extreme out-of-box values: they clamp to the box
+    /// surface deterministically.
+    #[test]
+    fn infinite_coordinates_clamp_to_box_surface() {
+        let q = unit_square(3);
+        assert_eq!(q.quantize(&[f64::NEG_INFINITY, f64::INFINITY]), vec![0, 7]);
     }
 
     #[test]

@@ -376,6 +376,48 @@ mod tests {
         assert_matches_dense(&lazy);
     }
 
+    /// A row that is invalidated and then refetched must be *re-enqueued*
+    /// in the FIFO order, not duplicated: a stale duplicate entry would make
+    /// one capacity eviction pop the ghost and a later one over-evict a
+    /// still-valid row (and `rows_cached` would double-count). Pins the
+    /// invariant that `order` holds each resident source exactly once.
+    #[test]
+    fn invalidated_then_refetched_row_does_not_duplicate_in_fifo() {
+        // Square: 0 —10— 1, 0 —1— 2 —1— 3 —1— 1. The (0,1) edge has an
+        // alternate 3-hop path, so re-weighting it to 1.5 invalidates row 0
+        // (new shortcut: 1.5 < 3) but leaves row 2 valid (2 + 1.5 > 1 and
+        // 1 + 1.5 > 2).
+        let mut g = Graph::new(4);
+        let e01 = g.add_edge(NodeId(0), NodeId(1), 10.0);
+        g.add_edge(NodeId(0), NodeId(2), 1.0);
+        g.add_edge(NodeId(2), NodeId(3), 1.0);
+        g.add_edge(NodeId(3), NodeId(1), 1.0);
+        let mut lazy = LazyLatency::with_capacity(g, 2);
+        assert_eq!(lazy.latency(NodeId(0), NodeId(1)), 3.0); // order: [0]
+        assert_eq!(lazy.latency(NodeId(2), NodeId(1)), 2.0); // order: [0, 2]
+        assert_eq!(lazy.stats().rows_cached, 2);
+
+        // Invalidate row 0 only, then refetch it: the FIFO order must
+        // become [2, 0] with each source present exactly once.
+        lazy.set_edge_latency(e01, 1.5);
+        assert_eq!(lazy.stats().rows_invalidated, 1, "only row 0 is stale");
+        assert_eq!(lazy.latency(NodeId(0), NodeId(1)), 1.5); // recompute
+        assert_eq!(lazy.stats().rows_cached, 2);
+
+        // One more source at capacity 2 evicts exactly one row — the
+        // oldest (2) — and must leave the refetched row 0 resident. A stale
+        // duplicate of 0 at the queue front would instead evict 0's fresh
+        // row (over-eviction) while `rows_cached` double-counted it.
+        let evicted_before = lazy.stats().rows_evicted;
+        lazy.latency(NodeId(3), NodeId(0)); // order: [0, 3]
+        assert_eq!(lazy.stats().rows_evicted, evicted_before + 1);
+        assert_eq!(lazy.stats().rows_cached, 2);
+        let hits_before = lazy.stats().cache_hits;
+        lazy.latency(NodeId(0), NodeId(2)); // must still be a cache hit
+        assert_eq!(lazy.stats().cache_hits, hits_before + 1);
+        assert_eq!(lazy.stats().rows_cached, 2, "no ghost entries inflate residency");
+    }
+
     #[test]
     fn evict_all_clears_cache_but_not_the_graph() {
         let t = generate(&TransitStubConfig::with_total_nodes(40), 9);

@@ -89,6 +89,13 @@ pub fn simulate_circuit(
     latency: &dyn LatencyProvider,
     config: DataPlaneConfig,
 ) -> DataPlaneReport {
+    // A zero or non-finite horizon would divide the usage estimate into
+    // NaN/∞ below — the same empty-sample-set poison `RunReport` and
+    // `Summary` already guard against; reject it at the entry point.
+    assert!(
+        config.duration_ms.is_finite() && config.duration_ms > 0.0,
+        "duration_ms must be positive and finite"
+    );
     let mut rng: StdRng = derive_rng(config.seed, 0xDA7A);
     let horizon = SimTime(config.duration_ms);
 
@@ -210,6 +217,20 @@ mod tests {
             .optimize(&q, &space, &latency)
             .unwrap();
         (placed.circuit, placed.placement, latency)
+    }
+
+    /// Regression: a zero-duration run used to divide the measured usage
+    /// into NaN; it is now rejected at the entry point.
+    #[test]
+    #[should_panic(expected = "duration_ms must be positive")]
+    fn zero_duration_is_rejected() {
+        let (circuit, placement, latency) = placed_fixture(40);
+        simulate_circuit(
+            &circuit,
+            &placement,
+            &latency,
+            DataPlaneConfig { duration_ms: 0.0, seed: 0 },
+        );
     }
 
     #[test]

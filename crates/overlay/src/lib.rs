@@ -35,7 +35,7 @@ pub mod traffic;
 pub use dataplane::{simulate_circuit, DataPlaneConfig, DataPlaneReport};
 pub use report::{RunReport, Sample};
 pub use runtime::{
-    CircuitHandle, ControlPlaneStats, LatencyBackend, LatencyJitter, MapperBackend, OverlayRuntime,
-    RuntimeConfig,
+    CircuitHandle, ControlPlaneStats, DeploymentModel, LatencyBackend, LatencyJitter,
+    MapperBackend, OverlayRuntime, RuntimeConfig,
 };
 pub use traffic::LinkTraffic;

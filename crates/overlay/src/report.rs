@@ -38,6 +38,13 @@ impl RunReport {
     }
 
     /// Mean instantaneous network usage across samples.
+    ///
+    /// **Defined as `0.0` for an empty sample set** — a run that never
+    /// ticked carried no traffic. (The naive `sum / len` would be `0/0 =
+    /// NaN`, which then poisons any aggregate it flows into; every report
+    /// aggregate in the workspace pins this same empty-set convention:
+    /// [`RunReport::total_cost`], `DataPlaneReport::mean_delivery_latency_ms`,
+    /// `MappedCircuit::mean_mapping_error`, and `Summary::of`.)
     pub fn mean_usage(&self) -> f64 {
         if self.samples.is_empty() {
             return 0.0;
@@ -50,11 +57,14 @@ impl RunReport {
 mod tests {
     use super::*;
 
+    /// Regression guard for the empty-sample-set convention: neither
+    /// aggregate may return NaN when a run produced no samples.
     #[test]
     fn empty_report_is_zero() {
         let r = RunReport::default();
         assert_eq!(r.total_cost(), 0.0);
         assert_eq!(r.mean_usage(), 0.0);
+        assert!(!r.mean_usage().is_nan() && !r.total_cost().is_nan());
     }
 
     #[test]

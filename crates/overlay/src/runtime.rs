@@ -9,16 +9,20 @@
 //! forwards each real change to the mapper (`update_node`), so per-tick
 //! control-plane work tracks the churned-node count instead of the overlay
 //! size: `O(dims)` per refreshed point plus one catalog re-registration
-//! per changed point (a log-n ring search; the Vec-backed ring adds an
-//! O(n) memmove per re-registration — see ROADMAP's open items). At scale,
-//! pair a fixed-budget churn process ([`ChurnProcess::SparseWalk`]) with
-//! the default DHT backend; a full-universe walk re-registers every node
-//! every tick by definition. Node failures unregister from the mapper
+//! per changed point (truly `O(log n)` on the B-tree-backed ring). At
+//! scale, pair a fixed-budget churn process ([`ChurnProcess::SparseWalk`])
+//! with the default DHT backend; a full-universe walk re-registers every
+//! node every tick by definition. Node failures unregister from the mapper
 //! (`remove_node`): liveness filtering lives in the catalog, not in
-//! per-call-site wrapper mappers.
+//! per-call-site wrapper mappers. Membership itself can also grow over
+//! ticks ([`DeploymentModel::Wave`]): pending nodes arrive on a per-tick
+//! budget and register through the same maintenance contract
+//! (`add_node`), so bring-up is incremental rather than one bulk build.
 
+use std::collections::VecDeque;
 use std::time::Instant;
 
+use rand::seq::SliceRandom;
 use rand::Rng;
 
 use sbon_coords::vivaldi::{VivaldiConfig, VivaldiEmbedding};
@@ -117,6 +121,34 @@ impl Default for MapperBackend {
     }
 }
 
+/// How the overlay's membership comes up.
+///
+/// The historical model registers every node with the mapper during
+/// construction — one `O(n log n)` bulk build. [`DeploymentModel::Wave`]
+/// instead starts from an `initial` subset and **grows the overlay over
+/// ticks**: each churn tick up to `joins_per_tick` pending nodes arrive (in
+/// a deterministic shuffled order) and register with the runtime's mapper
+/// through the [`PhysicalMapper::add_node`] maintenance contract — an
+/// `O(log n)` catalog join per arrival, so bring-up cost is spread across
+/// the wave instead of paid in one construction-time spike. Nodes that have
+/// not arrived host nothing and are never mapped to; churn reports for them
+/// are ignored.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DeploymentModel {
+    /// Register every node at construction time (the historical behaviour).
+    #[default]
+    Full,
+    /// Start with `initial` nodes (clamped to `1..=n`), then admit up to
+    /// `joins_per_tick` pending nodes per churn tick until all have
+    /// arrived.
+    Wave {
+        /// Nodes registered at construction time.
+        initial: usize,
+        /// Pending nodes admitted per churn tick.
+        joins_per_tick: usize,
+    },
+}
+
 /// Runtime configuration.
 #[derive(Clone, Debug)]
 pub struct RuntimeConfig {
@@ -156,6 +188,8 @@ pub struct RuntimeConfig {
     pub lazy_row_cache: Option<usize>,
     /// Physical-mapping backend for the runtime-owned mapper.
     pub mapper_backend: MapperBackend,
+    /// Membership bring-up model (all-at-once or deployment wave).
+    pub deployment: DeploymentModel,
 }
 
 impl Default for RuntimeConfig {
@@ -177,6 +211,7 @@ impl Default for RuntimeConfig {
             latency_backend: LatencyBackend::default(),
             lazy_row_cache: None,
             mapper_backend: MapperBackend::default(),
+            deployment: DeploymentModel::default(),
         }
     }
 }
@@ -231,6 +266,11 @@ pub struct ControlPlaneStats {
     /// Cost points that actually changed — each one cost a mapper
     /// re-registration (`update_node`).
     pub points_updated: usize,
+    /// Nodes that arrived through the deployment wave — each one cost a
+    /// mapper registration (`add_node`).
+    pub nodes_joined: usize,
+    /// Wall time admitting deployment-wave arrivals (mapper `add_node`).
+    pub join_ns: u128,
     /// Wall time in coordinate maintenance: dirty-set scalar refresh plus
     /// mapper re-registrations.
     pub refresh_ns: u128,
@@ -283,6 +323,12 @@ pub struct OverlayRuntime {
     control: ControlPlaneStats,
     /// `alive[node]` — failed nodes host nothing and map to nothing.
     alive: Vec<bool>,
+    /// `arrived[node]` — nodes still waiting in the deployment wave host
+    /// nothing and map to nothing (all `true` under
+    /// [`DeploymentModel::Full`]).
+    arrived: Vec<bool>,
+    /// Wave arrivals not yet admitted, in arrival order.
+    pending_joins: VecDeque<NodeId>,
     /// Failures to inject during `run`, as `(time_ms, node)`.
     pending_failures: Vec<(f64, NodeId)>,
     /// Circuits killed because a *pinned* service (producer/consumer) died.
@@ -323,19 +369,39 @@ impl OverlayRuntime {
         let space =
             CostSpaceBuilder::latency_load_space_scaled(&embedding, &attrs, config.load_scale);
         let n = topology.num_nodes();
+        // Membership bring-up: everyone at once, or an initial subset with
+        // the rest queued behind a deterministic shuffled arrival order.
+        let (arrived, pending_joins) = match config.deployment {
+            DeploymentModel::Full => (vec![true; n], VecDeque::new()),
+            DeploymentModel::Wave { initial, .. } => {
+                let initial = initial.clamp(1, n);
+                let mut order: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+                order.shuffle(&mut derive_rng(seed, 0x77a1_e5e7));
+                let mut arrived = vec![false; n];
+                for node in &order[..initial] {
+                    arrived[node.index()] = true;
+                }
+                (arrived, order[initial..].iter().copied().collect())
+            }
+        };
+        let members: Vec<NodeId> =
+            (0..n as u32).map(NodeId).filter(|node| arrived[node.index()]).collect();
         let mapper = match config.mapper_backend {
             MapperBackend::Dht { bits, scan_width } => {
                 // Cap the grid resolution so the Hilbert key fits the
                 // 128-bit ring whatever the space's dimensionality.
                 let bits = bits.min((128 / space.dims() as u32).max(1));
-                MapperState::Dht(DhtMapper::build_with(
+                MapperState::Dht(DhtMapper::build_with_members(
                     &space,
                     // Full scalar range: load churn must never push a
                     // registered coordinate outside the quantizer box.
                     &DhtMapperConfig { bits, scan_width, ..DhtMapperConfig::default() },
+                    &members,
                 ))
             }
-            MapperBackend::Oracle => MapperState::Oracle(LiveOracleMapper::new(n)),
+            MapperBackend::Oracle => {
+                MapperState::Oracle(LiveOracleMapper::with_members(n, members))
+            }
         };
         OverlayRuntime {
             optimizer: IntegratedOptimizer::new(OptimizerConfig::default()),
@@ -349,6 +415,8 @@ impl OverlayRuntime {
             mapper,
             control: ControlPlaneStats::default(),
             alive: vec![true; n],
+            arrived,
+            pending_joins,
             pending_failures: Vec::new(),
             failed_circuits: Vec::new(),
             next_handle: 0,
@@ -371,6 +439,17 @@ impl OverlayRuntime {
     /// Whether a node is alive.
     pub fn is_alive(&self, node: NodeId) -> bool {
         self.alive[node.index()]
+    }
+
+    /// Whether a node has arrived (always true under
+    /// [`DeploymentModel::Full`]).
+    pub fn is_arrived(&self, node: NodeId) -> bool {
+        self.arrived[node.index()]
+    }
+
+    /// Number of nodes that have arrived so far.
+    pub fn arrived_count(&self) -> usize {
+        self.arrived.iter().filter(|&&a| a).count()
     }
 
     /// Kills `node` now: evacuates unpinned services, tears down circuits
@@ -660,6 +739,24 @@ impl OverlayRuntime {
     /// only the points that actually changed are re-registered with the
     /// mapper — work proportional to the churned set, not the overlay.
     fn apply_churn(&mut self) {
+        // Deployment wave: admit this tick's arrivals before churn so a
+        // node can report load the tick it joins. Each arrival is one
+        // O(log n) mapper registration (`add_node`).
+        if let DeploymentModel::Wave { joins_per_tick, .. } = self.config.deployment {
+            let t_join = Instant::now();
+            let mut joined = 0;
+            while joined < joins_per_tick {
+                let Some(node) = self.pending_joins.pop_front() else { break };
+                if !self.alive[node.index()] {
+                    continue; // failed before arrival: never joins
+                }
+                self.arrived[node.index()] = true;
+                self.mapper.as_dyn().add_node(&self.space, node);
+                joined += 1;
+            }
+            self.control.nodes_joined += joined;
+            self.control.join_ns += t_join.elapsed().as_nanos();
+        }
         let dirty = self.config.churn.tick_dirty(&mut self.attrs, &mut self.rng);
         // Timing starts after the churn simulation itself: refresh_ns bills
         // only the control plane's reaction (point refresh + mapper sync).
@@ -668,8 +765,9 @@ impl OverlayRuntime {
         self.control.dirty_nodes += dirty.len();
         for node in dirty {
             // Dead nodes must not be re-registered with the mapper — their
-            // catalog entry was removed on failure.
-            if !self.alive[node.index()] {
+            // catalog entry was removed on failure — and nodes still
+            // waiting in the deployment wave are not registered yet.
+            if !self.alive[node.index()] || !self.arrived[node.index()] {
                 continue;
             }
             if self.space.update_scalars(node, &self.attrs) {
@@ -1167,6 +1265,161 @@ mod tests {
                 assert!(p.as_slice().iter().all(|&n| rt.is_alive(n)));
             }
         }
+    }
+
+    /// Deployment wave: the overlay grows over ticks, every admitted node
+    /// registers with the mapper, and placements stay confined to arrived
+    /// nodes throughout.
+    #[test]
+    fn deployment_wave_grows_the_overlay_over_ticks() {
+        let topo = small_world(20);
+        let n = topo.num_nodes();
+        let mut rt = OverlayRuntime::new(
+            &topo,
+            20,
+            RuntimeConfig {
+                horizon_ms: 10_000.0,
+                deployment: DeploymentModel::Wave { initial: 30, joins_per_tick: 10 },
+                churn: ChurnProcess::SparseWalk { nodes_per_tick: 8, std_dev: 0.1 },
+                ..Default::default()
+            },
+        );
+        assert_eq!(rt.arrived_count(), 30);
+        // Deploy a query pinned on arrived hosts only.
+        let hosts: Vec<NodeId> =
+            topo.host_candidates().into_iter().filter(|&h| rt.is_arrived(h)).collect();
+        assert!(hosts.len() >= 5, "initial wave must include some stub hosts");
+        let q =
+            QuerySpec::join_star(&[hosts[0], hosts[1], hosts[2], hosts[3]], hosts[4], 10.0, 0.02);
+        let handle = rt.deploy(q).unwrap();
+        // Everything mapped so far must be on arrived nodes.
+        let placed = rt.placement(handle).unwrap().clone();
+        assert!(placed.as_slice().iter().all(|&node| rt.is_arrived(node)));
+        let report = rt.run();
+        assert_eq!(report.samples.len(), 10);
+        // 30 initial + 10 ticks × 10 joins ≥ 80 total: everyone arrived.
+        assert_eq!(rt.arrived_count(), n);
+        let cp = rt.control_plane_stats();
+        assert_eq!(cp.nodes_joined, n - 30, "every pending node joined exactly once");
+        // The DHT catalog holds the whole overlay after the wave.
+        assert_eq!(rt.mapper_name(), "hilbert-dht");
+    }
+
+    /// With `joins_per_tick: 0` the wave never advances: the runtime must
+    /// keep every placement confined to the initial membership.
+    #[test]
+    fn stalled_wave_confines_placements_to_initial_members() {
+        let topo = small_world(21);
+        let mut rt = OverlayRuntime::new(
+            &topo,
+            21,
+            RuntimeConfig {
+                horizon_ms: 10_000.0,
+                deployment: DeploymentModel::Wave { initial: 40, joins_per_tick: 0 },
+                ..Default::default()
+            },
+        );
+        let hosts: Vec<NodeId> =
+            topo.host_candidates().into_iter().filter(|&h| rt.is_arrived(h)).collect();
+        let q =
+            QuerySpec::join_star(&[hosts[0], hosts[1], hosts[2], hosts[3]], hosts[4], 10.0, 0.02);
+        let handle = rt.deploy(q).unwrap();
+        rt.run();
+        assert_eq!(rt.arrived_count(), 40);
+        assert_eq!(rt.control_plane_stats().nodes_joined, 0);
+        let placed = rt.placement(handle).unwrap();
+        assert!(
+            placed.as_slice().iter().all(|&node| rt.is_arrived(node)),
+            "re-optimization must never migrate onto an unarrived node"
+        );
+    }
+
+    #[test]
+    fn deployment_wave_is_deterministic() {
+        let topo = small_world(22);
+        let run = || {
+            let mut rt = OverlayRuntime::new(
+                &topo,
+                22,
+                RuntimeConfig {
+                    horizon_ms: 8_000.0,
+                    deployment: DeploymentModel::Wave { initial: 25, joins_per_tick: 7 },
+                    churn: ChurnProcess::SparseWalk { nodes_per_tick: 4, std_dev: 0.1 },
+                    ..Default::default()
+                },
+            );
+            let hosts: Vec<NodeId> =
+                topo.host_candidates().into_iter().filter(|&h| rt.is_arrived(h)).collect();
+            let q = QuerySpec::join_star(
+                &[hosts[0], hosts[1], hosts[2], hosts[3]],
+                hosts[4],
+                10.0,
+                0.02,
+            );
+            rt.deploy(q).unwrap();
+            let report = rt.run();
+            (report, rt.control_plane_stats())
+        };
+        let (a, ca) = run();
+        let (b, cb) = run();
+        assert_eq!(ca.nodes_joined, cb.nodes_joined);
+        for (x, y) in a.samples.iter().zip(&b.samples) {
+            assert_eq!(x.network_usage, y.network_usage);
+        }
+    }
+
+    /// A wave under the oracle backend behaves the same way: unarrived
+    /// nodes are invisible to mapping until admitted.
+    #[test]
+    fn deployment_wave_works_under_oracle_backend() {
+        let topo = small_world(23);
+        let n = topo.num_nodes();
+        let mut rt = OverlayRuntime::new(
+            &topo,
+            23,
+            RuntimeConfig {
+                horizon_ms: 10_000.0,
+                deployment: DeploymentModel::Wave { initial: 20, joins_per_tick: 20 },
+                mapper_backend: MapperBackend::Oracle,
+                ..Default::default()
+            },
+        );
+        assert_eq!(rt.mapper_name(), "live-oracle");
+        let hosts: Vec<NodeId> =
+            topo.host_candidates().into_iter().filter(|&h| rt.is_arrived(h)).collect();
+        let q =
+            QuerySpec::join_star(&[hosts[0], hosts[1], hosts[2], hosts[3]], hosts[4], 10.0, 0.02);
+        rt.deploy(q).unwrap();
+        rt.run();
+        assert_eq!(rt.arrived_count(), n);
+        assert_eq!(rt.control_plane_stats().nodes_joined, n - 20);
+    }
+
+    /// A node that fails while still queued in the wave must never join.
+    #[test]
+    fn failed_pending_node_never_joins() {
+        let topo = small_world(24);
+        let n = topo.num_nodes();
+        let mut rt = OverlayRuntime::new(
+            &topo,
+            24,
+            RuntimeConfig {
+                horizon_ms: 10_000.0,
+                deployment: DeploymentModel::Wave { initial: 10, joins_per_tick: 20 },
+                churn: ChurnProcess::None,
+                reopt_interval_ms: None,
+                ..Default::default()
+            },
+        );
+        let victim = (0..n as u32)
+            .map(NodeId)
+            .find(|&node| !rt.is_arrived(node))
+            .expect("some node is still pending");
+        rt.schedule_failure(500.0, victim); // before the first join tick
+        rt.run();
+        assert!(!rt.is_alive(victim));
+        assert!(!rt.is_arrived(victim), "a dead pending node must not arrive");
+        assert_eq!(rt.arrived_count(), n - 1);
     }
 
     #[test]

@@ -13,6 +13,7 @@ use sbon::core::placement::{
     map_circuit, optimal_tree_placement, DhtMapper, OracleMapper, PhysicalMapper, RelaxationPlacer,
     VirtualPlacer,
 };
+use sbon::dht::{DhtConfig, DhtRing, RingKey};
 use sbon::hilbert::Quantizer;
 use sbon::netsim::dijkstra::all_pairs_latency;
 use sbon::netsim::graph::{EdgeId, NodeId};
@@ -29,6 +30,84 @@ use sbon::query::stream::StreamId;
 /// Strategy: a small Euclidean world of 6–20 nodes in a 200×200 box.
 fn euclidean_world() -> impl Strategy<Value = Vec<(f64, f64)>> {
     proptest::collection::vec((0.0f64..200.0, 0.0f64..200.0), 6..20)
+}
+
+/// The seed `Vec`-backed ring, kept verbatim as the reference
+/// implementation the B-tree [`DhtRing`] is pinned against: one sorted
+/// vector, binary search everywhere, `O(n)` memmove per join/leave.
+#[derive(Default)]
+struct VecRing {
+    members: Vec<(RingKey, u32)>,
+}
+
+impl VecRing {
+    fn join(&mut self, mut key: RingKey, member: u32) -> RingKey {
+        loop {
+            match self.members.binary_search_by(|&(k, _)| k.cmp(&key)) {
+                Ok(_) => key = key.wrapping_add(1),
+                Err(pos) => {
+                    self.members.insert(pos, (key, member));
+                    return key;
+                }
+            }
+        }
+    }
+
+    fn leave(&mut self, member: u32) -> usize {
+        let before = self.members.len();
+        self.members.retain(|&(_, m)| m != member);
+        before - self.members.len()
+    }
+
+    fn successor(&self, key: RingKey) -> Option<(RingKey, u32)> {
+        if self.members.is_empty() {
+            return None;
+        }
+        let pos = match self.members.binary_search_by(|&(k, _)| k.cmp(&key)) {
+            Ok(pos) => pos,
+            Err(pos) => pos % self.members.len(),
+        };
+        Some(self.members[pos])
+    }
+
+    fn predecessor(&self, key: RingKey) -> Option<(RingKey, u32)> {
+        if self.members.is_empty() {
+            return None;
+        }
+        let pos = match self.members.binary_search_by(|&(k, _)| k.cmp(&key)) {
+            Ok(pos) | Err(pos) => pos,
+        };
+        let idx = (pos + self.members.len() - 1) % self.members.len();
+        Some(self.members[idx])
+    }
+
+    fn neighbors(&self, key: RingKey, count: usize) -> Vec<(RingKey, u32)> {
+        let cw = |a: RingKey, b: RingKey| b.wrapping_sub(a);
+        let n = self.members.len();
+        if n == 0 || count == 0 {
+            return Vec::new();
+        }
+        let start = match self.members.binary_search_by(|&(k, _)| k.cmp(&key)) {
+            Ok(pos) => pos,
+            Err(pos) => pos % n,
+        };
+        let take = count.min(n);
+        let mut out = Vec::with_capacity(take);
+        let mut fwd = start;
+        let mut bwd = (start + n - 1) % n;
+        for _ in 0..take {
+            let fdist = cw(key, self.members[fwd].0);
+            let bdist = cw(self.members[bwd].0, key);
+            if fdist <= bdist {
+                out.push(self.members[fwd]);
+                fwd = (fwd + 1) % n;
+            } else {
+                out.push(self.members[bwd]);
+                bwd = (bwd + n - 1) % n;
+            }
+        }
+        out
+    }
 }
 
 fn world_from(points: &[(f64, f64)]) -> (EuclideanLatency, sbon::core::costspace::CostSpace) {
@@ -337,6 +416,91 @@ proptest! {
                 "maintained {m:?} != fresh {f:?} for {ideal:?} (seed {seed})"
             );
         }
+    }
+
+    /// The B-tree [`DhtRing`] must be **behaviourally identical** to the
+    /// seed `Vec` ring over random interleavings of joins (including forced
+    /// key collisions, so the clockwise probe is exercised), leaves,
+    /// successor/predecessor queries, neighbor walks at boundary counts,
+    /// and routed lookups — the contract that made swapping the membership
+    /// structure a pure `O(n) → O(log n)` cost change.
+    #[test]
+    fn btree_ring_matches_vec_reference(
+        seed in 0u64..1_000_000,
+        ops in 20usize..140,
+    ) {
+        let mut rng = derive_rng(seed, 0xB7EE);
+        let mut ring = DhtRing::new(DhtConfig::default());
+        let mut reference = VecRing::default();
+        let mut next_member: u32 = 0;
+        let mut live: Vec<u32> = Vec::new();
+        for _ in 0..ops {
+            match rng.gen_range(0..8) {
+                0..=2 => {
+                    // Join; 1 in 3 reuses an occupied key to force probing.
+                    let key: RingKey = if !reference.members.is_empty() && rng.gen_range(0..3) == 0
+                    {
+                        reference.members[rng.gen_range(0..reference.members.len())].0
+                    } else if rng.gen_range(0..8) == 0 {
+                        // Occasionally probe the key-space end (wrap case).
+                        RingKey::MAX - rng.gen_range(0..2) as RingKey
+                    } else {
+                        rng.gen()
+                    };
+                    let kb = ring.join(key, next_member);
+                    let kv = reference.join(key, next_member);
+                    prop_assert_eq!(kb, kv);
+                    live.push(next_member);
+                    next_member += 1;
+                }
+                3 => {
+                    // Leave a live member — or a never-joined one (no-op).
+                    let member = if !live.is_empty() && rng.gen_range(0..5) > 0 {
+                        live.swap_remove(rng.gen_range(0..live.len()))
+                    } else {
+                        next_member + 1000
+                    };
+                    prop_assert_eq!(ring.leave(member), reference.leave(member));
+                }
+                4 => {
+                    let key: RingKey = rng.gen();
+                    prop_assert_eq!(ring.successor(key), reference.successor(key));
+                    prop_assert_eq!(ring.predecessor(key), reference.predecessor(key));
+                }
+                5 => {
+                    // Neighbors at the membership-boundary counts the seed
+                    // walk's disjoint-arc argument is most delicate at.
+                    let key: RingKey = if !reference.members.is_empty() && rng.gen_range(0..2) == 0
+                    {
+                        reference.members[rng.gen_range(0..reference.members.len())].0
+                    } else {
+                        rng.gen()
+                    };
+                    let n = reference.members.len();
+                    for count in [n.saturating_sub(1), n, n + 1, rng.gen_range(0..n + 3)] {
+                        prop_assert_eq!(ring.neighbors(key, count), reference.neighbors(key, count));
+                    }
+                }
+                _ => {
+                    // Routed lookup: owner must equal the reference
+                    // successor (hops are an implementation detail of the
+                    // finger walk, but both rings share it — compare too).
+                    if reference.members.is_empty() {
+                        prop_assert!(ring.lookup(0, 0).is_none());
+                        continue;
+                    }
+                    let start = reference.members[rng.gen_range(0..reference.members.len())].0;
+                    let target: RingKey = rng.gen();
+                    let out = ring.lookup(start, target).unwrap();
+                    let truth = reference.successor(target).unwrap();
+                    prop_assert_eq!((out.owner_key, out.owner), truth);
+                }
+            }
+            prop_assert_eq!(ring.len(), reference.members.len());
+        }
+        // Final sweep: the full ring orders identically.
+        let btree_members: Vec<(RingKey, u32)> = ring.iter().collect();
+        prop_assert_eq!(btree_members, reference.members);
     }
 
     /// Statistical plan costs reported by the DP agree with the

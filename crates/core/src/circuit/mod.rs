@@ -223,6 +223,13 @@ impl Circuit {
         self.services[sid.index()].pin = ServicePin::Pinned(node);
     }
 
+    /// Returns a service to the placeable pool — the inverse of
+    /// [`Circuit::pin_service`], used when the last reuse subscription on
+    /// an instance drains while its owner keeps running.
+    pub fn unpin_service(&mut self, sid: ServiceId) {
+        self.services[sid.index()].pin = ServicePin::Unpinned;
+    }
+
     /// A service by id.
     pub fn service(&self, sid: ServiceId) -> &Service {
         &self.services[sid.index()]

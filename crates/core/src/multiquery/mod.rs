@@ -11,6 +11,28 @@
 //! [`crate::circuit::ServiceKind::Operator`] signatures match — the
 //! signature canonically encodes the operator *and its whole input subtree*,
 //! so reusing the instance also reuses everything beneath it.
+//!
+//! # Tenancy and refcounts
+//!
+//! The registry is **reuse-aware across query lifecycles**: every reuse of a
+//! running instance records a *subscription* (a refcount increment on the
+//! `(owner circuit, service)` pair). Departures go through
+//! [`MultiQueryOptimizer::release`], the graceful inverse of deployment:
+//!
+//! * a departing circuit's own instances leave the discovery index
+//!   immediately when nothing subscribes to them;
+//! * instances that still have subscribers are **retained** — the physical
+//!   subtree keeps running (and stays discoverable for new arrivals) until
+//!   the last subscriber releases it;
+//! * a circuit's own subscriptions (what it borrowed from others) are
+//!   released only when no retained subtree of its own still needs them, so
+//!   reuse *chains* (C reuses B's join, which itself consumes A's) drain in
+//!   dependency order, never stranding a live consumer.
+//!
+//! Refcounts never go negative (underflow panics — it would mean a
+//! double-release bug) and fully drain to zero once every circuit has been
+//! released, which the workspace pins with a property test over random
+//! arrival/departure interleavings.
 
 use std::collections::HashMap;
 
@@ -73,11 +95,69 @@ pub struct MultiQueryOutcome {
     pub standalone_cost: CircuitCost,
     /// Services reused from running circuits.
     pub reused: Vec<ServiceInstance>,
+    /// For each entry of `reused` (same order): the service id *within this
+    /// circuit* that was substituted by the running instance.
+    pub reused_at: Vec<ServiceId>,
+    /// `shared[service]` — the service is a reused root or sits beneath
+    /// one: its physical work (and the links feeding it) are paid for by
+    /// the instance's owner, not by this circuit.
+    pub shared: Vec<bool>,
     /// Reuse candidates examined across all considered plans — the quantity
     /// radius pruning bounds.
     pub candidates_examined: usize,
     /// Assigned id in the registry.
     pub id: CircuitId,
+}
+
+/// What [`MultiQueryOptimizer::release`] did.
+#[derive(Clone, Debug, Default)]
+pub struct ReleaseReport {
+    /// The departing circuit's own services that other circuits still
+    /// subscribe to: their subtrees must keep running until the refcount
+    /// drains to zero.
+    pub retained: Vec<ServiceId>,
+    /// `(owner circuit, service)` instances whose refcount drained to zero
+    /// during this release *after their owner had already departed* — the
+    /// retained subtree is gone for good and its usage stops accruing. May
+    /// name circuits other than the one released (cascading drains along
+    /// reuse chains).
+    pub drained: Vec<(CircuitId, ServiceId)>,
+    /// `(owner circuit, service)` instances whose refcount drained to zero
+    /// while their owner is **still running** — the tenancy pin that froze
+    /// the instance in place can be lifted (it is migratable again).
+    pub idle: Vec<(CircuitId, ServiceId)>,
+    /// Circuits left holding a live subscription on the torn-down circuit —
+    /// their shared feed no longer exists. Only populated by
+    /// [`MultiQueryOptimizer::teardown_reporting`] (a graceful `release`
+    /// retains subscribed subtrees instead of stranding anyone); the caller
+    /// decides how the failure cascades.
+    pub orphaned: Vec<CircuitId>,
+}
+
+/// A subscription this circuit holds on another circuit's instance.
+#[derive(Clone, Debug)]
+struct Borrow {
+    /// The local service that was substituted by the instance.
+    at: ServiceId,
+    /// The instance's owner.
+    from: CircuitId,
+    /// The instance's id within its owner.
+    service: ServiceId,
+}
+
+/// Registry record of one deployed (possibly departed-but-retained) circuit.
+#[derive(Clone)]
+struct CircuitRecord {
+    circuit: Circuit,
+    placement: Placement,
+    /// Per-service shared flag (see [`MultiQueryOutcome::shared`]).
+    shared: Vec<bool>,
+    /// Subscriptions held on other circuits' instances.
+    borrows: Vec<Borrow>,
+    /// `released[i]` — `borrows[i]` has been given back already.
+    released: Vec<bool>,
+    /// The circuit departed; only still-subscribed subtrees survive.
+    departed: bool,
 }
 
 /// Decentralized instance discovery: running operator instances registered
@@ -96,7 +176,8 @@ struct InstanceIndex {
 }
 
 /// The multi-query optimizer: an integrated optimizer plus a registry of
-/// running circuits and the radius-pruned reuse search.
+/// running circuits, the radius-pruned reuse search, and the subscription
+/// refcounts that govern shared-service lifetime (module docs).
 ///
 /// Instance discovery runs either against the in-memory registry (default;
 /// an exact oracle) or against a Hilbert-DHT catalog
@@ -110,8 +191,11 @@ pub struct MultiQueryOptimizer {
     next_id: u64,
     /// Running instances indexed by signature.
     by_signature: HashMap<String, Vec<ServiceInstance>>,
-    /// All deployed circuits (kept for teardown bookkeeping).
-    deployed: HashMap<CircuitId, (Circuit, Placement)>,
+    /// All deployed circuits, including departed ones that still own
+    /// retained (subscribed) subtrees.
+    deployed: HashMap<CircuitId, CircuitRecord>,
+    /// Subscription refcounts per reusable instance.
+    subscribers: HashMap<(CircuitId, ServiceId), usize>,
     /// Optional decentralized discovery index.
     dht_index: Option<InstanceIndex>,
 }
@@ -124,6 +208,7 @@ impl MultiQueryOptimizer {
             next_id: 0,
             by_signature: HashMap::new(),
             deployed: HashMap::new(),
+            subscribers: HashMap::new(),
             dht_index: None,
         }
     }
@@ -144,6 +229,7 @@ impl MultiQueryOptimizer {
             next_id: 0,
             by_signature: HashMap::new(),
             deployed: HashMap::new(),
+            subscribers: HashMap::new(),
             dht_index: Some(InstanceIndex { catalog, slots: Vec::new(), k }),
         }
     }
@@ -154,14 +240,31 @@ impl MultiQueryOptimizer {
         self.dht_index.as_ref().map(|i| i.catalog.stats()).unwrap_or_default()
     }
 
-    /// Number of running circuits.
+    /// Number of running (non-departed) circuits.
     pub fn num_circuits(&self) -> usize {
-        self.deployed.len()
+        self.deployed.values().filter(|r| !r.departed).count()
+    }
+
+    /// Number of departed circuits whose subtrees are still retained by
+    /// subscribers.
+    pub fn num_retained(&self) -> usize {
+        self.deployed.values().filter(|r| r.departed).count()
     }
 
     /// Number of reusable operator instances.
     pub fn num_instances(&self) -> usize {
         self.by_signature.values().map(Vec::len).sum()
+    }
+
+    /// Current subscriber count of one instance (0 when nothing reuses it).
+    pub fn refcount(&self, circuit: CircuitId, service: ServiceId) -> usize {
+        self.subscribers.get(&(circuit, service)).copied().unwrap_or(0)
+    }
+
+    /// Total outstanding subscriptions across every instance — the gauge
+    /// that must drain to zero once all circuits are released.
+    pub fn total_subscriptions(&self) -> usize {
+        self.subscribers.values().sum()
     }
 
     /// Optimizes and deploys a new query. For each candidate plan the
@@ -220,7 +323,15 @@ impl MultiQueryOptimizer {
         chosen.candidates_examined = total_candidates;
         chosen.id = CircuitId(self.next_id);
         self.next_id += 1;
-        self.register(&chosen, space);
+        self.register(
+            chosen.id,
+            &chosen.circuit,
+            &chosen.placement,
+            &chosen.shared,
+            &chosen.reused,
+            &chosen.reused_at,
+            space,
+        );
         Some(chosen)
     }
 
@@ -252,6 +363,7 @@ impl MultiQueryOptimizer {
         // wins, and everything beneath it is marked shared.
         let mut shared = vec![false; circuit.len()];
         let mut reused = Vec::new();
+        let mut reused_at = Vec::new();
         if scope != ReuseScope::None {
             let order: Vec<ServiceId> = {
                 let mut ids: Vec<ServiceId> = circuit.services().iter().map(|s| s.id).collect();
@@ -273,11 +385,30 @@ impl MultiQueryOptimizer {
                 *candidates_examined += examined;
                 if let Some(inst) = found {
                     // Reuse: pin this service at the instance's node and
-                    // mark its subtree shared.
-                    circuit.pin_service(sid, inst.node);
-                    mark_subtree(&circuit, sid, &mut shared);
-                    shared[sid.index()] = true; // the service itself is shared
+                    // mark its subtree shared. The subtree's services are
+                    // phantom copies of work that runs inside the instance,
+                    // so they are co-pinned at the instance's host: the
+                    // placer then anchors genuinely-new services against
+                    // where the data actually materializes, shared links
+                    // cost exactly zero (co-located), and no re-opt pass
+                    // can ever "migrate" a phantom.
+                    let mut subtree = vec![false; circuit.len()];
+                    subtree[sid.index()] = true;
+                    mark_subtree(&circuit, sid, &mut subtree);
+                    for (idx, &in_subtree) in subtree.iter().enumerate() {
+                        if !in_subtree {
+                            continue;
+                        }
+                        shared[idx] = true;
+                        // Producers keep their real pins (a producer death
+                        // must still kill this circuit); phantom operators
+                        // co-locate with the instance.
+                        if circuit.service(ServiceId(idx as u32)).is_unpinned() {
+                            circuit.pin_service(ServiceId(idx as u32), inst.node);
+                        }
+                    }
                     reused.push(inst);
+                    reused_at.push(sid);
                 }
             }
         }
@@ -317,6 +448,8 @@ impl MultiQueryOptimizer {
             marginal_cost: marginal,
             standalone_cost,
             reused,
+            reused_at,
+            shared,
             candidates_examined: 0,  // caller overwrites with the total
             id: CircuitId(u64::MAX), // caller assigns
         })
@@ -375,14 +508,31 @@ impl MultiQueryOptimizer {
         }
     }
 
-    /// Registers a deployed circuit's operator services as reusable
-    /// instances.
-    fn register(&mut self, outcome: &MultiQueryOutcome, space: &CostSpace) {
-        for s in outcome.circuit.services() {
+    /// Registers a deployed circuit: its *own* (non-shared) operator
+    /// services become reusable instances, and every reused instance gains
+    /// a subscription. Shared services are deliberately **not** registered —
+    /// they are someone else's physical instance, and a duplicate phantom
+    /// registration would let future queries subscribe to a circuit that
+    /// merely borrows the service.
+    #[allow(clippy::too_many_arguments)]
+    fn register(
+        &mut self,
+        id: CircuitId,
+        circuit: &Circuit,
+        placement: &Placement,
+        shared: &[bool],
+        reused: &[ServiceInstance],
+        reused_at: &[ServiceId],
+        space: &CostSpace,
+    ) {
+        for s in circuit.services() {
+            if shared[s.id.index()] {
+                continue;
+            }
             if let ServiceKind::Operator { signature } = &s.kind {
-                let node = outcome.placement.node_of(s.id);
+                let node = placement.node_of(s.id);
                 let instance = ServiceInstance {
-                    circuit: outcome.id,
+                    circuit: id,
                     service: s.id,
                     node,
                     signature: signature.clone(),
@@ -396,16 +546,268 @@ impl MultiQueryOptimizer {
                 self.by_signature.entry(signature.clone()).or_default().push(instance);
             }
         }
-        self.deployed.insert(outcome.id, (outcome.circuit.clone(), outcome.placement.clone()));
+        let borrows: Vec<Borrow> = reused
+            .iter()
+            .zip(reused_at)
+            .map(|(inst, &at)| Borrow { at, from: inst.circuit, service: inst.service })
+            .collect();
+        for b in &borrows {
+            *self.subscribers.entry((b.from, b.service)).or_default() += 1;
+        }
+        let released = vec![false; borrows.len()];
+        self.deployed.insert(
+            id,
+            CircuitRecord {
+                circuit: circuit.clone(),
+                placement: placement.clone(),
+                shared: shared.to_vec(),
+                borrows,
+                released,
+                departed: false,
+            },
+        );
     }
 
-    /// Tears a circuit down, removing its instances from the reuse index.
-    /// (Shared consumers of an instance are not tracked here; the overlay
-    /// runtime refuses teardown while subscribers exist.)
-    pub fn teardown(&mut self, id: CircuitId) -> bool {
-        if self.deployed.remove(&id).is_none() {
-            return false;
+    /// The departing-or-departed circuit's still-subscribed own services.
+    fn subscribed_roots(&self, id: CircuitId) -> Vec<ServiceId> {
+        let Some(rec) = self.deployed.get(&id) else { return Vec::new() };
+        rec.circuit
+            .services()
+            .iter()
+            .filter(|s| matches!(s.kind, ServiceKind::Operator { .. }))
+            .filter(|s| !rec.shared[s.id.index()])
+            .filter(|s| self.refcount(id, s.id) > 0)
+            .map(|s| s.id)
+            .collect()
+    }
+
+    /// Marks as released — and returns — every not-yet-released borrow of
+    /// `id` that no subtree in `keep` still needs. An empty `keep` releases
+    /// everything outstanding.
+    fn release_borrows_outside(
+        &mut self,
+        id: CircuitId,
+        keep: &[ServiceId],
+    ) -> Vec<(CircuitId, ServiceId)> {
+        let Some(rec) = self.deployed.get_mut(&id) else { return Vec::new() };
+        let mut keep_mask = vec![false; rec.circuit.len()];
+        for &root in keep {
+            keep_mask[root.index()] = true;
+            mark_subtree(&rec.circuit, root, &mut keep_mask);
         }
+        let mut freed = Vec::new();
+        for i in 0..rec.borrows.len() {
+            if !rec.released[i] && !keep_mask[rec.borrows[i].at.index()] {
+                rec.released[i] = true;
+                freed.push((rec.borrows[i].from, rec.borrows[i].service));
+            }
+        }
+        freed
+    }
+
+    /// Removes one instance from the discovery index (registry + DHT).
+    fn remove_instance(&mut self, circuit: CircuitId, service: ServiceId) {
+        for v in self.by_signature.values_mut() {
+            v.retain(|inst| !(inst.circuit == circuit && inst.service == service));
+        }
+        self.by_signature.retain(|_, v| !v.is_empty());
+        if let Some(index) = &mut self.dht_index {
+            for member in 0..index.slots.len() {
+                let dead = index.slots[member]
+                    .as_ref()
+                    .is_some_and(|inst| inst.circuit == circuit && inst.service == service);
+                if dead {
+                    index.slots[member] = None;
+                    index.catalog.remove(member as u32);
+                }
+            }
+        }
+    }
+
+    /// Decrements subscriptions along `queue`, draining retained subtrees
+    /// whose refcount hits zero and cascading the releases their owners
+    /// held. Fully drained (departed, subscriber-free) records are removed.
+    fn drain_subscriptions(
+        &mut self,
+        mut queue: Vec<(CircuitId, ServiceId)>,
+        drained: &mut Vec<(CircuitId, ServiceId)>,
+        idle: &mut Vec<(CircuitId, ServiceId)>,
+    ) {
+        while let Some((oc, os)) = queue.pop() {
+            let hit_zero = match self.subscribers.get_mut(&(oc, os)) {
+                // The owner was force-torn down (`teardown`) and took its
+                // refcounts with it; nothing left to release.
+                None => false,
+                Some(count) => {
+                    assert!(
+                        *count > 0,
+                        "subscription refcount underflow on {oc:?}/{os:?} (double release)"
+                    );
+                    *count -= 1;
+                    *count == 0
+                }
+            };
+            if !hit_zero {
+                continue;
+            }
+            self.subscribers.remove(&(oc, os));
+            let owner_departed = self.deployed.get(&oc).is_some_and(|r| r.departed);
+            if !owner_departed {
+                // The owner still runs it for itself; report the instance
+                // idle so the caller can lift the tenancy pin.
+                idle.push((oc, os));
+                continue;
+            }
+            // The retained subtree drains: out of the index, usage stops,
+            // and the borrows only it was holding cascade.
+            self.remove_instance(oc, os);
+            drained.push((oc, os));
+            let surviving = self.subscribed_roots(oc);
+            queue.extend(self.release_borrows_outside(oc, &surviving));
+            if surviving.is_empty() {
+                self.deployed.remove(&oc);
+            }
+        }
+    }
+
+    /// Releases a circuit — the graceful departure path. Its unsubscribed
+    /// instances leave the discovery index; still-subscribed ones are
+    /// retained until their refcount drains (module docs). Returns `None`
+    /// if the circuit is unknown or was already released.
+    pub fn release(&mut self, id: CircuitId) -> Option<ReleaseReport> {
+        if self.deployed.get(&id).is_none_or(|r| r.departed) {
+            return None;
+        }
+        let retained = self.subscribed_roots(id);
+        // Unsubscribed own instances leave the index now; retained ones stay
+        // discoverable (they keep running, new arrivals may still attach).
+        let gone: Vec<ServiceId> = {
+            let rec = &self.deployed[&id];
+            rec.circuit
+                .services()
+                .iter()
+                .filter(|s| matches!(s.kind, ServiceKind::Operator { .. }))
+                .filter(|s| !rec.shared[s.id.index()])
+                .filter(|s| !retained.contains(&s.id))
+                .map(|s| s.id)
+                .collect()
+        };
+        for s in gone {
+            self.remove_instance(id, s);
+        }
+        let freed = self.release_borrows_outside(id, &retained);
+        if retained.is_empty() {
+            self.deployed.remove(&id);
+        } else {
+            self.deployed.get_mut(&id).expect("retained record stays").departed = true;
+        }
+        let mut drained = Vec::new();
+        let mut idle = Vec::new();
+        self.drain_subscriptions(freed, &mut drained, &mut idle);
+        Some(ReleaseReport { retained, drained, idle, orphaned: Vec::new() })
+    }
+
+    /// Re-homes one instance after its host changed (migration or failure
+    /// evacuation): updates the discovery index so future reuse pins at the
+    /// new node. No-op if the instance is not registered.
+    pub fn relocate(
+        &mut self,
+        circuit: CircuitId,
+        service: ServiceId,
+        node: NodeId,
+        space: &CostSpace,
+    ) {
+        for v in self.by_signature.values_mut() {
+            for inst in v.iter_mut() {
+                if inst.circuit == circuit && inst.service == service {
+                    inst.node = node;
+                }
+            }
+        }
+        if let Some(index) = &mut self.dht_index {
+            for member in 0..index.slots.len() {
+                let hit = index.slots[member]
+                    .as_ref()
+                    .is_some_and(|inst| inst.circuit == circuit && inst.service == service);
+                if hit {
+                    if let Some(inst) = index.slots[member].as_mut() {
+                        inst.node = node;
+                    }
+                    index.catalog.remove(member as u32);
+                    index.catalog.insert(member as u32, space.point(node).as_slice().to_vec());
+                }
+            }
+        }
+        if let Some(rec) = self.deployed.get_mut(&circuit) {
+            rec.placement.move_service(service, node);
+        }
+    }
+
+    /// Replaces a running circuit's registration after a plan swap
+    /// (rewrite / full re-optimization): the old circuit's instances leave
+    /// the discovery index and the replacement's operators register in
+    /// their place under the same [`CircuitId`].
+    ///
+    /// Only **untenanted** circuits may be swapped — panics if the circuit
+    /// borrows from others or any of its instances has subscribers (a swap
+    /// would strand those tenants; the caller must check first).
+    pub fn reregister(
+        &mut self,
+        id: CircuitId,
+        circuit: &Circuit,
+        placement: &Placement,
+        space: &CostSpace,
+    ) {
+        let rec = self.deployed.get(&id).expect("reregister of an unknown circuit");
+        assert!(!rec.departed, "cannot reregister a departed circuit");
+        assert!(
+            rec.borrows.iter().zip(&rec.released).all(|(_, &released)| released),
+            "cannot reregister a circuit that borrows from others"
+        );
+        let old_instances: Vec<ServiceId> = rec
+            .circuit
+            .services()
+            .iter()
+            .filter(|s| matches!(s.kind, ServiceKind::Operator { .. }))
+            .filter(|s| !rec.shared[s.id.index()])
+            .map(|s| s.id)
+            .collect();
+        assert!(
+            old_instances.iter().all(|&s| self.refcount(id, s) == 0),
+            "cannot reregister a circuit with subscribed instances"
+        );
+        for s in old_instances {
+            self.remove_instance(id, s);
+        }
+        self.deployed.remove(&id);
+        let shared = vec![false; circuit.len()];
+        self.register(id, circuit, placement, &shared, &[], &[], space);
+    }
+
+    /// Force-tears a circuit down, removing its instances from the reuse
+    /// index **regardless of subscribers** — the failure path (the service
+    /// died; subscribers' releases become no-ops). Use
+    /// [`MultiQueryOptimizer::release`] for graceful departures.
+    pub fn teardown(&mut self, id: CircuitId) -> bool {
+        self.teardown_reporting(id).is_some()
+    }
+
+    /// [`MultiQueryOptimizer::teardown`] that also reports the retained
+    /// subtrees of *other* departed circuits that drained as the torn-down
+    /// circuit's subscriptions cascaded (`retained` is always empty: force
+    /// teardown retains nothing of its own).
+    pub fn teardown_reporting(&mut self, id: CircuitId) -> Option<ReleaseReport> {
+        let rec = self.deployed.remove(&id)?;
+        // Circuits still subscribing to the torn-down circuit lose their
+        // feed: report them so the caller can cascade the failure.
+        let orphaned: Vec<CircuitId> = self
+            .deployed
+            .iter()
+            .filter(|(_, r)| {
+                r.borrows.iter().zip(&r.released).any(|(b, &released)| !released && b.from == id)
+            })
+            .map(|(&c, _)| c)
+            .collect();
         for v in self.by_signature.values_mut() {
             v.retain(|inst| inst.circuit != id);
         }
@@ -419,7 +821,21 @@ impl MultiQueryOptimizer {
                 }
             }
         }
-        true
+        // Its refcounts die with it; later releases by its subscribers are
+        // tolerated as no-ops (drain_subscriptions' None branch).
+        self.subscribers.retain(|&(c, _), _| c != id);
+        // Its own outstanding subscriptions cascade like a release.
+        let freed: Vec<(CircuitId, ServiceId)> = rec
+            .borrows
+            .iter()
+            .zip(&rec.released)
+            .filter(|(_, &released)| !released)
+            .map(|(b, _)| (b.from, b.service))
+            .collect();
+        let mut drained = Vec::new();
+        let mut idle = Vec::new();
+        self.drain_subscriptions(freed, &mut drained, &mut idle);
+        Some(ReleaseReport { retained: Vec::new(), drained, idle, orphaned })
     }
 }
 
@@ -575,5 +991,132 @@ mod tests {
         let second = mq.optimize_and_deploy(&query(7), &space, &lat, ReuseScope::All).unwrap();
         let reused_node = second.reused[0].node;
         assert_eq!(reused_node, join_node, "second circuit reuses the first's host");
+    }
+
+    #[test]
+    fn reuse_increments_and_release_decrements_refcounts() {
+        let (space, lat) = world();
+        let mut mq = MultiQueryOptimizer::new(OptimizerConfig::default());
+        let a = mq.optimize_and_deploy(&query(5), &space, &lat, ReuseScope::All).unwrap();
+        let b = mq.optimize_and_deploy(&query(6), &space, &lat, ReuseScope::All).unwrap();
+        assert_eq!(b.reused.len(), 1);
+        let (oc, os) = (b.reused[0].circuit, b.reused[0].service);
+        assert_eq!((oc, os), (a.id, b.reused[0].service));
+        assert_eq!(mq.refcount(oc, os), 1);
+        assert_eq!(mq.total_subscriptions(), 1);
+
+        let rep = mq.release(b.id).expect("b releases once");
+        assert!(rep.retained.is_empty(), "nothing subscribes to b");
+        assert!(rep.drained.is_empty(), "a still runs its own join");
+        assert_eq!(mq.refcount(oc, os), 0);
+        assert_eq!(mq.total_subscriptions(), 0);
+        assert!(mq.release(b.id).is_none(), "double release must fail");
+    }
+
+    #[test]
+    fn departed_owner_retains_subscribed_instance_until_drain() {
+        let (space, lat) = world();
+        let mut mq = MultiQueryOptimizer::new(OptimizerConfig::default());
+        let a = mq.optimize_and_deploy(&query(5), &space, &lat, ReuseScope::All).unwrap();
+        let b = mq.optimize_and_deploy(&query(6), &space, &lat, ReuseScope::All).unwrap();
+        assert_eq!(b.reused.len(), 1);
+        let shared_sid = b.reused[0].service;
+
+        // Owner departs first: the subscribed join must be retained and
+        // stay discoverable.
+        let rep = mq.release(a.id).expect("a releases");
+        assert_eq!(rep.retained, vec![shared_sid]);
+        assert!(rep.drained.is_empty());
+        assert_eq!(mq.num_circuits(), 1, "only b still counts as running");
+        assert_eq!(mq.num_retained(), 1);
+        assert!(mq.num_instances() > 0, "retained instance stays discoverable");
+
+        // New arrival can still attach to the retained instance.
+        let c = mq.optimize_and_deploy(&query(7), &space, &lat, ReuseScope::All).unwrap();
+        assert_eq!(c.reused.len(), 1);
+        assert_eq!(c.reused[0].circuit, a.id, "c attaches to the retained instance");
+        assert_eq!(mq.refcount(a.id, shared_sid), 2);
+
+        // Last subscriber out drains the retained subtree.
+        let rep_b = mq.release(b.id).unwrap();
+        assert!(rep_b.drained.is_empty(), "c still subscribes");
+        let rep_c = mq.release(c.id).unwrap();
+        assert_eq!(rep_c.drained, vec![(a.id, shared_sid)]);
+        assert_eq!(mq.total_subscriptions(), 0);
+        assert_eq!(mq.num_instances(), 0);
+        assert_eq!(mq.num_retained(), 0);
+        assert_eq!(mq.num_circuits(), 0);
+    }
+
+    #[test]
+    fn shared_services_are_not_reregistered_by_borrowers() {
+        let (space, lat) = world();
+        let mut mq = MultiQueryOptimizer::new(OptimizerConfig::default());
+        let a = mq.optimize_and_deploy(&query(5), &space, &lat, ReuseScope::All).unwrap();
+        let before = mq.num_instances();
+        let b = mq.optimize_and_deploy(&query(6), &space, &lat, ReuseScope::All).unwrap();
+        assert_eq!(b.reused.len(), 1);
+        // b's only operator is the reused join: no new instance appears.
+        assert_eq!(mq.num_instances(), before);
+        // So any third subscriber necessarily attaches to a's registration.
+        let c = mq.optimize_and_deploy(&query(8), &space, &lat, ReuseScope::All).unwrap();
+        assert_eq!(c.reused[0].circuit, a.id);
+    }
+
+    #[test]
+    fn reregister_swaps_instances_under_the_same_id() {
+        let (space, lat) = world();
+        let mut mq = MultiQueryOptimizer::new(OptimizerConfig::default());
+        let a = mq.optimize_and_deploy(&query(5), &space, &lat, ReuseScope::None).unwrap();
+        assert_eq!(mq.num_instances(), 1);
+        // Swap in a replacement circuit (same query re-optimized alone —
+        // shape is what matters) and move its operator host.
+        let mut replacement = a.circuit.clone();
+        let mut placement = a.placement.clone();
+        let join = replacement
+            .services()
+            .iter()
+            .find(|s| matches!(s.kind, ServiceKind::Operator { .. }))
+            .unwrap()
+            .id;
+        placement.move_service(join, NodeId(9));
+        replacement.pin_service(join, NodeId(9));
+        mq.reregister(a.id, &replacement, &placement, &space);
+        assert_eq!(mq.num_circuits(), 1, "same circuit count after the swap");
+        assert_eq!(mq.num_instances(), 1, "old instance replaced, not duplicated");
+        // Future reuse attaches to the replacement's host under a's id.
+        let b = mq.optimize_and_deploy(&query(6), &space, &lat, ReuseScope::All).unwrap();
+        assert_eq!(b.reused.len(), 1);
+        assert_eq!(b.reused[0].circuit, a.id);
+        assert_eq!(b.reused[0].node, NodeId(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "subscribed instances")]
+    fn reregister_rejects_subscribed_circuits() {
+        let (space, lat) = world();
+        let mut mq = MultiQueryOptimizer::new(OptimizerConfig::default());
+        let a = mq.optimize_and_deploy(&query(5), &space, &lat, ReuseScope::None).unwrap();
+        let b = mq.optimize_and_deploy(&query(6), &space, &lat, ReuseScope::All).unwrap();
+        assert_eq!(b.reused.len(), 1);
+        mq.reregister(a.id, &a.circuit, &a.placement, &space);
+    }
+
+    #[test]
+    fn relocate_moves_future_reuse_to_the_new_host() {
+        let (space, lat) = world();
+        let mut mq = MultiQueryOptimizer::new(OptimizerConfig::default());
+        let a = mq.optimize_and_deploy(&query(5), &space, &lat, ReuseScope::All).unwrap();
+        let join_sid = a
+            .circuit
+            .services()
+            .iter()
+            .find(|s| matches!(s.kind, ServiceKind::Operator { .. }))
+            .unwrap()
+            .id;
+        mq.relocate(a.id, join_sid, NodeId(11), &space);
+        let b = mq.optimize_and_deploy(&query(6), &space, &lat, ReuseScope::All).unwrap();
+        assert_eq!(b.reused.len(), 1);
+        assert_eq!(b.reused[0].node, NodeId(11));
     }
 }

@@ -21,6 +21,16 @@
 //! re-optimization recoups its cost on long-running queries, which the paper
 //! argues distinguishes the SBON setting from one-shot queries.
 //!
+//! Queries have a full **lifecycle**: `deploy` admits them mid-run through
+//! the long-lived mapper, `undeploy` tears them down and returns usage
+//! accounting to the pre-deploy baseline, and with
+//! [`runtime::RuntimeConfig::reuse`] enabled arrivals attach to running
+//! operator subtrees (refcounted, multi-query reuse §3.4) and departures
+//! release shared services only when the last subscriber leaves. The
+//! session API (`start_run` / `advance_ticks` / `finish_run`) lets external
+//! drivers — the `sbon_workload` scenario engine — interleave arrivals and
+//! departures with the simulation clock.
+//!
 //! [`dataplane`] additionally simulates circuits at the level of individual
 //! tuples (Poisson producers, per-hop delays, probabilistic operator
 //! emission) and validates the fluid cost model against it. [`traffic`]
@@ -36,6 +46,6 @@ pub use dataplane::{simulate_circuit, DataPlaneConfig, DataPlaneReport};
 pub use report::{RunReport, Sample};
 pub use runtime::{
     CircuitHandle, ControlPlaneStats, DeploymentModel, LatencyBackend, LatencyJitter,
-    MapperBackend, OverlayRuntime, RuntimeConfig,
+    MapperBackend, OverlayRuntime, QueryLifecycleStats, RunSession, RuntimeConfig,
 };
 pub use traffic::LinkTraffic;

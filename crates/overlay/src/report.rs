@@ -15,6 +15,9 @@ pub struct Sample {
     pub migrations: usize,
     /// Full circuit replacements so far.
     pub replacements: usize,
+    /// Queries running at this instant (the active-query gauge; retained
+    /// shared subtrees of departed queries are not counted).
+    pub active_queries: usize,
 }
 
 /// The full record of one simulation run.
@@ -29,6 +32,15 @@ pub struct RunReport {
     /// Network-usage·seconds charged for migrations/replacements
     /// (state-transfer penalty).
     pub adaptation_cost: f64,
+    /// Query arrivals (successful `deploy` calls) over the runtime's
+    /// lifetime so far.
+    pub arrivals: usize,
+    /// Query departures (`undeploy` calls) over the runtime's lifetime so
+    /// far.
+    pub departures: usize,
+    /// Arrivals that attached to at least one running operator instance
+    /// (multi-query reuse hits; 0 unless reuse is enabled).
+    pub reuse_hits: usize,
 }
 
 impl RunReport {
@@ -76,10 +88,12 @@ mod tests {
                 cumulative_usage: 5.0,
                 migrations: 1,
                 replacements: 0,
+                active_queries: 1,
             }],
             migrations: 1,
             replacements: 0,
             adaptation_cost: 2.5,
+            ..Default::default()
         };
         assert_eq!(r.total_cost(), 7.5);
         assert_eq!(r.mean_usage(), 5.0);

@@ -26,8 +26,9 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 
 use sbon_coords::vivaldi::{VivaldiConfig, VivaldiEmbedding};
-use sbon_core::circuit::{Circuit, Placement};
+use sbon_core::circuit::{Circuit, Placement, ServiceId};
 use sbon_core::costspace::{CostSpace, CostSpaceBuilder};
+use sbon_core::multiquery::{CircuitId, MultiQueryOptimizer, ReuseScope};
 use sbon_core::optimizer::{IntegratedOptimizer, OptimizerConfig, QuerySpec};
 use sbon_core::placement::{
     DhtMapper, DhtMapperConfig, LiveOracleMapper, PhysicalMapper, RelaxationPlacer,
@@ -190,6 +191,22 @@ pub struct RuntimeConfig {
     pub mapper_backend: MapperBackend,
     /// Membership bring-up model (all-at-once or deployment wave).
     pub deployment: DeploymentModel,
+    /// Multi-query reuse scope for arriving queries.
+    ///
+    /// Anything other than [`ReuseScope::None`] routes every `deploy`
+    /// through a runtime-owned [`MultiQueryOptimizer`]: arriving queries may
+    /// attach to running operator subtrees (a *subscription* refcount on the
+    /// instance), departures release shared services only when their
+    /// refcount drains to zero, and usage accounting charges each circuit
+    /// its **marginal** links only. A subscribed instance is pinned in its
+    /// owner's circuit (tenancy makes it load-bearing), so local re-opt
+    /// stops migrating it, and the pin lifts when the last subscriber
+    /// departs; plan-replacement adaptation (rewrite / full re-opt) is
+    /// skipped only for *tenancy-entangled* circuits (ones that borrow
+    /// shared subtrees or have subscribed instances) — replacing such a
+    /// plan would strand its tenants. Untenanted circuits still adapt,
+    /// re-registering their instances after the swap.
+    pub reuse: ReuseScope,
 }
 
 impl Default for RuntimeConfig {
@@ -212,6 +229,7 @@ impl Default for RuntimeConfig {
             lazy_row_cache: None,
             mapper_backend: MapperBackend::default(),
             deployment: DeploymentModel::default(),
+            reuse: ReuseScope::None,
         }
     }
 }
@@ -227,6 +245,104 @@ struct Deployed {
     running_plan: sbon_query::plan::LogicalPlan,
     circuit: Circuit,
     placement: Placement,
+    /// Registry id when the circuit was deployed through the multi-query
+    /// optimizer (`RuntimeConfig::reuse` ≠ `None`).
+    mq_id: Option<CircuitId>,
+    /// `shared[service]` — paid for by another circuit's instance; empty
+    /// when the circuit was deployed standalone. Usage accounting skips
+    /// links whose downstream endpoint is shared.
+    shared: Vec<bool>,
+}
+
+/// A departed circuit's subtree kept alive because other circuits still
+/// subscribe to one of its operator instances. Its charged links keep
+/// accruing network usage until the last subscriber releases.
+struct RetainedShared {
+    owner: CircuitId,
+    circuit: Circuit,
+    placement: Placement,
+    /// The owner's own shared mask (links it never paid for stay unpaid).
+    owner_shared: Vec<bool>,
+    /// Still-subscribed instance roots.
+    roots: Vec<ServiceId>,
+    /// `charge[link]` — the link still carries data for a retained subtree
+    /// and is billed to this entry.
+    charge: Vec<bool>,
+}
+
+/// `mask[service]`: the service is one of `roots` or sits beneath one.
+fn subtree_mask(circuit: &Circuit, roots: &[ServiceId]) -> Vec<bool> {
+    fn mark(circuit: &Circuit, sid: ServiceId, flags: &mut [bool]) {
+        for child in circuit.children(sid) {
+            flags[child.index()] = true;
+            mark(circuit, child, flags);
+        }
+    }
+    let mut in_subtree = vec![false; circuit.len()];
+    for &root in roots {
+        in_subtree[root.index()] = true;
+        mark(circuit, root, &mut in_subtree);
+    }
+    in_subtree
+}
+
+/// `charge[link]`: the link feeds a subtree rooted at one of `roots` and the
+/// owner actually paid for it (it is not inside a subtree the owner itself
+/// borrowed).
+fn charge_mask(circuit: &Circuit, roots: &[ServiceId], owner_shared: &[bool]) -> Vec<bool> {
+    let in_subtree = subtree_mask(circuit, roots);
+    circuit
+        .links()
+        .iter()
+        .map(|l| {
+            in_subtree[l.to.index()] && !owner_shared.get(l.to.index()).copied().unwrap_or(false)
+        })
+        .collect()
+}
+
+/// Accumulated query-lifecycle accounting: arrivals, departures, and the
+/// reuse economics (marginal vs standalone cost of every deployed query).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct QueryLifecycleStats {
+    /// Successful `deploy` calls.
+    pub arrivals: usize,
+    /// `undeploy` calls.
+    pub departures: usize,
+    /// Arrivals that attached to ≥ 1 running operator instance.
+    pub reuse_hits: usize,
+    /// Running instances attached to, summed over arrivals.
+    pub reused_services: usize,
+    /// Σ marginal network usage at deploy time (standalone usage minus what
+    /// reuse made free; equals `standalone_usage` when reuse is off).
+    pub marginal_usage: f64,
+    /// Σ standalone network usage the same queries would have cost with no
+    /// reuse.
+    pub standalone_usage: f64,
+}
+
+/// In-flight state of a simulation run, for tick-at-a-time driving.
+///
+/// [`OverlayRuntime::run`] is a thin wrapper over the session API; external
+/// drivers (the `sbon_workload` scenario engine) interleave
+/// [`OverlayRuntime::advance_ticks`] with mid-run
+/// [`OverlayRuntime::deploy`] / [`OverlayRuntime::undeploy`] calls.
+pub struct RunSession {
+    queue: EventQueue<Event>,
+    report: RunReport,
+    cumulative: f64,
+    horizon: SimTime,
+}
+
+impl RunSession {
+    /// Simulated time of the last processed event, in milliseconds.
+    pub fn now_ms(&self) -> f64 {
+        self.queue.now().millis()
+    }
+
+    /// Ticks sampled so far.
+    pub fn ticks_done(&self) -> usize {
+        self.report.samples.len()
+    }
 }
 
 /// Events driving the simulation.
@@ -317,6 +433,12 @@ pub struct OverlayRuntime {
     circuits: Vec<Deployed>,
     rng: rand::rngs::StdRng,
     optimizer: IntegratedOptimizer,
+    /// Reuse-aware tenancy registry; `Some` iff `config.reuse` ≠ `None`.
+    multiquery: Option<MultiQueryOptimizer>,
+    /// Departed circuits' subtrees still running for their subscribers.
+    retained: Vec<RetainedShared>,
+    /// Query-lifecycle accounting.
+    lifecycle: QueryLifecycleStats,
     /// The single long-lived physical mapper, kept in sync with `space`.
     mapper: MapperState,
     /// Control-plane accounting.
@@ -403,6 +525,10 @@ impl OverlayRuntime {
                 MapperState::Oracle(LiveOracleMapper::with_members(n, members))
             }
         };
+        let multiquery = match config.reuse {
+            ReuseScope::None => None,
+            _ => Some(MultiQueryOptimizer::new(OptimizerConfig::default())),
+        };
         OverlayRuntime {
             optimizer: IntegratedOptimizer::new(OptimizerConfig::default()),
             config,
@@ -412,6 +538,9 @@ impl OverlayRuntime {
             embedding,
             circuits: Vec::new(),
             rng,
+            multiquery,
+            retained: Vec::new(),
+            lifecycle: QueryLifecycleStats::default(),
             mapper,
             control: ControlPlaneStats::default(),
             alive: vec![true; n],
@@ -465,7 +594,14 @@ impl OverlayRuntime {
         let placer = RelaxationPlacer::default();
         let mut evacuated = 0;
 
-        // Tear down circuits whose pinned services died.
+        // Tear down circuits whose pinned services died. Under reuse, each
+        // dead circuit force-leaves the registry (its instances died with
+        // it), and the failure **cascades**: circuits subscribed to a
+        // torn-down instance lose their feed and are torn down too, as are
+        // retained shared subtrees with a service on the dead node.
+        let mut drained: Vec<(CircuitId, ServiceId)> = Vec::new();
+        let mut idle: Vec<(CircuitId, ServiceId)> = Vec::new();
+        let mut orphans: VecDeque<CircuitId> = VecDeque::new();
         let mut idx = 0;
         while idx < self.circuits.len() {
             let dead_pin =
@@ -473,13 +609,48 @@ impl OverlayRuntime {
                     |s| matches!(s.pin, sbon_core::circuit::ServicePin::Pinned(n) if n == node),
                 );
             if dead_pin {
-                let handle = self.circuits[idx].handle;
-                self.failed_circuits.push(handle);
-                self.circuits.remove(idx);
+                let d = self.circuits.remove(idx);
+                self.failed_circuits.push(d.handle);
+                if let (Some(mq), Some(id)) = (&mut self.multiquery, d.mq_id) {
+                    if let Some(rep) = mq.teardown_reporting(id) {
+                        drained.extend(rep.drained);
+                        idle.extend(rep.idle);
+                        orphans.extend(rep.orphaned);
+                    }
+                }
             } else {
                 idx += 1;
             }
         }
+        // Retained shared subtrees with any service on the dead node are
+        // broken: their (departed) owners join the teardown worklist.
+        orphans.extend(self.retained.iter().filter_map(|r| {
+            let mask = subtree_mask(&r.circuit, &r.roots);
+            let broken = r
+                .circuit
+                .services()
+                .iter()
+                .any(|s| mask[s.id.index()] && r.placement.node_of(s.id) == node);
+            broken.then_some(r.owner)
+        }));
+        // Cascade: tear down orphaned subscribers (and whatever their
+        // teardown orphans in turn).
+        while let Some(id) = orphans.pop_front() {
+            if let Some(pos) = self.circuits.iter().position(|d| d.mq_id == Some(id)) {
+                let d = self.circuits.remove(pos);
+                self.failed_circuits.push(d.handle);
+            }
+            self.retained.retain(|r| r.owner != id);
+            if let Some(mq) = &mut self.multiquery {
+                if let Some(rep) = mq.teardown_reporting(id) {
+                    drained.extend(rep.drained);
+                    idle.extend(rep.idle);
+                    orphans.extend(rep.orphaned);
+                }
+            }
+        }
+        self.apply_drains(&drained);
+        self.apply_idle(&idle);
 
         // Evacuate unpinned services stranded on the dead node, through the
         // same runtime-owned mapper every other control-plane path uses.
@@ -499,10 +670,52 @@ impl OverlayRuntime {
                 let ideal = self.space.ideal_point(vp.coord_of(sid));
                 let (new_node, _) = self.mapper.as_dyn().map_point(&self.space, &ideal);
                 d.placement.move_service(sid, new_node);
+                // Keep the reuse-discovery index truthful about the host.
+                if let (Some(mq), Some(id)) = (&mut self.multiquery, d.mq_id) {
+                    mq.relocate(id, sid, new_node, &self.space);
+                }
                 evacuated += 1;
             }
         }
         evacuated
+    }
+
+    /// Applies cascaded drains reported by the registry: retained subtrees
+    /// whose last subscriber left stop accruing usage.
+    fn apply_drains(&mut self, drained: &[(CircuitId, ServiceId)]) {
+        for &(owner, root) in drained {
+            let Some(pos) = self.retained.iter().position(|r| r.owner == owner) else {
+                continue;
+            };
+            let entry = &mut self.retained[pos];
+            entry.roots.retain(|&s| s != root);
+            if entry.roots.is_empty() {
+                self.retained.remove(pos);
+            } else {
+                entry.charge = charge_mask(&entry.circuit, &entry.roots, &entry.owner_shared);
+            }
+        }
+    }
+
+    /// Whether a circuit is tenancy-entangled: it borrows shared subtrees
+    /// from others, or others subscribe to one of its instances. Entangled
+    /// circuits must not have their plan replaced (the swap would strand
+    /// tenants); untenanted ones may, with a registry re-registration.
+    fn is_entangled(multiquery: &Option<MultiQueryOptimizer>, d: &Deployed) -> bool {
+        let Some(mq) = multiquery else { return false };
+        let Some(id) = d.mq_id else { return false };
+        d.shared.iter().any(|&s| s)
+            || d.circuit.services().iter().any(|s| mq.refcount(id, s.id) > 0)
+    }
+
+    /// Lifts the tenancy pin from instances whose last subscriber left
+    /// while their owner keeps running — they are migratable again.
+    fn apply_idle(&mut self, idle: &[(CircuitId, ServiceId)]) {
+        for &(owner, service) in idle {
+            if let Some(d) = self.circuits.iter_mut().find(|d| d.mq_id == Some(owner)) {
+                d.circuit.unpin_service(service);
+            }
+        }
     }
 
     /// The cost space (for inspection).
@@ -548,36 +761,162 @@ impl OverlayRuntime {
         self.control
     }
 
-    /// Current instantaneous network usage across deployed circuits.
+    /// Current instantaneous network usage: every live circuit's *charged*
+    /// links (marginal links under reuse — links paid for by a reused
+    /// instance's owner are skipped) plus the links of retained shared
+    /// subtrees whose owners departed but whose subscribers remain.
     pub fn instantaneous_usage(&self) -> f64 {
-        self.circuits
+        let live: f64 = self
+            .circuits
             .iter()
             .map(|d| {
-                d.circuit.cost_with(&d.placement, |a, b| self.latency.query(a, b)).network_usage
+                d.circuit
+                    .links()
+                    .iter()
+                    .filter(|l| !d.shared.get(l.to.index()).copied().unwrap_or(false))
+                    .map(|l| {
+                        l.rate
+                            * self
+                                .latency
+                                .query(d.placement.node_of(l.from), d.placement.node_of(l.to))
+                    })
+                    .sum::<f64>()
             })
-            .sum()
+            .sum();
+        let retained: f64 = self
+            .retained
+            .iter()
+            .map(|r| {
+                r.circuit
+                    .links()
+                    .iter()
+                    .zip(&r.charge)
+                    .filter(|&(_, &charged)| charged)
+                    .map(|(l, _)| {
+                        l.rate
+                            * self
+                                .latency
+                                .query(r.placement.node_of(l.from), r.placement.node_of(l.to))
+                    })
+                    .sum::<f64>()
+            })
+            .sum();
+        // `+ 0.0` normalizes the empty-sum identity `-0.0` to `+0.0` (and
+        // changes nothing else), so idle baselines print and compare as
+        // plain zero.
+        live + retained + 0.0
     }
 
     /// Optimizes and deploys a query; returns its handle. Candidate plans
     /// are physically mapped through the runtime-owned mapper (routed DHT
-    /// lookups under the default backend).
+    /// lookups under the default backend). With [`RuntimeConfig::reuse`]
+    /// enabled the query may attach to running operator subtrees; each
+    /// attachment subscribes to (refcounts) the instance and pins it in its
+    /// owner's circuit so re-optimization stops migrating it.
     pub fn deploy(&mut self, query: QuerySpec) -> Option<CircuitHandle> {
-        let placed = self.optimizer.optimize_with_mapper(
-            &query,
-            &self.space,
-            self.latency.provider(),
-            self.mapper.as_dyn(),
-        )?;
+        let (running_plan, circuit, placement, mq_id, shared, reused) = match &mut self.multiquery {
+            Some(mq) => {
+                let out = mq.optimize_and_deploy_with_mapper(
+                    &query,
+                    &self.space,
+                    self.latency.provider(),
+                    self.config.reuse,
+                    self.mapper.as_dyn(),
+                )?;
+                self.lifecycle.marginal_usage += out.marginal_cost.network_usage;
+                self.lifecycle.standalone_usage += out.standalone_cost.network_usage;
+                if !out.reused.is_empty() {
+                    self.lifecycle.reuse_hits += 1;
+                }
+                self.lifecycle.reused_services += out.reused.len();
+                (out.plan, out.circuit, out.placement, Some(out.id), out.shared, out.reused)
+            }
+            None => {
+                let placed = self.optimizer.optimize_with_mapper(
+                    &query,
+                    &self.space,
+                    self.latency.provider(),
+                    self.mapper.as_dyn(),
+                )?;
+                self.lifecycle.marginal_usage += placed.cost.network_usage;
+                self.lifecycle.standalone_usage += placed.cost.network_usage;
+                (placed.plan, placed.circuit, placed.placement, None, Vec::new(), Vec::new())
+            }
+        };
+        // Tenancy pin: a subscribed instance is load-bearing for its new
+        // tenant, so its owner must stop migrating it.
+        for inst in &reused {
+            if let Some(owner) = self.circuits.iter_mut().find(|d| d.mq_id == Some(inst.circuit)) {
+                owner.circuit.pin_service(inst.service, inst.node);
+            }
+        }
         let handle = CircuitHandle(self.next_handle);
         self.next_handle += 1;
+        self.lifecycle.arrivals += 1;
         self.circuits.push(Deployed {
             handle,
             query,
-            running_plan: placed.plan,
-            circuit: placed.circuit,
-            placement: placed.placement,
+            running_plan,
+            circuit,
+            placement,
+            mq_id,
+            shared,
         });
         Some(handle)
+    }
+
+    /// Tears a circuit down — the inverse of [`OverlayRuntime::deploy`].
+    /// Its traffic is discharged from usage accounting immediately; under
+    /// reuse, shared services it owns are **retained** while subscribers
+    /// remain and released only when their refcount drains to zero.
+    /// Returns `false` for unknown (or already failed / undeployed)
+    /// handles.
+    pub fn undeploy(&mut self, handle: CircuitHandle) -> bool {
+        let Some(idx) = self.circuits.iter().position(|d| d.handle == handle) else {
+            return false;
+        };
+        let d = self.circuits.remove(idx);
+        self.lifecycle.departures += 1;
+        if let (Some(mq), Some(mq_id)) = (&mut self.multiquery, d.mq_id) {
+            if let Some(rep) = mq.release(mq_id) {
+                if !rep.retained.is_empty() {
+                    let charge = charge_mask(&d.circuit, &rep.retained, &d.shared);
+                    self.retained.push(RetainedShared {
+                        owner: mq_id,
+                        circuit: d.circuit,
+                        placement: d.placement,
+                        owner_shared: d.shared,
+                        roots: rep.retained,
+                        charge,
+                    });
+                }
+                self.apply_drains(&rep.drained);
+                self.apply_idle(&rep.idle);
+            }
+        }
+        true
+    }
+
+    /// Queries currently running (the active-query gauge; retained shared
+    /// subtrees of departed queries are not counted).
+    pub fn active_queries(&self) -> usize {
+        self.circuits.len()
+    }
+
+    /// Departed circuits' shared subtrees still running for subscribers.
+    pub fn retained_shared_subtrees(&self) -> usize {
+        self.retained.len()
+    }
+
+    /// Query-lifecycle accounting so far.
+    pub fn lifecycle_stats(&self) -> QueryLifecycleStats {
+        self.lifecycle
+    }
+
+    /// The reuse registry, when [`RuntimeConfig::reuse`] is enabled — for
+    /// inspecting refcounts and instance counts.
+    pub fn multiquery(&self) -> Option<&MultiQueryOptimizer> {
+        self.multiquery.as_ref()
     }
 
     /// The current placement of a circuit. `None` after the circuit failed.
@@ -586,7 +925,22 @@ impl OverlayRuntime {
     }
 
     /// Runs the simulation to the horizon, returning the usage time series.
+    ///
+    /// A thin wrapper over the session API ([`OverlayRuntime::start_run`] /
+    /// [`OverlayRuntime::advance_ticks`] / [`OverlayRuntime::finish_run`]),
+    /// which external drivers use to interleave query arrivals and
+    /// departures with the simulation clock.
     pub fn run(&mut self) -> RunReport {
+        let mut session = self.start_run();
+        self.advance_ticks(&mut session, usize::MAX);
+        self.finish_run(session)
+    }
+
+    /// Starts a run: schedules the tick train, the configured adaptation
+    /// cadences, and any pending failures. Drive the returned session with
+    /// [`OverlayRuntime::advance_ticks`]; deploy/undeploy freely between
+    /// calls.
+    pub fn start_run(&mut self) -> RunSession {
         let mut queue: EventQueue<Event> = EventQueue::new();
         queue.schedule(SimTime(self.config.tick_ms), Event::Tick);
         if let Some(interval) = self.config.reopt_interval_ms {
@@ -601,137 +955,193 @@ impl OverlayRuntime {
         for (at_ms, node) in std::mem::take(&mut self.pending_failures) {
             queue.schedule(SimTime(at_ms), Event::Fail(node));
         }
+        RunSession {
+            queue,
+            report: RunReport::default(),
+            cumulative: 0.0,
+            horizon: SimTime(self.config.horizon_ms),
+        }
+    }
 
-        let mut report = RunReport::default();
-        let mut cumulative = 0.0;
-        let horizon = SimTime(self.config.horizon_ms);
+    /// Processes events until `ticks` churn ticks have completed (or the
+    /// horizon is reached). Returns `true` while the run has more events —
+    /// i.e. `false` means the horizon was exhausted and the session is
+    /// ready for [`OverlayRuntime::finish_run`].
+    pub fn advance_ticks(&mut self, session: &mut RunSession, ticks: usize) -> bool {
+        let mut done = 0usize;
+        while done < ticks {
+            let Some((now, event)) = session.queue.pop_until(session.horizon) else {
+                return false;
+            };
+            let was_tick = matches!(event, Event::Tick);
+            self.handle_event(session, now, event);
+            if was_tick {
+                done += 1;
+            }
+        }
+        true
+    }
 
-        while let Some((now, event)) = queue.pop_until(horizon) {
-            match event {
-                Event::Tick => {
-                    self.apply_churn();
-                    // Accrue usage over the elapsed tick (usage·seconds).
-                    let t_usage = Instant::now();
-                    let usage = self.instantaneous_usage();
-                    self.control.usage_ns += t_usage.elapsed().as_nanos();
-                    cumulative += usage * self.config.tick_ms / 1_000.0;
-                    report.samples.push(Sample {
-                        time_ms: now.millis(),
-                        network_usage: usage,
-                        cumulative_usage: cumulative,
-                        migrations: report.migrations,
-                        replacements: report.replacements,
-                    });
-                    if now.after(self.config.tick_ms) <= horizon {
-                        queue.schedule(now.after(self.config.tick_ms), Event::Tick);
+    /// Ends a run, folding the lifetime query-lifecycle counters into the
+    /// report.
+    pub fn finish_run(&mut self, session: RunSession) -> RunReport {
+        let mut report = session.report;
+        report.arrivals = self.lifecycle.arrivals;
+        report.departures = self.lifecycle.departures;
+        report.reuse_hits = self.lifecycle.reuse_hits;
+        report
+    }
+
+    /// Processes one simulation event.
+    fn handle_event(&mut self, s: &mut RunSession, now: SimTime, event: Event) {
+        match event {
+            Event::Tick => {
+                self.apply_churn();
+                // Accrue usage over the elapsed tick (usage·seconds).
+                let t_usage = Instant::now();
+                let usage = self.instantaneous_usage();
+                self.control.usage_ns += t_usage.elapsed().as_nanos();
+                s.cumulative += usage * self.config.tick_ms / 1_000.0;
+                s.report.samples.push(Sample {
+                    time_ms: now.millis(),
+                    network_usage: usage,
+                    cumulative_usage: s.cumulative,
+                    migrations: s.report.migrations,
+                    replacements: s.report.replacements,
+                    active_queries: self.circuits.len(),
+                });
+                if now.after(self.config.tick_ms) <= s.horizon {
+                    s.queue.schedule(now.after(self.config.tick_ms), Event::Tick);
+                }
+            }
+            Event::LocalReopt => {
+                let t0 = Instant::now();
+                let placer = RelaxationPlacer::default();
+                let mut moved = 0;
+                for d in &mut self.circuits {
+                    let outcome = reoptimize_local(
+                        &d.circuit,
+                        &mut d.placement,
+                        &self.space,
+                        &placer,
+                        self.mapper.as_dyn(),
+                        self.config.policy,
+                    );
+                    // Keep the reuse-discovery index truthful about hosts.
+                    if let (Some(mq), Some(id)) = (&mut self.multiquery, d.mq_id) {
+                        for m in &outcome.migrations {
+                            mq.relocate(id, m.service, m.to, &self.space);
+                        }
+                    }
+                    moved += outcome.migrations.len();
+                }
+                self.control.reopt_ns += t0.elapsed().as_nanos();
+                s.report.migrations += moved;
+                s.report.adaptation_cost += moved as f64 * self.config.migration_penalty;
+                if let Some(interval) = self.config.reopt_interval_ms {
+                    if now.after(interval) <= s.horizon {
+                        s.queue.schedule(now.after(interval), Event::LocalReopt);
                     }
                 }
-                Event::LocalReopt => {
-                    let t0 = Instant::now();
-                    let placer = RelaxationPlacer::default();
-                    let mut moved = 0;
-                    for d in &mut self.circuits {
-                        let outcome = reoptimize_local(
-                            &d.circuit,
-                            &mut d.placement,
-                            &self.space,
-                            &placer,
-                            self.mapper.as_dyn(),
-                            self.config.policy,
-                        );
-                        moved += outcome.migrations.len();
+            }
+            Event::Rewrite => {
+                let t0 = Instant::now();
+                let placer = RelaxationPlacer::default();
+                let mut swaps = 0;
+                for d in &mut self.circuits {
+                    // Tenancy-entangled circuits are not rewritten: a plan
+                    // swap under live subscriptions would strand tenants.
+                    if Self::is_entangled(&self.multiquery, d) {
+                        continue;
                     }
-                    self.control.reopt_ns += t0.elapsed().as_nanos();
-                    report.migrations += moved;
-                    report.adaptation_cost += moved as f64 * self.config.migration_penalty;
-                    if let Some(interval) = self.config.reopt_interval_ms {
-                        if now.after(interval) <= horizon {
-                            queue.schedule(now.after(interval), Event::LocalReopt);
+                    let running_est = d
+                        .circuit
+                        .cost_with(&d.placement, |a, b| self.space.vector_distance(a, b))
+                        .network_usage;
+                    let outcome = sbon_core::reopt::reoptimize_rewrite(
+                        &d.running_plan,
+                        running_est,
+                        &d.query,
+                        &self.space,
+                        self.latency.provider(),
+                        &placer,
+                        self.mapper.as_dyn(),
+                        self.config.policy,
+                    );
+                    if let sbon_core::reopt::RewriteOutcome::Rewrite { replacement, .. } = outcome {
+                        d.running_plan = replacement.plan.clone();
+                        d.circuit = replacement.circuit;
+                        d.placement = replacement.placement;
+                        d.shared = Vec::new();
+                        // The swap invalidates the old registration; the
+                        // replacement's operators take its place.
+                        if let (Some(mq), Some(id)) = (&mut self.multiquery, d.mq_id) {
+                            mq.reregister(id, &d.circuit, &d.placement, &self.space);
                         }
-                    }
-                }
-                Event::Rewrite => {
-                    let t0 = Instant::now();
-                    let placer = RelaxationPlacer::default();
-                    let mut swaps = 0;
-                    for d in &mut self.circuits {
-                        let running_est = d
-                            .circuit
-                            .cost_with(&d.placement, |a, b| self.space.vector_distance(a, b))
-                            .network_usage;
-                        let outcome = sbon_core::reopt::reoptimize_rewrite(
-                            &d.running_plan,
-                            running_est,
-                            &d.query,
-                            &self.space,
-                            self.latency.provider(),
-                            &placer,
-                            self.mapper.as_dyn(),
-                            self.config.policy,
-                        );
-                        if let sbon_core::reopt::RewriteOutcome::Rewrite { replacement, .. } =
-                            outcome
-                        {
-                            d.running_plan = replacement.plan.clone();
-                            d.circuit = replacement.circuit;
-                            d.placement = replacement.placement;
-                            swaps += 1;
-                        }
-                    }
-                    self.control.reopt_ns += t0.elapsed().as_nanos();
-                    report.replacements += swaps;
-                    report.adaptation_cost += swaps as f64 * self.config.replacement_penalty;
-                    if let Some(interval) = self.config.rewrite_interval_ms {
-                        if now.after(interval) <= horizon {
-                            queue.schedule(now.after(interval), Event::Rewrite);
-                        }
+                        swaps += 1;
                     }
                 }
-                Event::Fail(node) => {
-                    let t0 = Instant::now();
-                    let evacuated = self.fail_node(node);
-                    self.control.reopt_ns += t0.elapsed().as_nanos();
-                    // Evacuations are migrations: charge the same penalty.
-                    report.migrations += evacuated;
-                    report.adaptation_cost += evacuated as f64 * self.config.migration_penalty;
-                }
-                Event::FullReopt => {
-                    let t0 = Instant::now();
-                    let mut swaps = 0;
-                    for i in 0..self.circuits.len() {
-                        let running_est = self.circuits[i]
-                            .circuit
-                            .cost_with(&self.circuits[i].placement, |a, b| {
-                                self.space.vector_distance(a, b)
-                            })
-                            .network_usage;
-                        let outcome = reoptimize_full(
-                            running_est,
-                            &self.circuits[i].query,
-                            &self.space,
-                            self.latency.provider(),
-                            self.mapper.as_dyn(),
-                            OptimizerConfig::default(),
-                            self.config.policy,
-                        );
-                        if let FullReoptOutcome::Replace { replacement, .. } = outcome {
-                            self.circuits[i].circuit = replacement.circuit;
-                            self.circuits[i].placement = replacement.placement;
-                            swaps += 1;
-                        }
+                self.control.reopt_ns += t0.elapsed().as_nanos();
+                s.report.replacements += swaps;
+                s.report.adaptation_cost += swaps as f64 * self.config.replacement_penalty;
+                if let Some(interval) = self.config.rewrite_interval_ms {
+                    if now.after(interval) <= s.horizon {
+                        s.queue.schedule(now.after(interval), Event::Rewrite);
                     }
-                    self.control.reopt_ns += t0.elapsed().as_nanos();
-                    report.replacements += swaps;
-                    report.adaptation_cost += swaps as f64 * self.config.replacement_penalty;
-                    if let Some(interval) = self.config.full_reopt_interval_ms {
-                        if now.after(interval) <= horizon {
-                            queue.schedule(now.after(interval), Event::FullReopt);
+                }
+            }
+            Event::Fail(node) => {
+                let t0 = Instant::now();
+                let evacuated = self.fail_node(node);
+                self.control.reopt_ns += t0.elapsed().as_nanos();
+                // Evacuations are migrations: charge the same penalty.
+                s.report.migrations += evacuated;
+                s.report.adaptation_cost += evacuated as f64 * self.config.migration_penalty;
+            }
+            Event::FullReopt => {
+                let t0 = Instant::now();
+                let mut swaps = 0;
+                for i in 0..self.circuits.len() {
+                    // See the rewrite pass: no plan swaps under tenancy.
+                    if Self::is_entangled(&self.multiquery, &self.circuits[i]) {
+                        continue;
+                    }
+                    let running_est = self.circuits[i]
+                        .circuit
+                        .cost_with(&self.circuits[i].placement, |a, b| {
+                            self.space.vector_distance(a, b)
+                        })
+                        .network_usage;
+                    let outcome = reoptimize_full(
+                        running_est,
+                        &self.circuits[i].query,
+                        &self.space,
+                        self.latency.provider(),
+                        self.mapper.as_dyn(),
+                        OptimizerConfig::default(),
+                        self.config.policy,
+                    );
+                    if let FullReoptOutcome::Replace { replacement, .. } = outcome {
+                        let d = &mut self.circuits[i];
+                        d.circuit = replacement.circuit;
+                        d.placement = replacement.placement;
+                        d.shared = Vec::new();
+                        if let (Some(mq), Some(id)) = (&mut self.multiquery, d.mq_id) {
+                            mq.reregister(id, &d.circuit, &d.placement, &self.space);
                         }
+                        swaps += 1;
+                    }
+                }
+                self.control.reopt_ns += t0.elapsed().as_nanos();
+                s.report.replacements += swaps;
+                s.report.adaptation_cost += swaps as f64 * self.config.replacement_penalty;
+                if let Some(interval) = self.config.full_reopt_interval_ms {
+                    if now.after(interval) <= s.horizon {
+                        s.queue.schedule(now.after(interval), Event::FullReopt);
                     }
                 }
             }
         }
-        report
     }
 
     /// One tick of environment dynamics. Cost-point maintenance is
@@ -1420,6 +1830,265 @@ mod tests {
         assert!(!rt.is_alive(victim));
         assert!(!rt.is_arrived(victim), "a dead pending node must not arrive");
         assert_eq!(rt.arrived_count(), n - 1);
+    }
+
+    /// deploy → undeploy restores instantaneous usage bit-identically and
+    /// redeploying the same query reproduces the original placement.
+    #[test]
+    fn undeploy_restores_usage_and_redeploy_is_identical() {
+        let topo = small_world(30);
+        let mut rt = OverlayRuntime::new(
+            &topo,
+            30,
+            RuntimeConfig { horizon_ms: 5_000.0, churn: ChurnProcess::None, ..Default::default() },
+        );
+        let baseline = rt.deploy(demo_query(&topo)).unwrap();
+        let usage_before = rt.instantaneous_usage();
+        let h = rt.deploy(demo_query(&topo)).unwrap();
+        let usage_with = rt.instantaneous_usage();
+        let placement_first = rt.placement(h).unwrap().clone();
+        assert!(usage_with > usage_before);
+        assert!(rt.undeploy(h));
+        assert_eq!(rt.instantaneous_usage().to_bits(), usage_before.to_bits());
+        assert!(!rt.undeploy(h), "double undeploy must fail");
+        let h2 = rt.deploy(demo_query(&topo)).unwrap();
+        assert_eq!(rt.placement(h2).unwrap(), &placement_first);
+        assert_eq!(rt.instantaneous_usage().to_bits(), usage_with.to_bits());
+        let stats = rt.lifecycle_stats();
+        assert_eq!((stats.arrivals, stats.departures), (3, 1));
+        assert_eq!(rt.active_queries(), 2);
+        let _ = baseline;
+    }
+
+    /// With reuse enabled, identical queries attach to the running join,
+    /// the marginal cost tally stays below standalone, and full departure
+    /// drains every refcount and returns usage to the pre-workload state.
+    #[test]
+    fn reuse_tenancy_attaches_and_drains_to_baseline() {
+        let topo = small_world(31);
+        let mut rt = OverlayRuntime::new(
+            &topo,
+            31,
+            RuntimeConfig {
+                horizon_ms: 5_000.0,
+                churn: ChurnProcess::None,
+                reuse: ReuseScope::All,
+                ..Default::default()
+            },
+        );
+        let baseline = rt.instantaneous_usage();
+        assert_eq!(baseline, 0.0);
+        let q = demo_query(&topo);
+        let a = rt.deploy(q.clone()).unwrap();
+        let b = rt.deploy(q.clone()).unwrap();
+        let stats = rt.lifecycle_stats();
+        assert_eq!(stats.reuse_hits, 1, "the second identical query attaches");
+        assert!(stats.marginal_usage < stats.standalone_usage);
+        let mq = rt.multiquery().expect("reuse registry active");
+        assert_eq!(mq.total_subscriptions(), 1);
+
+        // Owner departs first: the shared join is retained for b.
+        assert!(rt.undeploy(a));
+        assert_eq!(rt.retained_shared_subtrees(), 1);
+        assert!(rt.instantaneous_usage() > 0.0, "retained subtree keeps accruing usage");
+        // Last subscriber departs: everything drains to the baseline.
+        assert!(rt.undeploy(b));
+        assert_eq!(rt.retained_shared_subtrees(), 0);
+        assert_eq!(rt.active_queries(), 0);
+        assert_eq!(rt.instantaneous_usage().to_bits(), baseline.to_bits());
+        let mq = rt.multiquery().unwrap();
+        assert_eq!(mq.total_subscriptions(), 0);
+        assert_eq!(mq.num_instances(), 0);
+        assert_eq!(mq.num_retained(), 0);
+    }
+
+    /// A tenancy pin is lifted once the last subscriber departs: the
+    /// owner's instance is migratable again, and the borrower's phantom
+    /// copies of the shared subtree are co-pinned at the instance's host.
+    #[test]
+    fn tenancy_pin_is_lifted_when_refcount_drains() {
+        let topo = small_world(33);
+        let mut rt = OverlayRuntime::new(
+            &topo,
+            33,
+            RuntimeConfig {
+                horizon_ms: 5_000.0,
+                churn: ChurnProcess::None,
+                reuse: ReuseScope::All,
+                ..Default::default()
+            },
+        );
+        let q = demo_query(&topo);
+        rt.deploy(q.clone()).unwrap();
+        let owner_unpinned_before = rt.circuits[0].circuit.unpinned_services();
+        assert!(!owner_unpinned_before.is_empty(), "owner operators start unpinned");
+        let b = rt.deploy(q).unwrap();
+        // The subscribed instance is pinned in the owner's circuit...
+        assert!(
+            rt.circuits[0].circuit.unpinned_services().len() < owner_unpinned_before.len(),
+            "subscription must pin the reused instance"
+        );
+        // ...and the borrower's shared subtree is fully pinned (phantoms
+        // co-located with the instance: no phantom migrations possible).
+        let borrower = &rt.circuits[1];
+        for (idx, &is_shared) in borrower.shared.iter().enumerate() {
+            if is_shared {
+                assert!(!borrower.circuit.service(ServiceId(idx as u32)).is_unpinned());
+            }
+        }
+        assert!(rt.undeploy(b));
+        assert_eq!(
+            rt.circuits[0].circuit.unpinned_services(),
+            owner_unpinned_before,
+            "draining the refcount must lift the tenancy pin"
+        );
+    }
+
+    /// Failure cascades through tenancy: killing the node that hosts a
+    /// reused instance tears down the owner AND its subscribers, and a
+    /// retained subtree with a service on the dead node drains instead of
+    /// accruing usage (or serving reuse) forever.
+    #[test]
+    fn failure_of_shared_instance_host_cascades_to_subscribers() {
+        let topo = small_world(34);
+        let mut rt = OverlayRuntime::new(
+            &topo,
+            34,
+            RuntimeConfig {
+                horizon_ms: 8_000.0,
+                churn: ChurnProcess::None,
+                reopt_interval_ms: None,
+                reuse: ReuseScope::All,
+                ..Default::default()
+            },
+        );
+        let q = demo_query(&topo);
+        let a = rt.deploy(q.clone()).unwrap();
+        let b = rt.deploy(q.clone()).unwrap();
+        assert_eq!(rt.lifecycle_stats().reuse_hits, 1);
+        // Find the shared instance's host: the node the borrower's reused
+        // root is pinned at (an operator host, not a producer/consumer).
+        let pinned_ops: Vec<NodeId> = rt.circuits[1]
+            .circuit
+            .services()
+            .iter()
+            .filter(|s| matches!(s.kind, sbon_core::circuit::ServiceKind::Operator { .. }))
+            .filter_map(|s| match s.pin {
+                sbon_core::circuit::ServicePin::Pinned(n) => Some(n),
+                sbon_core::circuit::ServicePin::Unpinned => None,
+            })
+            .collect();
+        let victim = *pinned_ops.first().expect("borrower has a pinned shared instance");
+        // Owner departs first so the instance survives only as a retained
+        // shared subtree, then the host dies mid-run.
+        assert!(rt.undeploy(a));
+        assert_eq!(rt.retained_shared_subtrees(), 1);
+        rt.schedule_failure(2_000.0, victim);
+        rt.run();
+        assert!(!rt.is_alive(victim));
+        // The retained subtree is gone, the subscriber was torn down, and
+        // the registry holds nothing stale.
+        assert_eq!(rt.retained_shared_subtrees(), 0);
+        assert_eq!(rt.active_queries(), 0);
+        assert!(rt.failed_circuits().contains(&b));
+        let mq = rt.multiquery().unwrap();
+        assert_eq!(mq.num_instances(), 0, "no stale instance may serve future reuse");
+        assert_eq!(mq.total_subscriptions(), 0);
+        assert_eq!(mq.num_retained(), 0);
+        assert_eq!(rt.instantaneous_usage(), 0.0);
+    }
+
+    /// Plan-replacement adaptation stays alive under reuse for untenanted
+    /// circuits: a run with full re-opt + rewrite enabled, churn, and no
+    /// overlapping queries keeps the registry consistent with the live
+    /// circuit set whether or not swaps fire.
+    #[test]
+    fn adaptation_under_reuse_keeps_registry_consistent() {
+        let topo = small_world(35);
+        let hosts = topo.host_candidates();
+        let mut rt = OverlayRuntime::new(
+            &topo,
+            35,
+            RuntimeConfig {
+                horizon_ms: 30_000.0,
+                churn: ChurnProcess::RandomWalk { std_dev: 0.35 },
+                full_reopt_interval_ms: Some(3_000.0),
+                rewrite_interval_ms: Some(4_000.0),
+                policy: sbon_core::reopt::ReoptPolicy {
+                    migration_threshold: 0.05,
+                    // Any strictly-better circuit replaces: guarantees the
+                    // swap → reregister path actually runs.
+                    replacement_threshold: 0.0,
+                },
+                reuse: ReuseScope::All,
+                ..Default::default()
+            },
+        );
+        // Disjoint producer sets: no reuse possible, nothing entangled.
+        let qa = QuerySpec::join_star(&[hosts[0], hosts[5], hosts[10]], hosts[15], 10.0, 0.02);
+        let qb = QuerySpec::join_star(&[hosts[20], hosts[25], hosts[30]], hosts[35], 10.0, 0.02);
+        rt.deploy(qa).unwrap();
+        rt.deploy(qb).unwrap();
+        assert_eq!(rt.lifecycle_stats().reuse_hits, 0);
+        let instances_before = rt.multiquery().unwrap().num_instances();
+        let report = rt.run();
+        assert!(report.replacements > 0, "reuse must not silence plan replacement");
+        let mq = rt.multiquery().unwrap();
+        assert_eq!(mq.num_circuits(), rt.active_queries());
+        assert_eq!(mq.total_subscriptions(), 0);
+        // Replacements re-register under the same ids: no duplicate or
+        // stale instances accumulate across swaps.
+        assert_eq!(mq.num_instances(), instances_before);
+    }
+
+    /// The session API: a run can be advanced tick-by-tick with mid-run
+    /// arrivals and departures, and matches `run()` when driven to the end
+    /// with no interleaved workload.
+    #[test]
+    fn session_api_matches_run_and_supports_midrun_lifecycle() {
+        let topo = small_world(32);
+        let build = || {
+            let mut rt = OverlayRuntime::new(
+                &topo,
+                32,
+                RuntimeConfig { horizon_ms: 8_000.0, ..Default::default() },
+            );
+            rt.deploy(demo_query(&topo)).unwrap();
+            rt
+        };
+        let whole = {
+            let mut rt = build();
+            rt.run()
+        };
+        let stepped = {
+            let mut rt = build();
+            let mut session = rt.start_run();
+            while rt.advance_ticks(&mut session, 1) {}
+            rt.finish_run(session)
+        };
+        assert_eq!(whole.samples.len(), stepped.samples.len());
+        for (a, b) in whole.samples.iter().zip(&stepped.samples) {
+            assert_eq!(a.network_usage.to_bits(), b.network_usage.to_bits());
+            assert_eq!(a.active_queries, b.active_queries);
+        }
+        assert_eq!(whole.migrations, stepped.migrations);
+
+        // Mid-run lifecycle: deploy at tick 3, undeploy at tick 6; the
+        // active-query gauge tracks it in the samples.
+        let mut rt = build();
+        let mut session = rt.start_run();
+        assert!(rt.advance_ticks(&mut session, 3));
+        let h = rt.deploy(demo_query(&topo)).unwrap();
+        assert!(rt.advance_ticks(&mut session, 3));
+        assert!(rt.undeploy(h));
+        while rt.advance_ticks(&mut session, 1) {}
+        let report = rt.finish_run(session);
+        assert_eq!(report.samples.len(), 8);
+        assert_eq!(report.samples[2].active_queries, 1);
+        assert_eq!(report.samples[4].active_queries, 2);
+        assert_eq!(report.samples[7].active_queries, 1);
+        assert_eq!(report.arrivals, 2);
+        assert_eq!(report.departures, 1);
     }
 
     #[test]

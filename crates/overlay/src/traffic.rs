@@ -7,6 +7,14 @@
 //! and to cross-validate the cost model: because shortest-path latency is
 //! the sum of its edges' latencies, Σ (edge rate × edge latency) over the
 //! underlay **exactly equals** the circuit's fluid network usage.
+//!
+//! Charging is **exactly invertible**: each edge keeps the multiset of
+//! charged link rates (not a running float sum) and reports their total by
+//! summing in sorted order, so [`LinkTraffic::discharge_circuit`] — which
+//! routes over the same shortest paths and removes the same rates — leaves
+//! every per-edge rate bit-identical to never having deployed. A running
+//! `+=`/`-=` could not promise that: IEEE addition is not cancellative
+//! (`(x + r) - r ≠ x` in general once circuits overlap on an edge).
 
 use sbon_core::circuit::{Circuit, Placement};
 use sbon_netsim::dijkstra::shortest_path;
@@ -17,13 +25,17 @@ use sbon_netsim::topology::Topology;
 /// [`sbon_netsim::graph::Graph::edges`]).
 #[derive(Clone, Debug)]
 pub struct LinkTraffic {
-    per_edge_rate: Vec<f64>,
+    /// Per-edge multiset of charged circuit-link rates, kept sorted
+    /// (`total_cmp`) on insert. The edge's rate is their in-order sum, so
+    /// it only depends on the multiset — not on the charge/discharge
+    /// history that produced it.
+    contributions: Vec<Vec<f64>>,
 }
 
 impl LinkTraffic {
     /// Zero traffic for a topology.
     pub fn zero(topology: &Topology) -> Self {
-        LinkTraffic { per_edge_rate: vec![0.0; topology.graph.num_edges()] }
+        LinkTraffic { contributions: vec![Vec::new(); topology.graph.num_edges()] }
     }
 
     /// Routes one placed circuit over the underlay, adding each circuit
@@ -35,6 +47,35 @@ impl LinkTraffic {
         circuit: &Circuit,
         placement: &Placement,
     ) {
+        self.route_circuit(topology, circuit, placement, true);
+    }
+
+    /// The exact inverse of [`LinkTraffic::charge_circuit`]: routes the
+    /// circuit over the same shortest paths and removes the same rates from
+    /// the same edges, leaving every per-edge rate **bit-identical** to
+    /// never having deployed (module docs explain why a float subtraction
+    /// could not). The underlay's latencies must not have changed in
+    /// between — a changed shortest path would discharge an edge that was
+    /// never charged, which panics.
+    pub fn discharge_circuit(
+        &mut self,
+        topology: &Topology,
+        circuit: &Circuit,
+        placement: &Placement,
+    ) {
+        self.route_circuit(topology, circuit, placement, false);
+    }
+
+    /// Shared routing core of charge/discharge: one Dijkstra per circuit
+    /// link, adding (or removing) the link's rate on every edge of the
+    /// path.
+    fn route_circuit(
+        &mut self,
+        topology: &Topology,
+        circuit: &Circuit,
+        placement: &Placement,
+        charge: bool,
+    ) {
         for l in circuit.links() {
             let from = placement.node_of(l.from);
             let to = placement.node_of(l.to);
@@ -45,25 +86,38 @@ impl LinkTraffic {
                 .expect("placed circuits connect reachable nodes");
             for hop in path.windows(2) {
                 let edge = edge_between(topology, hop[0], hop[1]).expect("path hops are adjacent");
-                self.per_edge_rate[edge] += l.rate;
+                let rates = &mut self.contributions[edge];
+                let pos = rates.partition_point(|r| r.total_cmp(&l.rate).is_lt());
+                if charge {
+                    rates.insert(pos, l.rate);
+                } else {
+                    assert!(
+                        rates.get(pos).map(|r| r.to_bits()) == Some(l.rate.to_bits()),
+                        "discharge must match a prior charge on every path edge"
+                    );
+                    rates.remove(pos);
+                }
             }
         }
     }
 
-    /// Rate on one edge.
+    /// Rate on one edge: the sorted-order sum of its contributions (the
+    /// list is maintained sorted, so this is a plain fold).
     pub fn rate_on(&self, edge_index: usize) -> f64 {
-        self.per_edge_rate[edge_index]
+        self.contributions[edge_index].iter().sum()
     }
 
     /// The maximum per-edge rate (the hottest link).
     pub fn max_stress(&self) -> f64 {
-        self.per_edge_rate.iter().copied().fold(0.0, f64::max)
+        (0..self.contributions.len()).map(|e| self.rate_on(e)).fold(0.0, f64::max)
     }
 
     /// Indices and rates of the `k` hottest links, descending.
     pub fn top_hot_links(&self, k: usize) -> Vec<(usize, f64)> {
-        let mut indexed: Vec<(usize, f64)> =
-            self.per_edge_rate.iter().copied().enumerate().filter(|&(_, r)| r > 0.0).collect();
+        let mut indexed: Vec<(usize, f64)> = (0..self.contributions.len())
+            .map(|e| (e, self.rate_on(e)))
+            .filter(|&(_, r)| r > 0.0)
+            .collect();
         indexed.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite rates"));
         indexed.truncate(k);
         indexed
@@ -72,12 +126,12 @@ impl LinkTraffic {
     /// Σ over edges of `rate × edge latency` — must equal the sum of the
     /// charged circuits' fluid network usage (see module docs).
     pub fn total_usage(&self, topology: &Topology) -> f64 {
-        topology.graph.edges().iter().zip(&self.per_edge_rate).map(|(e, &r)| r * e.latency_ms).sum()
+        topology.graph.edges().iter().enumerate().map(|(i, e)| self.rate_on(i) * e.latency_ms).sum()
     }
 
     /// Number of edges carrying any traffic.
     pub fn loaded_edges(&self) -> usize {
-        self.per_edge_rate.iter().filter(|&&r| r > 0.0).count()
+        (0..self.contributions.len()).filter(|&e| self.rate_on(e) > 0.0).count()
     }
 }
 
@@ -121,6 +175,11 @@ mod tests {
         (topo, p.circuit, p.placement, usage)
     }
 
+    /// All per-edge rates, as bits (for exact comparisons).
+    fn rate_bits(traffic: &LinkTraffic) -> Vec<u64> {
+        (0..traffic.contributions.len()).map(|e| traffic.rate_on(e).to_bits()).collect()
+    }
+
     #[test]
     fn underlay_usage_equals_fluid_usage() {
         for seed in [1u64, 2, 3] {
@@ -159,6 +218,40 @@ mod tests {
             assert!(w[0].1 >= w[1].1);
         }
         assert_eq!(hot[0].1, traffic.max_stress());
+    }
+
+    #[test]
+    fn discharge_is_the_exact_inverse_of_charge() {
+        let (topo, circuit, placement, _) = placed(7);
+        let mut traffic = LinkTraffic::zero(&topo);
+        let baseline = rate_bits(&traffic);
+        traffic.charge_circuit(&topo, &circuit, &placement);
+        assert!(traffic.loaded_edges() > 0);
+        traffic.discharge_circuit(&topo, &circuit, &placement);
+        assert_eq!(
+            rate_bits(&traffic),
+            baseline,
+            "discharge must leave rates bit-identical to baseline"
+        );
+        // With another circuit in the background: charge A, charge B,
+        // discharge B — bit-identical to the A-only state even where the
+        // two circuits' paths overlap on an edge.
+        // B was optimized on its own equally-sized world, so its placement
+        // indexes are valid here; only the routing matters for this test.
+        let (_, b_circuit, b_placement, _) = placed(8);
+        traffic.charge_circuit(&topo, &circuit, &placement);
+        let a_only = rate_bits(&traffic);
+        traffic.charge_circuit(&topo, &b_circuit, &b_placement);
+        traffic.discharge_circuit(&topo, &b_circuit, &b_placement);
+        assert_eq!(rate_bits(&traffic), a_only);
+    }
+
+    #[test]
+    #[should_panic(expected = "discharge must match a prior charge")]
+    fn discharging_an_uncharged_circuit_panics() {
+        let (topo, circuit, placement, _) = placed(9);
+        let mut traffic = LinkTraffic::zero(&topo);
+        traffic.discharge_circuit(&topo, &circuit, &placement);
     }
 
     #[test]

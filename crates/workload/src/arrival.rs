@@ -1,0 +1,182 @@
+//! Query arrival processes.
+//!
+//! Each process defines an instantaneous arrival *rate* over simulated
+//! time; per tick the scenario driver samples a Poisson count with mean
+//! equal to the rate integrated over the tick. All integrals are closed
+//! form, so the expected arrival count is exact — no time-step bias — and
+//! every draw comes from the caller's RNG (determinism by seed).
+
+use rand::Rng;
+
+/// How queries arrive over time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals at a constant rate.
+    Poisson {
+        /// Mean arrivals per simulated second.
+        rate_per_sec: f64,
+    },
+    /// A constant base rate with a burst window — the "everyone tunes in at
+    /// once" shape (breaking news, market open).
+    FlashCrowd {
+        /// Rate outside the burst (arrivals per simulated second).
+        base_per_sec: f64,
+        /// Rate inside `[start_ms, end_ms)`.
+        peak_per_sec: f64,
+        /// Burst window start (simulated ms).
+        start_ms: f64,
+        /// Burst window end (simulated ms).
+        end_ms: f64,
+    },
+    /// A sinusoidal day/night rate curve:
+    /// `mean × (1 + amplitude·sin(2π·t/period))`, floored at zero.
+    Diurnal {
+        /// Mean arrivals per simulated second.
+        mean_per_sec: f64,
+        /// Relative swing in `[0, 1]`: 0 is flat, 1 swings between 0 and
+        /// 2× the mean.
+        amplitude: f64,
+        /// Period of one "day" in simulated ms.
+        period_ms: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Instantaneous arrival rate at `t_ms`, in arrivals per second.
+    pub fn rate_at(&self, t_ms: f64) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate_per_sec } => rate_per_sec,
+            ArrivalProcess::FlashCrowd { base_per_sec, peak_per_sec, start_ms, end_ms } => {
+                if t_ms >= start_ms && t_ms < end_ms {
+                    peak_per_sec
+                } else {
+                    base_per_sec
+                }
+            }
+            ArrivalProcess::Diurnal { mean_per_sec, amplitude, period_ms } => {
+                let phase = std::f64::consts::TAU * t_ms / period_ms;
+                (mean_per_sec * (1.0 + amplitude * phase.sin())).max(0.0)
+            }
+        }
+    }
+
+    /// Expected arrivals in `[t_ms, t_ms + dt_ms)` — the rate integrated in
+    /// closed form over the window.
+    pub fn expected_in(&self, t_ms: f64, dt_ms: f64) -> f64 {
+        debug_assert!(dt_ms >= 0.0);
+        let dt_s = dt_ms / 1_000.0;
+        match *self {
+            ArrivalProcess::Poisson { rate_per_sec } => rate_per_sec * dt_s,
+            ArrivalProcess::FlashCrowd { base_per_sec, peak_per_sec, start_ms, end_ms } => {
+                let hi = t_ms + dt_ms;
+                let burst_ms = (hi.min(end_ms) - t_ms.max(start_ms)).max(0.0);
+                (base_per_sec * (dt_ms - burst_ms) + peak_per_sec * burst_ms) / 1_000.0
+            }
+            ArrivalProcess::Diurnal { mean_per_sec, amplitude, period_ms } => {
+                // ∫ mean(1 + A sin(2πt/T)) dt = mean·dt − mean·A·T/2π·Δcos.
+                // (Exact for amplitude ≤ 1, where the rate never clips at 0;
+                // larger amplitudes are rejected by the scenario driver.)
+                let w = std::f64::consts::TAU / period_ms;
+                let d_cos = ((t_ms + dt_ms) * w).cos() - (t_ms * w).cos();
+                (mean_per_sec * dt_ms - mean_per_sec * amplitude * d_cos / w) / 1_000.0
+            }
+        }
+    }
+
+    /// Samples the arrival count for `[t_ms, t_ms + dt_ms)`: a Poisson draw
+    /// with the exact expected count as its mean.
+    pub fn sample_arrivals<R: Rng + ?Sized>(&self, t_ms: f64, dt_ms: f64, rng: &mut R) -> usize {
+        sample_poisson(rng, self.expected_in(t_ms, dt_ms))
+    }
+}
+
+/// Samples `Poisson(mean)` via Knuth's product method, splitting large
+/// means into chunks (Poisson is additive) so `exp(-mean)` never
+/// underflows.
+pub fn sample_poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> usize {
+    debug_assert!(mean >= 0.0 && mean.is_finite(), "Poisson mean must be finite, got {mean}");
+    const CHUNK: f64 = 32.0;
+    let mut remaining = mean;
+    let mut total = 0usize;
+    while remaining > 0.0 {
+        let m = remaining.min(CHUNK);
+        remaining -= m;
+        let limit = (-m).exp();
+        let mut product: f64 = rng.gen_range(0.0..1.0);
+        while product > limit {
+            total += 1;
+            product *= rng.gen_range(0.0..1.0);
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbon_netsim::rng::rng_from_seed;
+
+    #[test]
+    fn poisson_sampler_matches_mean() {
+        let mut rng = rng_from_seed(1);
+        for mean in [0.3, 2.0, 7.5, 120.0] {
+            let n = 20_000;
+            let total: usize = (0..n).map(|_| sample_poisson(&mut rng, mean)).sum();
+            let empirical = total as f64 / n as f64;
+            assert!(
+                (empirical - mean).abs() < 0.05 * mean.max(1.0),
+                "mean {mean}: empirical {empirical}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_mean_yields_zero_arrivals() {
+        let mut rng = rng_from_seed(2);
+        for _ in 0..100 {
+            assert_eq!(sample_poisson(&mut rng, 0.0), 0);
+        }
+    }
+
+    #[test]
+    fn flash_crowd_integral_covers_partial_overlap() {
+        let p = ArrivalProcess::FlashCrowd {
+            base_per_sec: 1.0,
+            peak_per_sec: 11.0,
+            start_ms: 1_500.0,
+            end_ms: 2_500.0,
+        };
+        // Window [1000, 2000): 500 ms at base + 500 ms at peak.
+        let expect = (1.0 * 500.0 + 11.0 * 500.0) / 1_000.0;
+        assert!((p.expected_in(1_000.0, 1_000.0) - expect).abs() < 1e-12);
+        // Disjoint window: base only.
+        assert!((p.expected_in(3_000.0, 1_000.0) - 1.0).abs() < 1e-12);
+        assert_eq!(p.rate_at(2_000.0), 11.0);
+        assert_eq!(p.rate_at(2_500.0), 1.0);
+    }
+
+    #[test]
+    fn diurnal_integral_matches_numeric_quadrature() {
+        let p = ArrivalProcess::Diurnal { mean_per_sec: 4.0, amplitude: 0.8, period_ms: 60_000.0 };
+        let (t0, dt) = (7_000.0, 13_000.0);
+        let steps = 100_000;
+        let h = dt / steps as f64;
+        let numeric: f64 =
+            (0..steps).map(|i| p.rate_at(t0 + (i as f64 + 0.5) * h) * h / 1_000.0).sum();
+        let closed = p.expected_in(t0, dt);
+        assert!((numeric - closed).abs() < 1e-6 * closed, "{numeric} vs {closed}");
+        // One full period integrates to exactly mean·period.
+        let full = p.expected_in(0.0, 60_000.0);
+        assert!((full - 4.0 * 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_by_seed() {
+        let p = ArrivalProcess::Poisson { rate_per_sec: 3.0 };
+        let draw = || {
+            let mut rng = rng_from_seed(9);
+            (0..50).map(|i| p.sample_arrivals(i as f64 * 1_000.0, 1_000.0, &mut rng)).sum::<usize>()
+        };
+        assert_eq!(draw(), draw());
+    }
+}

@@ -1,0 +1,441 @@
+//! Declarative scenarios: topology + runtime + workload, driven end-to-end.
+//!
+//! A [`Scenario`] composes everything a run needs — the overlay size, a
+//! full [`RuntimeConfig`] (deployment wave, churn, jitter, reuse scope), a
+//! stream-catalog spec, and a [`WorkloadSpec`] (arrival process, session
+//! durations, template mix) — and [`Scenario::run`] drives the whole thing
+//! through the runtime's session API: per tick it samples arrivals, deploys
+//! them mid-run, advances the simulation one tick, and departs the sessions
+//! whose time is up. This replaces the hand-rolled driver loops the
+//! examples used to copy-paste.
+//!
+//! **Determinism by seed**: every random choice — topology, runtime churn,
+//! arrival counts, template draws, session lengths — derives from
+//! `Scenario::seed` through independent [`derive_rng`] streams, so the same
+//! scenario value reproduces the same [`ScenarioReport`] bit-for-bit.
+
+use rand::Rng;
+
+use sbon_netsim::graph::NodeId;
+use sbon_netsim::rng::derive_rng;
+use sbon_netsim::topology::transit_stub::{generate, TransitStubConfig};
+use sbon_netsim::topology::Topology;
+use sbon_overlay::{CircuitHandle, OverlayRuntime, RunReport, RuntimeConfig};
+use sbon_query::stream::StreamCatalog;
+
+use crate::arrival::ArrivalProcess;
+use crate::session::SessionDuration;
+use crate::templates::{QueryGenerator, QueryTemplate};
+
+/// The shared feed catalog a scenario registers before queries arrive.
+#[derive(Clone, Debug)]
+pub struct CatalogSpec {
+    /// Number of feeds, pinned on random (arrived) host candidates.
+    pub feeds: usize,
+    /// Publication rate of every feed.
+    pub rate: f64,
+    /// Zipf exponent of feed popularity (0 = uniform).
+    pub zipf_exponent: f64,
+    /// Uniform pairwise join selectivity.
+    pub join_selectivity: f64,
+}
+
+impl Default for CatalogSpec {
+    fn default() -> Self {
+        CatalogSpec { feeds: 16, rate: 10.0, zipf_exponent: 1.1, join_selectivity: 0.02 }
+    }
+}
+
+/// The query traffic a scenario offers.
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    /// When queries arrive.
+    pub arrival: ArrivalProcess,
+    /// How long each stays.
+    pub duration: SessionDuration,
+    /// Weighted template mix the arrivals draw from.
+    pub templates: Vec<(QueryTemplate, f64)>,
+    /// Hard cap on total arrivals (`None` = only the horizon bounds them).
+    pub max_arrivals: Option<usize>,
+    /// Undeploy every still-live session once the horizon is reached, so
+    /// the run ends at the pre-workload baseline (refcounts fully drained).
+    pub drain_at_end: bool,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            arrival: ArrivalProcess::Poisson { rate_per_sec: 1.0 },
+            duration: SessionDuration::Exponential { mean_ms: 10_000.0 },
+            templates: vec![
+                (QueryTemplate::PopularFeedJoin { ways: 2 }, 3.0),
+                (QueryTemplate::PopularFeedJoin { ways: 3 }, 2.0),
+                (QueryTemplate::FanInAggregate { ways: 3, ratio: 0.2 }, 1.0),
+                (QueryTemplate::ChainFilter { filters: 2, selectivity: 0.3 }, 1.0),
+            ],
+            max_arrivals: None,
+            drain_at_end: true,
+        }
+    }
+}
+
+/// A declarative, seed-deterministic experiment: topology + runtime config
+/// + workload, run end-to-end by [`Scenario::run`].
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Name for harness output.
+    pub name: String,
+    /// Transit-stub overlay size (approximate; the generator rounds).
+    pub nodes: usize,
+    /// Master seed every random stream derives from.
+    pub seed: u64,
+    /// Full runtime configuration (tick, horizon, churn, jitter, backends,
+    /// deployment wave, reuse scope, ...).
+    pub runtime: RuntimeConfig,
+    /// Feed catalog spec.
+    pub catalog: CatalogSpec,
+    /// Offered query traffic.
+    pub workload: WorkloadSpec,
+}
+
+impl Scenario {
+    /// A scenario with default catalog and workload over the given runtime.
+    pub fn new(name: impl Into<String>, nodes: usize, seed: u64, runtime: RuntimeConfig) -> Self {
+        Scenario {
+            name: name.into(),
+            nodes,
+            seed,
+            runtime,
+            catalog: CatalogSpec::default(),
+            workload: WorkloadSpec::default(),
+        }
+    }
+
+    /// Generates the scenario's topology and runs it end-to-end.
+    pub fn run(&self) -> ScenarioReport {
+        let topology = generate(&TransitStubConfig::with_total_nodes(self.nodes), self.seed);
+        self.run_on(&topology)
+    }
+
+    /// Runs the scenario over an existing topology (callers that sweep
+    /// workloads over one network build it once).
+    pub fn run_on(&self, topology: &Topology) -> ScenarioReport {
+        if let ArrivalProcess::Diurnal { amplitude, .. } = self.workload.arrival {
+            assert!(
+                (0.0..=1.0).contains(&amplitude),
+                "diurnal amplitude must be in [0, 1] for the closed-form integral"
+            );
+        }
+        let mut rt = OverlayRuntime::new(topology, self.seed, self.runtime.clone());
+
+        // Feed catalog pinned on hosts that are present from tick 0, so
+        // producers exist even under a deployment wave.
+        let mut cat_rng = derive_rng(self.seed, 0xCA7A_1065);
+        let hosts: Vec<NodeId> =
+            topology.host_candidates().into_iter().filter(|&h| rt.is_arrived(h)).collect();
+        assert!(!hosts.is_empty(), "no arrived host candidates to pin feeds on");
+        let mut streams = StreamCatalog::new();
+        for i in 0..self.catalog.feeds {
+            let host = hosts[cat_rng.gen_range(0..hosts.len())];
+            streams.register(format!("feed{i}"), self.catalog.rate, host);
+        }
+        let generator = QueryGenerator::new(
+            streams,
+            self.catalog.join_selectivity,
+            self.catalog.zipf_exponent,
+            hosts,
+            &self.workload.templates,
+        );
+
+        let baseline_usage = rt.instantaneous_usage();
+        let mut wl_rng = derive_rng(self.seed, 0x3070_AD01);
+        let tick_ms = self.runtime.tick_ms;
+        let cap = self.workload.max_arrivals.unwrap_or(usize::MAX);
+
+        let mut session = rt.start_run();
+        let mut live: Vec<(f64, CircuitHandle)> = Vec::new();
+        let mut now_ms = 0.0f64;
+        let mut offered = 0usize;
+        let mut rejected = 0usize;
+        let mut peak_active = 0usize;
+        let mut peak_retained = 0usize;
+        loop {
+            // Arrivals during the upcoming tick [now, now + tick) — but
+            // only when that tick will actually run: the window past the
+            // final tick must not admit phantom queries that exist for
+            // zero simulated time.
+            let will_tick = now_ms + tick_ms <= self.runtime.horizon_ms;
+            let mut count = if will_tick {
+                self.workload.arrival.sample_arrivals(now_ms, tick_ms, &mut wl_rng)
+            } else {
+                0
+            };
+            count = count.min(cap - offered);
+            for _ in 0..count {
+                offered += 1;
+                let query = generator.draw(&mut wl_rng);
+                // The session clock starts at the end of the admitting tick
+                // (the deploy becomes visible to that tick's accounting).
+                let depart_at = now_ms + tick_ms + self.workload.duration.sample(&mut wl_rng);
+                match rt.deploy(query) {
+                    Some(handle) => live.push((depart_at, handle)),
+                    None => rejected += 1,
+                }
+            }
+            let more = rt.advance_ticks(&mut session, 1);
+            now_ms += tick_ms;
+            peak_active = peak_active.max(rt.active_queries());
+            peak_retained = peak_retained.max(rt.retained_shared_subtrees());
+            // Departures whose session expired by the tick that just ran.
+            let mut idx = 0;
+            while idx < live.len() {
+                if live[idx].0 <= now_ms {
+                    let (_, handle) = live.swap_remove(idx);
+                    rt.undeploy(handle);
+                } else {
+                    idx += 1;
+                }
+            }
+            if !more {
+                break;
+            }
+        }
+        if self.workload.drain_at_end {
+            for (_, handle) in live.drain(..) {
+                rt.undeploy(handle);
+            }
+        }
+        let run = rt.finish_run(session);
+        let lifecycle = rt.lifecycle_stats();
+        let (subscriptions, instances, retained_records) = rt
+            .multiquery()
+            .map(|mq| (mq.total_subscriptions(), mq.num_instances(), mq.num_retained()))
+            .unwrap_or((0, 0, 0));
+        ScenarioReport {
+            name: self.name.clone(),
+            seed: self.seed,
+            nodes: topology.num_nodes(),
+            arrivals: lifecycle.arrivals,
+            departures: lifecycle.departures,
+            offered,
+            rejected,
+            reuse_hits: lifecycle.reuse_hits,
+            reused_services: lifecycle.reused_services,
+            marginal_usage: lifecycle.marginal_usage,
+            standalone_usage: lifecycle.standalone_usage,
+            peak_active,
+            final_active: rt.active_queries(),
+            peak_retained,
+            final_retained: rt.retained_shared_subtrees(),
+            final_subscriptions: subscriptions,
+            final_instances: instances,
+            final_retained_records: retained_records,
+            baseline_usage,
+            final_usage: rt.instantaneous_usage(),
+            run,
+        }
+    }
+}
+
+/// Everything a scenario run produced: the runtime's usage time series plus
+/// the workload-level accounting (arrival/departure totals, reuse
+/// economics, drain state).
+#[derive(Clone, Debug)]
+pub struct ScenarioReport {
+    /// Scenario name.
+    pub name: String,
+    /// Seed the run derived from.
+    pub seed: u64,
+    /// Overlay size actually generated.
+    pub nodes: usize,
+    /// Successful deployments.
+    pub arrivals: usize,
+    /// Undeployments (including the end-of-run drain when enabled).
+    pub departures: usize,
+    /// Arrivals the process offered (deployed + rejected).
+    pub offered: usize,
+    /// Offered queries the optimizer could not place.
+    pub rejected: usize,
+    /// Arrivals that attached to ≥ 1 running instance.
+    pub reuse_hits: usize,
+    /// Instances attached to, summed over arrivals.
+    pub reused_services: usize,
+    /// Σ marginal network usage at deploy time.
+    pub marginal_usage: f64,
+    /// Σ standalone network usage the same queries would have cost alone.
+    pub standalone_usage: f64,
+    /// Most queries concurrently active at any tick boundary.
+    pub peak_active: usize,
+    /// Queries still active after the run (0 when draining).
+    pub final_active: usize,
+    /// Most retained shared subtrees at any tick boundary.
+    pub peak_retained: usize,
+    /// Retained shared subtrees after the run (0 when fully drained).
+    pub final_retained: usize,
+    /// Outstanding reuse subscriptions after the run (0 when drained).
+    pub final_subscriptions: usize,
+    /// Instances left in the reuse index after the run.
+    pub final_instances: usize,
+    /// Departed-but-retained registry records after the run.
+    pub final_retained_records: usize,
+    /// Instantaneous usage before any workload query arrived.
+    pub baseline_usage: f64,
+    /// Instantaneous usage after the run (equals `baseline_usage`
+    /// bit-for-bit when the workload fully drained).
+    pub final_usage: f64,
+    /// The runtime's tick-level report (samples carry the active-query
+    /// gauge).
+    pub run: RunReport,
+}
+
+impl ScenarioReport {
+    /// Fraction of standalone usage that reuse saved at deploy time.
+    pub fn reuse_savings(&self) -> f64 {
+        if self.standalone_usage <= 0.0 {
+            return 0.0;
+        }
+        1.0 - self.marginal_usage / self.standalone_usage
+    }
+
+    /// True when the workload fully drained: no active queries, no retained
+    /// subtrees, no outstanding subscriptions, and usage back at the
+    /// pre-workload baseline bit-for-bit.
+    pub fn drained_to_baseline(&self) -> bool {
+        self.final_active == 0
+            && self.final_retained == 0
+            && self.final_subscriptions == 0
+            && self.final_usage.to_bits() == self.baseline_usage.to_bits()
+    }
+
+    /// Prints the standard harness summary.
+    pub fn print_summary(&self) {
+        println!("scenario `{}` (seed {}, {} nodes):", self.name, self.seed, self.nodes);
+        println!(
+            "  {} offered, {} deployed, {} rejected, {} departed over {} ticks",
+            self.offered,
+            self.arrivals,
+            self.rejected,
+            self.departures,
+            self.run.samples.len()
+        );
+        println!(
+            "  active queries: peak {}, final {}; retained shared subtrees: peak {}, final {}",
+            self.peak_active, self.final_active, self.peak_retained, self.final_retained
+        );
+        println!(
+            "  reuse: {} hits ({} instances attached), marginal {:.1} vs standalone {:.1} \
+             ({:.1}% saved)",
+            self.reuse_hits,
+            self.reused_services,
+            self.marginal_usage,
+            self.standalone_usage,
+            100.0 * self.reuse_savings()
+        );
+        println!(
+            "  usage: baseline {:.3} -> final {:.3} ({}), {} migrations, {} replacements",
+            self.baseline_usage,
+            self.final_usage,
+            if self.drained_to_baseline() { "fully drained" } else { "still loaded" },
+            self.run.migrations,
+            self.run.replacements
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbon_core::multiquery::ReuseScope;
+    use sbon_netsim::load::ChurnProcess;
+
+    fn small_runtime(horizon_ms: f64, reuse: ReuseScope) -> RuntimeConfig {
+        RuntimeConfig {
+            horizon_ms,
+            churn: ChurnProcess::SparseWalk { nodes_per_tick: 4, std_dev: 0.1 },
+            reuse,
+            ..Default::default()
+        }
+    }
+
+    fn scenario(seed: u64, reuse: ReuseScope) -> Scenario {
+        Scenario {
+            workload: WorkloadSpec {
+                arrival: ArrivalProcess::Poisson { rate_per_sec: 1.5 },
+                duration: SessionDuration::Exponential { mean_ms: 4_000.0 },
+                ..Default::default()
+            },
+            ..Scenario::new("test", 80, seed, small_runtime(12_000.0, reuse))
+        }
+    }
+
+    #[test]
+    fn scenario_runs_arrivals_and_departures() {
+        let report = scenario(1, ReuseScope::None).run();
+        assert!(report.arrivals > 5, "expected some arrivals, got {}", report.arrivals);
+        assert_eq!(report.arrivals + report.rejected, report.offered);
+        assert_eq!(report.departures, report.arrivals, "drain departs everyone");
+        assert_eq!(report.run.samples.len(), 12);
+        assert!(report.peak_active > 0);
+        assert!(report.drained_to_baseline());
+        assert_eq!(report.reuse_hits, 0, "reuse disabled");
+    }
+
+    #[test]
+    fn scenario_is_deterministic_by_seed() {
+        let a = scenario(7, ReuseScope::All).run();
+        let b = scenario(7, ReuseScope::All).run();
+        assert_eq!(a.arrivals, b.arrivals);
+        assert_eq!(a.reuse_hits, b.reuse_hits);
+        assert_eq!(a.marginal_usage.to_bits(), b.marginal_usage.to_bits());
+        for (x, y) in a.run.samples.iter().zip(&b.run.samples) {
+            assert_eq!(x.network_usage.to_bits(), y.network_usage.to_bits());
+            assert_eq!(x.active_queries, y.active_queries);
+        }
+        let c = scenario(8, ReuseScope::All).run();
+        assert_ne!(
+            (a.arrivals, a.marginal_usage.to_bits()),
+            (c.arrivals, c.marginal_usage.to_bits()),
+            "different seeds must diverge"
+        );
+    }
+
+    #[test]
+    fn reuse_scenario_saves_and_drains() {
+        let report = scenario(3, ReuseScope::All).run();
+        assert!(report.reuse_hits > 0, "Zipf overlap must produce reuse");
+        assert!(report.marginal_usage < report.standalone_usage);
+        assert!(report.reuse_savings() > 0.0);
+        assert!(report.drained_to_baseline());
+        assert_eq!(report.final_subscriptions, 0);
+        assert_eq!(report.final_instances, 0);
+        assert_eq!(report.final_retained_records, 0);
+    }
+
+    #[test]
+    fn flash_crowd_bursts_the_active_gauge() {
+        let mut s = scenario(5, ReuseScope::All);
+        s.workload.arrival = ArrivalProcess::FlashCrowd {
+            base_per_sec: 0.2,
+            peak_per_sec: 4.0,
+            start_ms: 3_000.0,
+            end_ms: 6_000.0,
+        };
+        s.workload.duration =
+            SessionDuration::BoundedPareto { alpha: 1.3, min_ms: 1_000.0, max_ms: 20_000.0 };
+        let report = s.run();
+        assert!(report.arrivals > 0);
+        // The burst window must dominate arrivals.
+        let gauge_peak = report.run.samples.iter().map(|s| s.active_queries).max().unwrap_or(0);
+        assert_eq!(gauge_peak, report.peak_active);
+        assert!(report.drained_to_baseline());
+    }
+
+    #[test]
+    fn max_arrivals_caps_the_offered_load() {
+        let mut s = scenario(9, ReuseScope::None);
+        s.workload.max_arrivals = Some(4);
+        let report = s.run();
+        assert!(report.offered <= 4);
+        assert_eq!(report.arrivals + report.rejected, report.offered);
+    }
+}

@@ -1,0 +1,78 @@
+//! Session-duration distributions: how long an arriving query stays
+//! deployed before its tenant departs.
+
+use rand::Rng;
+use sbon_netsim::rng::{sample_bounded_pareto, sample_exponential};
+
+/// How long a query session lasts, in simulated milliseconds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SessionDuration {
+    /// Memoryless sessions with the given mean.
+    Exponential {
+        /// Mean session length (ms).
+        mean_ms: f64,
+    },
+    /// Heavy-tailed sessions: most are near `min_ms`, a few approach
+    /// `max_ms` — the long-lived-subscriber shape.
+    BoundedPareto {
+        /// Tail exponent (> 0; smaller = heavier tail).
+        alpha: f64,
+        /// Shortest session (ms, > 0).
+        min_ms: f64,
+        /// Longest session (ms, > `min_ms`).
+        max_ms: f64,
+    },
+    /// Every session lasts exactly this long.
+    Fixed {
+        /// Session length (ms).
+        ms: f64,
+    },
+}
+
+impl SessionDuration {
+    /// Draws one session length (ms).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            SessionDuration::Exponential { mean_ms } => {
+                debug_assert!(mean_ms > 0.0);
+                sample_exponential(rng, 1.0 / mean_ms)
+            }
+            SessionDuration::BoundedPareto { alpha, min_ms, max_ms } => {
+                sample_bounded_pareto(rng, alpha, min_ms, max_ms)
+            }
+            SessionDuration::Fixed { ms } => ms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbon_netsim::rng::rng_from_seed;
+
+    #[test]
+    fn exponential_matches_mean() {
+        let d = SessionDuration::Exponential { mean_ms: 5_000.0 };
+        let mut rng = rng_from_seed(1);
+        let n = 20_000;
+        let mean = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 5_000.0).abs() < 150.0, "mean={mean}");
+    }
+
+    #[test]
+    fn bounded_pareto_stays_in_bounds_and_skews_low() {
+        let d = SessionDuration::BoundedPareto { alpha: 1.2, min_ms: 1_000.0, max_ms: 60_000.0 };
+        let mut rng = rng_from_seed(2);
+        let samples: Vec<f64> = (0..10_000).map(|_| d.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&s| (1_000.0..=60_000.0).contains(&s)));
+        let below_5s = samples.iter().filter(|&&s| s < 5_000.0).count();
+        assert!(below_5s > 6_000, "heavy tail means most sessions are short: {below_5s}");
+    }
+
+    #[test]
+    fn fixed_is_fixed() {
+        let d = SessionDuration::Fixed { ms: 1_234.0 };
+        let mut rng = rng_from_seed(3);
+        assert_eq!(d.sample(&mut rng), 1_234.0);
+    }
+}

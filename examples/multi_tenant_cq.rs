@@ -1,4 +1,5 @@
-//! Multi-tenant continuous queries: radius-pruned service reuse.
+//! Multi-tenant continuous queries: radius-pruned service reuse over a
+//! full tenant lifecycle.
 //!
 //! Many tenants subscribe to overlapping combinations of a few popular
 //! feeds (market data, security events, ...). Section 3.4's multi-query
@@ -6,93 +7,79 @@
 //! reuse candidates within a cost-space radius of each new service's
 //! virtual coordinate, keeping per-query optimization cheap.
 //!
+//! Tenants here *arrive and depart* through the `sbon_workload` scenario
+//! driver (no hand-rolled loop, no eager all-pairs matrix — the runtime
+//! serves ground truth from the default-config lazy backend): sharing is
+//! refcounted, a departing tenant's join survives as a retained shared
+//! subtree while subscribers remain, and the last departure tears it down
+//! and returns usage accounting to the pre-workload baseline.
+//!
 //! ```sh
 //! cargo run --release --example multi_tenant_cq
 //! ```
 
-use rand::Rng;
-
-use sbon::core::multiquery::{MultiQueryOptimizer, ReuseScope};
-use sbon::netsim::rng::Zipf;
+use sbon::core::multiquery::ReuseScope;
+use sbon::overlay::{LatencyBackend, RuntimeConfig};
 use sbon::prelude::*;
-use sbon::query::stream::StreamCatalog;
 
 fn main() {
-    let topo = transit_stub::generate(&TransitStubConfig::with_total_nodes(300), 99);
-    let latency = all_pairs_latency(&topo.graph);
-    let embedding = VivaldiConfig::default().embed(&latency, 99);
-    let mut rng = rng_from_seed(99);
-    let loads = LoadModel::Random { lo: 0.0, hi: 0.6 }.generate(topo.num_nodes(), &mut rng);
-    let space = CostSpaceBuilder::latency_load_space(&embedding, &loads);
-    let hosts = topo.host_candidates();
-
-    // A dozen popular feeds, pinned where their publishers live.
-    let mut streams = StreamCatalog::new();
-    for i in 0..12 {
-        let host = hosts[rng.gen_range(0..hosts.len())];
-        streams.register(format!("feed{i}"), 10.0, host);
-    }
-    let stats = StatsCatalog::from_streams(&streams, 0.02);
-    let zipf = Zipf::new(12, 1.2);
-
-    let draw_query = |rng: &mut rand::rngs::StdRng| {
-        let mut set = Vec::new();
-        while set.len() < 2 {
-            let id = sbon::query::stream::StreamId(zipf.sample(rng) as u32);
-            if !set.contains(&id) {
-                set.push(id);
-            }
-        }
-        let consumer = hosts[rng.gen_range(0..hosts.len())];
-        QuerySpec::new(streams.clone(), stats.clone(), set, consumer)
+    let runtime = RuntimeConfig {
+        horizon_ms: 60_000.0,
+        churn: ChurnProcess::SparseWalk { nodes_per_tick: 8, std_dev: 0.1 },
+        // Ground truth on demand: per-source Dijkstra rows instead of the
+        // eager O(n²) matrix the old driver loop materialized up front.
+        latency_backend: LatencyBackend::Lazy,
+        // The paper's §3.4 pruning: only instances within cost-space
+        // radius 40 of a new service's ideal coordinate are considered.
+        reuse: ReuseScope::Radius(40.0),
+        ..Default::default()
+    };
+    let scenario = Scenario {
+        catalog: CatalogSpec { feeds: 12, rate: 10.0, zipf_exponent: 1.2, join_selectivity: 0.02 },
+        workload: WorkloadSpec {
+            arrival: ArrivalProcess::Poisson { rate_per_sec: 1.0 },
+            duration: SessionDuration::BoundedPareto {
+                alpha: 1.2,
+                min_ms: 5_000.0,
+                max_ms: 55_000.0,
+            },
+            templates: vec![
+                (QueryTemplate::PopularFeedJoin { ways: 2 }, 3.0),
+                (QueryTemplate::PopularFeedJoin { ways: 3 }, 1.0),
+            ],
+            max_arrivals: None,
+            drain_at_end: true,
+        },
+        ..Scenario::new("multi-tenant continuous queries", 300, 99, runtime)
     };
 
-    // 30 tenants arrive one by one; the optimizer reuses running joins
-    // found within radius 40 of each new service's ideal coordinate.
-    let mut mq = MultiQueryOptimizer::new(OptimizerConfig::default());
-    let mut total_marginal = 0.0;
-    let mut total_standalone = 0.0;
-    let mut reused_count = 0;
-    println!(
-        "{:<8} {:>12} {:>12} {:>8} {:>10}",
-        "tenant", "standalone", "marginal", "reused", "saved"
-    );
-    for tenant in 0..30 {
-        let q = draw_query(&mut rng);
-        let out = mq
-            .optimize_and_deploy(&q, &space, &latency, ReuseScope::Radius(40.0))
-            .expect("deployment succeeds");
-        total_marginal += out.marginal_cost.network_usage;
-        total_standalone += out.standalone_cost.network_usage;
-        if !out.reused.is_empty() {
-            reused_count += 1;
-        }
-        if tenant < 10 || !out.reused.is_empty() && tenant < 20 {
-            println!(
-                "{:<8} {:>12.1} {:>12.1} {:>8} {:>9.1}%",
-                tenant,
-                out.standalone_cost.network_usage,
-                out.marginal_cost.network_usage,
-                out.reused.len(),
-                100.0
-                    * (1.0
-                        - out.marginal_cost.network_usage
-                            / out.standalone_cost.network_usage.max(1e-9))
-            );
-        }
-    }
+    let report = scenario.run();
+    report.print_summary();
 
-    println!("\nacross 30 tenants:");
-    println!("  queries that reused a running service: {reused_count}/30");
+    // Refcount teardown in action: the gauge rises with the tenant wave,
+    // departures retain still-subscribed joins, and the drain returns both
+    // counters — and usage — to zero.
+    println!("\nactive-query gauge over the run (every 5th tick):");
+    for s in report.run.samples.iter().step_by(5) {
+        println!(
+            "  t={:>6.0} ms  active={:<3} usage={:>10.1}",
+            s.time_ms, s.active_queries, s.network_usage
+        );
+    }
+    println!("\nreuse-refcount teardown:");
     println!(
-        "  total marginal usage {:.1} vs standalone {:.1} ({:.1}% saved)",
-        total_marginal,
-        total_standalone,
-        100.0 * (1.0 - total_marginal / total_standalone)
+        "  {} departures released their subscriptions; retained shared subtrees peaked at {}",
+        report.departures, report.peak_retained
     );
     println!(
-        "  running circuits: {}, reusable operator instances: {}",
-        mq.num_circuits(),
-        mq.num_instances()
+        "  after the drain: {} retained subtrees, {} outstanding subscriptions, {} instances \
+         ({} — final usage {:.3} vs baseline {:.3})",
+        report.final_retained,
+        report.final_subscriptions,
+        report.final_instances,
+        if report.drained_to_baseline() { "fully drained" } else { "NOT drained" },
+        report.final_usage,
+        report.baseline_usage
     );
+    assert!(report.drained_to_baseline(), "tenancy refcounts must drain to zero");
 }

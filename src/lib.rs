@@ -21,7 +21,13 @@
 //!   plan-generation + service-placement optimizer, multi-query
 //!   optimization with radius pruning, and re-optimization policies.
 //! * [`overlay`] — a discrete-event SBON runtime that hosts circuits, routes
-//!   data, and executes migrations.
+//!   data, and executes migrations — with a full query lifecycle (mid-run
+//!   `deploy`/`undeploy`, reuse-aware tenancy with refcounted shared
+//!   services).
+//! * [`workload`] — workload generation and scenario-driven runs: arrival
+//!   processes (Poisson / flash crowd / diurnal), session-duration
+//!   distributions, Zipf query templates over a stream catalog, and the
+//!   declarative `Scenario` driver.
 //!
 //! ## Quickstart
 //!
@@ -55,6 +61,7 @@ pub use sbon_hilbert as hilbert;
 pub use sbon_netsim as netsim;
 pub use sbon_overlay as overlay;
 pub use sbon_query as query;
+pub use sbon_workload as workload;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
@@ -81,4 +88,8 @@ pub mod prelude {
     pub use sbon_netsim::topology::Topology;
     pub use sbon_query::plan::LogicalPlan;
     pub use sbon_query::stats::StatsCatalog;
+    pub use sbon_workload::{
+        ArrivalProcess, CatalogSpec, QueryTemplate, Scenario, ScenarioReport, SessionDuration,
+        WorkloadSpec,
+    };
 }

@@ -16,6 +16,14 @@
 //! ring's memmove grows linearly into the tens of µs. The Vivaldi sweep
 //! prints embed wall time next to median relative error for the full
 //! protocol vs `landmarks ∈ {16, 64}`.
+//!
+//! The **jitter-tick** group measures how the lazy latency cache absorbs a
+//! batch of edge-weight deltas at 10k nodes with a 64-row working set:
+//! dynamic-SSSP `Repair` fixes each resident row over the affected region
+//! only, while the pre-repair `Invalidate` policy drops touched rows and
+//! pays a full Dijkstra per row to serve the next read. Repair must come
+//! out ≥ 5× faster per tick — that gap is what retired ROADMAP open
+//! item 1's "~200 ms/tick of invalidate-and-recompute" bottleneck.
 
 use std::time::Instant;
 
@@ -27,10 +35,12 @@ use sbon_coords::vivaldi::VivaldiConfig;
 use sbon_core::costspace::CostSpace;
 use sbon_core::placement::{DhtMapper, DhtMapperConfig, OracleMapper, PhysicalMapper};
 use sbon_dht::{DhtConfig, DhtRing, RingKey};
-use sbon_netsim::graph::NodeId;
+use sbon_netsim::graph::{EdgeId, NodeId};
+use sbon_netsim::lazy::{DeltaPolicy, LazyLatency};
 use sbon_netsim::load::{Attr, NodeAttrs};
 use sbon_netsim::metrics::Summary;
 use sbon_netsim::rng::derive_rng;
+use sbon_netsim::topology::transit_stub::{generate, TransitStubConfig};
 
 /// Nodes churned per delta-refresh tick (fixed across n — that is the
 /// point).
@@ -222,6 +232,54 @@ fn bench_ring_maintenance(c: &mut Criterion) {
     }
 }
 
+/// One jitter tick against the lazy row cache at 10k nodes: apply a batch
+/// of 200 edge-weight deltas (0.1% of edges, clamped to the (0.5, 3.0)
+/// band around base latency) and bring the 64-row working set back to
+/// servable. Under [`DeltaPolicy::Repair`] the rows are fixed in place
+/// (dynamic SSSP over the affected region, `ensure_rows` is a no-op);
+/// under [`DeltaPolicy::Invalidate`] every touched row was dropped and
+/// `ensure_rows` pays a full `O((n + m) log n)` Dijkstra per victim.
+/// Both policies see the identical pre-drawn delta batches, whose new
+/// weights are absolute (relative to base), so the measured work does not
+/// drift across iterations.
+fn bench_row_repair(c: &mut Criterion) {
+    let n = 10_000usize;
+    let topo = generate(&TransitStubConfig::with_total_nodes(n), n as u64);
+    let m = topo.graph.num_edges();
+    let base: Vec<f64> = topo.graph.edges().iter().map(|e| e.latency_ms).collect();
+    let mut rng = derive_rng(n as u64, 0x4e7a);
+    let sources: Vec<NodeId> = (0..64).map(|_| NodeId(rng.gen_range(0..n as u32))).collect();
+    let batches: Vec<Vec<(EdgeId, f64)>> = (0..32)
+        .map(|_| {
+            (0..200)
+                .map(|_| {
+                    let e = EdgeId(rng.gen_range(0..m as u32));
+                    let b = base[e.index()];
+                    let f: f64 = rng.gen_range(0.7..1.45);
+                    (e, (b * f).clamp(b * 0.5, b * 3.0))
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut group = c.benchmark_group(format!("jitter_tick_{n}_nodes_64_rows"));
+    for (label, policy) in
+        [("repair", DeltaPolicy::Repair), ("invalidate_recompute", DeltaPolicy::Invalidate)]
+    {
+        let mut lat = LazyLatency::new(topo.graph.clone()).with_delta_policy(policy);
+        lat.ensure_rows(&sources, None);
+        group.bench_function(label, |b| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % batches.len();
+                lat.apply_edge_deltas(&batches[i]);
+                black_box(lat.ensure_rows(&sources, None))
+            })
+        });
+    }
+    group.finish();
+}
+
 /// The landmark-Vivaldi accuracy-vs-cost sweep: embed one 512-node world
 /// with the full protocol and with k ∈ {16, 64} landmarks, timing the embed
 /// (the criterion measurement) and printing median relative error next to
@@ -252,5 +310,11 @@ fn bench_vivaldi_landmarks(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_control_plane, bench_ring_maintenance, bench_vivaldi_landmarks);
+criterion_group!(
+    benches,
+    bench_control_plane,
+    bench_ring_maintenance,
+    bench_row_repair,
+    bench_vivaldi_landmarks
+);
 criterion_main!(benches);

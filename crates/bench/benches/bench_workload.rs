@@ -26,13 +26,12 @@ fn build(nodes: usize, reuse: ReuseScope, standing: usize) -> (OverlayRuntime, V
     let mut rt = OverlayRuntime::new(
         &topo,
         seed,
-        RuntimeConfig {
-            churn: ChurnProcess::None,
-            latency_backend: LatencyBackend::Lazy,
-            vivaldi: VivaldiConfig { landmarks: Some(32), ..Default::default() },
-            reuse,
-            ..Default::default()
-        },
+        RuntimeConfig::builder()
+            .churn(ChurnProcess::None)
+            .latency_backend(LatencyBackend::Lazy)
+            .vivaldi(VivaldiConfig { landmarks: Some(32), ..Default::default() })
+            .reuse(reuse)
+            .build(),
     );
     let spec = CatalogSpec::default();
     let mut rng = derive_rng(seed, 0xCA7);

@@ -14,25 +14,24 @@ use sbon_core::reopt::ReoptPolicy;
 use sbon_netsim::load::{ChurnProcess, LoadModel};
 use sbon_netsim::rng::derive_rng;
 use sbon_netsim::topology::transit_stub::{generate, TransitStubConfig};
-use sbon_overlay::{LatencyJitter, OverlayRuntime, RuntimeConfig};
+use sbon_overlay::{JitterModel, OverlayRuntime, RuntimeConfig};
 
 use rand::seq::SliceRandom;
 
 fn run(policy_label: &str, local: bool, full: bool, seed: u64) -> (String, f64, usize, usize) {
     let topo = generate(&TransitStubConfig::with_total_nodes(200), seed);
-    let config = RuntimeConfig {
-        tick_ms: 1_000.0,
-        horizon_ms: 600_000.0, // 10 simulated minutes
-        reopt_interval_ms: local.then_some(10_000.0),
-        full_reopt_interval_ms: full.then_some(60_000.0),
-        policy: ReoptPolicy { migration_threshold: 0.05, replacement_threshold: 0.15 },
-        churn: ChurnProcess::RandomWalk { std_dev: 0.08 },
-        latency_jitter: Some(LatencyJitter { pairs_per_tick: 2_000, ..Default::default() }),
-        migration_penalty: 25.0,
-        replacement_penalty: 100.0,
-        initial_load: LoadModel::Random { lo: 0.0, hi: 0.6 },
-        ..Default::default()
-    };
+    let config = RuntimeConfig::builder()
+        .tick_ms(1_000.0)
+        .horizon_ms(600_000.0) // 10 simulated minutes
+        .reopt_interval_ms(local.then_some(10_000.0))
+        .full_reopt_interval_ms(full.then_some(60_000.0))
+        .policy(ReoptPolicy { migration_threshold: 0.05, replacement_threshold: 0.15 })
+        .churn(ChurnProcess::RandomWalk { std_dev: 0.08 })
+        .latency_jitter(JitterModel { edges_per_tick: 160, ..Default::default() })
+        .migration_penalty(25.0)
+        .replacement_penalty(100.0)
+        .initial_load(LoadModel::Random { lo: 0.0, hi: 0.6 })
+        .build();
     let mut rt = OverlayRuntime::new(&topo, seed, config);
     let mut rng = derive_rng(seed, 0xC2);
     let mut hosts = topo.host_candidates();

@@ -43,8 +43,9 @@ pub enum GroundTruthBackend {
 pub enum GroundTruth {
     /// Eager all-pairs matrix.
     Dense(LatencyMatrix),
-    /// Demand-driven rows.
-    Lazy(LazyLatency),
+    /// Demand-driven rows (boxed: the provider's repair state makes it a
+    /// much larger value than the matrix handle).
+    Lazy(Box<LazyLatency>),
 }
 
 impl GroundTruth {
@@ -143,7 +144,7 @@ pub fn build_world(config: &WorldConfig, seed: u64) -> World {
             let lazy = LazyLatency::new(topology.graph.clone());
             let embedding = config.vivaldi.embed(&lazy, seed);
             lazy.evict_all();
-            (GroundTruth::Lazy(lazy), embedding)
+            (GroundTruth::Lazy(Box::new(lazy)), embedding)
         }
     };
     let mut rng = derive_rng(seed, 0x10ad);

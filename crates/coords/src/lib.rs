@@ -16,4 +16,4 @@ pub mod error;
 pub mod vivaldi;
 
 pub use error::{relative_errors, EmbeddingErrorReport};
-pub use vivaldi::{VivaldiConfig, VivaldiEmbedding, VivaldiNode};
+pub use vivaldi::{LandmarkPlacer, VivaldiConfig, VivaldiEmbedding, VivaldiNode};

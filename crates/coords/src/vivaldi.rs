@@ -69,6 +69,23 @@ impl Default for VivaldiConfig {
 }
 
 impl VivaldiConfig {
+    /// The deterministic landmark draw for an `n`-node overlay, or `None`
+    /// when landmark mode is off (or would fall back to the full
+    /// protocol because `k ≥ n`). The same ids — in the same order — that
+    /// [`VivaldiConfig::embed`] and
+    /// [`VivaldiConfig::embed_landmarks_only`] use for this `(n, seed)`,
+    /// so callers can pre-warm exactly the latency rows the embedding
+    /// will demand.
+    pub fn landmark_ids(&self, n: usize, seed: u64) -> Option<Vec<usize>> {
+        let k = self.landmarks?;
+        if k >= n {
+            return None;
+        }
+        assert!(k >= 2, "landmark embedding needs at least two landmarks, got {k}");
+        let mut rng = derive_rng(seed, 0x1a4d_3a4c);
+        Some(draw_landmarks(&mut rng, n, k))
+    }
+
     /// Runs the protocol over `latency` and returns the converged
     /// embedding: the full decentralized gossip by default, or the
     /// landmark/sampled variant when [`VivaldiConfig::landmarks`] is set.
@@ -137,42 +154,10 @@ impl VivaldiConfig {
     ) -> VivaldiEmbedding {
         let n = latency.len();
         debug_assert!((2..n).contains(&k));
-        let mut rng = derive_rng(seed, 0x1a4d_3a4c);
-
-        // Deterministic landmark draw: k distinct nodes.
-        let mut ids: Vec<usize> = (0..n).collect();
-        ids.shuffle(&mut rng);
-        let landmarks: Vec<usize> = ids[..k].to_vec();
+        let (landmarks, mut nodes, mut rng) = self.landmark_phase1(latency, seed, k);
         let mut is_landmark = vec![false; n];
         for &l in &landmarks {
             is_landmark[l] = true;
-        }
-
-        let mut nodes: Vec<VivaldiNode> = (0..n)
-            .map(|_| {
-                let mut node = VivaldiNode::random_start(self.dims, &mut rng);
-                if self.use_height {
-                    node.height = self.min_height;
-                }
-                node
-            })
-            .collect();
-
-        // Phase 1: all-pairs gossip among the landmarks only.
-        for _round in 0..self.rounds {
-            for li in 0..k {
-                let i = landmarks[li];
-                for _ in 0..self.samples_per_round {
-                    let lj = gossip_partner(&mut rng, li, k);
-                    let j = landmarks[lj];
-                    let rtt = latency.latency(NodeId(i as u32), NodeId(j as u32));
-                    if !rtt.is_finite() {
-                        continue; // partitioned pair; skip the sample
-                    }
-                    let remote = nodes[j].clone();
-                    nodes[i].observe_with(&remote, rtt, self, &mut rng);
-                }
-            }
         }
 
         // Phase 2: place the remaining nodes against the frozen landmarks.
@@ -200,6 +185,159 @@ impl VivaldiConfig {
             heights: nodes.iter().map(|v| v.height).collect(),
             errors: nodes.iter().map(|v| v.error).collect(),
         }
+    }
+
+    /// Runs only the landmark half of the protocol and returns a
+    /// [`LandmarkPlacer`]: the `k` deterministically drawn landmarks,
+    /// frozen at their converged coordinates, ready to place individual
+    /// nodes on demand via [`LandmarkPlacer::place`].
+    ///
+    /// This is the bring-up path for incremental deployments: instead of
+    /// embedding all `n` coordinates up front (and touching `n` rows of
+    /// the latency provider), the runtime embeds the landmarks once and
+    /// places each node when it actually joins. Landmark coordinates are
+    /// bit-identical to the ones [`VivaldiConfig::embed`] produces for the
+    /// same world and seed (the two paths share their RNG stream through
+    /// phase 1); non-landmark placements use per-node RNGs supplied by the
+    /// caller, so *when* a node joins does not change *where* it lands.
+    ///
+    /// Panics unless [`VivaldiConfig::landmarks`] is `Some(k)` with
+    /// `2 ≤ k < n`.
+    pub fn embed_landmarks_only<L: LatencyProvider>(
+        &self,
+        latency: &L,
+        seed: u64,
+    ) -> LandmarkPlacer {
+        let n = latency.len();
+        let k = self.landmarks.expect("embed_landmarks_only requires VivaldiConfig::landmarks");
+        assert!(k >= 2, "landmark embedding needs at least two landmarks, got {k}");
+        assert!(k < n, "landmark set ({k}) must be smaller than the overlay ({n})");
+        let (landmarks, nodes, _rng) = self.landmark_phase1(latency, seed, k);
+        let states = landmarks.iter().map(|&l| nodes[l].clone()).collect();
+        LandmarkPlacer { config: self.clone(), landmarks, states }
+    }
+
+    /// Shared phase 1: the deterministic landmark draw, the node-state
+    /// initialization for all `n` nodes (keeping the RNG stream identical
+    /// between the batch and incremental paths), and the all-pairs gossip
+    /// restricted to the landmark set. Returns the landmark ids, the node
+    /// states, and the RNG advanced past phase 1.
+    fn landmark_phase1<L: LatencyProvider>(
+        &self,
+        latency: &L,
+        seed: u64,
+        k: usize,
+    ) -> (Vec<usize>, Vec<VivaldiNode>, rand::rngs::StdRng) {
+        let n = latency.len();
+        let mut rng = derive_rng(seed, 0x1a4d_3a4c);
+        let landmarks = draw_landmarks(&mut rng, n, k);
+
+        let mut nodes: Vec<VivaldiNode> = (0..n)
+            .map(|_| {
+                let mut node = VivaldiNode::random_start(self.dims, &mut rng);
+                if self.use_height {
+                    node.height = self.min_height;
+                }
+                node
+            })
+            .collect();
+
+        // Phase 1: all-pairs gossip among the landmarks only.
+        for _round in 0..self.rounds {
+            for li in 0..k {
+                let i = landmarks[li];
+                for _ in 0..self.samples_per_round {
+                    let lj = gossip_partner(&mut rng, li, k);
+                    let j = landmarks[lj];
+                    let rtt = latency.latency(NodeId(i as u32), NodeId(j as u32));
+                    if !rtt.is_finite() {
+                        continue; // partitioned pair; skip the sample
+                    }
+                    let remote = nodes[j].clone();
+                    nodes[i].observe_with(&remote, rtt, self, &mut rng);
+                }
+            }
+        }
+        (landmarks, nodes, rng)
+    }
+}
+
+/// Deterministic landmark draw: `k` distinct node ids out of `n`,
+/// consuming one full shuffle of the caller's RNG. Factored out so the
+/// batch embedding, the incremental placer, and
+/// [`VivaldiConfig::landmark_ids`] can never drift apart.
+fn draw_landmarks<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize) -> Vec<usize> {
+    let mut ids: Vec<usize> = (0..n).collect();
+    ids.shuffle(rng);
+    ids.truncate(k);
+    ids
+}
+
+/// Frozen landmark coordinates plus the Vivaldi configuration — everything
+/// needed to place one node at a time against the landmark set, long after
+/// the warm-up embedding ran. Produced by
+/// [`VivaldiConfig::embed_landmarks_only`].
+#[derive(Clone, Debug)]
+pub struct LandmarkPlacer {
+    config: VivaldiConfig,
+    /// Landmark node ids, in draw order.
+    landmarks: Vec<usize>,
+    /// Converged landmark states, index-aligned with `landmarks`.
+    states: Vec<VivaldiNode>,
+}
+
+impl LandmarkPlacer {
+    /// The landmark node ids, in draw order (the same order
+    /// [`VivaldiConfig::landmark_ids`] reports).
+    pub fn landmark_ids(&self) -> &[usize] {
+        &self.landmarks
+    }
+
+    /// Embedding dimensionality.
+    pub fn dims(&self) -> usize {
+        self.config.dims
+    }
+
+    /// The frozen state of landmark `idx` (draw order).
+    pub fn landmark_state(&self, idx: usize) -> &VivaldiNode {
+        &self.states[idx]
+    }
+
+    /// Places one node against the frozen landmarks: the same
+    /// rounds × samples refinement loop the batch embedding runs in its
+    /// second phase, but for a single node with a caller-supplied RNG.
+    /// Latency is only queried with a landmark as the source, so a lazy
+    /// provider serves every sample from the `k` already-computed rows.
+    ///
+    /// Deterministic in the RNG: seeding per node (rather than sharing one
+    /// stream across joins) makes the placement independent of join
+    /// batching and ordering.
+    pub fn place<L: LatencyProvider, R: Rng + ?Sized>(
+        &self,
+        latency: &L,
+        node: NodeId,
+        rng: &mut R,
+    ) -> VivaldiNode {
+        let cfg = &self.config;
+        let k = self.landmarks.len();
+        let mut state = VivaldiNode::random_start(cfg.dims, rng);
+        if cfg.use_height {
+            state.height = cfg.min_height;
+        }
+        for _round in 0..cfg.rounds {
+            for _ in 0..cfg.samples_per_round {
+                let li = rng.gen_range(0..k);
+                let l = self.landmarks[li];
+                // Landmark as the latency *source*: only landmark rows are
+                // ever demanded from the provider.
+                let rtt = latency.latency(NodeId(l as u32), node);
+                if !rtt.is_finite() {
+                    continue;
+                }
+                state.observe_with(&self.states[li], rtt, cfg, rng);
+            }
+        }
+        state
     }
 }
 
@@ -598,6 +736,92 @@ mod tests {
         let emb = VivaldiConfig { landmarks: Some(10), use_height: true, ..Default::default() }
             .embed(&world, 26);
         assert!(emb.heights.iter().all(|&h| h >= 0.1), "heights respect the floor");
+    }
+
+    /// The incremental path must agree with the batch path on the
+    /// landmarks: both run the identical phase-1 stream.
+    #[test]
+    fn embed_landmarks_only_matches_batch_landmark_coords() {
+        let world = euclidean_world(50, 31);
+        let cfg = VivaldiConfig { landmarks: Some(12), ..Default::default() };
+        let batch = cfg.embed(&world, 31);
+        let placer = cfg.embed_landmarks_only(&world, 31);
+        let ids = cfg.landmark_ids(50, 31).expect("landmark mode active");
+        assert_eq!(placer.landmark_ids(), &ids[..]);
+        for (idx, &l) in ids.iter().enumerate() {
+            assert_eq!(
+                placer.landmark_state(idx).coord,
+                batch.coords[l],
+                "landmark {l} must embed identically in both paths"
+            );
+        }
+    }
+
+    #[test]
+    fn landmark_ids_is_none_when_mode_inactive() {
+        let cfg = VivaldiConfig::default();
+        assert!(cfg.landmark_ids(50, 1).is_none(), "no landmark mode");
+        let oversized = VivaldiConfig { landmarks: Some(50), ..Default::default() };
+        assert!(oversized.landmark_ids(50, 1).is_none(), "k >= n falls back to full protocol");
+    }
+
+    /// Join-time placement is deterministic in its RNG and accurate enough
+    /// to serve as a coordinate for cost-space placement.
+    #[test]
+    fn place_is_deterministic_and_accurate() {
+        let world = euclidean_world(60, 32);
+        let cfg = VivaldiConfig { rounds: 120, landmarks: Some(16), ..Default::default() };
+        let placer = cfg.embed_landmarks_only(&world, 32);
+        let landmark_set: std::collections::HashSet<usize> =
+            placer.landmark_ids().iter().copied().collect();
+        let joiners: Vec<usize> = (0..60).filter(|i| !landmark_set.contains(i)).collect();
+        let mut placed = std::collections::HashMap::new();
+        for &i in &joiners {
+            let a = placer.place(&world, NodeId(i as u32), &mut derive_rng(99, i as u64));
+            let b = placer.place(&world, NodeId(i as u32), &mut derive_rng(99, i as u64));
+            assert_eq!(a.coord, b.coord, "same RNG, same placement");
+            placed.insert(i, a);
+        }
+        // Pairwise error between *placed* nodes (neither saw the other —
+        // both trilaterated off the landmarks alone) stays moderate on an
+        // exactly-embeddable world.
+        let mut errs = Vec::new();
+        for (ai, a) in &placed {
+            for (bi, b) in &placed {
+                if ai >= bi {
+                    continue;
+                }
+                let truth = world.latency(NodeId(*ai as u32), NodeId(*bi as u32));
+                if truth < 1.0 {
+                    continue;
+                }
+                errs.push((euclidean(&a.coord, &b.coord) - truth).abs() / truth);
+            }
+        }
+        let p50 = Summary::of(&errs).p50;
+        assert!(p50 < 0.25, "median pairwise rel err of placed nodes: {p50}");
+    }
+
+    /// Placement must demand no latency rows beyond the `k` landmark rows
+    /// the phase-1 embedding already computed.
+    #[test]
+    fn place_touches_only_landmark_lazy_rows() {
+        use sbon_netsim::lazy::LazyLatency;
+        use sbon_netsim::topology::transit_stub::{generate, TransitStubConfig};
+        let topo = generate(&TransitStubConfig::with_total_nodes(80), 33);
+        let k = 8;
+        let lazy = LazyLatency::new(topo.graph.clone());
+        let cfg = VivaldiConfig { landmarks: Some(k), ..Default::default() };
+        let placer = cfg.embed_landmarks_only(&lazy, 33);
+        assert_eq!(lazy.stats().rows_computed, k as u64);
+        for i in 0..20u32 {
+            placer.place(&lazy, NodeId(i), &mut derive_rng(7, u64::from(i)));
+        }
+        assert_eq!(
+            lazy.stats().rows_computed,
+            k as u64,
+            "placement must be served entirely from landmark rows"
+        );
     }
 
     #[test]

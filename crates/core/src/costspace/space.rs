@@ -132,6 +132,43 @@ impl CostSpace {
         changed
     }
 
+    /// The pure half of [`CostSpace::update_scalars`]: evaluates the scalar
+    /// component values for `node` from the attribute table without touching
+    /// the space. Evaluating is side-effect free and reads only shared
+    /// state, so a runtime can compute many nodes' values in parallel and
+    /// then commit them serially with [`CostSpace::apply_scalars`] — the
+    /// committed result is bit-identical to calling `update_scalars`
+    /// directly (both evaluate the identical weighting expression).
+    pub fn scalar_values(&self, node: NodeId, attrs: &NodeAttrs) -> Vec<f64> {
+        self.scalar_specs
+            .iter()
+            .map(|spec| {
+                let raw = match spec.source {
+                    ScalarSource::Attr(a) => attrs.get(node, a),
+                };
+                spec.weight.apply(raw)
+            })
+            .collect()
+    }
+
+    /// The write half of [`CostSpace::update_scalars`]: commits values
+    /// produced by [`CostSpace::scalar_values`]. Returns `true` when any
+    /// component actually changed (bit-level), same contract as
+    /// `update_scalars`.
+    pub fn apply_scalars(&mut self, node: NodeId, values: &[f64]) -> bool {
+        assert_eq!(values.len(), self.scalar_specs.len(), "scalar component count");
+        let point = &mut self.points[node.index()];
+        let mut changed = false;
+        for (d, &next) in values.iter().enumerate() {
+            let slot = &mut point.0[self.vector_dims + d];
+            if slot.to_bits() != next.to_bits() {
+                *slot = next;
+                changed = true;
+            }
+        }
+        changed
+    }
+
     /// Replaces one node's vector (latency) coordinate — the delta path for
     /// embedding refinement, where a node "constantly refines" its network
     /// coordinate. Scalar components are untouched. Returns `true` when the
@@ -322,6 +359,27 @@ mod tests {
         assert!((d - (10.0f64 * 10.0 + 25.0 * 25.0).sqrt()).abs() < 1e-12);
         // Vector distance ignores load.
         assert_eq!(s.vector_distance(NodeId(0), NodeId(1)), 10.0);
+    }
+
+    /// The compute/apply split must commit bit-identical state to the
+    /// one-shot `update_scalars`, with matching change reporting — the
+    /// contract the parallel refresh in the overlay runtime leans on.
+    #[test]
+    fn scalar_values_then_apply_matches_update_scalars() {
+        let mut rng = rng_from_seed(9);
+        let mut attrs = LoadModel::Uniform(0.3).generate(3, &mut rng);
+        let mut direct = CostSpaceBuilder::latency_load_space_scaled(&embedding3(), &attrs, 100.0);
+        let mut split = direct.clone();
+        attrs.set(NodeId(1), Attr::CpuLoad, 0.9);
+        for node in [NodeId(0), NodeId(1), NodeId(2)] {
+            let changed_direct = direct.update_scalars(node, &attrs);
+            let values = split.scalar_values(node, &attrs);
+            let changed_split = split.apply_scalars(node, &values);
+            assert_eq!(changed_direct, changed_split, "{node}");
+            assert_eq!(direct.point(node).as_slice(), split.point(node).as_slice(), "{node}");
+        }
+        // Only node 1's attribute moved.
+        assert_eq!(split.point(NodeId(1)).scalar_part(2), &[100.0 * 0.81]);
     }
 
     #[test]

@@ -13,10 +13,12 @@ use crate::graph::{Graph, NodeId};
 use crate::latency::LatencyMatrix;
 
 /// A heap entry: `Reverse`-ordered by distance so `BinaryHeap` pops minimums.
+/// `pub(crate)` so the dynamic repair in [`crate::lazy`] reuses the exact
+/// ordering (distance, then node id) of the from-scratch computation.
 #[derive(PartialEq)]
-struct HeapEntry {
-    dist: f64,
-    node: NodeId,
+pub(crate) struct HeapEntry {
+    pub(crate) dist: f64,
+    pub(crate) node: NodeId,
 }
 
 impl Eq for HeapEntry {}

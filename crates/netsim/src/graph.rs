@@ -160,6 +160,18 @@ impl Graph {
         self.adjacency[v.index()].iter().map(move |&(n, e)| (n, self.edges[e.index()].latency_ms))
     }
 
+    /// Neighbors of `v` with the connecting edge's id and latency. The
+    /// edge-id form lets dynamic shortest-path repair look up *historical*
+    /// weights for specific edges while walking the adjacency structure.
+    pub fn neighbors_with_ids(
+        &self,
+        v: NodeId,
+    ) -> impl Iterator<Item = (NodeId, EdgeId, f64)> + '_ {
+        self.adjacency[v.index()]
+            .iter()
+            .map(move |&(n, e)| (n, e, self.edges[e.index()].latency_ms))
+    }
+
     /// Degree of `v`.
     pub fn degree(&self, v: NodeId) -> usize {
         self.adjacency[v.index()].len()

@@ -13,7 +13,7 @@
 //!   the coordinate and placement layers.
 //! * [`lazy`] — a demand-driven alternative to the dense matrix:
 //!   per-source shortest-path rows computed on first use, cached, and
-//!   invalidated per dirty source when churn mutates edges.
+//!   *repaired in place* (dynamic SSSP) when churn mutates edges.
 //! * [`load`] — per-node scalar attributes (CPU load, ...) and the churn
 //!   processes that drive the paper's "dynamic node and network
 //!   characteristics" challenge.
@@ -35,8 +35,14 @@
 //!
 //! Both produce bit-identical latencies for any query (rows come from the
 //! same Dijkstra); the lazy backend additionally survives edge churn by
-//! invalidating only the rows a mutated edge could affect — see the
-//! [`lazy`] module docs for the exact invalidation contract.
+//! *repairing* each affected row in place. A weight raise recomputes only
+//! the old-tight region downstream of the edge (`O(|region| log |region| +
+//! edges(region))` per row); a weight lower seeds an improvement
+//! propagation from the edge's endpoints; untouched labels are provably
+//! exact, and repaired rows are bit-identical to fresh Dijkstra on the
+//! mutated graph. The previous drop-the-row behavior survives as
+//! [`lazy::DeltaPolicy::Invalidate`] for baselines. See the [`lazy`]
+//! module docs for the full repair-vs-invalidate contract and complexity.
 
 pub mod dijkstra;
 pub mod graph;
@@ -50,6 +56,6 @@ pub mod topology;
 
 pub use graph::{EdgeId, Graph, NodeId};
 pub use latency::{LatencyMatrix, LatencyProvider};
-pub use lazy::{LazyLatency, LazyLatencyStats};
+pub use lazy::{DeltaPolicy, LazyLatency, LazyLatencyStats};
 pub use load::{ChurnProcess, LoadModel, NodeAttrs};
 pub use sim::{EventQueue, SimTime};

@@ -44,8 +44,10 @@ pub mod traffic;
 
 pub use dataplane::{simulate_circuit, DataPlaneConfig, DataPlaneReport};
 pub use report::{RunReport, Sample};
+#[allow(deprecated)]
+pub use runtime::LatencyJitter;
 pub use runtime::{
-    CircuitHandle, ControlPlaneStats, DeploymentModel, LatencyBackend, LatencyJitter,
-    MapperBackend, OverlayRuntime, QueryLifecycleStats, RunSession, RuntimeConfig,
+    CircuitHandle, ControlPlaneStats, DeploymentModel, JitterModel, LatencyBackend, MapperBackend,
+    OverlayRuntime, QueryLifecycleStats, RunSession, RuntimeConfig, RuntimeConfigBuilder,
 };
 pub use traffic::LinkTraffic;

@@ -21,7 +21,11 @@ pub struct Sample {
 }
 
 /// The full record of one simulation run.
-#[derive(Clone, Debug, Default)]
+///
+/// `PartialEq` compares every sample and counter bit-for-bit — the
+/// equality the parallel-tick determinism contract is pinned against
+/// (a run on any thread count must equal the serial run exactly).
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct RunReport {
     /// Periodic samples in time order.
     pub samples: Vec<Sample>,

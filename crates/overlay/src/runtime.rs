@@ -19,13 +19,14 @@
 //! budget and register through the same maintenance contract
 //! (`add_node`), so bring-up is incremental rather than one bulk build.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::time::Instant;
 
 use rand::seq::SliceRandom;
 use rand::Rng;
+use rayon::prelude::*;
 
-use sbon_coords::vivaldi::{VivaldiConfig, VivaldiEmbedding};
+use sbon_coords::vivaldi::{LandmarkPlacer, VivaldiConfig, VivaldiEmbedding};
 use sbon_core::circuit::{Circuit, Placement, ServiceId};
 use sbon_core::costspace::{CostSpace, CostSpaceBuilder};
 use sbon_core::multiquery::{CircuitId, MultiQueryOptimizer, ReuseScope};
@@ -36,7 +37,7 @@ use sbon_core::placement::{
 use sbon_core::reopt::{reoptimize_full, reoptimize_local, FullReoptOutcome, ReoptPolicy};
 use sbon_dht::catalog::CatalogStats;
 use sbon_netsim::dijkstra::all_pairs_latency;
-use sbon_netsim::graph::{EdgeId, NodeId};
+use sbon_netsim::graph::{EdgeId, Graph, NodeId};
 use sbon_netsim::latency::{LatencyMatrix, LatencyProvider};
 use sbon_netsim::lazy::{LazyLatency, LazyLatencyStats};
 use sbon_netsim::load::{ChurnProcess, LoadModel, NodeAttrs};
@@ -46,33 +47,43 @@ use sbon_netsim::topology::Topology;
 
 use crate::report::{RunReport, Sample};
 
-/// Transient latency inflation applied each tick.
+/// Transient latency inflation applied each tick, at **underlay-edge**
+/// granularity on every [`LatencyBackend`].
 ///
-/// Mean-reverting: the perturbed latency is clamped to `band` × the
-/// topology's base latency, so jitter models congestion episodes rather
-/// than an unboundedly drifting network.
+/// Each tick draws `edges_per_tick` edges (with replacement) from the
+/// topology graph and rescales their latency by a factor from
+/// `factor_range`. Congestion on a link perturbs every path crossing it.
+/// Mean-reverting: the perturbed latency is clamped to `band` × the edge's
+/// base latency, so jitter models congestion episodes rather than an
+/// unboundedly drifting network.
 ///
-/// Granularity depends on the [`LatencyBackend`]: the dense backend rescales
-/// end-to-end *node pair* entries of the materialized matrix, while the lazy
-/// backend rescales *underlay edges* of the topology graph (congestion on a
-/// link perturbs every path crossing it), invalidating only the cached
-/// shortest-path rows the edge could affect.
+/// Both backends sample the identical delta sequence from the shared run
+/// RNG and derive their pairwise latencies from the same mutated graph
+/// (re-running all-pairs Dijkstra under `Dense`, repairing cached rows in
+/// place under `Lazy`), so a jittered run is bit-identical across
+/// backends.
 #[derive(Clone, Copy, Debug)]
-pub struct LatencyJitter {
-    /// Node pairs (dense backend) or underlay edges (lazy backend) rescaled
-    /// per tick.
-    pub pairs_per_tick: usize,
-    /// Multiplicative factor range `(lo, hi)` applied to a pair's latency.
+pub struct JitterModel {
+    /// Underlay edges rescaled per tick (drawn with replacement; repeated
+    /// draws of one edge compose within the tick).
+    pub edges_per_tick: usize,
+    /// Multiplicative factor range `(lo, hi)` applied to an edge's latency.
     pub factor_range: (f64, f64),
-    /// Allowed `(min, max)` multiple of the base latency.
+    /// Allowed `(min, max)` multiple of the edge's base latency.
     pub band: (f64, f64),
 }
 
-impl Default for LatencyJitter {
+impl Default for JitterModel {
     fn default() -> Self {
-        LatencyJitter { pairs_per_tick: 0, factor_range: (0.7, 1.45), band: (0.5, 3.0) }
+        JitterModel { edges_per_tick: 0, factor_range: (0.7, 1.45), band: (0.5, 3.0) }
     }
 }
+
+/// Former name of [`JitterModel`], from when the dense backend perturbed
+/// end-to-end node *pairs* instead of underlay edges. The pair-granular
+/// path is gone; both backends now share the edge-granular model.
+#[deprecated(note = "renamed to `JitterModel`; jitter is edge-granular on every backend")]
+pub type LatencyJitter = JitterModel;
 
 /// Ground-truth latency data structure used by the runtime.
 ///
@@ -170,7 +181,7 @@ pub struct RuntimeConfig {
     /// Load churn process applied each tick.
     pub churn: ChurnProcess,
     /// Optional latency jitter applied each tick.
-    pub latency_jitter: Option<LatencyJitter>,
+    pub latency_jitter: Option<JitterModel>,
     /// Usage·seconds charged per migration (state transfer).
     pub migration_penalty: f64,
     /// Usage·seconds charged per full replacement.
@@ -207,6 +218,15 @@ pub struct RuntimeConfig {
     /// plan would strand its tenants. Untenanted circuits still adapt,
     /// re-registering their instances after the swap.
     pub reuse: ReuseScope,
+    /// Worker threads for the embarrassingly parallel per-tick work
+    /// (shortest-path row computation, scalar cost refresh): `0` sizes the
+    /// pool to the machine's available parallelism, `1` runs everything on
+    /// the calling thread, any other value is an explicit pool size.
+    ///
+    /// Thread count never changes results: parallel stages compute pure
+    /// values and commit them serially in a deterministic order, so a run
+    /// at any `threads` setting is bit-identical to a serial one.
+    pub threads: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -230,7 +250,163 @@ impl Default for RuntimeConfig {
             mapper_backend: MapperBackend::default(),
             deployment: DeploymentModel::default(),
             reuse: ReuseScope::None,
+            threads: 0,
         }
+    }
+}
+
+impl RuntimeConfig {
+    /// Starts a [`RuntimeConfigBuilder`] seeded with the defaults — the
+    /// preferred construction path. The struct's fields stay `pub` for one
+    /// deprecation cycle, but new knobs are only guaranteed a builder
+    /// setter.
+    pub fn builder() -> RuntimeConfigBuilder {
+        RuntimeConfigBuilder { config: RuntimeConfig::default() }
+    }
+}
+
+/// Fluent constructor for [`RuntimeConfig`]; see [`RuntimeConfig::builder`].
+///
+/// Every setter consumes and returns the builder, so configurations read as
+/// one chain:
+///
+/// ```
+/// use sbon_overlay::runtime::{JitterModel, LatencyBackend, RuntimeConfig};
+///
+/// let config = RuntimeConfig::builder()
+///     .horizon_ms(30_000.0)
+///     .latency_backend(LatencyBackend::Lazy)
+///     .latency_jitter(JitterModel { edges_per_tick: 50, ..Default::default() })
+///     .reopt_interval_ms(None)
+///     .build();
+/// assert_eq!(config.horizon_ms, 30_000.0);
+/// assert!(config.reopt_interval_ms.is_none());
+/// ```
+#[derive(Clone, Debug)]
+pub struct RuntimeConfigBuilder {
+    config: RuntimeConfig,
+}
+
+impl RuntimeConfigBuilder {
+    /// Sets the simulation tick (ms).
+    pub fn tick_ms(mut self, v: f64) -> Self {
+        self.config.tick_ms = v;
+        self
+    }
+
+    /// Sets the run length (ms).
+    pub fn horizon_ms(mut self, v: f64) -> Self {
+        self.config.horizon_ms = v;
+        self
+    }
+
+    /// Sets the local re-optimization cadence; `None` disables adaptation.
+    pub fn reopt_interval_ms(mut self, v: impl Into<Option<f64>>) -> Self {
+        self.config.reopt_interval_ms = v.into();
+        self
+    }
+
+    /// Sets the full re-optimization cadence; `None` disables full re-opt.
+    pub fn full_reopt_interval_ms(mut self, v: impl Into<Option<f64>>) -> Self {
+        self.config.full_reopt_interval_ms = v.into();
+        self
+    }
+
+    /// Sets the plan-rewrite cadence; `None` disables rewriting.
+    pub fn rewrite_interval_ms(mut self, v: impl Into<Option<f64>>) -> Self {
+        self.config.rewrite_interval_ms = v.into();
+        self
+    }
+
+    /// Sets the migration / replacement thresholds.
+    pub fn policy(mut self, v: ReoptPolicy) -> Self {
+        self.config.policy = v;
+        self
+    }
+
+    /// Sets the load churn process.
+    pub fn churn(mut self, v: ChurnProcess) -> Self {
+        self.config.churn = v;
+        self
+    }
+
+    /// Sets the per-tick latency jitter; `None` disables it.
+    pub fn latency_jitter(mut self, v: impl Into<Option<JitterModel>>) -> Self {
+        self.config.latency_jitter = v.into();
+        self
+    }
+
+    /// Sets the usage·seconds charged per migration.
+    pub fn migration_penalty(mut self, v: f64) -> Self {
+        self.config.migration_penalty = v;
+        self
+    }
+
+    /// Sets the usage·seconds charged per full replacement.
+    pub fn replacement_penalty(mut self, v: f64) -> Self {
+        self.config.replacement_penalty = v;
+        self
+    }
+
+    /// Sets the initial load model.
+    pub fn initial_load(mut self, v: LoadModel) -> Self {
+        self.config.initial_load = v;
+        self
+    }
+
+    /// Sets the scalar scale of the latency+load cost space.
+    pub fn load_scale(mut self, v: f64) -> Self {
+        self.config.load_scale = v;
+        self
+    }
+
+    /// Sets the Vivaldi settings for the start-up embedding.
+    pub fn vivaldi(mut self, v: VivaldiConfig) -> Self {
+        self.config.vivaldi = v;
+        self
+    }
+
+    /// Sets the ground-truth latency backend.
+    pub fn latency_backend(mut self, v: LatencyBackend) -> Self {
+        self.config.latency_backend = v;
+        self
+    }
+
+    /// Caps resident shortest-path rows under [`LatencyBackend::Lazy`];
+    /// `None` leaves the cache unbounded.
+    pub fn lazy_row_cache(mut self, v: impl Into<Option<usize>>) -> Self {
+        self.config.lazy_row_cache = v.into();
+        self
+    }
+
+    /// Sets the physical-mapping backend.
+    pub fn mapper_backend(mut self, v: MapperBackend) -> Self {
+        self.config.mapper_backend = v;
+        self
+    }
+
+    /// Sets the membership bring-up model.
+    pub fn deployment(mut self, v: DeploymentModel) -> Self {
+        self.config.deployment = v;
+        self
+    }
+
+    /// Sets the multi-query reuse scope.
+    pub fn reuse(mut self, v: ReuseScope) -> Self {
+        self.config.reuse = v;
+        self
+    }
+
+    /// Sets the worker-thread count (`0` = auto, `1` = serial). Thread
+    /// count never changes results — see [`RuntimeConfig::threads`].
+    pub fn threads(mut self, v: usize) -> Self {
+        self.config.threads = v;
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> RuntimeConfig {
+        self.config
     }
 }
 
@@ -400,10 +576,12 @@ pub struct ControlPlaneStats {
 
 /// Backend-selected ground-truth latency state.
 enum LatencyState {
-    /// Materialized matrix plus its unperturbed copy (the jitter band
-    /// reference).
-    Dense { current: LatencyMatrix, base: LatencyMatrix },
-    /// Demand-driven rows; the provider carries its own base edge weights.
+    /// Materialized all-pairs matrix, re-derived from the (possibly
+    /// jittered) underlay graph whenever edges change. `base_edges` keeps
+    /// the unperturbed edge latencies as the jitter band reference.
+    Dense { current: LatencyMatrix, graph: Graph, base_edges: Vec<f64> },
+    /// Demand-driven rows; the provider carries its own graph and base
+    /// edge weights, and repairs cached rows in place on edge deltas.
     Lazy(LazyLatency),
 }
 
@@ -422,14 +600,66 @@ impl LatencyState {
     }
 }
 
+/// Draws one tick of [`JitterModel`] edge deltas against the current graph
+/// weights: `edges_per_tick` uniform edge draws, each composing a factor
+/// onto the edge's running value and clamping to `band` × its base
+/// latency. Repeated draws of an edge compose within the tick (the second
+/// factor applies to the first's result); the returned list holds one
+/// final `(edge, latency)` per distinct edge, in first-draw order. Both
+/// latency backends feed the identical sequence to their own apply step,
+/// which is what keeps jittered runs bit-identical across backends.
+fn sample_edge_deltas<R: Rng, B: Fn(EdgeId) -> f64>(
+    rng: &mut R,
+    jitter: &JitterModel,
+    graph: &Graph,
+    base: B,
+) -> Vec<(EdgeId, f64)> {
+    let m = graph.num_edges();
+    if m == 0 {
+        return Vec::new();
+    }
+    let mut index: HashMap<u32, usize> = HashMap::new();
+    let mut deltas: Vec<(EdgeId, f64)> = Vec::new();
+    for _ in 0..jitter.edges_per_tick {
+        let e = EdgeId(rng.gen_range(0..m) as u32);
+        let f = rng.gen_range(jitter.factor_range.0..jitter.factor_range.1);
+        let cur = match index.get(&e.0) {
+            Some(&slot) => deltas[slot].1,
+            None => graph.edge(e).latency_ms,
+        };
+        let b = base(e);
+        let next = (cur * f).clamp(b * jitter.band.0, b * jitter.band.1);
+        match index.entry(e.0) {
+            std::collections::hash_map::Entry::Occupied(slot) => deltas[*slot.get()].1 = next,
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(deltas.len());
+                deltas.push((e, next));
+            }
+        }
+    }
+    deltas
+}
+
+/// RNG stream salt for per-node join-time Vivaldi placement; the high bits
+/// keep `salt ^ node` disjoint from every other derivation stream.
+const PLACE_STREAM: u64 = 0x517e_9a4e << 32;
+
 /// The simulated SBON.
 pub struct OverlayRuntime {
     config: RuntimeConfig,
+    /// The construction seed, kept for per-node derived RNG streams
+    /// (join-time placement must not depend on join batching).
+    seed: u64,
     latency: LatencyState,
     attrs: NodeAttrs,
     space: CostSpace,
     #[allow(dead_code)]
     embedding: VivaldiEmbedding,
+    /// Frozen landmark set for join-time Vivaldi placement; `Some` iff the
+    /// deployment is a wave and landmark mode is active with `k < n`.
+    placer: Option<LandmarkPlacer>,
+    /// Worker pool for the parallel per-tick stages; `None` runs serial.
+    pool: Option<rayon::ThreadPool>,
     circuits: Vec<Deployed>,
     rng: rand::rngs::StdRng,
     optimizer: IntegratedOptimizer,
@@ -467,10 +697,29 @@ impl OverlayRuntime {
     /// serve bit-identical latencies, so the backend choice does not change
     /// results — only the cost of obtaining them.
     pub fn new(topology: &Topology, seed: u64, config: RuntimeConfig) -> Self {
+        let n = topology.num_nodes();
+        let pool = match config.threads {
+            1 => None,
+            t => {
+                let t = if t == 0 {
+                    std::thread::available_parallelism().map_or(1, |p| p.get())
+                } else {
+                    t
+                };
+                (t > 1).then(|| {
+                    rayon::ThreadPoolBuilder::new()
+                        .num_threads(t)
+                        .build()
+                        .expect("runtime worker pool")
+                })
+            }
+        };
         let latency = match config.latency_backend {
             LatencyBackend::Dense => {
-                let current = all_pairs_latency(&topology.graph);
-                LatencyState::Dense { base: current.clone(), current }
+                let graph = topology.graph.clone();
+                let base_edges = graph.edges().iter().map(|e| e.latency_ms).collect();
+                let current = all_pairs_latency(&graph);
+                LatencyState::Dense { current, graph, base_edges }
             }
             LatencyBackend::Lazy => {
                 let graph = topology.graph.clone();
@@ -480,20 +729,9 @@ impl OverlayRuntime {
                 })
             }
         };
-        let embedding = config.vivaldi.embed(&latency.provider(), seed);
-        if let LatencyState::Lazy(lazy) = &latency {
-            // The embedding touched every row once; the steady state only
-            // reads rows of circuit hosts, so free the warm-up cache.
-            lazy.evict_all();
-        }
-        let mut rng = derive_rng(seed, 0x0ead);
-        let attrs = config.initial_load.generate(topology.num_nodes(), &mut rng);
-        let space =
-            CostSpaceBuilder::latency_load_space_scaled(&embedding, &attrs, config.load_scale);
-        let n = topology.num_nodes();
         // Membership bring-up: everyone at once, or an initial subset with
         // the rest queued behind a deterministic shuffled arrival order.
-        let (arrived, pending_joins) = match config.deployment {
+        let (arrived, pending_joins): (Vec<bool>, VecDeque<NodeId>) = match config.deployment {
             DeploymentModel::Full => (vec![true; n], VecDeque::new()),
             DeploymentModel::Wave { initial, .. } => {
                 let initial = initial.clamp(1, n);
@@ -506,6 +744,69 @@ impl OverlayRuntime {
                 (arrived, order[initial..].iter().copied().collect())
             }
         };
+        // Embedding bring-up. A deployment wave with landmark mode active
+        // never embeds all n coordinates up front: the landmark half of the
+        // protocol runs once, the initial members are placed against the
+        // frozen landmarks, and everyone else is placed the tick they
+        // join. Each node's placement uses its own derived RNG stream, so
+        // *when* a node joins does not change *where* it lands.
+        let landmark_draw = match config.deployment {
+            DeploymentModel::Wave { .. } => config.vivaldi.landmark_ids(n, seed),
+            DeploymentModel::Full => None,
+        };
+        let (embedding, placer) = match landmark_draw {
+            Some(landmark_ids) => {
+                if let LatencyState::Lazy(lazy) = &latency {
+                    // The landmark rows are the only latency sources the
+                    // protocol and every placement read; compute them in
+                    // parallel up front and keep them resident.
+                    let sources: Vec<NodeId> =
+                        landmark_ids.iter().map(|&i| NodeId(i as u32)).collect();
+                    lazy.ensure_rows(&sources, pool.as_ref());
+                }
+                let placer = config.vivaldi.embed_landmarks_only(&latency.provider(), seed);
+                let dims = config.vivaldi.dims;
+                let mut coords = vec![vec![0.0; dims]; n];
+                let mut heights = vec![0.0; n];
+                let mut errors = vec![1.0; n];
+                let mut is_landmark = vec![false; n];
+                for (idx, &lm) in placer.landmark_ids().iter().enumerate() {
+                    let state = placer.landmark_state(idx);
+                    coords[lm].copy_from_slice(&state.coord);
+                    heights[lm] = state.height;
+                    errors[lm] = state.error;
+                    is_landmark[lm] = true;
+                }
+                for node in 0..n {
+                    if arrived[node] && !is_landmark[node] {
+                        let mut rng = derive_rng(seed, PLACE_STREAM ^ node as u64);
+                        let state =
+                            placer.place(&latency.provider(), NodeId(node as u32), &mut rng);
+                        coords[node] = state.coord;
+                        heights[node] = state.height;
+                        errors[node] = state.error;
+                    }
+                }
+                // Unarrived non-landmark nodes sit at the origin until they
+                // join; they are unmapped until then, so the placeholder is
+                // never served.
+                (VivaldiEmbedding { coords, heights, errors }, Some(placer))
+            }
+            None => {
+                let embedding = config.vivaldi.embed(&latency.provider(), seed);
+                if let LatencyState::Lazy(lazy) = &latency {
+                    // The embedding touched every row once; the steady
+                    // state only reads rows of circuit hosts, so free the
+                    // warm-up cache.
+                    lazy.evict_all();
+                }
+                (embedding, None)
+            }
+        };
+        let mut rng = derive_rng(seed, 0x0ead);
+        let attrs = config.initial_load.generate(n, &mut rng);
+        let space =
+            CostSpaceBuilder::latency_load_space_scaled(&embedding, &attrs, config.load_scale);
         let members: Vec<NodeId> =
             (0..n as u32).map(NodeId).filter(|node| arrived[node.index()]).collect();
         let mapper = match config.mapper_backend {
@@ -532,10 +833,13 @@ impl OverlayRuntime {
         OverlayRuntime {
             optimizer: IntegratedOptimizer::new(OptimizerConfig::default()),
             config,
+            seed,
             latency,
             attrs,
             space,
             embedding,
+            placer,
+            pool,
             circuits: Vec::new(),
             rng,
             multiquery,
@@ -759,6 +1063,33 @@ impl OverlayRuntime {
     /// latency-read time).
     pub fn control_plane_stats(&self) -> ControlPlaneStats {
         self.control
+    }
+
+    /// Demand-computes every shortest-path row the next usage accounting
+    /// pass will read — the upstream endpoint of each charged link — in
+    /// parallel across the worker pool when one is active. A no-op under
+    /// the dense backend and for rows already resident. Row *computation*
+    /// is pure and order-free; insertion happens on this thread in
+    /// first-occurrence order, so cache state and all served values are
+    /// identical at any thread count.
+    fn prewarm_usage_rows(&self) {
+        let LatencyState::Lazy(lazy) = &self.latency else { return };
+        let mut sources: Vec<NodeId> = Vec::new();
+        for d in &self.circuits {
+            for l in d.circuit.links() {
+                if !d.shared.get(l.to.index()).copied().unwrap_or(false) {
+                    sources.push(d.placement.node_of(l.from));
+                }
+            }
+        }
+        for r in &self.retained {
+            for (l, &charged) in r.circuit.links().iter().zip(&r.charge) {
+                if charged {
+                    sources.push(r.placement.node_of(l.from));
+                }
+            }
+        }
+        lazy.ensure_rows(&sources, self.pool.as_ref());
     }
 
     /// Current instantaneous network usage: every live circuit's *charged*
@@ -997,8 +1328,12 @@ impl OverlayRuntime {
         match event {
             Event::Tick => {
                 self.apply_churn();
-                // Accrue usage over the elapsed tick (usage·seconds).
+                // Accrue usage over the elapsed tick (usage·seconds). The
+                // prewarm shards the tick's missing shortest-path rows
+                // across the pool; the accounting pass then reads cached
+                // rows only, so both phases bill to `usage_ns`.
                 let t_usage = Instant::now();
+                self.prewarm_usage_rows();
                 let usage = self.instantaneous_usage();
                 self.control.usage_ns += t_usage.elapsed().as_nanos();
                 s.cumulative += usage * self.config.tick_ms / 1_000.0;
@@ -1151,7 +1486,10 @@ impl OverlayRuntime {
     fn apply_churn(&mut self) {
         // Deployment wave: admit this tick's arrivals before churn so a
         // node can report load the tick it joins. Each arrival is one
-        // O(log n) mapper registration (`add_node`).
+        // O(log n) mapper registration (`add_node`), preceded — under
+        // landmark mode — by a join-time Vivaldi placement against the
+        // frozen landmarks that gives the node its vector coordinate the
+        // moment it becomes mappable.
         if let DeploymentModel::Wave { joins_per_tick, .. } = self.config.deployment {
             let t_join = Instant::now();
             let mut joined = 0;
@@ -1161,6 +1499,17 @@ impl OverlayRuntime {
                     continue; // failed before arrival: never joins
                 }
                 self.arrived[node.index()] = true;
+                if let Some(placer) = &self.placer {
+                    // Landmarks froze their coordinates at construction;
+                    // everyone else is placed on arrival with a per-node
+                    // RNG stream, so join order and batching cannot move
+                    // the landing spot.
+                    if !placer.landmark_ids().contains(&node.index()) {
+                        let mut rng = derive_rng(self.seed, PLACE_STREAM ^ node.index() as u64);
+                        let state = placer.place(&self.latency.provider(), node, &mut rng);
+                        self.space.set_vector_coord(node, &state.coord);
+                    }
+                }
                 self.mapper.as_dyn().add_node(&self.space, node);
                 joined += 1;
             }
@@ -1173,14 +1522,30 @@ impl OverlayRuntime {
         let t0 = Instant::now();
         self.control.ticks += 1;
         self.control.dirty_nodes += dirty.len();
-        for node in dirty {
-            // Dead nodes must not be re-registered with the mapper — their
-            // catalog entry was removed on failure — and nodes still
-            // waiting in the deployment wave are not registered yet.
-            if !self.alive[node.index()] || !self.arrived[node.index()] {
-                continue;
+        // Dead nodes must not be re-registered with the mapper — their
+        // catalog entry was removed on failure — and nodes still waiting
+        // in the deployment wave are not registered yet.
+        let dirty: Vec<NodeId> = dirty
+            .into_iter()
+            .filter(|node| self.alive[node.index()] && self.arrived[node.index()])
+            .collect();
+        // Evaluate the dirty points' scalar values in parallel (pure reads
+        // of the space and the attribute table), then commit serially in
+        // dirty order: bit-identical to the serial update at any thread
+        // count, with the mapper only re-registering real changes.
+        let values: Vec<Vec<f64>> = {
+            let space = &self.space;
+            let attrs = &self.attrs;
+            let compute = |node: &NodeId| space.scalar_values(*node, attrs);
+            match &self.pool {
+                Some(pool) if dirty.len() > 1 => {
+                    pool.install(|| dirty.par_iter().map(compute).collect())
+                }
+                _ => dirty.iter().map(compute).collect(),
             }
-            if self.space.update_scalars(node, &self.attrs) {
+        };
+        for (&node, vals) in dirty.iter().zip(&values) {
+            if self.space.apply_scalars(node, vals) {
                 self.mapper.as_dyn().update_node(&self.space, node);
                 self.control.points_updated += 1;
             }
@@ -1189,38 +1554,31 @@ impl OverlayRuntime {
         let Some(jitter) = self.config.latency_jitter else {
             return;
         };
+        if jitter.edges_per_tick == 0 {
+            return;
+        }
+        // One shared edge-granular delta sequence; the backends differ only
+        // in how they bring their derived state up to date.
         let rng = &mut self.rng;
-        match &mut self.latency {
-            LatencyState::Dense { current, base } => {
-                let n = current.len();
-                if n < 2 {
-                    return;
-                }
-                for _ in 0..jitter.pairs_per_tick {
-                    let a = rng.gen_range(0..n);
-                    // Rejection-sample the partner: remapping a == b to a
-                    // fixed neighbour would jitter ring successors at double
-                    // frequency (the Vivaldi sampling-bias bug, same shape).
-                    let b = sbon_coords::vivaldi::gossip_partner(rng, a, n);
-                    let (a, b) = (NodeId(a as u32), NodeId(b as u32));
-                    let f = rng.gen_range(jitter.factor_range.0..jitter.factor_range.1);
-                    let floor = base.latency(a, b) * jitter.band.0;
-                    let ceil = base.latency(a, b) * jitter.band.1;
-                    let next = (current.latency(a, b) * f).clamp(floor, ceil);
-                    current.set(a, b, next);
-                }
+        let deltas = match &self.latency {
+            LatencyState::Dense { graph, base_edges, .. } => {
+                sample_edge_deltas(rng, &jitter, graph, |e| base_edges[e.index()])
             }
             LatencyState::Lazy(lazy) => {
-                let m = lazy.graph().num_edges();
-                if m == 0 {
-                    return;
-                }
-                for _ in 0..jitter.pairs_per_tick {
-                    let e = EdgeId(rng.gen_range(0..m) as u32);
-                    let f = rng.gen_range(jitter.factor_range.0..jitter.factor_range.1);
-                    lazy.scale_edge_clamped(e, f, jitter.band);
-                }
+                sample_edge_deltas(rng, &jitter, lazy.graph(), |e| lazy.base_edge_latency(e))
             }
+        };
+        if deltas.is_empty() {
+            return;
+        }
+        match &mut self.latency {
+            LatencyState::Dense { current, graph, .. } => {
+                for &(e, w) in &deltas {
+                    graph.set_edge_latency(e, w);
+                }
+                *current = all_pairs_latency(graph);
+            }
+            LatencyState::Lazy(lazy) => lazy.apply_edge_deltas(&deltas),
         }
     }
 }
@@ -1328,10 +1686,12 @@ mod tests {
             RuntimeConfig {
                 horizon_ms: 5_000.0,
                 churn: ChurnProcess::None,
-                latency_jitter: Some(LatencyJitter {
-                    // Saturate: with n²=6400 pairs and 5 ticks, every pair is
-                    // inflated at least once with overwhelming probability.
-                    pairs_per_tick: 6_400,
+                latency_jitter: Some(JitterModel {
+                    // Gradual edge inflation: a small slice of the
+                    // ~100-edge underlay rescales upward each tick, so
+                    // usage keeps rising across the horizon instead of
+                    // saturating the band inside tick 1.
+                    edges_per_tick: 25,
                     factor_range: (1.5, 2.0),
                     band: (0.5, 3.0),
                 }),
@@ -1447,7 +1807,7 @@ mod tests {
                 reopt_interval_ms: None,
                 rewrite_interval_ms: Some(5_000.0),
                 churn: ChurnProcess::RandomWalk { std_dev: 0.15 },
-                latency_jitter: Some(LatencyJitter { pairs_per_tick: 2_000, ..Default::default() }),
+                latency_jitter: Some(JitterModel { edges_per_tick: 500, ..Default::default() }),
                 ..Default::default()
             },
         );
@@ -1513,12 +1873,12 @@ mod tests {
                     churn: ChurnProcess::None,
                     reopt_interval_ms: None,
                     latency_backend: LatencyBackend::Lazy,
-                    latency_jitter: Some(LatencyJitter {
+                    latency_jitter: Some(JitterModel {
                         // Gradual edge inflation: a small slice of the
                         // ~100-edge underlay rescales upward each tick, so
                         // usage keeps rising across the horizon instead of
                         // saturating the band inside tick 1.
-                        pairs_per_tick: 25,
+                        edges_per_tick: 25,
                         factor_range: (1.5, 2.0),
                         band: (0.5, 3.0),
                     }),
@@ -1539,7 +1899,11 @@ mod tests {
         let first = a.samples[0].network_usage;
         let last = a.samples.last().unwrap().network_usage;
         assert!(last > first, "persistent edge inflation must raise usage: {first} -> {last}");
-        assert!(sa.rows_invalidated > 0, "edge jitter must dirty cached rows");
+        assert!(
+            sa.rows_repaired + sa.rows_rebuilt > 0,
+            "edge jitter must repair cached rows in place"
+        );
+        assert_eq!(sa.rows_invalidated, 0, "the repair policy never drops rows on deltas");
     }
 
     #[test]
@@ -2089,6 +2453,165 @@ mod tests {
         assert_eq!(report.samples[7].active_queries, 1);
         assert_eq!(report.arrivals, 2);
         assert_eq!(report.departures, 1);
+    }
+
+    /// With the unified edge-granular jitter, both backends draw the same
+    /// delta sequence from the run RNG and derive pairwise latencies from
+    /// the same mutated graph — whole jittered runs must be bit-identical.
+    #[test]
+    fn jittered_run_is_bit_identical_across_backends() {
+        let topo = small_world(40);
+        let run = |backend| {
+            let mut rt = OverlayRuntime::new(
+                &topo,
+                40,
+                RuntimeConfig::builder()
+                    .horizon_ms(8_000.0)
+                    .churn(ChurnProcess::None)
+                    .latency_backend(backend)
+                    .latency_jitter(JitterModel {
+                        edges_per_tick: 40,
+                        factor_range: (0.8, 1.6),
+                        band: (0.5, 3.0),
+                    })
+                    .build(),
+            );
+            rt.deploy(demo_query(&topo)).unwrap();
+            rt.run()
+        };
+        let dense = run(LatencyBackend::Dense);
+        let lazy = run(LatencyBackend::Lazy);
+        assert_eq!(dense, lazy, "jittered runs must agree bit-for-bit across backends");
+        let first = dense.samples[0].network_usage;
+        assert!(
+            dense.samples.iter().any(|s| s.network_usage != first),
+            "jitter must actually move usage for the comparison to mean anything"
+        );
+    }
+
+    /// The tentpole determinism contract: a run on an 8-thread pool is
+    /// bit-identical to a serial run, across seeds, with every parallel
+    /// stage active (row prewarm, scalar refresh, landmark placement wave,
+    /// jitter-driven row repair).
+    #[test]
+    fn parallel_run_is_bit_identical_to_serial() {
+        let topo = small_world(41);
+        let run = |seed: u64, threads: usize| {
+            let mut rt = OverlayRuntime::new(
+                &topo,
+                seed,
+                RuntimeConfig::builder()
+                    .horizon_ms(10_000.0)
+                    .threads(threads)
+                    .latency_backend(LatencyBackend::Lazy)
+                    .deployment(DeploymentModel::Wave { initial: 30, joins_per_tick: 10 })
+                    .vivaldi(VivaldiConfig { landmarks: Some(8), ..Default::default() })
+                    .churn(ChurnProcess::SparseWalk { nodes_per_tick: 12, std_dev: 0.15 })
+                    .latency_jitter(JitterModel { edges_per_tick: 30, ..Default::default() })
+                    .build(),
+            );
+            let hosts: Vec<NodeId> =
+                topo.host_candidates().into_iter().filter(|&h| rt.is_arrived(h)).collect();
+            let q = QuerySpec::join_star(
+                &[hosts[0], hosts[1], hosts[2], hosts[3]],
+                hosts[4],
+                10.0,
+                0.02,
+            );
+            rt.deploy(q).unwrap();
+            let report = rt.run();
+            (report, rt.lazy_latency_stats().unwrap(), rt.control_plane_stats())
+        };
+        for seed in [41u64, 97, 1234] {
+            let (serial, serial_stats, serial_cp) = run(seed, 1);
+            let (parallel, parallel_stats, parallel_cp) = run(seed, 8);
+            assert_eq!(serial, parallel, "seed {seed}: thread count must not change the run");
+            assert_eq!(serial_stats, parallel_stats, "seed {seed}: cache traffic must match");
+            assert_eq!(
+                (serial_cp.points_updated, serial_cp.nodes_joined, serial_cp.dirty_nodes),
+                (parallel_cp.points_updated, parallel_cp.nodes_joined, parallel_cp.dirty_nodes),
+                "seed {seed}: control-plane counters must match"
+            );
+        }
+    }
+
+    /// The builder is a pure constructor: a chained configuration and the
+    /// equivalent struct literal run identically.
+    #[test]
+    fn builder_run_matches_struct_literal_run() {
+        let topo = small_world(42);
+        let built = RuntimeConfig::builder()
+            .horizon_ms(6_000.0)
+            .churn(ChurnProcess::SparseWalk { nodes_per_tick: 6, std_dev: 0.1 })
+            .reopt_interval_ms(2_000.0)
+            .full_reopt_interval_ms(None)
+            .lazy_row_cache(16)
+            .latency_backend(LatencyBackend::Lazy)
+            .threads(1)
+            .build();
+        let literal = RuntimeConfig {
+            horizon_ms: 6_000.0,
+            churn: ChurnProcess::SparseWalk { nodes_per_tick: 6, std_dev: 0.1 },
+            reopt_interval_ms: Some(2_000.0),
+            full_reopt_interval_ms: None,
+            lazy_row_cache: Some(16),
+            latency_backend: LatencyBackend::Lazy,
+            threads: 1,
+            ..Default::default()
+        };
+        let run = |config: RuntimeConfig| {
+            let mut rt = OverlayRuntime::new(&topo, 42, config);
+            rt.deploy(demo_query(&topo)).unwrap();
+            rt.run()
+        };
+        assert_eq!(run(built), run(literal));
+    }
+
+    /// Landmark mode under a deployment wave: construction computes only
+    /// the k landmark rows (never one per node), joiners are placed the
+    /// tick they arrive, and the whole run is deterministic.
+    #[test]
+    fn wave_with_landmarks_embeds_k_rows_and_places_joiners() {
+        let topo = small_world(43);
+        let n = topo.num_nodes();
+        let build = || {
+            OverlayRuntime::new(
+                &topo,
+                43,
+                RuntimeConfig::builder()
+                    .horizon_ms(10_000.0)
+                    .latency_backend(LatencyBackend::Lazy)
+                    .deployment(DeploymentModel::Wave { initial: 25, joins_per_tick: 10 })
+                    .vivaldi(VivaldiConfig { landmarks: Some(8), ..Default::default() })
+                    .build(),
+            )
+        };
+        let rt = build();
+        let stats = rt.lazy_latency_stats().unwrap();
+        assert_eq!(
+            stats.rows_computed, 8,
+            "bring-up must touch exactly the landmark rows, not all {n}"
+        );
+        let run = || {
+            let mut rt = build();
+            let hosts: Vec<NodeId> =
+                topo.host_candidates().into_iter().filter(|&h| rt.is_arrived(h)).collect();
+            let q = QuerySpec::join_star(
+                &[hosts[0], hosts[1], hosts[2], hosts[3]],
+                hosts[4],
+                10.0,
+                0.02,
+            );
+            let handle = rt.deploy(q).unwrap();
+            let report = rt.run();
+            (report, rt.arrived_count(), rt.placement(handle).cloned())
+        };
+        let (a, arrived_a, placement_a) = run();
+        let (b, arrived_b, placement_b) = run();
+        assert_eq!(arrived_a, n, "the wave must complete");
+        assert_eq!(arrived_a, arrived_b);
+        assert_eq!(a, b, "landmark-mode wave runs must be deterministic");
+        assert_eq!(placement_a, placement_b);
     }
 
     #[test]

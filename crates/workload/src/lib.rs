@@ -53,7 +53,7 @@
 //!         "doc",
 //!         80,
 //!         42,
-//!         RuntimeConfig { horizon_ms: 8_000.0, reuse: ReuseScope::All, ..Default::default() },
+//!         RuntimeConfig::builder().horizon_ms(8_000.0).reuse(ReuseScope::All).build(),
 //!     )
 //! };
 //! let report = scenario.run();

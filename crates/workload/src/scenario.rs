@@ -349,12 +349,11 @@ mod tests {
     use sbon_netsim::load::ChurnProcess;
 
     fn small_runtime(horizon_ms: f64, reuse: ReuseScope) -> RuntimeConfig {
-        RuntimeConfig {
-            horizon_ms,
-            churn: ChurnProcess::SparseWalk { nodes_per_tick: 4, std_dev: 0.1 },
-            reuse,
-            ..Default::default()
-        }
+        RuntimeConfig::builder()
+            .horizon_ms(horizon_ms)
+            .churn(ChurnProcess::SparseWalk { nodes_per_tick: 4, std_dev: 0.1 })
+            .reuse(reuse)
+            .build()
     }
 
     fn scenario(seed: u64, reuse: ReuseScope) -> Scenario {

@@ -10,22 +10,20 @@
 //! ```
 
 use sbon::core::reopt::ReoptPolicy;
-use sbon::overlay::{LatencyJitter, OverlayRuntime, RuntimeConfig};
+use sbon::overlay::{JitterModel, OverlayRuntime, RuntimeConfig};
 use sbon::prelude::*;
 
 fn run(adaptive: bool) -> sbon::overlay::RunReport {
     let topo = transit_stub::generate(&TransitStubConfig::with_total_nodes(150), 5);
-    let config = RuntimeConfig {
-        tick_ms: 1_000.0,
-        horizon_ms: 120_000.0, // 2 simulated minutes
-        reopt_interval_ms: adaptive.then_some(10_000.0),
-        full_reopt_interval_ms: None,
-        policy: ReoptPolicy { migration_threshold: 0.05, replacement_threshold: 0.15 },
-        churn: ChurnProcess::RandomWalk { std_dev: 0.10 },
-        latency_jitter: Some(LatencyJitter { pairs_per_tick: 1_000, ..Default::default() }),
-        migration_penalty: 25.0,
-        ..Default::default()
-    };
+    let config = RuntimeConfig::builder()
+        .tick_ms(1_000.0)
+        .horizon_ms(120_000.0) // 2 simulated minutes
+        .reopt_interval_ms(adaptive.then_some(10_000.0))
+        .policy(ReoptPolicy { migration_threshold: 0.05, replacement_threshold: 0.15 })
+        .churn(ChurnProcess::RandomWalk { std_dev: 0.10 })
+        .latency_jitter(JitterModel { edges_per_tick: 120, ..Default::default() })
+        .migration_penalty(25.0)
+        .build();
     let mut rt = OverlayRuntime::new(&topo, 5, config);
     let hosts = topo.host_candidates();
     for q in 0..4 {

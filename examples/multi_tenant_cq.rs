@@ -23,17 +23,16 @@ use sbon::overlay::{LatencyBackend, RuntimeConfig};
 use sbon::prelude::*;
 
 fn main() {
-    let runtime = RuntimeConfig {
-        horizon_ms: 60_000.0,
-        churn: ChurnProcess::SparseWalk { nodes_per_tick: 8, std_dev: 0.1 },
+    let runtime = RuntimeConfig::builder()
+        .horizon_ms(60_000.0)
+        .churn(ChurnProcess::SparseWalk { nodes_per_tick: 8, std_dev: 0.1 })
         // Ground truth on demand: per-source Dijkstra rows instead of the
         // eager O(n²) matrix the old driver loop materialized up front.
-        latency_backend: LatencyBackend::Lazy,
+        .latency_backend(LatencyBackend::Lazy)
         // The paper's §3.4 pruning: only instances within cost-space
         // radius 40 of a new service's ideal coordinate are considered.
-        reuse: ReuseScope::Radius(40.0),
-        ..Default::default()
-    };
+        .reuse(ReuseScope::Radius(40.0))
+        .build();
     let scenario = Scenario {
         catalog: CatalogSpec { feeds: 12, rate: 10.0, zipf_exponent: 1.2, join_selectivity: 0.02 },
         workload: WorkloadSpec {

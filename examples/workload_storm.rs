@@ -28,16 +28,15 @@ fn main() {
     let horizon_ms = if smoke { 30_000.0 } else { 120_000.0 };
     let seed = 2_048;
 
-    let runtime = RuntimeConfig {
-        horizon_ms,
-        churn: ChurnProcess::SparseWalk { nodes_per_tick: 16, std_dev: 0.1 },
+    let runtime = RuntimeConfig::builder()
+        .horizon_ms(horizon_ms)
+        .churn(ChurnProcess::SparseWalk { nodes_per_tick: 16, std_dev: 0.1 })
         // Demand-driven ground truth: a 2,048-node dense matrix would cost
         // 64 MiB (× 2 with the jitter reference) before the first arrival.
-        latency_backend: LatencyBackend::Lazy,
-        vivaldi: VivaldiConfig { landmarks: Some(32), ..Default::default() },
-        reuse: ReuseScope::Radius(60.0),
-        ..Default::default()
-    };
+        .latency_backend(LatencyBackend::Lazy)
+        .vivaldi(VivaldiConfig { landmarks: Some(32), ..Default::default() })
+        .reuse(ReuseScope::Radius(60.0))
+        .build();
     let scenario = Scenario {
         catalog: CatalogSpec { feeds: 16, rate: 10.0, zipf_exponent: 1.1, join_selectivity: 0.02 },
         workload: WorkloadSpec {

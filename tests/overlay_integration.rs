@@ -3,7 +3,7 @@
 
 use sbon::core::reopt::ReoptPolicy;
 use sbon::overlay::{
-    simulate_circuit, DataPlaneConfig, LatencyJitter, OverlayRuntime, RuntimeConfig,
+    simulate_circuit, DataPlaneConfig, JitterModel, OverlayRuntime, RuntimeConfig,
 };
 use sbon::prelude::*;
 
@@ -31,15 +31,14 @@ fn run_with(adaptive: bool, seed: u64) -> sbon::overlay::RunReport {
     let mut rt = OverlayRuntime::new(
         &topo,
         seed,
-        RuntimeConfig {
-            horizon_ms: 90_000.0,
-            reopt_interval_ms: adaptive.then_some(10_000.0),
-            policy: ReoptPolicy { migration_threshold: 0.05, replacement_threshold: 0.15 },
-            churn: ChurnProcess::RandomWalk { std_dev: 0.08 },
-            latency_jitter: Some(LatencyJitter { pairs_per_tick: 800, ..Default::default() }),
-            migration_penalty: 25.0,
-            ..Default::default()
-        },
+        RuntimeConfig::builder()
+            .horizon_ms(90_000.0)
+            .reopt_interval_ms(adaptive.then_some(10_000.0))
+            .policy(ReoptPolicy { migration_threshold: 0.05, replacement_threshold: 0.15 })
+            .churn(ChurnProcess::RandomWalk { std_dev: 0.08 })
+            .latency_jitter(JitterModel { edges_per_tick: 80, ..Default::default() })
+            .migration_penalty(25.0)
+            .build(),
     );
     for q in queries(&topo, 4) {
         rt.deploy(q).unwrap();
@@ -126,14 +125,13 @@ fn rewrite_cadence_is_usable_from_the_public_api() {
     let mut rt = OverlayRuntime::new(
         &topo,
         7,
-        RuntimeConfig {
-            horizon_ms: 30_000.0,
-            reopt_interval_ms: None,
-            rewrite_interval_ms: Some(10_000.0),
-            churn: ChurnProcess::RandomWalk { std_dev: 0.1 },
-            latency_jitter: Some(LatencyJitter { pairs_per_tick: 1_500, ..Default::default() }),
-            ..Default::default()
-        },
+        RuntimeConfig::builder()
+            .horizon_ms(30_000.0)
+            .reopt_interval_ms(None)
+            .rewrite_interval_ms(10_000.0)
+            .churn(ChurnProcess::RandomWalk { std_dev: 0.1 })
+            .latency_jitter(JitterModel { edges_per_tick: 150, ..Default::default() })
+            .build(),
     );
     for q in queries(&topo, 2) {
         rt.deploy(q).unwrap();

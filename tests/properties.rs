@@ -18,11 +18,12 @@ use sbon::hilbert::Quantizer;
 use sbon::netsim::dijkstra::all_pairs_latency;
 use sbon::netsim::graph::{EdgeId, NodeId};
 use sbon::netsim::latency::{EuclideanLatency, LatencyProvider};
-use sbon::netsim::lazy::LazyLatency;
-use sbon::netsim::load::{Attr, NodeAttrs};
+use sbon::netsim::lazy::{DeltaPolicy, LazyLatency};
+use sbon::netsim::load::{Attr, ChurnProcess, NodeAttrs};
 use sbon::netsim::rng::derive_rng;
 use sbon::netsim::topology::transit_stub::{self, TransitStubConfig};
 use sbon::netsim::topology::waxman::{self, WaxmanConfig};
+use sbon::overlay::{JitterModel, LatencyBackend, OverlayRuntime, RuntimeConfig};
 use sbon::query::enumerate::{all_join_trees, dp_best_plan};
 use sbon::query::stats::StatsCatalog;
 use sbon::query::stream::StreamId;
@@ -277,6 +278,96 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// Batched edge-delta absorption — the overlay's jitter-tick path
+    /// (`apply_edge_deltas`) — must leave every *served* value bit-identical
+    /// to a fresh all-pairs Dijkstra of the mutated graph, across random
+    /// topology families, delta batches (with intra-batch duplicate edges,
+    /// where the last write wins), cache capacities, and **both** delta
+    /// policies: dynamic-SSSP `Repair` and the `Invalidate` baseline must
+    /// be observationally indistinguishable.
+    #[test]
+    fn repaired_rows_match_fresh_dijkstra_under_delta_batches(
+        seed in 0u64..1_000_000,
+        nodes in 16usize..56,
+        batches in 1usize..5,
+        batch_size in 1usize..24,
+    ) {
+        let topo = if seed % 2 == 0 {
+            transit_stub::generate(&TransitStubConfig::with_total_nodes(nodes), seed)
+        } else {
+            waxman::generate(&WaxmanConfig { nodes, ..Default::default() }, seed)
+        };
+        let mut lazy = match seed % 3 {
+            0 => LazyLatency::with_capacity(topo.graph.clone(), 1 + nodes / 8),
+            1 => LazyLatency::new(topo.graph.clone()),
+            _ => LazyLatency::new(topo.graph.clone())
+                .with_delta_policy(DeltaPolicy::Invalidate),
+        };
+        let n = lazy.len();
+        let m = lazy.graph().num_edges();
+        let mut rng = derive_rng(seed, 0x5e9a);
+        // Warm a random working set so the batches hit resident rows.
+        for _ in 0..12 {
+            let a = NodeId(rng.gen_range(0..n as u32));
+            let b = NodeId(rng.gen_range(0..n as u32));
+            let _ = lazy.latency(a, b);
+        }
+        for _ in 0..batches {
+            let deltas: Vec<(EdgeId, f64)> = (0..batch_size)
+                .map(|_| {
+                    let e = EdgeId(rng.gen_range(0..m as u32));
+                    (e, rng.gen_range(0.5..12.0))
+                })
+                .collect();
+            lazy.apply_edge_deltas(&deltas);
+            let dense = all_pairs_latency(lazy.graph());
+            for a in 0..n as u32 {
+                for b in 0..n as u32 {
+                    let (a, b) = (NodeId(a), NodeId(b));
+                    let (l, d) = (lazy.latency(a, b), dense.latency(a, b));
+                    prop_assert!(
+                        l.to_bits() == d.to_bits(),
+                        "lazy {l} != dense {d} for {a}->{b} (seed {seed})"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The unified `JitterModel` contract: with churn disabled, a jittered
+    /// run is **bit-identical across latency backends** — both draw the
+    /// same edge-granular delta stream from the run RNG, the Dense backend
+    /// re-derives its matrix from the mutated graph, and the Lazy backend
+    /// repairs its rows, so every sample and counter in the `RunReport`
+    /// must agree exactly for arbitrary seeds and jitter intensities.
+    #[test]
+    fn no_churn_jittered_run_is_backend_invariant(
+        seed in 0u64..1_000_000,
+        edges_per_tick in 1usize..80,
+    ) {
+        let topo = transit_stub::generate(&TransitStubConfig::with_total_nodes(60), seed);
+        let hosts = topo.host_candidates();
+        let run = |backend: LatencyBackend| {
+            let mut rt = OverlayRuntime::new(
+                &topo,
+                seed,
+                RuntimeConfig::builder()
+                    .horizon_ms(6_000.0)
+                    .reopt_interval_ms(None)
+                    .churn(ChurnProcess::None)
+                    .latency_jitter(JitterModel { edges_per_tick, ..Default::default() })
+                    .latency_backend(backend)
+                    .build(),
+            );
+            rt.deploy(QuerySpec::join_star(&[hosts[0], hosts[8], hosts[16]], hosts[24], 10.0, 0.02))
+                .expect("query deploys");
+            rt.run()
+        };
+        let dense = run(LatencyBackend::Dense);
+        let lazy = run(LatencyBackend::Lazy);
+        prop_assert_eq!(dense, lazy);
     }
 
     /// A cost space maintained through the delta API

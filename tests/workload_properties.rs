@@ -48,12 +48,11 @@ proptest! {
         let mut rt = OverlayRuntime::new(
             &topo,
             seed,
-            RuntimeConfig {
-                horizon_ms: 5_000.0,
-                churn: ChurnProcess::None,
-                reuse,
-                ..Default::default()
-            },
+            RuntimeConfig::builder()
+                .horizon_ms(5_000.0)
+                .churn(ChurnProcess::None)
+                .reuse(reuse)
+                .build(),
         );
         let pool = query_pool(&topo);
         for q in pool.iter().take(background) {
@@ -146,14 +145,13 @@ proptest! {
         let mut rt = OverlayRuntime::new(
             &topo,
             seed,
-            RuntimeConfig {
+            RuntimeConfig::builder()
                 // Effectively unbounded horizon: the interleaving decides
                 // how many ticks actually run.
-                horizon_ms: 1e12,
-                churn: ChurnProcess::SparseWalk { nodes_per_tick: 4, std_dev: 0.1 },
-                reuse: ReuseScope::All,
-                ..Default::default()
-            },
+                .horizon_ms(1e12)
+                .churn(ChurnProcess::SparseWalk { nodes_per_tick: 4, std_dev: 0.1 })
+                .reuse(ReuseScope::All)
+                .build(),
         );
         let baseline = rt.instantaneous_usage().to_bits();
         let pool = query_pool(&topo);

@@ -25,6 +25,9 @@
 //! out ≥ 5× faster per tick — that gap is what retired ROADMAP open
 //! item 1's "~200 ms/tick of invalidate-and-recompute" bottleneck.
 
+// Bench harness: wall-clock timing is the measurement itself.
+#![allow(clippy::disallowed_methods)]
+
 use std::time::Instant;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};

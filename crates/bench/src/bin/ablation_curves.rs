@@ -49,11 +49,13 @@ fn evaluate<C: SpaceFillingCurve>(
             excess.push(dht_d - oracle_d);
         }
         // k-nearest recall vs exhaustive top-k.
+        // sbon-lint: allow(unordered-iteration): membership probes only
+        // (recall check via `contains`), never iterated.
         let approx: std::collections::HashSet<u32> =
             catalog.k_nearest(&target, k).into_iter().map(|(m, _)| m).collect();
         let mut exact: Vec<(u32, f64)> =
             points.iter().enumerate().map(|(i, p)| (i as u32, dist(p, &target))).collect();
-        exact.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        exact.sort_by(|a, b| a.1.total_cmp(&b.1));
         let hit = exact[..k].iter().filter(|(m, _)| approx.contains(m)).count();
         recall.push(hit as f64 / k as f64);
     }

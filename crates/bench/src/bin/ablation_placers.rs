@@ -5,6 +5,9 @@
 //! three on the same circuits: final circuit network usage (after oracle
 //! mapping), the virtual (pre-mapping) objective, and placement time.
 
+// Bench binary: wall-clock timing is the measurement itself.
+#![allow(clippy::disallowed_methods)]
+
 use std::time::Instant;
 
 use sbon_bench::{build_world, pick_hosts, section, WorldConfig};

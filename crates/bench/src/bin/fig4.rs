@@ -13,6 +13,9 @@
 //! examined (the pruning win), reuse rate, marginal network usage (the
 //! quality cost of pruning), and wall time.
 
+// Bench binary: wall-clock timing is the measurement itself.
+#![allow(clippy::disallowed_methods)]
+
 use std::time::Instant;
 
 use rand::Rng;

@@ -12,6 +12,8 @@
 //! * [`error`] — embedding-error metrics (the paper's argument depends on
 //!   the embedding error being "slight" [16]).
 
+#![forbid(unsafe_code)]
+
 pub mod error;
 pub mod vivaldi;
 

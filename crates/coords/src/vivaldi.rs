@@ -772,10 +772,12 @@ mod tests {
         let world = euclidean_world(60, 32);
         let cfg = VivaldiConfig { rounds: 120, landmarks: Some(16), ..Default::default() };
         let placer = cfg.embed_landmarks_only(&world, 32);
-        let landmark_set: std::collections::HashSet<usize> =
+        let landmark_set: std::collections::BTreeSet<usize> =
             placer.landmark_ids().iter().copied().collect();
         let joiners: Vec<usize> = (0..60).filter(|i| !landmark_set.contains(i)).collect();
-        let mut placed = std::collections::HashMap::new();
+        // Ordered map: the pairwise-error loop below iterates it, and a
+        // float error sum must not depend on hash order.
+        let mut placed = std::collections::BTreeMap::new();
         for &i in &joiners {
             let a = placer.place(&world, NodeId(i as u32), &mut derive_rng(99, i as u64));
             let b = placer.place(&world, NodeId(i as u32), &mut derive_rng(99, i as u64));

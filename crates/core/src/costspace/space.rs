@@ -1,7 +1,7 @@
 //! The cost space itself: per-node coordinates assembled from an embedding
 //! plus weighted scalar attributes, and the registry of multiple spaces.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use sbon_coords::vivaldi::VivaldiEmbedding;
 use sbon_netsim::graph::NodeId;
@@ -262,7 +262,9 @@ impl CostSpaceBuilder {
 /// different classes of applications" (Section 3.1).
 #[derive(Debug, Default)]
 pub struct CostSpaceRegistry {
-    spaces: HashMap<String, CostSpace>,
+    // Ordered so `refresh_all`/`refresh_dirty` visit spaces in a stable
+    // order (sbon-lint: unordered-iteration).
+    spaces: BTreeMap<String, CostSpace>,
 }
 
 impl CostSpaceRegistry {

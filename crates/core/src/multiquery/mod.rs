@@ -34,7 +34,7 @@
 //! released, which the workspace pins with a property test over random
 //! arrival/departure interleavings.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use sbon_dht::catalog::CoordinateCatalog;
 use sbon_hilbert::{HilbertCurve, Quantizer};
@@ -48,7 +48,7 @@ use crate::placement::{map_circuit, OracleMapper, PhysicalMapper, VirtualPlacer}
 
 /// Identifier of a deployed circuit in the [`MultiQueryOptimizer`]'s
 /// registry.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CircuitId(pub u64);
 
 /// A running service instance available for reuse.
@@ -189,13 +189,16 @@ struct InstanceIndex {
 pub struct MultiQueryOptimizer {
     config: OptimizerConfig,
     next_id: u64,
+    // The registries are ordered maps: `.values()` folds over them feed
+    // counts and cost sums into reports, and hash iteration order is
+    // process-random (sbon-lint: unordered-iteration).
     /// Running instances indexed by signature.
-    by_signature: HashMap<String, Vec<ServiceInstance>>,
+    by_signature: BTreeMap<String, Vec<ServiceInstance>>,
     /// All deployed circuits, including departed ones that still own
     /// retained (subscribed) subtrees.
-    deployed: HashMap<CircuitId, CircuitRecord>,
+    deployed: BTreeMap<CircuitId, CircuitRecord>,
     /// Subscription refcounts per reusable instance.
-    subscribers: HashMap<(CircuitId, ServiceId), usize>,
+    subscribers: BTreeMap<(CircuitId, ServiceId), usize>,
     /// Optional decentralized discovery index.
     dht_index: Option<InstanceIndex>,
 }
@@ -206,9 +209,9 @@ impl MultiQueryOptimizer {
         MultiQueryOptimizer {
             config,
             next_id: 0,
-            by_signature: HashMap::new(),
-            deployed: HashMap::new(),
-            subscribers: HashMap::new(),
+            by_signature: BTreeMap::new(),
+            deployed: BTreeMap::new(),
+            subscribers: BTreeMap::new(),
             dht_index: None,
         }
     }
@@ -227,9 +230,9 @@ impl MultiQueryOptimizer {
         MultiQueryOptimizer {
             config,
             next_id: 0,
-            by_signature: HashMap::new(),
-            deployed: HashMap::new(),
-            subscribers: HashMap::new(),
+            by_signature: BTreeMap::new(),
+            deployed: BTreeMap::new(),
+            subscribers: BTreeMap::new(),
             dht_index: Some(InstanceIndex { catalog, slots: Vec::new(), k }),
         }
     }
@@ -486,7 +489,7 @@ impl MultiQueryOptimizer {
                         .filter(|inst| inst.signature == signature)
                         .map(|inst| (inst.clone(), d))
                 })
-                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+                .min_by(|a, b| a.1.total_cmp(&b.1));
             (best.map(|(inst, _)| inst), examined)
         } else {
             let Some(instances) = self.by_signature.get(signature) else {

@@ -54,7 +54,7 @@ pub fn optimal_tree_placement(
         sid: ServiceId,
         candidates: &impl Fn(ServiceId) -> Vec<NodeId>,
         dist: &mut impl FnMut(NodeId, NodeId) -> f64,
-        out: &mut std::collections::HashMap<ServiceId, Dp>,
+        out: &mut std::collections::BTreeMap<ServiceId, Dp>,
     ) {
         let children = circuit.children(sid);
         for &c in &children {
@@ -87,7 +87,7 @@ pub fn optimal_tree_placement(
         out.insert(sid, Dp { table, cands, children });
     }
 
-    let mut dp = std::collections::HashMap::new();
+    let mut dp = std::collections::BTreeMap::new();
     solve(circuit, root, &candidates, &mut dist, &mut dp);
 
     // Root: pick its best candidate, then back-trace.
@@ -96,14 +96,14 @@ pub fn optimal_tree_placement(
         .table
         .iter()
         .enumerate()
-        .min_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).expect("finite costs"))
+        .min_by(|a, b| a.1 .0.total_cmp(&b.1 .0))
         .map(|(i, t)| (i, t.0))
         .expect("root has at least one candidate");
     let best_cost = root_dp.table[best_i].0;
 
     let mut nodes = vec![NodeId(0); circuit.len()];
     fn assign(
-        dp: &std::collections::HashMap<ServiceId, Dp>,
+        dp: &std::collections::BTreeMap<ServiceId, Dp>,
         sid: ServiceId,
         choice: usize,
         nodes: &mut [NodeId],

@@ -86,7 +86,7 @@ impl PhysicalMapper for OracleMapper {
             .min_by(|&a, &b| {
                 let da = space.point(a).full_distance(ideal);
                 let db = space.point(b).full_distance(ideal);
-                da.partial_cmp(&db).expect("finite distances")
+                da.total_cmp(&db)
             })
             .expect("cost space has at least one node");
         (best, 0)
@@ -110,7 +110,7 @@ impl PhysicalMapper for VectorOnlyOracleMapper {
             .min_by(|&a, &b| {
                 let da = space.point(a).vector_distance(ideal, vd);
                 let db = space.point(b).vector_distance(ideal, vd);
-                da.partial_cmp(&db).expect("finite distances")
+                da.total_cmp(&db)
             })
             .expect("cost space has at least one node");
         (best, 0)
@@ -162,7 +162,7 @@ impl PhysicalMapper for LiveOracleMapper {
             .min_by(|&a, &b| {
                 let da = space.point(a).full_distance(ideal);
                 let db = space.point(b).full_distance(ideal);
-                da.partial_cmp(&db).expect("finite distances")
+                da.total_cmp(&db)
             })
             .expect("at least one node is alive");
         (best, 0)
@@ -635,6 +635,29 @@ mod tests {
         live.add_node(&space, NodeId(4));
         assert_eq!(dht.map_point(&space, &ideal).0, NodeId(4));
         assert_eq!(live.map_point(&space, &ideal).0, NodeId(4));
+    }
+
+    // Regression for the partial_cmp → total_cmp migration: on the finite
+    // distances a cost space produces, ranking candidates with `total_cmp`
+    // must reproduce the old `partial_cmp(..).unwrap()` ranking exactly
+    // (both are stable sorts, so ties keep insertion order under either).
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig { cases: 256 })]
+        #[test]
+        fn total_cmp_ranking_matches_partial_cmp_on_finite_distances(
+            dists in proptest::collection::vec(0.0f64..1.0e9, 1..64),
+        ) {
+            let mut by_total: Vec<(usize, f64)> =
+                dists.iter().copied().enumerate().collect();
+            let mut by_partial = by_total.clone();
+            by_total.sort_by(|a, b| a.1.total_cmp(&b.1));
+            // sbon-lint: allow(float-partial-cmp): the pre-migration
+            // comparator, kept as the oracle this regression test is about.
+            by_partial.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            let total_order: Vec<usize> = by_total.iter().map(|p| p.0).collect();
+            let partial_order: Vec<usize> = by_partial.iter().map(|p| p.0).collect();
+            proptest::prop_assert_eq!(total_order, partial_order);
+        }
     }
 
     #[test]

@@ -136,7 +136,7 @@ impl<C: SpaceFillingCurve> CoordinateCatalog<C> {
         let best = neighborhood.into_iter().map(|(_, m)| m).min_by(|&a, &b| {
             let da = self.distance_to(a, target);
             let db = self.distance_to(b, target);
-            da.partial_cmp(&db).expect("finite distances")
+            da.total_cmp(&db)
         })?;
         Some((best, outcome.hops))
     }
@@ -166,7 +166,7 @@ impl<C: SpaceFillingCurve> CoordinateCatalog<C> {
 
         let mut ranked: Vec<(MemberId, f64)> =
             neighborhood.into_iter().map(|(_, m)| (m, self.distance_to(m, target))).collect();
-        ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+        ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
         ranked.truncate(k);
         ranked
     }
@@ -177,7 +177,7 @@ impl<C: SpaceFillingCurve> CoordinateCatalog<C> {
         self.ring
             .iter()
             .map(|(_, m)| (m, self.distance_to(m, target)))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
     }
 
     /// Euclidean distance from a member's registered coordinate to `target`.

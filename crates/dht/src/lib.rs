@@ -19,6 +19,8 @@
 //!   `k_nearest` implements the paper's radius search ("use the Hilbert DHT
 //!   to look up the closest n nodes", Section 3.4).
 
+#![forbid(unsafe_code)]
+
 pub mod catalog;
 pub mod id;
 pub mod ring;

@@ -70,6 +70,8 @@ pub struct DhtRing {
     members: BTreeMap<RingKey, MemberId>,
     /// Reverse index: every key a member currently holds (normally exactly
     /// one), so `leave` needs no ring scan.
+    // sbon-lint: allow(unordered-iteration): entry/remove by member id only,
+    // never iterated; O(1) lookups matter on the 100k-member join path.
     keys_of: HashMap<MemberId, Vec<RingKey>>,
     config: DhtConfig,
 }
@@ -77,6 +79,8 @@ pub struct DhtRing {
 impl DhtRing {
     /// An empty ring.
     pub fn new(config: DhtConfig) -> Self {
+        // sbon-lint: allow(unordered-iteration): lookup-only reverse index,
+        // see the field declaration.
         DhtRing { members: BTreeMap::new(), keys_of: HashMap::new(), config }
     }
 

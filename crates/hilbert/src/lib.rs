@@ -16,6 +16,8 @@
 //! * [`Quantizer`] — maps continuous cost-space coordinates to grid cells
 //!   and back (cell centers).
 
+#![forbid(unsafe_code)]
+
 pub mod curve;
 pub mod morton;
 pub mod quantizer;

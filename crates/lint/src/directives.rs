@@ -1,0 +1,223 @@
+//! The `sbon-lint` allow-directive grammar.
+//!
+//! A rule violation is suppressed by an *allow directive*: a plain `//`
+//! comment (doc comments are never directives) whose content is
+//!
+//! ```text
+//! sbon-lint: allow(<rule>): <justification>
+//! sbon-lint: allow-file(<rule>): <justification>
+//! ```
+//!
+//! The justification is **required**: an allow with a missing or empty
+//! justification is itself a lint error (`bad-allow`) — the whole point of
+//! the escape hatch is that every exemption is argued in-line, next to the
+//! code it exempts. An unknown rule name is also a `bad-allow` error.
+//!
+//! Placement:
+//!
+//! * a *trailing* directive (code before it on the same line) suppresses
+//!   the rule on that line;
+//! * a directive on its own line suppresses the rule on the next line that
+//!   holds code — stacked directives above one line all apply to it;
+//! * `allow-file` suppresses the rule everywhere in the file (used for
+//!   file-scoped facts such as a missing crate-root attribute).
+//!
+//! Directives that never matched a violation are reported as
+//! `unused-allow` warnings so stale exemptions cannot linger.
+
+use crate::lexer::{line_col, Token, TokenKind};
+use crate::rules::{rule_by_name, Diagnostic};
+
+/// A parsed, well-formed allow directive.
+#[derive(Clone, Debug)]
+pub struct Directive {
+    /// The rule this directive suppresses.
+    pub rule: &'static str,
+    /// Whole-file suppression (`allow-file`)?
+    pub file_wide: bool,
+    /// 1-based line whose violations this directive suppresses
+    /// (`None` for `allow-file`, or when no code line follows).
+    pub target_line: Option<u32>,
+    /// Location of the directive itself (for `unused-allow` reporting).
+    pub line: u32,
+    /// Column of the directive comment.
+    pub col: u32,
+    /// Set when a violation consumed this directive.
+    pub used: bool,
+}
+
+/// Extracts directives from a lexed file. Malformed directives are returned
+/// as `bad-allow` error diagnostics instead.
+pub fn parse_directives(
+    path: &str,
+    src: &str,
+    tokens: &[Token],
+    starts: &[usize],
+) -> (Vec<Directive>, Vec<Diagnostic>) {
+    let mut directives = Vec::new();
+    let mut errors = Vec::new();
+    for (idx, tok) in tokens.iter().enumerate() {
+        if tok.kind != TokenKind::LineComment {
+            continue;
+        }
+        let text = tok.text(src);
+        // `///` and `//!` doc comments are documentation, never directives
+        // (so the grammar can be *documented* without being *enacted*).
+        // `////...` is a plain comment again, per Rust's own rules.
+        if text.starts_with("//!") || (text.starts_with("///") && !text.starts_with("////")) {
+            continue;
+        }
+        let body = text.trim_start_matches('/').trim();
+        let Some(rest) = body.strip_prefix("sbon-lint:") else { continue };
+        let (line, col) = line_col(starts, tok.start);
+        match parse_body(rest.trim()) {
+            Ok((rule_name, file_wide, justification)) => {
+                let Some(rule) = rule_by_name(rule_name) else {
+                    errors.push(Diagnostic::error(
+                        path,
+                        line,
+                        col,
+                        "bad-allow",
+                        format!("unknown rule {rule_name:?} in sbon-lint allow directive"),
+                    ));
+                    continue;
+                };
+                if justification.is_empty() {
+                    errors.push(Diagnostic::error(
+                        path,
+                        line,
+                        col,
+                        "bad-allow",
+                        format!(
+                            "sbon-lint allow({rule}) requires a justification: \
+                             `// sbon-lint: allow({rule}): <why>`"
+                        ),
+                    ));
+                    continue;
+                }
+                let target_line =
+                    if file_wide { None } else { target_of(src, tokens, starts, idx, line) };
+                directives.push(Directive { rule, file_wide, target_line, line, col, used: false });
+            }
+            Err(msg) => {
+                errors.push(Diagnostic::error(path, line, col, "bad-allow", msg.to_string()));
+            }
+        }
+    }
+    (directives, errors)
+}
+
+/// Parses `allow(<rule>): <why>` / `allow-file(<rule>): <why>`.
+fn parse_body(body: &str) -> Result<(&str, bool, &str), &'static str> {
+    let (file_wide, rest) = if let Some(r) = body.strip_prefix("allow-file(") {
+        (true, r)
+    } else if let Some(r) = body.strip_prefix("allow(") {
+        (false, r)
+    } else {
+        return Err("expected `allow(<rule>): <why>` or `allow-file(<rule>): <why>`");
+    };
+    let Some(close) = rest.find(')') else {
+        return Err("unclosed `(` in sbon-lint allow directive");
+    };
+    let rule = rest[..close].trim();
+    let after = rest[close + 1..].trim_start();
+    let Some(justification) = after.strip_prefix(':') else {
+        return Err("sbon-lint allow directives require `: <justification>` after the rule");
+    };
+    Ok((rule, file_wide, justification.trim()))
+}
+
+/// The code line a non-file directive suppresses: its own line if code
+/// precedes the comment on it, otherwise the line of the next token that is
+/// not a comment.
+fn target_of(
+    _src: &str,
+    tokens: &[Token],
+    starts: &[usize],
+    idx: usize,
+    comment_line: u32,
+) -> Option<u32> {
+    let is_code = |t: &Token| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment);
+    let trailing = tokens[..idx]
+        .iter()
+        .rev()
+        .take_while(|t| line_col(starts, t.start).0 == comment_line)
+        .any(is_code);
+    if trailing {
+        return Some(comment_line);
+    }
+    tokens[idx + 1..].iter().find(|t| is_code(t)).map(|t| line_col(starts, t.start).0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, line_starts};
+    use crate::rules::Level;
+
+    fn parse(src: &str) -> (Vec<Directive>, Vec<Diagnostic>) {
+        let tokens = lex(src);
+        let starts = line_starts(src);
+        parse_directives("t.rs", src, &tokens, &starts)
+    }
+
+    #[test]
+    fn trailing_directive_targets_its_own_line() {
+        let src = "let x = 1; // sbon-lint: allow(wall-clock): trailing test\n";
+        let (d, e) = parse(src);
+        assert!(e.is_empty(), "{e:?}");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].target_line, Some(1));
+        assert!(!d[0].file_wide);
+    }
+
+    #[test]
+    fn standalone_directive_targets_next_code_line() {
+        let src = "\n// sbon-lint: allow(ambient-rng): own-line test\n// another comment\nlet x;\n";
+        let (d, e) = parse(src);
+        assert!(e.is_empty(), "{e:?}");
+        assert_eq!(d[0].target_line, Some(4));
+    }
+
+    #[test]
+    fn file_directive_has_no_target_line() {
+        let src = "// sbon-lint: allow-file(unordered-iteration): file-wide test\nlet x;\n";
+        let (d, e) = parse(src);
+        assert!(e.is_empty(), "{e:?}");
+        assert!(d[0].file_wide);
+        assert_eq!(d[0].target_line, None);
+    }
+
+    #[test]
+    fn missing_justification_is_an_error() {
+        for src in [
+            "// sbon-lint: allow(wall-clock)\nlet x;\n",
+            "// sbon-lint: allow(wall-clock):\nlet x;\n",
+            "// sbon-lint: allow(wall-clock):   \nlet x;\n",
+        ] {
+            let (d, e) = parse(src);
+            assert!(d.is_empty(), "no directive should parse from {src:?}");
+            assert_eq!(e.len(), 1, "{src:?}");
+            assert_eq!(e[0].rule, "bad-allow");
+            assert_eq!(e[0].level, Level::Error);
+        }
+    }
+
+    #[test]
+    fn unknown_rule_is_an_error() {
+        let (d, e) = parse("// sbon-lint: allow(no-such-rule): why not\nlet x;\n");
+        assert!(d.is_empty());
+        assert_eq!(e.len(), 1);
+        assert!(e[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn doc_comments_and_strings_are_never_directives() {
+        let src = "//! sbon-lint: allow(wall-clock): not a directive\n\
+                   /// sbon-lint: allow(wall-clock): not one either\n\
+                   let s = \"// sbon-lint: allow(wall-clock): nor this\";\n";
+        let (d, e) = parse(src);
+        assert!(d.is_empty());
+        assert!(e.is_empty());
+    }
+}

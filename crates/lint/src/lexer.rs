@@ -1,0 +1,453 @@
+//! A hand-rolled Rust lexer sufficient for token-pattern linting.
+//!
+//! The offline build environment has no `syn`, `rustc_lexer`, or `dylint`,
+//! so the lint pass runs on its own tokenizer. It does not need to be a
+//! *complete* Rust lexer — the rules in [`crate::rules`] only match
+//! identifier patterns — but it must be **sound about what is code and what
+//! is not**: a `partial_cmp` inside a string literal, a `HashMap` inside a
+//! doc comment, or a `// sbon-lint: allow(...)` directive inside a raw
+//! string must never be confused with the real thing. Consequently the
+//! lexer handles, precisely:
+//!
+//! * line comments (including `///` and `//!` doc forms),
+//! * nested block comments (`/* /* */ */`),
+//! * string literals with escapes (`"a \" b"`), byte strings (`b"..."`),
+//! * raw strings with arbitrary hash fences (`r"..."`, `r#"..."#`,
+//!   `br##"..."##`) and raw identifiers (`r#type`),
+//! * char literals vs lifetimes (`'a'` vs `'a`),
+//! * identifiers, loose numbers, and single-character punctuation.
+//!
+//! Invalid or truncated input (an unterminated string, a lone quote) must
+//! never panic: the lexer closes the token at end-of-input. Every byte of
+//! the source is covered by exactly one token span or is whitespace — the
+//! span round-trip property test in the crate's test suite pins this.
+
+/// What a [`Token`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers like `r#type`).
+    Ident,
+    /// A lifetime such as `'a` (the quote is part of the span).
+    Lifetime,
+    /// An integer literal (floats lex as `Number . Number`, which is all
+    /// the rules need; suffixes are folded into the token).
+    Number,
+    /// A string literal: `"..."` or `b"..."`, escapes handled.
+    Str,
+    /// A raw string literal: `r"..."`, `r#"..."#`, `br##"..."##`.
+    RawStr,
+    /// A char or byte literal: `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// A `//` comment (doc comments included), newline excluded.
+    LineComment,
+    /// A `/* ... */` comment, nesting handled.
+    BlockComment,
+    /// A single punctuation character.
+    Punct(char),
+    /// Anything unrecognized (kept so spans stay gap-free).
+    Unknown,
+}
+
+/// One lexed token with its byte span in the source.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte of the token.
+    pub start: usize,
+    /// Byte offset one past the last byte of the token.
+    pub end: usize,
+}
+
+impl Token {
+    /// The token's text within `src` (the source it was lexed from).
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Byte offsets of the first byte of each line (line 0 starts at offset 0).
+pub fn line_starts(src: &str) -> Vec<usize> {
+    let mut starts = vec![0];
+    for (i, b) in src.bytes().enumerate() {
+        if b == b'\n' {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+/// 1-based (line, column) of a byte offset, given [`line_starts`] output.
+pub fn line_col(starts: &[usize], pos: usize) -> (u32, u32) {
+    let line = starts.partition_point(|&s| s <= pos);
+    let col = pos - starts[line - 1] + 1;
+    (line as u32, col as u32)
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+struct Cursor<'s> {
+    src: &'s str,
+    chars: Vec<(usize, char)>,
+    i: usize,
+}
+
+impl<'s> Cursor<'s> {
+    fn new(src: &'s str) -> Self {
+        Cursor { src, chars: src.char_indices().collect(), i: 0 }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).map(|&(_, c)| c)
+    }
+
+    /// Byte offset of the char `ahead` positions from the cursor, or EOF.
+    fn offset(&self, ahead: usize) -> usize {
+        self.chars.get(self.i + ahead).map_or(self.src.len(), |&(p, _)| p)
+    }
+
+    /// Advances until `stop` returns true (cursor left *on* the stop char)
+    /// or end of input.
+    fn advance_while(&mut self, mut keep: impl FnMut(char) -> bool) {
+        while let Some(c) = self.peek(0) {
+            if keep(c) {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// Lexes `src` into a gap-free-modulo-whitespace token stream.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek(0) {
+        let start = cur.offset(0);
+        let kind = match c {
+            c if c.is_whitespace() => {
+                cur.advance_while(|c| c.is_whitespace());
+                continue;
+            }
+            '/' if cur.peek(1) == Some('/') => {
+                cur.advance_while(|c| c != '\n');
+                TokenKind::LineComment
+            }
+            '/' if cur.peek(1) == Some('*') => {
+                lex_block_comment(&mut cur);
+                TokenKind::BlockComment
+            }
+            '"' => {
+                cur.i += 1;
+                lex_quoted(&mut cur, '"');
+                TokenKind::Str
+            }
+            'r' | 'b' => lex_r_or_b(&mut cur),
+            '\'' => lex_quote(&mut cur),
+            c if is_ident_start(c) => {
+                cur.advance_while(is_ident_continue);
+                TokenKind::Ident
+            }
+            c if c.is_ascii_digit() => {
+                // Loose: suffixes fold in; `1.5` lexes as Number Punct(.) Number.
+                cur.advance_while(is_ident_continue);
+                TokenKind::Number
+            }
+            c => {
+                cur.i += 1;
+                TokenKind::Punct(c)
+            }
+        };
+        out.push(Token { kind, start, end: cur.offset(0) });
+    }
+    out
+}
+
+/// Consumes a (possibly nested) block comment; cursor is on the leading `/`.
+/// Unterminated comments close at end of input.
+fn lex_block_comment(cur: &mut Cursor<'_>) {
+    cur.i += 2; // consume `/*`
+    let mut depth = 1usize;
+    while depth > 0 {
+        match (cur.peek(0), cur.peek(1)) {
+            (Some('/'), Some('*')) => {
+                depth += 1;
+                cur.i += 2;
+            }
+            (Some('*'), Some('/')) => {
+                depth -= 1;
+                cur.i += 2;
+            }
+            (Some(_), _) => cur.i += 1,
+            (None, _) => break,
+        }
+    }
+}
+
+/// Consumes the body of a quoted literal up to and including the closing
+/// `quote`, honoring backslash escapes. The opening quote is already
+/// consumed. Unterminated literals close at end of input.
+fn lex_quoted(cur: &mut Cursor<'_>, quote: char) {
+    while let Some(c) = cur.peek(0) {
+        cur.i += 1;
+        match c {
+            '\\' if cur.peek(0).is_some() => cur.i += 1, // skip the escaped char
+            c if c == quote => return,
+            _ => {}
+        }
+    }
+}
+
+/// Disambiguates tokens starting with `r` or `b`: raw strings (`r"`,
+/// `r#"`, `br#"`), byte strings (`b"`), byte chars (`b'`), raw identifiers
+/// (`r#ident`), or plain identifiers.
+fn lex_r_or_b(cur: &mut Cursor<'_>) -> TokenKind {
+    let c = cur.peek(0).expect("caller saw a char");
+    // Optional second prefix letter: `br` / `rb` both route to raw strings.
+    let prefix2 = cur.peek(1);
+    let (body_at, raw) = match (c, prefix2) {
+        ('b', Some('r')) => (2, true),
+        ('r', _) => (1, true),
+        ('b', _) => (1, false),
+        _ => unreachable!("only called on r/b"),
+    };
+    if raw {
+        // Count hash fence after the prefix.
+        let mut hashes = 0usize;
+        while cur.peek(body_at + hashes) == Some('#') {
+            hashes += 1;
+        }
+        if cur.peek(body_at + hashes) == Some('"') {
+            cur.i += body_at + hashes + 1;
+            lex_raw_body(cur, hashes);
+            return TokenKind::RawStr;
+        }
+        if body_at == 1 && hashes >= 1 && cur.peek(2).is_some_and(is_ident_start) {
+            // Raw identifier `r#type`.
+            cur.i += 2;
+            cur.advance_while(is_ident_continue);
+            return TokenKind::Ident;
+        }
+    } else {
+        match cur.peek(1) {
+            Some('"') => {
+                cur.i += 2;
+                lex_quoted(cur, '"');
+                return TokenKind::Str;
+            }
+            Some('\'') => {
+                cur.i += 1;
+                return lex_quote(cur);
+            }
+            _ => {}
+        }
+    }
+    cur.advance_while(is_ident_continue);
+    TokenKind::Ident
+}
+
+/// Consumes a raw-string body after the opening quote: runs to `"` followed
+/// by `hashes` hash characters. Unterminated bodies close at end of input.
+fn lex_raw_body(cur: &mut Cursor<'_>, hashes: usize) {
+    while let Some(c) = cur.peek(0) {
+        cur.i += 1;
+        if c == '"' {
+            let mut k = 0;
+            while k < hashes && cur.peek(k) == Some('#') {
+                k += 1;
+            }
+            if k == hashes {
+                cur.i += hashes;
+                return;
+            }
+        }
+    }
+}
+
+/// Disambiguates a leading single quote: char literal vs lifetime.
+/// Cursor is on the quote.
+fn lex_quote(cur: &mut Cursor<'_>) -> TokenKind {
+    match (cur.peek(1), cur.peek(2)) {
+        // `'\n'`, `'\''`, `'\u{1F600}'` — escaped char literal.
+        (Some('\\'), _) => {
+            cur.i += 1;
+            lex_quoted(cur, '\'');
+            TokenKind::Char
+        }
+        // `'x'` for any single char x (including `'''`... which is not
+        // valid Rust, but closing eagerly keeps the lexer total).
+        (Some(_), Some('\'')) => {
+            cur.i += 3;
+            TokenKind::Char
+        }
+        // `'abc` — a lifetime; consume the identifier after the quote.
+        (Some(c), _) if is_ident_start(c) => {
+            cur.i += 2;
+            cur.advance_while(is_ident_continue);
+            TokenKind::Lifetime
+        }
+        // A lone or trailing quote: emit it as Unknown and move on.
+        _ => {
+            cur.i += 1;
+            TokenKind::Unknown
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text(src))).collect()
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        let got = kinds("a.partial_cmp(&b)");
+        assert_eq!(
+            got,
+            vec![
+                (TokenKind::Ident, "a"),
+                (TokenKind::Punct('.'), "."),
+                (TokenKind::Ident, "partial_cmp"),
+                (TokenKind::Punct('('), "("),
+                (TokenKind::Punct('&'), "&"),
+                (TokenKind::Ident, "b"),
+                (TokenKind::Punct(')'), ")"),
+            ]
+        );
+    }
+
+    #[test]
+    fn line_comment_excludes_newline() {
+        let got = kinds("x // tail\ny");
+        assert_eq!(
+            got,
+            vec![
+                (TokenKind::Ident, "x"),
+                (TokenKind::LineComment, "// tail"),
+                (TokenKind::Ident, "y"),
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let got = kinds("a /* x /* y */ z */ b");
+        assert_eq!(
+            got,
+            vec![
+                (TokenKind::Ident, "a"),
+                (TokenKind::BlockComment, "/* x /* y */ z */"),
+                (TokenKind::Ident, "b"),
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_block_comment_closes_at_eof() {
+        let got = kinds("a /* open /* deeper */ still");
+        assert_eq!(got[1].0, TokenKind::BlockComment);
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn comment_marker_inside_string_is_string() {
+        let got = kinds(r#"let s = "// not a comment";"#);
+        assert!(got.iter().any(|(k, t)| *k == TokenKind::Str && t.contains("not a comment")));
+        assert!(got.iter().all(|(k, _)| *k != TokenKind::LineComment));
+    }
+
+    #[test]
+    fn escaped_quote_inside_string() {
+        let got = kinds(r#""a \" b" c"#);
+        assert_eq!(got[0], (TokenKind::Str, r#""a \" b""#));
+        assert_eq!(got[1], (TokenKind::Ident, "c"));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let src = r####"r"x" r#"y "quoted" y"# br##"z"# z"## tail"####;
+        let got = kinds(src);
+        assert_eq!(got[0].0, TokenKind::RawStr);
+        assert_eq!(got[1], (TokenKind::RawStr, r##"r#"y "quoted" y"#"##));
+        assert_eq!(got[2].0, TokenKind::RawStr);
+        assert_eq!(got[3], (TokenKind::Ident, "tail"));
+    }
+
+    #[test]
+    fn raw_ident_is_ident_not_raw_string() {
+        let got = kinds("r#type r#\"s\"#");
+        assert_eq!(got[0], (TokenKind::Ident, "r#type"));
+        assert_eq!(got[1].0, TokenKind::RawStr);
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let got = kinds(r"'a' 'static '\'' 'x");
+        assert_eq!(got[0], (TokenKind::Char, "'a'"));
+        assert_eq!(got[1], (TokenKind::Lifetime, "'static"));
+        assert_eq!(got[2], (TokenKind::Char, r"'\''"));
+        assert_eq!(got[3], (TokenKind::Lifetime, "'x"));
+    }
+
+    #[test]
+    fn byte_literals() {
+        let got = kinds(r##"b'x' b"bytes" br#"raw"# done"##);
+        assert_eq!(got[0].0, TokenKind::Char);
+        assert_eq!(got[1].0, TokenKind::Str);
+        assert_eq!(got[2].0, TokenKind::RawStr);
+        assert_eq!(got[3], (TokenKind::Ident, "done"));
+    }
+
+    #[test]
+    fn unterminated_string_closes_at_eof() {
+        let got = kinds("\"never closed");
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, TokenKind::Str);
+    }
+
+    #[test]
+    fn floats_lex_as_number_dot_number() {
+        let got = kinds("1.5f64.total_cmp");
+        assert_eq!(got[0].0, TokenKind::Number);
+        assert_eq!(got[1].0, TokenKind::Punct('.'));
+        assert_eq!(got[2].0, TokenKind::Number);
+        assert_eq!(got[4], (TokenKind::Ident, "total_cmp"));
+    }
+
+    #[test]
+    fn line_col_mapping() {
+        let src = "ab\ncd\n\nef";
+        let starts = line_starts(src);
+        assert_eq!(line_col(&starts, 0), (1, 1));
+        assert_eq!(line_col(&starts, 3), (2, 1));
+        assert_eq!(line_col(&starts, 4), (2, 2));
+        assert_eq!(line_col(&starts, 7), (4, 1));
+    }
+
+    #[test]
+    fn spans_cover_every_non_whitespace_byte() {
+        let src = "fn f() { let s = \"x\"; /* c */ 'a' }";
+        let toks = lex(src);
+        let mut covered = vec![false; src.len()];
+        for t in &toks {
+            for c in covered.iter_mut().take(t.end).skip(t.start) {
+                *c = true;
+            }
+        }
+        for (i, c) in src.char_indices() {
+            if !c.is_whitespace() {
+                assert!(covered[i], "byte {i} ({c:?}) uncovered");
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! # sbon_lint — in-tree determinism & float-safety static analysis
+//!
+//! Every guarantee this reproduction makes — lazy ≡ dense, repaired ≡ fresh
+//! Dijkstra, threads=8 ≡ threads=1, undeploy ≡ never-deployed — is a
+//! *bit-identical determinism* contract, and the bug classes that have
+//! broken those contracts before are statically detectable:
+//!
+//! * the PR 2 event-heap corruption came from a NaN reaching a
+//!   `partial_cmp`-based float ordering;
+//! * the PR 5 non-cancellative usage accounting came from unordered float
+//!   accumulation.
+//!
+//! This crate keeps those invariants machine-checked instead of
+//! reviewer-checked: a hand-rolled lexer ([`lexer`]) feeds token-pattern
+//! rules ([`rules`]) with a justification-carrying escape hatch
+//! ([`directives`]), run over every workspace source file ([`walk`]).
+//!
+//! # Running it
+//!
+//! * **CLI:** `cargo run -p sbon_lint` (add `--deny-warnings` to fail on
+//!   unused allow directives too, as CI does).
+//! * **Tier-1:** `cargo test -q` runs `tests/workspace_lint.rs`, which
+//!   asserts the workspace is violation-free, so a regression cannot merge.
+//! * **CI:** the `lint` job runs the CLI with `--deny-warnings`; the clippy
+//!   job independently enforces the wall-clock rule via
+//!   `clippy::disallowed_methods` + `clippy.toml`.
+//!
+//! # Suppressing a finding
+//!
+//! ```text
+//! // sbon-lint: allow(<rule>): <justification>        — this / next line
+//! // sbon-lint: allow-file(<rule>): <justification>   — whole file
+//! ```
+//!
+//! The justification is mandatory (empty = `bad-allow` error) and unused
+//! directives are flagged, so every exemption stays argued and current. See
+//! [`rules`] for the rule set and the incident history motivating each one.
+
+#![forbid(unsafe_code)]
+
+pub mod directives;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+use std::path::Path;
+
+pub use rules::{Diagnostic, Level, Policy};
+
+/// Lints every workspace source file under `root` with `policy`.
+///
+/// Returns diagnostics sorted by `(path, line, col)`. I/O failures on
+/// individual files are reported as diagnostics rather than aborting the
+/// pass.
+pub fn lint_workspace(root: &Path, policy: &Policy) -> std::io::Result<Vec<Diagnostic>> {
+    let mut diags = Vec::new();
+    for (rel, abs) in walk::workspace_files(root)? {
+        match std::fs::read_to_string(&abs) {
+            Ok(src) => diags.extend(rules::lint_source(&rel, &src, policy)),
+            Err(e) => diags.push(Diagnostic::error(
+                &rel,
+                1,
+                1,
+                "io-error",
+                format!("could not read source file: {e}"),
+            )),
+        }
+    }
+    diags.sort_by(|a, b| (&a.path, a.line, a.col).cmp(&(&b.path, b.line, b.col)));
+    Ok(diags)
+}

@@ -1,0 +1,76 @@
+//! `sbon_lint` CLI: lints the workspace and prints diagnostics.
+//!
+//! ```text
+//! cargo run -p sbon_lint [--release] -- [--deny-warnings] [ROOT]
+//! ```
+//!
+//! Exit status: `0` when clean, `1` on any error diagnostic (rule violation,
+//! malformed allow, unreadable file), and `1` on warnings (unused allows)
+//! when `--deny-warnings` is given. `ROOT` defaults to the enclosing cargo
+//! workspace of the current directory.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sbon_lint::{lint_workspace, walk, Level, Policy};
+
+fn main() -> ExitCode {
+    let mut deny_warnings = false;
+    let mut root_arg: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--deny-warnings" => deny_warnings = true,
+            "--help" | "-h" => {
+                println!("usage: sbon_lint [--deny-warnings] [ROOT]");
+                return ExitCode::SUCCESS;
+            }
+            other if root_arg.is_none() && !other.starts_with('-') => {
+                root_arg = Some(PathBuf::from(other));
+            }
+            other => {
+                eprintln!("sbon_lint: unrecognized argument {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let root = match root_arg {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().expect("current dir");
+            match walk::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("sbon_lint: no cargo workspace above {}", cwd.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+
+    let diags = match lint_workspace(&root, &Policy::default()) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("sbon_lint: walking {} failed: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for d in &diags {
+        println!("{d}");
+        match d.level {
+            Level::Error => errors += 1,
+            Level::Warning => warnings += 1,
+        }
+    }
+    println!("sbon_lint: {errors} error(s), {warnings} warning(s)");
+    if errors > 0 || (deny_warnings && warnings > 0) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

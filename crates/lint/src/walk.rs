@@ -1,0 +1,90 @@
+//! Workspace file discovery.
+//!
+//! The lint pass walks the workspace's source trees directly (no cargo
+//! metadata: the environment is offline and the layout is fixed): every
+//! `*.rs` file under `crates/`, `shims/`, `src/`, `tests/`, and
+//! `examples/`, skipping build output. Paths are returned
+//! workspace-relative with `/` separators, sorted, so diagnostics and the
+//! tier-1 lint test are byte-stable across machines.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The top-level directories that contain workspace source code.
+const SOURCE_ROOTS: [&str; 5] = ["crates", "shims", "src", "tests", "examples"];
+
+/// Directory names never descended into.
+const SKIP_DIRS: [&str; 2] = ["target", ".git"];
+
+/// Collects `(relative_path, absolute_path)` for every workspace `.rs`
+/// file, sorted by relative path.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<(String, PathBuf)>> {
+    let mut out = Vec::new();
+    for top in SOURCE_ROOTS {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            visit(&dir, top, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn visit(dir: &Path, rel: &str, out: &mut Vec<(String, PathBuf)>) -> std::io::Result<()> {
+    // Sort entries so traversal (and any I/O error surfaced) is stable.
+    let mut entries: Vec<_> =
+        fs::read_dir(dir)?.collect::<std::io::Result<Vec<_>>>()?.into_iter().collect();
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let path = entry.path();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name) {
+                visit(&path, &format!("{rel}/{name}"), out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push((format!("{rel}/{name}"), path));
+        }
+    }
+    Ok(())
+}
+
+/// Finds the workspace root by walking up from `start` until a directory
+/// holding a `Cargo.toml` that declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_this_workspace() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root above crates/lint");
+        assert!(root.join("crates/lint/src/walk.rs").is_file());
+        let files = workspace_files(&root).unwrap();
+        let rels: Vec<&str> = files.iter().map(|(r, _)| r.as_str()).collect();
+        assert!(rels.contains(&"crates/lint/src/walk.rs"));
+        assert!(rels.contains(&"src/lib.rs"));
+        assert!(rels.iter().all(|r| !r.contains("/target/")), "build output must be skipped");
+        let mut sorted = rels.clone();
+        sorted.sort();
+        assert_eq!(rels, sorted, "walk output is sorted");
+    }
+}

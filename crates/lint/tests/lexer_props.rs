@@ -1,0 +1,83 @@
+//! Property tests for the lint lexer: on arbitrary token soups — including
+//! unterminated strings, stray quotes, half-open comments, and non-ASCII —
+//! the lexer must never panic, and its spans must round-trip the input:
+//! tokens are in order, non-overlapping, within bounds, on char boundaries,
+//! and every non-whitespace byte belongs to exactly one token.
+
+use proptest::prelude::*;
+use sbon_lint::lexer::{lex, line_col, line_starts};
+
+/// Fragments chosen to collide: quote/fence openers without closers,
+/// escapes at odd positions, comment markers, rule-trigger identifiers,
+/// lifetimes vs chars, and multi-byte UTF-8.
+const FRAGMENTS: [&str; 28] = [
+    "ident",
+    "partial_cmp",
+    "HashMap",
+    "use",
+    "r",
+    "b",
+    "br",
+    "r#",
+    "r#\"",
+    "\"#",
+    "#",
+    "\"",
+    "\\",
+    "'",
+    "'a",
+    "'a'",
+    "//",
+    "/*",
+    "*/",
+    "\n",
+    " ",
+    "0.5",
+    "::",
+    ".",
+    "émoji_λ",
+    "¬±",
+    "b'x'",
+    "// sbon-lint: allow(",
+];
+
+fn soup(picks: &[usize]) -> String {
+    picks.iter().map(|&p| FRAGMENTS[p % FRAGMENTS.len()]).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512 })]
+    #[test]
+    fn lexer_total_and_spans_round_trip(picks in proptest::collection::vec(0usize..28, 0..40)) {
+        let src = soup(&picks);
+        // Totality: `lex` returns (no panic) on whatever soup was built.
+        let tokens = lex(&src);
+        let starts = line_starts(&src);
+
+        let mut covered = vec![false; src.len()];
+        let mut prev_end = 0usize;
+        for t in &tokens {
+            // Spans are ordered, non-empty, in bounds, on char boundaries.
+            prop_assert!(t.start >= prev_end, "overlapping or unordered spans");
+            prop_assert!(t.start < t.end && t.end <= src.len());
+            prop_assert!(src.is_char_boundary(t.start) && src.is_char_boundary(t.end));
+            // Slicing by span reproduces the token text without panicking.
+            prop_assert_eq!(&src[t.start..t.end], t.text(&src));
+            // line/col lookup stays in range for every span start.
+            let (line, col) = line_col(&starts, t.start);
+            prop_assert!(line >= 1 && col >= 1);
+            prop_assert!((line as usize) <= starts.len());
+            for c in covered.iter_mut().take(t.end).skip(t.start) {
+                *c = true;
+            }
+            prev_end = t.end;
+        }
+        // Round-trip: every byte is in a token span or is whitespace, so
+        // interleaving spans with the whitespace gaps rebuilds the source.
+        for (i, ch) in src.char_indices() {
+            if !ch.is_whitespace() {
+                prop_assert!(covered[i], "byte {} ({:?}) lost by the lexer", i, ch);
+            }
+        }
+    }
+}

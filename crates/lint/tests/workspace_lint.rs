@@ -1,0 +1,27 @@
+//! Tier-1 gate: the workspace must lint clean.
+//!
+//! This test runs the full static-analysis pass over every workspace source
+//! file inside `cargo test -q`, so a determinism-rule regression (a new
+//! `partial_cmp` comparator, an unordered `HashMap` iteration, a wall-clock
+//! read in sim code, ambient RNG, a crate root dropping
+//! `#![forbid(unsafe_code)]`) fails the build — violations *and* hygiene
+//! warnings (unused or malformed allow directives) both count.
+
+use std::path::Path;
+
+use sbon_lint::{lint_workspace, Level, Policy};
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let diags = lint_workspace(&root, &Policy::default()).expect("workspace walk");
+    let errors: Vec<_> = diags.iter().filter(|d| d.level == Level::Error).collect();
+    let warnings: Vec<_> = diags.iter().filter(|d| d.level == Level::Warning).collect();
+    assert!(
+        errors.is_empty() && warnings.is_empty(),
+        "sbon_lint found {} error(s), {} warning(s):\n{}",
+        errors.len(),
+        warnings.len(),
+        diags.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n"),
+    );
+}

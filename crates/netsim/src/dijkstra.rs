@@ -26,12 +26,10 @@ impl Eq for HeapEntry {}
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse: smaller distance = greater priority. Distances are finite
-        // non-NaN by construction (edge weights validated on insert).
-        other
-            .dist
-            .partial_cmp(&self.dist)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| other.node.0.cmp(&self.node.0))
+        // non-NaN by construction (edge weights validated on insert), so
+        // `total_cmp` agrees with the numeric order while staying a proper
+        // total order even if that invariant is ever violated.
+        other.dist.total_cmp(&self.dist).then_with(|| other.node.0.cmp(&self.node.0))
     }
 }
 

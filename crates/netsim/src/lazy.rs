@@ -307,6 +307,8 @@ impl LazyLatency {
     /// bit-identical to fresh [`single_source`] rows on the mutated graph
     /// (see the [module docs](self)).
     pub fn apply_edge_deltas(&mut self, deltas: &[(EdgeId, f64)]) {
+        // sbon-lint: allow(unordered-iteration): slot map for last-write-wins
+        // dedup; iteration happens over `net` (a Vec), never over the map.
         let mut index: HashMap<u32, usize> = HashMap::new();
         let mut net: Vec<EdgeDelta> = Vec::new();
         for &(id, w) in deltas {
@@ -424,6 +426,8 @@ impl LazyLatency {
         if !raises.is_empty() {
             // Marking must test tightness under *pre-batch* weights; for
             // raised edges the graph now holds w_new, so carry the old ones.
+            // sbon-lint: allow(unordered-iteration): point lookups by edge id
+            // during repair; never iterated.
             let old_w: HashMap<u32, f64> = raises.iter().map(|d| (d.id.0, d.w_old)).collect();
             let graph = &self.graph;
             let cache = self.cache.get_mut();
@@ -502,6 +506,7 @@ fn repair_increase(
     row: &mut [f64],
     src: NodeId,
     raises: &[EdgeDelta],
+    // sbon-lint: allow(unordered-iteration): lookup-only map, see caller.
     old_w: &HashMap<u32, f64>,
     scratch: &mut RepairScratch,
 ) -> (usize, bool) {

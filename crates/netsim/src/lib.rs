@@ -44,6 +44,8 @@
 //! [`lazy::DeltaPolicy::Invalidate`] for baselines. See the [`lazy`]
 //! module docs for the full repair-vs-invalidate contract and complexity.
 
+#![forbid(unsafe_code)]
+
 pub mod dijkstra;
 pub mod graph;
 pub mod latency;

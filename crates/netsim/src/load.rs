@@ -126,8 +126,9 @@ impl LoadModel {
                 for i in 0..n {
                     attrs.set(NodeId(i as u32), Attr::CpuLoad, base);
                 }
-                // Sample distinct hotspot nodes.
-                let mut chosen = std::collections::HashSet::new();
+                // Sample distinct hotspot nodes. BTreeSet: the set is
+                // iterated below, and hash order is process-random.
+                let mut chosen = std::collections::BTreeSet::new();
                 while chosen.len() < count.min(n) {
                     chosen.insert(rng.gen_range(0..n));
                 }

@@ -39,7 +39,7 @@ impl Summary {
             };
         }
         let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let count = sorted.len();
         let mean = sorted.iter().sum::<f64>() / count as f64;
         let var = sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / count as f64;
@@ -84,7 +84,7 @@ pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
 /// Percentile of an unsorted slice (copies and sorts).
 pub fn percentile(samples: &[f64], q: f64) -> f64 {
     let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     percentile_sorted(&sorted, q)
 }
 

@@ -37,6 +37,8 @@
 //! routes circuits over the underlay's shortest paths for per-physical-link
 //! stress accounting.
 
+#![forbid(unsafe_code)]
+
 pub mod dataplane;
 pub mod report;
 pub mod runtime;

@@ -19,6 +19,11 @@
 //! budget and register through the same maintenance contract
 //! (`add_node`), so bring-up is incremental rather than one bulk build.
 
+// Wall-clock reads here are the per-tick elapsed-time *stats* the runtime
+// reports; they never feed control-plane decisions (sbon_lint: wall-clock
+// allowlist, clippy disallowed_methods mirror).
+#![allow(clippy::disallowed_methods)]
+
 use std::collections::{HashMap, VecDeque};
 use std::time::Instant;
 
@@ -618,6 +623,8 @@ fn sample_edge_deltas<R: Rng, B: Fn(EdgeId) -> f64>(
     if m == 0 {
         return Vec::new();
     }
+    // sbon-lint: allow(unordered-iteration): slot map for compounding
+    // repeated jitter on one edge; iteration happens over `deltas` (a Vec).
     let mut index: HashMap<u32, usize> = HashMap::new();
     let mut deltas: Vec<(EdgeId, f64)> = Vec::new();
     for _ in 0..jitter.edges_per_tick {

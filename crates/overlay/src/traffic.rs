@@ -118,7 +118,7 @@ impl LinkTraffic {
             .map(|e| (e, self.rate_on(e)))
             .filter(|&(_, r)| r > 0.0)
             .collect();
-        indexed.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite rates"));
+        indexed.sort_by(|a, b| b.1.total_cmp(&a.1));
         indexed.truncate(k);
         indexed
     }

@@ -157,7 +157,7 @@ pub fn dp_top_k_plans(
             }
             sub = (sub - 1) & mask;
         }
-        candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"));
+        candidates.sort_by(|a, b| a.1.total_cmp(&b.1));
         candidates.truncate(k);
         dp[mask as usize] = candidates;
     }
@@ -234,7 +234,7 @@ mod tests {
                 let c = stats.statistical_cost(&t);
                 (t, c)
             })
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .min_by(|a, b| a.1.total_cmp(&b.1))
             .unwrap();
         let (dp_plan, dp_cost) = dp_best_plan(&stats, &ids);
         assert!(
@@ -297,6 +297,8 @@ mod tests {
 
     #[test]
     fn left_deep_is_a_subset_of_bushy() {
+        // sbon-lint: allow(unordered-iteration): membership probes only
+        // (`contains`), never iterated.
         let bushy: std::collections::HashSet<String> =
             all_join_trees(&streams(4)).iter().map(|t| t.shape_key()).collect();
         for t in all_left_deep_trees(&streams(4)) {

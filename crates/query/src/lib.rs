@@ -19,6 +19,8 @@
 //!   queries and Selinger-style dynamic programming (with a k-best
 //!   generalization) for larger ones.
 
+#![forbid(unsafe_code)]
+
 pub mod enumerate;
 pub mod plan;
 pub mod rewrite;

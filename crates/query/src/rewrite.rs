@@ -97,6 +97,8 @@ pub fn split_filter(plan: &LogicalPlan) -> Option<LogicalPlan> {
 pub fn neighbors(plan: &LogicalPlan) -> Vec<LogicalPlan> {
     let mut out = Vec::new();
     rewrite_everywhere(plan, &mut out);
+    // sbon-lint: allow(unordered-iteration): membership-only dedup; the
+    // output order comes from `out` (a Vec), never from the set.
     let mut seen = std::collections::HashSet::new();
     seen.insert(plan.render());
     out.retain(|p| seen.insert(p.render()));
@@ -108,6 +110,8 @@ pub fn neighbors(plan: &LogicalPlan) -> Vec<LogicalPlan> {
 /// matters in practice: commutations are cost-neutral on their own but open
 /// up rotations that one-step search cannot reach.
 pub fn neighbors_within(plan: &LogicalPlan, depth: usize, max_plans: usize) -> Vec<LogicalPlan> {
+    // sbon-lint: allow(unordered-iteration): membership-only BFS visited
+    // set; result order comes from the Vec frontier.
     let mut seen = std::collections::HashSet::new();
     seen.insert(plan.render());
     let mut out: Vec<LogicalPlan> = Vec::new();
@@ -281,7 +285,10 @@ mod tests {
         // BFS over the rewrite graph from one 3-way plan must reach all 3
         // association classes (shape keys), walking rendered plans.
         let start = LogicalPlan::join(LogicalPlan::join(s(0), s(1)), s(2));
+        // sbon-lint: allow(unordered-iteration): membership + final counts
+        // only; neither set is iterated.
         let mut rendered = std::collections::HashSet::new();
+        // sbon-lint: allow(unordered-iteration): as above.
         let mut shapes = std::collections::HashSet::new();
         let mut frontier = vec![start];
         while let Some(p) = frontier.pop() {

@@ -26,7 +26,10 @@ use crate::stream::{StreamCatalog, StreamId};
 /// matures" (Section 3.3), and re-optimization reacts to such updates.
 #[derive(Clone, Debug)]
 pub struct StatsCatalog {
+    // sbon-lint: allow(unordered-iteration): point lookups only (insert/get
+    // by stream id); neither map is ever iterated.
     rates: HashMap<StreamId, f64>,
+    // sbon-lint: allow(unordered-iteration): point lookups only, see above.
     join_sel: HashMap<(StreamId, StreamId), f64>,
     default_join_sel: f64,
     window: f64,
@@ -40,7 +43,10 @@ impl StatsCatalog {
             "default selectivity must be positive"
         );
         StatsCatalog {
+            // sbon-lint: allow(unordered-iteration): lookup-only maps, see
+            // the field declarations.
             rates: HashMap::new(),
+            // sbon-lint: allow(unordered-iteration): as above.
             join_sel: HashMap::new(),
             default_join_sel,
             window: 1.0,

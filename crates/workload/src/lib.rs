@@ -61,6 +61,8 @@
 //! assert!(report.drained_to_baseline());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod arrival;
 pub mod scenario;
 pub mod session;

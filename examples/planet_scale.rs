@@ -33,6 +33,9 @@
 //!                                           # 100k-tier shape, parallel-vs-serial
 //! ```
 
+// Example: wall-clock progress reporting only, never control-plane input.
+#![allow(clippy::disallowed_methods)]
+
 use std::time::Instant;
 
 use rand::seq::SliceRandom;

@@ -16,6 +16,9 @@
 //! flash-crowd arrival burst plus departures over a 30-tick run, asserting
 //! the active-query gauge returns to zero.
 
+// Example: wall-clock progress reporting only, never control-plane input.
+#![allow(clippy::disallowed_methods)]
+
 use std::time::Instant;
 
 use sbon::core::multiquery::ReuseScope;

@@ -17,6 +17,12 @@
 //! prints embed wall time next to median relative error for the full
 //! protocol vs `landmarks ∈ {16, 64}`.
 //!
+//! The **reopt_pass** group measures one dirty-driven re-optimization pass
+//! over 100 circuits at dirty fractions 0/1/10/100% (2k and 10k nodes),
+//! with and without the per-evaluation mapping memo: pass cost must track
+//! the dirty fraction, with a clean pass costing only the relevance-index
+//! probes.
+//!
 //! The **jitter-tick** group measures how the lazy latency cache absorbs a
 //! batch of edge-weight deltas at 10k nodes with a 64-row working set:
 //! dynamic-SSSP `Repair` fixes each resident row over the affected region
@@ -32,11 +38,16 @@ use std::time::Instant;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::Rng;
-use sbon_bench::{build_world, WorldConfig};
+use sbon_bench::{build_world, pick_hosts, WorldConfig};
 use sbon_coords::error::relative_errors;
 use sbon_coords::vivaldi::VivaldiConfig;
 use sbon_core::costspace::CostSpace;
-use sbon_core::placement::{DhtMapper, DhtMapperConfig, OracleMapper, PhysicalMapper};
+use sbon_core::optimizer::{IntegratedOptimizer, OptimizerConfig, QuerySpec};
+use sbon_core::placement::{
+    DhtMapper, DhtMapperConfig, OracleMapper, PhysicalMapper, RelaxationPlacer,
+};
+use sbon_core::reopt::relevance::{ReadSet, RelevanceIndex, ReoptKind};
+use sbon_core::reopt::{reoptimize_rewrite, ReoptPolicy};
 use sbon_dht::{DhtConfig, DhtRing, RingKey};
 use sbon_netsim::graph::{EdgeId, NodeId};
 use sbon_netsim::lazy::{DeltaPolicy, LazyLatency};
@@ -283,6 +294,91 @@ fn bench_row_repair(c: &mut Criterion) {
     group.finish();
 }
 
+/// One dirty-driven re-optimization pass over 100 deployed circuits, at
+/// dirty fractions 0% / 1% / 10% / 100% and n ∈ {2k, 10k}: each dirty
+/// circuit runs the read-only rewrite evaluation (the heaviest per-circuit
+/// pass — rewrite-neighbourhood enumeration, virtual placement, catalog
+/// mapping, and cost estimation through a fresh
+/// [`DhtMapper::read_view`]), while every clean circuit costs exactly what
+/// the runtime's pre-filter pays: one relevance-index probe. The claim:
+/// pass cost scales with the dirty fraction, not the circuit count. The
+/// `_no_memo` variants disable the per-evaluation mapping memo, exposing
+/// how much of the evaluation is repeated lookups of the same ideal points
+/// across the rewrite neighbourhood.
+fn bench_reopt_pass(c: &mut Criterion) {
+    const CIRCUITS: usize = 100;
+    for nodes in [2_048usize, 10_000] {
+        // Landmark Vivaldi keeps the 10k build cheap: the warm-up demands
+        // 32 Dijkstra rows, not n.
+        let world = build_world(
+            &WorldConfig {
+                nodes,
+                vivaldi: VivaldiConfig { landmarks: Some(32), ..Default::default() },
+                ..Default::default()
+            },
+            nodes as u64,
+        );
+        let n = world.topology.num_nodes();
+        let mut dht = DhtMapper::build_with(&world.space, &DhtMapperConfig::default());
+        let optimizer = IntegratedOptimizer::new(OptimizerConfig::default());
+        let mut rng = derive_rng(nodes as u64, 0x4e0b7);
+        let placed: Vec<(QuerySpec, sbon_core::optimizer::PlacedCircuit)> = (0..CIRCUITS)
+            .map(|_| {
+                let hosts = pick_hosts(&world, 5, &mut rng);
+                let query = QuerySpec::join_star(&hosts[..4], hosts[4], 10.0, 0.02);
+                let pc = optimizer
+                    .optimize_with_mapper_estimated(&query, &world.space, &mut dht)
+                    .expect("query places");
+                (query, pc)
+            })
+            .collect();
+        // Every circuit recorded clean: the dirty set each "tick" is the
+        // first `dirty` circuits, everyone else is skipped by the probe.
+        let mut relevance = RelevanceIndex::new();
+        for h in 0..CIRCUITS as u64 {
+            relevance.record_clean(ReoptKind::Rewrite, h, ReadSet::default());
+        }
+        let placer = RelaxationPlacer::default();
+        let policy = ReoptPolicy::default();
+
+        let mut group = c.benchmark_group(format!("reopt_pass_{n}_nodes_{CIRCUITS}_circuits"));
+        group.sample_size(10);
+        for (label, pct, memo) in [
+            ("dirty_0pct", 0usize, true),
+            ("dirty_1pct", 1, true),
+            ("dirty_10pct", 10, true),
+            ("dirty_100pct", 100, true),
+            ("dirty_10pct_no_memo", 10, false),
+            ("dirty_100pct_no_memo", 100, false),
+        ] {
+            let dirty = CIRCUITS * pct / 100;
+            group.bench_function(label, |b| {
+                b.iter(|| {
+                    let mut evaluated = 0usize;
+                    for (i, (query, pc)) in placed.iter().enumerate() {
+                        if i >= dirty && !relevance.is_dirty(ReoptKind::Rewrite, i as u64) {
+                            continue;
+                        }
+                        let mut view = dht.read_view(memo);
+                        black_box(reoptimize_rewrite(
+                            &pc.plan,
+                            pc.estimated.network_usage,
+                            query,
+                            &world.space,
+                            &placer,
+                            &mut view,
+                            policy,
+                        ));
+                        evaluated += 1;
+                    }
+                    black_box(evaluated)
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
 /// The landmark-Vivaldi accuracy-vs-cost sweep: embed one 512-node world
 /// with the full protocol and with k ∈ {16, 64} landmarks, timing the embed
 /// (the criterion measurement) and printing median relative error next to
@@ -318,6 +414,7 @@ criterion_group!(
     bench_control_plane,
     bench_ring_maintenance,
     bench_row_repair,
+    bench_reopt_pass,
     bench_vivaldi_landmarks
 );
 criterion_main!(benches);

@@ -105,6 +105,56 @@ impl IntegratedOptimizer {
         }
         best
     }
+
+    /// [`IntegratedOptimizer::optimize_with_mapper`] without the measured
+    /// cost: candidates are costed from the cost space **estimate only** and
+    /// selection is by estimate regardless of
+    /// `OptimizerConfig::select_by_estimate` (there is no measured cost to
+    /// select by — the returned circuit's `cost` is a copy of `estimated`).
+    ///
+    /// This is the re-optimization path: with the default
+    /// `select_by_estimate = true` it picks exactly the circuit
+    /// `optimize_with_mapper` would, while never touching a latency
+    /// provider — which keeps a full re-opt pass free of on-demand
+    /// shortest-path row computations and safe to run against a read-only
+    /// mapper view.
+    pub fn optimize_with_mapper_estimated(
+        &self,
+        query: &QuerySpec,
+        space: &CostSpace,
+        mapper: &mut dyn PhysicalMapper,
+    ) -> Option<PlacedCircuit> {
+        let placer = self.config.placer.build();
+        let candidates = self.candidate_plans(query);
+        let examined = candidates.len();
+        let mut best: Option<PlacedCircuit> = None;
+
+        for plan in candidates {
+            let circuit =
+                Circuit::from_plan(&plan, &query.stats, |s| query.producer_of(s), query.consumer);
+            let vp = placer.place(&circuit, space);
+            let mapped = map_circuit(&circuit, &vp, space, mapper);
+            let estimated =
+                circuit.cost_with(&mapped.placement, |a, b| space.vector_distance(a, b));
+            let candidate = PlacedCircuit {
+                plan,
+                mapping_hops: mapped.total_hops(),
+                mean_mapping_error: mapped.mean_mapping_error(),
+                placement: mapped.placement,
+                circuit,
+                cost: estimated,
+                estimated,
+                candidates_examined: examined,
+            };
+            let better = best
+                .as_ref()
+                .is_none_or(|b| candidate.estimated.network_usage < b.estimated.network_usage);
+            if better {
+                best = Some(candidate);
+            }
+        }
+        best
+    }
 }
 
 #[cfg(test)]
@@ -226,6 +276,30 @@ mod tests {
         let placed = opt.optimize(&q, &space, &lat).unwrap();
         // producers(3) + joins(2) + aggregate(1) + consumer(1) = 7 services.
         assert_eq!(placed.circuit.len(), 7);
+    }
+
+    #[test]
+    fn estimated_path_selects_the_same_circuit_as_the_full_path() {
+        let (space, lat) = exact_world(40, 7);
+        let q = QuerySpec::join_star(
+            &[NodeId(2), NodeId(8), NodeId(14), NodeId(22)],
+            NodeId(30),
+            10.0,
+            0.02,
+        );
+        // Default config selects by estimate, so the estimate-only path must
+        // land on the identical plan and placement.
+        let opt = IntegratedOptimizer::new(OptimizerConfig::default());
+        let full = opt.optimize(&q, &space, &lat).unwrap();
+        let mut mapper = OracleMapper;
+        let est = opt.optimize_with_mapper_estimated(&q, &space, &mut mapper).unwrap();
+        assert_eq!(est.plan.render(), full.plan.render());
+        assert_eq!(est.placement.as_slice(), full.placement.as_slice());
+        assert_eq!(est.estimated.network_usage, full.estimated.network_usage);
+        assert_eq!(
+            est.cost.network_usage, est.estimated.network_usage,
+            "estimate-only cost is the estimate"
+        );
     }
 
     #[test]

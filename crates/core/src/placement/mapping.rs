@@ -154,8 +154,11 @@ impl LiveOracleMapper {
     }
 }
 
-impl PhysicalMapper for LiveOracleMapper {
-    fn map_point(&mut self, space: &CostSpace, ideal: &CostPoint) -> (NodeId, usize) {
+impl LiveOracleMapper {
+    /// The oracle scan as a pure read — `map_point` delegates here, and the
+    /// read-only views use it directly, so the two answer identically by
+    /// construction.
+    pub fn map_point_ro(&self, space: &CostSpace, ideal: &CostPoint) -> (NodeId, usize) {
         let best = (0..space.num_nodes())
             .map(|i| NodeId(i as u32))
             .filter(|n| self.is_alive(*n))
@@ -166,6 +169,18 @@ impl PhysicalMapper for LiveOracleMapper {
             })
             .expect("at least one node is alive");
         (best, 0)
+    }
+
+    /// A read-only view for one circuit evaluation (see
+    /// [`MapperReadView`]).
+    pub fn read_view(&self) -> LiveOracleReadView<'_> {
+        LiveOracleReadView { mapper: self }
+    }
+}
+
+impl PhysicalMapper for LiveOracleMapper {
+    fn map_point(&mut self, space: &CostSpace, ideal: &CostPoint) -> (NodeId, usize) {
+        self.map_point_ro(space, ideal)
     }
 
     fn name(&self) -> &'static str {
@@ -334,6 +349,192 @@ impl DhtMapper {
     /// k-nearest queries).
     pub fn catalog_mut(&mut self) -> &mut CoordinateCatalog<HilbertCurve> {
         &mut self.catalog
+    }
+
+    /// A read-only view for one circuit evaluation (see
+    /// [`MapperReadView`]). `memo` enables the per-view mapping memo that
+    /// collapses repeated lookups of bit-identical ideal points.
+    pub fn read_view(&self, memo: bool) -> DhtMapperReadView<'_> {
+        DhtMapperReadView {
+            catalog: &self.catalog,
+            stats: sbon_dht::catalog::CatalogStats::default(),
+            spans: Vec::new(),
+            memo: if memo { Some(std::collections::BTreeMap::new()) } else { None },
+        }
+    }
+
+    /// [`PhysicalMapper::update_node`] that reports the exact `(old, new)`
+    /// ring keys touched, for relevance-index invalidation.
+    pub fn update_node_traced(
+        &mut self,
+        space: &CostSpace,
+        node: NodeId,
+    ) -> (Option<sbon_dht::RingKey>, sbon_dht::RingKey) {
+        self.catalog.insert_traced(node.0, space.point(node).as_slice().to_vec())
+    }
+
+    /// [`PhysicalMapper::remove_node`] that reports the ring key the node
+    /// was registered under.
+    pub fn remove_node_traced(&mut self, node: NodeId) -> Option<sbon_dht::RingKey> {
+        self.catalog.remove_traced(node.0)
+    }
+
+    /// Applies a traffic delta observed by a read view.
+    pub fn charge_stats(&mut self, delta: sbon_dht::catalog::CatalogStats) {
+        self.catalog.charge_stats(delta);
+    }
+}
+
+/// What a read-only mapping phase observed: the traffic it would have
+/// charged and the region of the catalog it depended on. The owner charges
+/// the stats back onto the live mapper and records the read set in the
+/// relevance index.
+#[derive(Clone, Debug, Default)]
+pub struct ReadObservation {
+    /// Catalog traffic to charge via [`DhtMapper::charge_stats`].
+    pub stats: sbon_dht::catalog::CatalogStats,
+    /// Ring regions the lookups scanned (empty for oracle views).
+    pub spans: Vec<sbon_dht::catalog::ScanSpan>,
+    /// True when the evaluation read the whole space (oracle scans): any
+    /// cost-point change anywhere invalidates it.
+    pub whole_space: bool,
+}
+
+/// Read-only [`PhysicalMapper`] over a [`DhtMapper`]'s catalog, for one
+/// circuit evaluation. Lookups run through the traced catalog path: the
+/// answers are identical to the live mapper's, but statistics accumulate
+/// locally (fold them back with [`DhtMapper::charge_stats`]) and every
+/// scanned ring region is recorded, so the evaluation's full read set is
+/// known when it finishes.
+///
+/// The optional memo collapses repeated lookups of **bit-identical** ideal
+/// points (keyed on the exact `f64` bit patterns). The catalog never
+/// mutates during a view's lifetime, so a memo hit returns exactly what the
+/// lookup would have; it charges no new traffic and records no new span —
+/// the first miss already recorded the covering span.
+pub struct DhtMapperReadView<'a> {
+    catalog: &'a CoordinateCatalog<HilbertCurve>,
+    stats: sbon_dht::catalog::CatalogStats,
+    spans: Vec<sbon_dht::catalog::ScanSpan>,
+    memo: Option<std::collections::BTreeMap<Vec<u64>, (NodeId, usize)>>,
+}
+
+impl DhtMapperReadView<'_> {
+    /// Consumes the view, yielding everything it observed.
+    pub fn into_observation(self) -> ReadObservation {
+        ReadObservation { stats: self.stats, spans: self.spans, whole_space: false }
+    }
+}
+
+impl PhysicalMapper for DhtMapperReadView<'_> {
+    fn map_point(&mut self, space: &CostSpace, ideal: &CostPoint) -> (NodeId, usize) {
+        let _ = space; // coordinates were registered at build/update time
+        let key: Option<Vec<u64>> =
+            self.memo.as_ref().map(|_| ideal.as_slice().iter().map(|v| v.to_bits()).collect());
+        if let (Some(memo), Some(key)) = (&self.memo, &key) {
+            if let Some(&(node, hops)) = memo.get(key) {
+                return (node, hops);
+            }
+        }
+        let traced = self
+            .catalog
+            .lookup_closest_traced(ideal.as_slice())
+            .expect("catalog is non-empty by construction");
+        self.stats.merge(traced.stats);
+        self.spans.push(traced.span);
+        let answer = (NodeId(traced.member), traced.hops);
+        if let (Some(memo), Some(key)) = (&mut self.memo, key) {
+            memo.insert(key, answer);
+        }
+        answer
+    }
+
+    fn name(&self) -> &'static str {
+        "hilbert-dht (read view)"
+    }
+
+    fn update_node(&mut self, _space: &CostSpace, _node: NodeId) {
+        panic!("read-only mapper view cannot mutate the catalog");
+    }
+
+    fn remove_node(&mut self, _node: NodeId) {
+        panic!("read-only mapper view cannot mutate the catalog");
+    }
+}
+
+/// Read-only [`PhysicalMapper`] over a [`LiveOracleMapper`]. The oracle
+/// scan reads every live node's full cost point, so its read set is the
+/// whole space.
+pub struct LiveOracleReadView<'a> {
+    mapper: &'a LiveOracleMapper,
+}
+
+impl PhysicalMapper for LiveOracleReadView<'_> {
+    fn map_point(&mut self, space: &CostSpace, ideal: &CostPoint) -> (NodeId, usize) {
+        self.mapper.map_point_ro(space, ideal)
+    }
+
+    fn name(&self) -> &'static str {
+        "live-oracle (read view)"
+    }
+
+    fn update_node(&mut self, _space: &CostSpace, _node: NodeId) {
+        panic!("read-only mapper view cannot mutate the oracle");
+    }
+
+    fn remove_node(&mut self, _node: NodeId) {
+        panic!("read-only mapper view cannot mutate the oracle");
+    }
+}
+
+/// A backend-agnostic read-only mapper view for one circuit evaluation —
+/// what the overlay runtime hands to the parallel re-optimization phase.
+pub enum MapperReadView<'a> {
+    /// View over the Hilbert-DHT catalog.
+    Dht(DhtMapperReadView<'a>),
+    /// View over the live-oracle scan.
+    Oracle(LiveOracleReadView<'a>),
+}
+
+impl MapperReadView<'_> {
+    /// Consumes the view, yielding the evaluation's read set and traffic.
+    pub fn into_observation(self) -> ReadObservation {
+        match self {
+            MapperReadView::Dht(v) => v.into_observation(),
+            MapperReadView::Oracle(_) => {
+                ReadObservation { whole_space: true, ..ReadObservation::default() }
+            }
+        }
+    }
+}
+
+impl PhysicalMapper for MapperReadView<'_> {
+    fn map_point(&mut self, space: &CostSpace, ideal: &CostPoint) -> (NodeId, usize) {
+        match self {
+            MapperReadView::Dht(v) => v.map_point(space, ideal),
+            MapperReadView::Oracle(v) => v.map_point(space, ideal),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            MapperReadView::Dht(v) => v.name(),
+            MapperReadView::Oracle(v) => v.name(),
+        }
+    }
+
+    fn update_node(&mut self, space: &CostSpace, node: NodeId) {
+        match self {
+            MapperReadView::Dht(v) => v.update_node(space, node),
+            MapperReadView::Oracle(v) => v.update_node(space, node),
+        }
+    }
+
+    fn remove_node(&mut self, node: NodeId) {
+        match self {
+            MapperReadView::Dht(v) => v.remove_node(node),
+            MapperReadView::Oracle(v) => v.remove_node(node),
+        }
     }
 }
 
@@ -658,6 +859,76 @@ mod tests {
             let partial_order: Vec<usize> = by_partial.iter().map(|p| p.0).collect();
             proptest::prop_assert_eq!(total_order, partial_order);
         }
+    }
+
+    #[test]
+    fn dht_read_view_matches_live_mapper_and_defers_stats() {
+        let space = figure3_space();
+        let circuit = figure3_circuit();
+        let vp = RelaxationPlacer::default().place(&circuit, &space);
+        let join = circuit.unpinned_services()[0];
+        let ideal = space.ideal_point(vp.coord_of(join));
+        let mut dht = DhtMapper::build(&space, 10, 8);
+        let baseline = dht.stats();
+
+        let mut view = dht.read_view(false);
+        let viewed = view.map_point(&space, &ideal);
+        let obs = view.into_observation();
+        assert_eq!(dht.stats(), baseline, "view lookups charge nothing until folded back");
+        assert_eq!(obs.stats.lookups, 1);
+        assert_eq!(obs.spans.len(), 1);
+        assert!(!obs.whole_space);
+
+        let live = dht.map_point(&space, &ideal);
+        assert_eq!(viewed, live, "read view answers exactly like the live mapper");
+        dht.charge_stats(obs.stats);
+        assert_eq!(dht.stats().lookups, baseline.lookups + 2);
+    }
+
+    #[test]
+    fn read_view_memo_collapses_repeat_lookups() {
+        let space = figure3_space();
+        let circuit = figure3_circuit();
+        let vp = RelaxationPlacer::default().place(&circuit, &space);
+        let join = circuit.unpinned_services()[0];
+        let ideal = space.ideal_point(vp.coord_of(join));
+        let dht = DhtMapper::build(&space, 10, 8);
+
+        let mut plain = dht.read_view(false);
+        let a = plain.map_point(&space, &ideal);
+        let b = plain.map_point(&space, &ideal);
+        assert_eq!(plain.into_observation().stats.lookups, 2);
+
+        let mut memoized = dht.read_view(true);
+        let c = memoized.map_point(&space, &ideal);
+        let d = memoized.map_point(&space, &ideal);
+        let obs = memoized.into_observation();
+        assert_eq!(obs.stats.lookups, 1, "second identical lookup hits the memo");
+        assert_eq!(obs.spans.len(), 1);
+        assert_eq!((a, b), (c, d), "memoized answers are identical");
+    }
+
+    #[test]
+    fn oracle_read_view_reports_whole_space() {
+        let space = figure3_space();
+        let circuit = figure3_circuit();
+        let vp = RelaxationPlacer::default().place(&circuit, &space);
+        let join = circuit.unpinned_services()[0];
+        let ideal = space.ideal_point(vp.coord_of(join));
+        let mut live = LiveOracleMapper::new(space.num_nodes());
+        let expect = live.map_point(&space, &ideal);
+        let mut view = MapperReadView::Oracle(live.read_view());
+        assert_eq!(view.map_point(&space, &ideal), expect);
+        assert!(view.into_observation().whole_space);
+    }
+
+    #[test]
+    #[should_panic(expected = "read-only mapper view")]
+    fn read_view_rejects_mutation() {
+        let space = figure3_space();
+        let dht = DhtMapper::build(&space, 10, 8);
+        let mut view = dht.read_view(false);
+        view.update_node(&space, NodeId(0));
     }
 
     #[test]

@@ -28,8 +28,9 @@ pub use centroid::CentroidPlacer;
 pub use exhaustive::optimal_tree_placement;
 pub use gradient::{GradientConfig, GradientPlacer};
 pub use mapping::{
-    map_circuit, DhtMapper, DhtMapperConfig, LiveOracleMapper, MappedCircuit, MappedService,
-    OracleMapper, PhysicalMapper, VectorOnlyOracleMapper,
+    map_circuit, DhtMapper, DhtMapperConfig, DhtMapperReadView, LiveOracleMapper,
+    LiveOracleReadView, MappedCircuit, MappedService, MapperReadView, OracleMapper, PhysicalMapper,
+    ReadObservation, VectorOnlyOracleMapper,
 };
 pub use relaxation::{RelaxationConfig, RelaxationPlacer};
 pub use traits::{VirtualPlacement, VirtualPlacer};

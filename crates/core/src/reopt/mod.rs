@@ -9,10 +9,32 @@
 //! scenario, a node can trigger the full circuit optimization while the
 //! original circuit is still running. If warranted, a new parallel circuit
 //! is deployed, cancelling the original less ideal circuit."
+//!
+//! # The relevance / skip contract
+//!
+//! Every re-optimization decision in this module reads exactly two kinds of
+//! input: **cost-space coordinates** (via the mapper's catalog or oracle
+//! scan, and via `CostSpace::vector_distance` estimates over the circuit's
+//! own hosts) and the **circuit itself** (services, pins, link rates,
+//! current placement). Measured link latency is *never* an input — candidate
+//! selection and migration/replacement thresholds all compare estimated
+//! network usage — which is why latency jitter alone can never change a
+//! re-opt decision, and why these functions take no latency provider.
+//!
+//! That closed input set is what makes dirty-driven skipping exact (see
+//! [`relevance`]): an evaluation that made no state change, and whose
+//! recorded read set (scanned catalog [`ScanSpan`]s, the circuit's host
+//! nodes, or "the whole space" for oracle scans) contains no
+//! subsequently-touched key or node, would reproduce its no-op decision
+//! bit-for-bit — so the owner may skip it entirely. Anything that mutates a
+//! circuit (migration, rewrite, replacement, evacuation, pin changes) marks
+//! it dirty for every pass kind.
+//!
+//! [`ScanSpan`]: sbon_dht::catalog::ScanSpan
 
-use sbon_netsim::latency::LatencyProvider;
+pub mod relevance;
 
-use crate::circuit::{Circuit, Placement, ServiceId, ServicePin};
+use crate::circuit::{Circuit, Placement, ServiceId, ServiceKind, ServicePin};
 use crate::costspace::CostSpace;
 use crate::optimizer::{IntegratedOptimizer, OptimizerConfig, PlacedCircuit, QuerySpec};
 use crate::placement::{PhysicalMapper, VirtualPlacer};
@@ -113,6 +135,41 @@ pub enum RewriteOutcome {
     },
 }
 
+/// The canonical structural identity of a circuit: services (role,
+/// operator signature, pin, output-rate bits) in id order plus links
+/// (endpoints, rate bits). Two candidate plans with equal keys build
+/// byte-identical circuits, so they place, map, and cost identically —
+/// which makes skipping the later one safe under the strict-`<` candidate
+/// selection (the first occurrence wins ties either way). Note a commuted
+/// join is *not* a duplicate: its services are built in a different
+/// traversal order, so the key differs.
+fn structural_key(circuit: &Circuit) -> String {
+    use std::fmt::Write;
+    let mut key = String::new();
+    for s in circuit.services() {
+        match &s.kind {
+            ServiceKind::Producer(id) => {
+                let _ = write!(key, "P{id}");
+            }
+            ServiceKind::Consumer => key.push('C'),
+            ServiceKind::Operator { signature } => {
+                let _ = write!(key, "O[{signature}]");
+            }
+        }
+        match s.pin {
+            ServicePin::Pinned(n) => {
+                let _ = write!(key, "@{n}");
+            }
+            ServicePin::Unpinned => key.push('*'),
+        }
+        let _ = write!(key, ":{:016x};", s.output_rate.to_bits());
+    }
+    for l in circuit.links() {
+        let _ = write!(key, "{}>{}:{:016x};", l.from.0, l.to.0, l.rate.to_bits());
+    }
+    key
+}
+
 /// The paper's "limited plan re-writing" (Section 3.3): explore the local
 /// rewrite neighbourhood — join reorderings, filter decomposition and
 /// re-composition (see [`sbon_query::rewrite`]) up to two rewrite steps —
@@ -120,14 +177,15 @@ pub enum RewriteOutcome {
 /// circuit's estimate by the replacement threshold. Cheaper than full
 /// re-optimization: the candidate set is the rewrite neighbourhood, not the
 /// whole plan space. (Depth two, because commutations are cost-neutral on
-/// their own but unlock rotations.)
-#[allow(clippy::too_many_arguments)]
+/// their own but unlock rotations.) Candidates whose circuits are
+/// structurally identical to an earlier candidate are skipped before any
+/// placement work; the returned circuit's `cost` is its estimate (see the
+/// module docs — measured latency is never a re-opt input).
 pub fn reoptimize_rewrite(
     running_plan: &sbon_query::plan::LogicalPlan,
     running_cost_estimate: f64,
     query: &QuerySpec,
     space: &CostSpace,
-    latency: &dyn LatencyProvider,
     placer: &dyn VirtualPlacer,
     mapper: &mut dyn PhysicalMapper,
     policy: ReoptPolicy,
@@ -136,20 +194,23 @@ pub fn reoptimize_rewrite(
         return RewriteOutcome::Keep;
     }
     let mut best: Option<PlacedCircuit> = None;
+    let mut seen = std::collections::BTreeSet::new();
     for plan in sbon_query::rewrite::neighbors_within(running_plan, 2, 128) {
         let circuit =
             Circuit::from_plan(&plan, &query.stats, |s| query.producer_of(s), query.consumer);
+        if !seen.insert(structural_key(&circuit)) {
+            continue;
+        }
         let vp = placer.place(&circuit, space);
         let mapped = crate::placement::map_circuit(&circuit, &vp, space, mapper);
         let estimated = circuit.cost_with(&mapped.placement, |a, b| space.vector_distance(a, b));
-        let measured = circuit.cost_with(&mapped.placement, |a, b| latency.latency(a, b));
         let candidate = PlacedCircuit {
             plan,
             mapping_hops: mapped.total_hops(),
             mean_mapping_error: mapped.mean_mapping_error(),
             placement: mapped.placement,
             circuit,
-            cost: measured,
+            cost: estimated,
             estimated,
             candidates_examined: 1,
         };
@@ -192,24 +253,26 @@ pub enum FullReoptOutcome {
 /// caller supplies the physical mapper — typically the same long-lived,
 /// delta-maintained instance that served the initial deployment — so full
 /// re-opt shares the control-plane state instead of instantiating mappers
-/// per call.
+/// per call. Candidates are costed and selected by estimate only (see the
+/// module docs — measured latency is never a re-opt input).
 pub fn reoptimize_full(
     running_cost_estimate: f64,
     query: &QuerySpec,
     space: &CostSpace,
-    latency: &dyn LatencyProvider,
     mapper: &mut dyn PhysicalMapper,
     config: OptimizerConfig,
     policy: ReoptPolicy,
 ) -> FullReoptOutcome {
-    let optimizer = IntegratedOptimizer::new(config);
-    let Some(candidate) = optimizer.optimize_with_mapper(query, space, latency, mapper) else {
-        return FullReoptOutcome::Keep;
-    };
-    let new_cost = candidate.estimated.network_usage;
+    // A non-positive running estimate is an unconditional Keep — bail out
+    // before paying for a full optimization pass whose answer is discarded.
     if running_cost_estimate <= 0.0 {
         return FullReoptOutcome::Keep;
     }
+    let optimizer = IntegratedOptimizer::new(config);
+    let Some(candidate) = optimizer.optimize_with_mapper_estimated(query, space, mapper) else {
+        return FullReoptOutcome::Keep;
+    };
+    let new_cost = candidate.estimated.network_usage;
     let improvement = 1.0 - new_cost / running_cost_estimate;
     if improvement >= policy.replacement_threshold {
         FullReoptOutcome::Replace { replacement: Box::new(candidate), improvement }
@@ -341,7 +404,6 @@ mod tests {
             inflated,
             &q,
             &space,
-            &lat,
             &mut mapper,
             OptimizerConfig::default(),
             ReoptPolicy::default(),
@@ -367,9 +429,8 @@ mod tests {
             vec![50.0, 0.0],
             vec![150.0, 0.0],
         ];
-        let emb = VivaldiEmbedding::exact(pts.clone());
+        let emb = VivaldiEmbedding::exact(pts);
         let space = CostSpaceBuilder::latency_space(&emb);
-        let lat = EuclideanLatency::new(pts);
         let q = QuerySpec::join_star(&[NodeId(0), NodeId(1), NodeId(2)], NodeId(3), 10.0, 0.01);
 
         use sbon_query::plan::LogicalPlan;
@@ -392,7 +453,6 @@ mod tests {
             running_est,
             &q,
             &space,
-            &lat,
             &placer,
             &mut mapper,
             ReoptPolicy { migration_threshold: 0.05, replacement_threshold: 0.05 },
@@ -421,7 +481,6 @@ mod tests {
             fresh.estimated.network_usage,
             &q,
             &space,
-            &lat,
             &placer,
             &mut mapper,
             ReoptPolicy::default(),
@@ -431,6 +490,113 @@ mod tests {
                 "the integrated optimum must not be beaten by a local rewrite ({improvement})"
             ),
         }
+    }
+
+    /// A mapper that fails the test if the optimizer ever consults it.
+    struct PanickingMapper;
+
+    impl PhysicalMapper for PanickingMapper {
+        fn map_point(
+            &mut self,
+            _space: &CostSpace,
+            _ideal: &crate::costspace::CostPoint,
+        ) -> (NodeId, usize) {
+            panic!("the optimizer must not run for an unconditional Keep");
+        }
+
+        fn name(&self) -> &'static str {
+            "panicking"
+        }
+    }
+
+    /// Regression: `reoptimize_full` used to run the whole integrated
+    /// optimization *before* checking `running_cost_estimate <= 0.0`,
+    /// paying full optimization cost on circuits it then unconditionally
+    /// kept. The guard must fire before any mapping work.
+    #[test]
+    fn full_reopt_guard_fires_before_the_optimizer_runs() {
+        let (pts, _lat) = world();
+        let emb = VivaldiEmbedding::exact(pts);
+        let space = CostSpaceBuilder::latency_space(&emb);
+        let q = QuerySpec::join_star(&[NodeId(0), NodeId(8)], NodeId(4), 10.0, 0.01);
+        let mut mapper = PanickingMapper;
+        for estimate in [0.0, -1.0] {
+            match reoptimize_full(
+                estimate,
+                &q,
+                &space,
+                &mut mapper,
+                OptimizerConfig::default(),
+                ReoptPolicy::default(),
+            ) {
+                FullReoptOutcome::Keep => {}
+                FullReoptOutcome::Replace { .. } => {
+                    panic!("estimate {estimate} must be an unconditional Keep")
+                }
+            }
+        }
+    }
+
+    /// Structurally identical rewrite candidates are deduplicated before
+    /// placement work, and dedup never changes the winner: a counting
+    /// mapper sees at most one mapping per *distinct* circuit structure.
+    #[test]
+    fn rewrite_dedup_skips_structural_duplicates_without_changing_the_outcome() {
+        struct CountingMapper {
+            inner: OracleMapper,
+            calls: usize,
+        }
+        impl PhysicalMapper for CountingMapper {
+            fn map_point(
+                &mut self,
+                space: &CostSpace,
+                ideal: &crate::costspace::CostPoint,
+            ) -> (NodeId, usize) {
+                self.calls += 1;
+                self.inner.map_point(space, ideal)
+            }
+            fn name(&self) -> &'static str {
+                "counting"
+            }
+        }
+
+        let (pts, lat) = world();
+        let emb = VivaldiEmbedding::exact(pts.clone());
+        let space = CostSpaceBuilder::latency_space(&emb);
+        let q = QuerySpec::join_star(&[NodeId(0), NodeId(4), NodeId(8)], NodeId(7), 10.0, 0.01);
+        let opt = IntegratedOptimizer::new(OptimizerConfig::default());
+        let fresh = opt.optimize(&q, &space, &lat).unwrap();
+        let placer = crate::placement::RelaxationPlacer::default();
+
+        // Count distinct circuit structures in the rewrite neighbourhood;
+        // the mapper must be consulted once per unpinned service of each.
+        let mut distinct = 0usize;
+        let mut unpinned = 0usize;
+        let mut seen = std::collections::BTreeSet::new();
+        for plan in sbon_query::rewrite::neighbors_within(&fresh.plan, 2, 128) {
+            let circuit = Circuit::from_plan(&plan, &q.stats, |s| q.producer_of(s), q.consumer);
+            if seen.insert(structural_key(&circuit)) {
+                distinct += 1;
+                unpinned += circuit.unpinned_services().len();
+            }
+        }
+        assert!(distinct > 0);
+
+        let mut mapper = CountingMapper { inner: OracleMapper, calls: 0 };
+        let outcome = reoptimize_rewrite(
+            &fresh.plan,
+            fresh.estimated.network_usage,
+            &q,
+            &space,
+            &placer,
+            &mut mapper,
+            ReoptPolicy::default(),
+        );
+        assert_eq!(mapper.calls, unpinned, "one mapping per unpinned service per distinct circuit");
+        assert!(
+            matches!(outcome, RewriteOutcome::Keep),
+            "the integrated optimum must still be kept"
+        );
     }
 
     #[test]
@@ -446,7 +612,6 @@ mod tests {
             fresh.estimated.network_usage,
             &q,
             &space,
-            &lat,
             &mut mapper,
             OptimizerConfig::default(),
             ReoptPolicy::default(),

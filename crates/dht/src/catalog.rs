@@ -27,6 +27,61 @@ pub struct CatalogStats {
     pub candidates_examined: usize,
 }
 
+impl CatalogStats {
+    /// Folds another stats delta into this one — used to charge traffic
+    /// observed by a read-only view back onto the owning catalog.
+    pub fn merge(&mut self, other: CatalogStats) {
+        self.lookups += other.lookups;
+        self.hops += other.hops;
+        self.candidates_examined += other.candidates_examined;
+    }
+}
+
+/// Ring distance between two keys: the shorter way around the 128-bit
+/// identifier circle.
+fn ring_proximity(a: RingKey, b: RingKey) -> RingKey {
+    a.wrapping_sub(b).min(b.wrapping_sub(a))
+}
+
+/// Conservative summary of the ring region one lookup examined: every
+/// member key the neighborhood scan could have returned lies within
+/// `radius` of `center` (ring distance, wrap-safe). Used by incremental
+/// re-optimization to decide whether a later catalog mutation could have
+/// changed this lookup's answer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScanSpan {
+    /// The ring key the lookup targeted.
+    pub center: RingKey,
+    /// Max ring distance from `center` among the scanned member keys.
+    pub radius: RingKey,
+    /// True when the scan covered the entire ring (small memberships):
+    /// every key is inside the span.
+    pub whole_ring: bool,
+}
+
+impl ScanSpan {
+    /// True if a mutation at `key` could intersect the scanned region.
+    /// Inclusive (conservative): a key exactly at the boundary counts.
+    pub fn contains(&self, key: RingKey) -> bool {
+        self.whole_ring || ring_proximity(key, self.center) <= self.radius
+    }
+}
+
+/// The answer of a read-only [`CoordinateCatalog::lookup_closest_traced`]
+/// call: the chosen member plus the traffic it *would* have charged and the
+/// ring region it examined.
+#[derive(Clone, Debug)]
+pub struct TracedLookup {
+    /// The member closest to the target among the scanned neighborhood.
+    pub member: MemberId,
+    /// DHT routing hops the lookup took.
+    pub hops: usize,
+    /// Ring region the neighborhood scan covered.
+    pub span: ScanSpan,
+    /// Traffic to charge via [`CoordinateCatalog::charge_stats`].
+    pub stats: CatalogStats,
+}
+
 /// A coordinate catalog: a space-filling curve + quantizer + Chord ring.
 ///
 /// Generic over the curve so the A1 ablation can swap Hilbert for Morton.
@@ -37,6 +92,10 @@ pub struct CoordinateCatalog<C: SpaceFillingCurve> {
     ring: DhtRing,
     /// `coords[member]` = registered coordinate (dense by MemberId).
     coords: Vec<Option<Vec<f64>>>,
+    /// `keys[member]` = the ring key the member is actually registered
+    /// under (after collision probing) — the exact key to invalidate when
+    /// the member re-registers or leaves.
+    keys: Vec<Option<RingKey>>,
     /// How many ring neighbors to examine around a lookup's landing point.
     scan_width: usize,
     stats: CatalogStats,
@@ -55,6 +114,7 @@ impl<C: SpaceFillingCurve> CoordinateCatalog<C> {
             quantizer,
             ring: DhtRing::new(DhtConfig::default()),
             coords: Vec::new(),
+            keys: Vec::new(),
             scan_width,
             stats: CatalogStats::default(),
         }
@@ -93,23 +153,46 @@ impl<C: SpaceFillingCurve> CoordinateCatalog<C> {
     /// updates are how nodes "constantly refine" their position as the
     /// network drifts.
     pub fn insert(&mut self, member: MemberId, coord: Vec<f64>) {
+        self.insert_traced(member, coord);
+    }
+
+    /// [`CoordinateCatalog::insert`] that also reports the exact ring keys
+    /// affected: `(previous registered key if any, new registered key)`.
+    /// Both are post-collision-probing keys, so span stabbing against them
+    /// is exact, not approximate.
+    pub fn insert_traced(
+        &mut self,
+        member: MemberId,
+        coord: Vec<f64>,
+    ) -> (Option<RingKey>, RingKey) {
         assert_eq!(coord.len(), self.quantizer.dims(), "coordinate dimensionality");
-        self.ring.leave(member);
-        let key = self.key_of(&coord);
-        self.ring.join(key, member);
         let idx = member as usize;
         if self.coords.len() <= idx {
             self.coords.resize(idx + 1, None);
+            self.keys.resize(idx + 1, None);
         }
+        let old_key = self.keys[idx].take();
+        self.ring.leave(member);
+        let key = self.key_of(&coord);
+        let registered = self.ring.join(key, member);
+        self.keys[idx] = Some(registered);
         self.coords[idx] = Some(coord);
+        (old_key, registered)
     }
 
     /// Unregisters a member (node failure / leave).
     pub fn remove(&mut self, member: MemberId) {
+        self.remove_traced(member);
+    }
+
+    /// [`CoordinateCatalog::remove`] that reports the ring key the member
+    /// was registered under, if it was registered.
+    pub fn remove_traced(&mut self, member: MemberId) -> Option<RingKey> {
         self.ring.leave(member);
         if let Some(slot) = self.coords.get_mut(member as usize) {
             *slot = None;
         }
+        self.keys.get_mut(member as usize).and_then(|slot| slot.take())
     }
 
     /// The registered coordinate of a member, if any.
@@ -125,20 +208,43 @@ impl<C: SpaceFillingCurve> CoordinateCatalog<C> {
     /// a `scan_width`-member neighborhood scan re-ranked by true cost-space
     /// distance.
     pub fn lookup_closest(&mut self, target: &[f64]) -> Option<(MemberId, usize)> {
+        let traced = self.lookup_closest_traced(target)?;
+        self.charge_stats(traced.stats);
+        Some((traced.member, traced.hops))
+    }
+
+    /// Read-only [`CoordinateCatalog::lookup_closest`]: the same routing,
+    /// scan, and ranking, but without mutating the traffic statistics —
+    /// the caller gets the would-be stats delta (apply it later with
+    /// [`CoordinateCatalog::charge_stats`]) plus the [`ScanSpan`] of ring
+    /// keys the scan covered. `lookup_closest` delegates here, so the two
+    /// answers are identical by construction.
+    pub fn lookup_closest_traced(&self, target: &[f64]) -> Option<TracedLookup> {
         let key = self.key_of(target);
         let start = self.ring.iter().next()?.0;
         let outcome = self.ring.lookup(start, key)?;
         let neighborhood = self.ring.neighbors(key, self.scan_width);
-        self.stats.lookups += 1;
-        self.stats.hops += outcome.hops;
-        self.stats.candidates_examined += neighborhood.len();
+        let stats = CatalogStats {
+            lookups: 1,
+            hops: outcome.hops,
+            candidates_examined: neighborhood.len(),
+        };
+        let radius = neighborhood.iter().map(|&(k, _)| ring_proximity(k, key)).max().unwrap_or(0);
+        let span =
+            ScanSpan { center: key, radius, whole_ring: neighborhood.len() == self.ring.len() };
 
         let best = neighborhood.into_iter().map(|(_, m)| m).min_by(|&a, &b| {
             let da = self.distance_to(a, target);
             let db = self.distance_to(b, target);
             da.total_cmp(&db)
         })?;
-        Some((best, outcome.hops))
+        Some(TracedLookup { member: best, hops: outcome.hops, span, stats })
+    }
+
+    /// Applies a traffic delta observed by a read-only view (traced lookups
+    /// done off to the side) to this catalog's running statistics.
+    pub fn charge_stats(&mut self, delta: CatalogStats) {
+        self.stats.merge(delta);
     }
 
     /// The paper's multi-query radius search: the `k` registered members
@@ -337,6 +443,91 @@ mod tests {
             Quantizer::new(vec![0.0, 0.0], vec![1.0, 1.0], 8),
             4,
         );
+    }
+
+    #[test]
+    fn traced_lookup_matches_mutable_lookup_and_charges_nothing() {
+        let mut rng = rng_from_seed(7);
+        let mut c = unit_catalog(8);
+        for i in 0..120 {
+            c.insert(i, vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]);
+        }
+        for _ in 0..100 {
+            let target = [rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)];
+            let before = c.stats();
+            let traced = c.lookup_closest_traced(&target).unwrap();
+            assert_eq!(c.stats(), before, "traced lookup must not mutate stats");
+            let (m, hops) = c.lookup_closest(&target).unwrap();
+            assert_eq!((traced.member, traced.hops), (m, hops));
+            // The mutable path charges exactly the traced delta.
+            let mut expected = before;
+            expected.merge(traced.stats);
+            assert_eq!(c.stats(), expected);
+            // The chosen member's registered key lies inside the span.
+            let key = c.keys[m as usize].unwrap();
+            assert!(traced.span.contains(key), "winner's key must be in the scanned span");
+        }
+    }
+
+    #[test]
+    fn mutations_outside_the_span_do_not_change_the_answer() {
+        let mut rng = rng_from_seed(8);
+        let mut c = unit_catalog(4);
+        for i in 0..200 {
+            c.insert(i, vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]);
+        }
+        let mut checked = 0;
+        for _ in 0..50 {
+            let target = [rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)];
+            let traced = c.lookup_closest_traced(&target).unwrap();
+            if traced.span.whole_ring {
+                continue;
+            }
+            // Remove every member whose registered key is outside the span:
+            // by the span contract none of them could have been scanned, so
+            // the answer must be unchanged.
+            let mut pruned = c.clone();
+            for m in 0..200 {
+                if pruned.keys[m as usize].is_some_and(|k| !traced.span.contains(k)) {
+                    pruned.remove(m as MemberId);
+                }
+            }
+            // Only the *member* answer is the decision surface — routing
+            // hop counts legitimately depend on ring members outside the
+            // span (they shape the finger tables), and hops never feed a
+            // placement decision.
+            let after = pruned.lookup_closest_traced(&target).unwrap();
+            assert_eq!(after.member, traced.member);
+            checked += 1;
+        }
+        assert!(checked > 0, "test never exercised a partial span");
+    }
+
+    #[test]
+    fn traced_insert_and_remove_report_exact_registered_keys() {
+        let mut c = unit_catalog(4);
+        let (old, first) = c.insert_traced(0, vec![0.2, 0.2]);
+        assert!(old.is_none(), "first registration has no prior key");
+        // Collision probing can shift the key; the catalog must remember the
+        // key actually registered, not the nominal key_of.
+        let (_, probed) = c.insert_traced(1, vec![0.2, 0.2]);
+        assert_ne!(first, probed, "collision probe must produce a distinct key");
+        let (old, second) = c.insert_traced(0, vec![0.8, 0.8]);
+        assert_eq!(old, Some(first), "re-registration reports the prior key");
+        assert_eq!(c.remove_traced(0), Some(second));
+        assert_eq!(c.remove_traced(0), None, "double remove reports nothing");
+    }
+
+    #[test]
+    fn scan_span_contains_is_wrap_safe() {
+        let span = ScanSpan { center: 5, radius: 10, whole_ring: false };
+        assert!(span.contains(0));
+        assert!(span.contains(15));
+        assert!(span.contains(RingKey::MAX - 4), "wraps below zero");
+        assert!(!span.contains(16));
+        assert!(!span.contains(RingKey::MAX - 6));
+        let whole = ScanSpan { center: 0, radius: 0, whole_ring: true };
+        assert!(whole.contains(RingKey::MAX / 2));
     }
 
     #[test]

@@ -18,6 +18,16 @@
 //! ticks ([`DeploymentModel::Wave`]): pending nodes arrive on a per-tick
 //! budget and register through the same maintenance contract
 //! (`add_node`), so bring-up is incremental rather than one bulk build.
+//!
+//! Re-optimization is **dirty-driven** by default
+//! ([`RuntimeConfig::incremental_reopt`]): a runtime-maintained relevance
+//! index ([`sbon_core::reopt::relevance`]) remembers the exact read set of
+//! every no-op circuit evaluation and invalidates it from the control-plane
+//! deltas above, so each adaptation pass evaluates only the circuits a
+//! delta could actually have affected — bit-identically to evaluating
+//! everything. The evaluations themselves are read-only (per-circuit
+//! [`MapperReadView`]s) and shard across the worker pool; mutations commit
+//! serially in circuit order, so thread count never changes results.
 
 // Wall-clock reads here are the per-tick elapsed-time *stats* the runtime
 // reports; they never feed control-plane decisions (sbon_lint: wall-clock
@@ -37,8 +47,10 @@ use sbon_core::costspace::{CostSpace, CostSpaceBuilder};
 use sbon_core::multiquery::{CircuitId, MultiQueryOptimizer, ReuseScope};
 use sbon_core::optimizer::{IntegratedOptimizer, OptimizerConfig, QuerySpec};
 use sbon_core::placement::{
-    DhtMapper, DhtMapperConfig, LiveOracleMapper, PhysicalMapper, RelaxationPlacer,
+    DhtMapper, DhtMapperConfig, LiveOracleMapper, MapperReadView, PhysicalMapper, ReadObservation,
+    RelaxationPlacer,
 };
+use sbon_core::reopt::relevance::{ReadSet, RelevanceIndex, ReoptKind};
 use sbon_core::reopt::{reoptimize_full, reoptimize_local, FullReoptOutcome, ReoptPolicy};
 use sbon_dht::catalog::CatalogStats;
 use sbon_netsim::dijkstra::all_pairs_latency;
@@ -232,6 +244,21 @@ pub struct RuntimeConfig {
     /// values and commit them serially in a deterministic order, so a run
     /// at any `threads` setting is bit-identical to a serial one.
     pub threads: usize,
+    /// Dirty-driven re-optimization (default `true`): each adaptation pass
+    /// evaluates only circuits whose re-opt inputs changed since their last
+    /// no-op evaluation, per the runtime-maintained
+    /// [`RelevanceIndex`](sbon_core::reopt::relevance::RelevanceIndex).
+    /// Skipping is bit-identical to evaluating everything (see the
+    /// [`sbon_core::reopt`] module docs for the closed-input-set argument);
+    /// `false` restores the evaluate-everything scan, useful as the
+    /// equivalence baseline.
+    pub incremental_reopt: bool,
+    /// Per-evaluation mapping memo (default `true`): within one circuit
+    /// evaluation, repeated physical-mapping lookups of bit-identical ideal
+    /// points are answered from a local memo instead of re-routing through
+    /// the catalog. Answers are identical by construction (the catalog
+    /// never mutates mid-evaluation); only the per-lookup traffic changes.
+    pub mapping_memo: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -256,6 +283,8 @@ impl Default for RuntimeConfig {
             deployment: DeploymentModel::default(),
             reuse: ReuseScope::None,
             threads: 0,
+            incremental_reopt: true,
+            mapping_memo: true,
         }
     }
 }
@@ -409,6 +438,20 @@ impl RuntimeConfigBuilder {
         self
     }
 
+    /// Enables/disables dirty-driven re-optimization — see
+    /// [`RuntimeConfig::incremental_reopt`].
+    pub fn incremental_reopt(mut self, v: bool) -> Self {
+        self.config.incremental_reopt = v;
+        self
+    }
+
+    /// Enables/disables the per-evaluation mapping memo — see
+    /// [`RuntimeConfig::mapping_memo`].
+    pub fn mapping_memo(mut self, v: bool) -> Self {
+        self.config.mapping_memo = v;
+        self
+    }
+
     /// Finalizes the configuration.
     pub fn build(self) -> RuntimeConfig {
         self.config
@@ -536,6 +579,9 @@ enum Event {
 }
 
 /// The runtime-owned mapper behind [`MapperBackend`].
+// The runtime holds exactly one of these for its whole lifetime, so the
+// Dht/Oracle size gap costs one allocation's worth of slack, not N.
+#[allow(clippy::large_enum_variant)]
 enum MapperState {
     Dht(DhtMapper),
     Oracle(LiveOracleMapper),
@@ -546,6 +592,23 @@ impl MapperState {
         match self {
             MapperState::Dht(m) => m,
             MapperState::Oracle(m) => m,
+        }
+    }
+
+    /// A read-only view for one circuit evaluation: answers exactly like
+    /// the live mapper, accumulates traffic/read-set observations locally.
+    fn read_view(&self, memo: bool) -> MapperReadView<'_> {
+        match self {
+            MapperState::Dht(m) => MapperReadView::Dht(m.read_view(memo)),
+            MapperState::Oracle(m) => MapperReadView::Oracle(m.read_view()),
+        }
+    }
+
+    /// Folds a read view's deferred catalog traffic back onto the live
+    /// mapper (a no-op for the oracle, which has no traffic counters).
+    fn charge_observed(&mut self, obs: &ReadObservation) {
+        if let MapperState::Dht(m) = self {
+            m.charge_stats(obs.stats);
         }
     }
 }
@@ -569,14 +632,36 @@ pub struct ControlPlaneStats {
     /// Wall time admitting deployment-wave arrivals (mapper `add_node`).
     pub join_ns: u128,
     /// Wall time in coordinate maintenance: dirty-set scalar refresh plus
-    /// mapper re-registrations.
+    /// mapper re-registrations (and relevance-index invalidation).
     pub refresh_ns: u128,
-    /// Wall time in re-optimization events (local, rewrite, full) and
-    /// failure evacuation — the mapping-heavy control-plane paths.
-    pub reopt_ns: u128,
+    /// Wall time in local re-optimization passes (per-service migration
+    /// checks).
+    pub local_reopt_ns: u128,
+    /// Wall time in plan-rewrite passes (rewrite-neighbourhood
+    /// exploration).
+    pub rewrite_ns: u128,
+    /// Wall time in full re-optimization passes.
+    pub full_reopt_ns: u128,
+    /// Wall time in failure handling: teardown cascade plus service
+    /// evacuation.
+    pub evac_ns: u128,
+    /// Circuit evaluations actually run by the adaptation passes (summed
+    /// over local/rewrite/full events).
+    pub reopt_evaluated: usize,
+    /// Circuit evaluations skipped because the relevance index proved the
+    /// circuit's re-opt inputs unchanged since its last no-op evaluation.
+    pub reopt_skipped: usize,
     /// Wall time reading the ground-truth latency provider for usage
     /// accounting (the data-plane proxy, for comparison).
     pub usage_ns: u128,
+}
+
+impl ControlPlaneStats {
+    /// Total adaptation wall time: the former `reopt_ns` aggregate — local
+    /// + rewrite + full re-opt passes plus failure evacuation.
+    pub fn adaptation_ns(&self) -> u128 {
+        self.local_reopt_ns + self.rewrite_ns + self.full_reopt_ns + self.evac_ns
+    }
 }
 
 /// Backend-selected ground-truth latency state.
@@ -651,6 +736,34 @@ fn sample_edge_deltas<R: Rng, B: Fn(EdgeId) -> f64>(
 /// keep `salt ^ node` disjoint from every other derivation stream.
 const PLACE_STREAM: u64 = 0x517e_9a4e << 32;
 
+/// Runs `f` over `indices` on the pool when one is active (and there is
+/// enough work to shard), serially otherwise. Results come back in input
+/// order either way, and `f` is pure per index, so thread count never
+/// changes what the caller commits.
+fn run_parallel<T: Send>(
+    pool: &Option<rayon::ThreadPool>,
+    indices: &[usize],
+    f: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
+    match pool {
+        Some(pool) if indices.len() > 1 => {
+            pool.install(|| indices.par_iter().map(|&i| f(i)).collect())
+        }
+        _ => indices.iter().map(|&i| f(i)).collect(),
+    }
+}
+
+/// The host set an evaluation's cost estimates read: every placement node
+/// of the circuit, deduplicated. Cost-point changes at any of them can
+/// change the estimate (and with it the pass's decision).
+fn circuit_hosts(circuit: &Circuit, placement: &Placement) -> Vec<NodeId> {
+    let mut hosts: Vec<NodeId> =
+        circuit.services().iter().map(|s| placement.node_of(s.id)).collect();
+    hosts.sort_unstable();
+    hosts.dedup();
+    hosts
+}
+
 /// The simulated SBON.
 pub struct OverlayRuntime {
     config: RuntimeConfig,
@@ -678,6 +791,9 @@ pub struct OverlayRuntime {
     lifecycle: QueryLifecycleStats,
     /// The single long-lived physical mapper, kept in sync with `space`.
     mapper: MapperState,
+    /// Dirty tracking for re-optimization: which circuits each adaptation
+    /// pass may skip, and which control-plane deltas invalidate them.
+    relevance: RelevanceIndex,
     /// Control-plane accounting.
     control: ControlPlaneStats,
     /// `alive[node]` — failed nodes host nothing and map to nothing.
@@ -853,6 +969,7 @@ impl OverlayRuntime {
             retained: Vec::new(),
             lifecycle: QueryLifecycleStats::default(),
             mapper,
+            relevance: RelevanceIndex::new(),
             control: ControlPlaneStats::default(),
             alive: vec![true; n],
             arrived,
@@ -900,8 +1017,20 @@ impl OverlayRuntime {
         }
         self.alive[node.index()] = false;
         // The maintenance contract: the dead node leaves the mapper, so no
-        // control-plane path can ever map onto it again.
-        self.mapper.as_dyn().remove_node(node);
+        // control-plane path can ever map onto it again. Clean records that
+        // scanned its registration (or read its cost point) go dirty.
+        match &mut self.mapper {
+            MapperState::Dht(m) => {
+                if let Some(key) = m.remove_node_traced(node) {
+                    self.relevance.touch_key(key);
+                }
+            }
+            MapperState::Oracle(m) => {
+                m.remove_node(node);
+                self.relevance.touch_all();
+            }
+        }
+        self.relevance.touch_host(node);
         let placer = RelaxationPlacer::default();
         let mut evacuated = 0;
 
@@ -922,6 +1051,7 @@ impl OverlayRuntime {
             if dead_pin {
                 let d = self.circuits.remove(idx);
                 self.failed_circuits.push(d.handle);
+                self.relevance.remove(d.handle.0 as u64);
                 if let (Some(mq), Some(id)) = (&mut self.multiquery, d.mq_id) {
                     if let Some(rep) = mq.teardown_reporting(id) {
                         drained.extend(rep.drained);
@@ -950,6 +1080,7 @@ impl OverlayRuntime {
             if let Some(pos) = self.circuits.iter().position(|d| d.mq_id == Some(id)) {
                 let d = self.circuits.remove(pos);
                 self.failed_circuits.push(d.handle);
+                self.relevance.remove(d.handle.0 as u64);
             }
             self.retained.retain(|r| r.owner != id);
             if let Some(mq) = &mut self.multiquery {
@@ -976,6 +1107,9 @@ impl OverlayRuntime {
             if stranded.is_empty() {
                 continue;
             }
+            // Evacuation rewrites the placement: the circuit is dirty for
+            // every pass kind.
+            self.relevance.mark_dirty(d.handle.0 as u64);
             let vp = sbon_core::placement::VirtualPlacer::place(&placer, &d.circuit, &self.space);
             for sid in stranded {
                 let ideal = self.space.ideal_point(vp.coord_of(sid));
@@ -1019,12 +1153,37 @@ impl OverlayRuntime {
             || d.circuit.services().iter().any(|s| mq.refcount(id, s.id) > 0)
     }
 
+    /// Serial pre-filter of one adaptation pass: the indices of circuits
+    /// the pass must evaluate. `skip_entangled` applies the tenancy rule of
+    /// the plan-replacing passes; the dirty filter (when
+    /// [`RuntimeConfig::incremental_reopt`] is on) drops circuits whose
+    /// re-opt inputs are unchanged since their last no-op `kind`
+    /// evaluation. Entangled circuits count toward neither evaluated nor
+    /// skipped — they were never candidates.
+    fn dirty_circuits(&mut self, kind: ReoptKind, skip_entangled: bool) -> Vec<usize> {
+        let mut eval = Vec::new();
+        for (i, d) in self.circuits.iter().enumerate() {
+            if skip_entangled && Self::is_entangled(&self.multiquery, d) {
+                continue;
+            }
+            if self.config.incremental_reopt && !self.relevance.is_dirty(kind, d.handle.0 as u64) {
+                self.control.reopt_skipped += 1;
+                continue;
+            }
+            eval.push(i);
+        }
+        self.control.reopt_evaluated += eval.len();
+        eval
+    }
+
     /// Lifts the tenancy pin from instances whose last subscriber left
     /// while their owner keeps running — they are migratable again.
     fn apply_idle(&mut self, idle: &[(CircuitId, ServiceId)]) {
         for &(owner, service) in idle {
             if let Some(d) = self.circuits.iter_mut().find(|d| d.mq_id == Some(owner)) {
                 d.circuit.unpin_service(service);
+                // The unpin changes what the passes may migrate/replace.
+                self.relevance.mark_dirty(d.handle.0 as u64);
             }
         }
     }
@@ -1186,6 +1345,8 @@ impl OverlayRuntime {
         for inst in &reused {
             if let Some(owner) = self.circuits.iter_mut().find(|d| d.mq_id == Some(inst.circuit)) {
                 owner.circuit.pin_service(inst.service, inst.node);
+                // The pin changes the owner's adaptation surface.
+                self.relevance.mark_dirty(owner.handle.0 as u64);
             }
         }
         let handle = CircuitHandle(self.next_handle);
@@ -1215,6 +1376,7 @@ impl OverlayRuntime {
         };
         let d = self.circuits.remove(idx);
         self.lifecycle.departures += 1;
+        self.relevance.remove(d.handle.0 as u64);
         if let (Some(mq), Some(mq_id)) = (&mut self.multiquery, d.mq_id) {
             if let Some(rep) = mq.release(mq_id) {
                 if !rep.retained.is_empty() {
@@ -1359,25 +1521,69 @@ impl OverlayRuntime {
             Event::LocalReopt => {
                 let t0 = Instant::now();
                 let placer = RelaxationPlacer::default();
+                // Dirty filter: clean circuits would reproduce their last
+                // no-op evaluation exactly, so they are skipped outright.
+                let eval_idx = self.dirty_circuits(ReoptKind::Local, false);
+                // Read-only evaluation, shardable across the pool: each
+                // circuit gets a fresh mapper view and a placement clone;
+                // nothing shared mutates, so evaluations are independent.
+                let results: Vec<(
+                    Placement,
+                    sbon_core::reopt::LocalReoptOutcome,
+                    ReadObservation,
+                )> = {
+                    let circuits = &self.circuits;
+                    let space = &self.space;
+                    let mapper = &self.mapper;
+                    let placer = &placer;
+                    let policy = self.config.policy;
+                    let memo = self.config.mapping_memo;
+                    run_parallel(&self.pool, &eval_idx, move |i| {
+                        let d = &circuits[i];
+                        let mut view = mapper.read_view(memo);
+                        let mut placement = d.placement.clone();
+                        let outcome = reoptimize_local(
+                            &d.circuit,
+                            &mut placement,
+                            space,
+                            placer,
+                            &mut view,
+                            policy,
+                        );
+                        (placement, outcome, view.into_observation())
+                    })
+                };
+                // Serial commit in circuit order: placements, the
+                // reuse-discovery index, deferred catalog traffic, and the
+                // relevance verdict (clean record vs dirty-on-mutation).
                 let mut moved = 0;
-                for d in &mut self.circuits {
-                    let outcome = reoptimize_local(
-                        &d.circuit,
-                        &mut d.placement,
-                        &self.space,
-                        &placer,
-                        self.mapper.as_dyn(),
-                        self.config.policy,
-                    );
+                for (&i, (placement, outcome, obs)) in eval_idx.iter().zip(results) {
+                    self.mapper.charge_observed(&obs);
+                    let handle = self.circuits[i].handle.0 as u64;
+                    if outcome.migrations.is_empty() {
+                        if self.config.incremental_reopt {
+                            let d = &self.circuits[i];
+                            let hosts = circuit_hosts(&d.circuit, &d.placement);
+                            self.relevance.record_clean(
+                                ReoptKind::Local,
+                                handle,
+                                ReadSet { spans: obs.spans, hosts, whole_space: obs.whole_space },
+                            );
+                        }
+                        continue;
+                    }
+                    let d = &mut self.circuits[i];
+                    d.placement = placement;
                     // Keep the reuse-discovery index truthful about hosts.
                     if let (Some(mq), Some(id)) = (&mut self.multiquery, d.mq_id) {
                         for m in &outcome.migrations {
                             mq.relocate(id, m.service, m.to, &self.space);
                         }
                     }
+                    self.relevance.mark_dirty(handle);
                     moved += outcome.migrations.len();
                 }
-                self.control.reopt_ns += t0.elapsed().as_nanos();
+                self.control.local_reopt_ns += t0.elapsed().as_nanos();
                 s.report.migrations += moved;
                 s.report.adaptation_cost += moved as f64 * self.config.migration_penalty;
                 if let Some(interval) = self.config.reopt_interval_ms {
@@ -1389,28 +1595,42 @@ impl OverlayRuntime {
             Event::Rewrite => {
                 let t0 = Instant::now();
                 let placer = RelaxationPlacer::default();
+                // Tenancy-entangled circuits are not rewritten (a plan swap
+                // under live subscriptions would strand tenants); clean ones
+                // are skipped by the dirty filter.
+                let eval_idx = self.dirty_circuits(ReoptKind::Rewrite, true);
+                let results: Vec<(sbon_core::reopt::RewriteOutcome, ReadObservation)> = {
+                    let circuits = &self.circuits;
+                    let space = &self.space;
+                    let mapper = &self.mapper;
+                    let placer = &placer;
+                    let policy = self.config.policy;
+                    let memo = self.config.mapping_memo;
+                    run_parallel(&self.pool, &eval_idx, move |i| {
+                        let d = &circuits[i];
+                        let running_est = d
+                            .circuit
+                            .cost_with(&d.placement, |a, b| space.vector_distance(a, b))
+                            .network_usage;
+                        let mut view = mapper.read_view(memo);
+                        let outcome = sbon_core::reopt::reoptimize_rewrite(
+                            &d.running_plan,
+                            running_est,
+                            &d.query,
+                            space,
+                            placer,
+                            &mut view,
+                            policy,
+                        );
+                        (outcome, view.into_observation())
+                    })
+                };
                 let mut swaps = 0;
-                for d in &mut self.circuits {
-                    // Tenancy-entangled circuits are not rewritten: a plan
-                    // swap under live subscriptions would strand tenants.
-                    if Self::is_entangled(&self.multiquery, d) {
-                        continue;
-                    }
-                    let running_est = d
-                        .circuit
-                        .cost_with(&d.placement, |a, b| self.space.vector_distance(a, b))
-                        .network_usage;
-                    let outcome = sbon_core::reopt::reoptimize_rewrite(
-                        &d.running_plan,
-                        running_est,
-                        &d.query,
-                        &self.space,
-                        self.latency.provider(),
-                        &placer,
-                        self.mapper.as_dyn(),
-                        self.config.policy,
-                    );
+                for (&i, (outcome, obs)) in eval_idx.iter().zip(results) {
+                    self.mapper.charge_observed(&obs);
+                    let handle = self.circuits[i].handle.0 as u64;
                     if let sbon_core::reopt::RewriteOutcome::Rewrite { replacement, .. } = outcome {
+                        let d = &mut self.circuits[i];
                         d.running_plan = replacement.plan.clone();
                         d.circuit = replacement.circuit;
                         d.placement = replacement.placement;
@@ -1420,10 +1640,19 @@ impl OverlayRuntime {
                         if let (Some(mq), Some(id)) = (&mut self.multiquery, d.mq_id) {
                             mq.reregister(id, &d.circuit, &d.placement, &self.space);
                         }
+                        self.relevance.mark_dirty(handle);
                         swaps += 1;
+                    } else if self.config.incremental_reopt {
+                        let d = &self.circuits[i];
+                        let hosts = circuit_hosts(&d.circuit, &d.placement);
+                        self.relevance.record_clean(
+                            ReoptKind::Rewrite,
+                            handle,
+                            ReadSet { spans: obs.spans, hosts, whole_space: obs.whole_space },
+                        );
                     }
                 }
-                self.control.reopt_ns += t0.elapsed().as_nanos();
+                self.control.rewrite_ns += t0.elapsed().as_nanos();
                 s.report.replacements += swaps;
                 s.report.adaptation_cost += swaps as f64 * self.config.replacement_penalty;
                 if let Some(interval) = self.config.rewrite_interval_ms {
@@ -1435,34 +1664,44 @@ impl OverlayRuntime {
             Event::Fail(node) => {
                 let t0 = Instant::now();
                 let evacuated = self.fail_node(node);
-                self.control.reopt_ns += t0.elapsed().as_nanos();
+                self.control.evac_ns += t0.elapsed().as_nanos();
                 // Evacuations are migrations: charge the same penalty.
                 s.report.migrations += evacuated;
                 s.report.adaptation_cost += evacuated as f64 * self.config.migration_penalty;
             }
             Event::FullReopt => {
                 let t0 = Instant::now();
+                // See the rewrite pass: no plan swaps under tenancy, and
+                // clean circuits skip the whole optimizer run.
+                let eval_idx = self.dirty_circuits(ReoptKind::Full, true);
+                let results: Vec<(FullReoptOutcome, ReadObservation)> = {
+                    let circuits = &self.circuits;
+                    let space = &self.space;
+                    let mapper = &self.mapper;
+                    let policy = self.config.policy;
+                    let memo = self.config.mapping_memo;
+                    run_parallel(&self.pool, &eval_idx, move |i| {
+                        let d = &circuits[i];
+                        let running_est = d
+                            .circuit
+                            .cost_with(&d.placement, |a, b| space.vector_distance(a, b))
+                            .network_usage;
+                        let mut view = mapper.read_view(memo);
+                        let outcome = reoptimize_full(
+                            running_est,
+                            &d.query,
+                            space,
+                            &mut view,
+                            OptimizerConfig::default(),
+                            policy,
+                        );
+                        (outcome, view.into_observation())
+                    })
+                };
                 let mut swaps = 0;
-                for i in 0..self.circuits.len() {
-                    // See the rewrite pass: no plan swaps under tenancy.
-                    if Self::is_entangled(&self.multiquery, &self.circuits[i]) {
-                        continue;
-                    }
-                    let running_est = self.circuits[i]
-                        .circuit
-                        .cost_with(&self.circuits[i].placement, |a, b| {
-                            self.space.vector_distance(a, b)
-                        })
-                        .network_usage;
-                    let outcome = reoptimize_full(
-                        running_est,
-                        &self.circuits[i].query,
-                        &self.space,
-                        self.latency.provider(),
-                        self.mapper.as_dyn(),
-                        OptimizerConfig::default(),
-                        self.config.policy,
-                    );
+                for (&i, (outcome, obs)) in eval_idx.iter().zip(results) {
+                    self.mapper.charge_observed(&obs);
+                    let handle = self.circuits[i].handle.0 as u64;
                     if let FullReoptOutcome::Replace { replacement, .. } = outcome {
                         let d = &mut self.circuits[i];
                         d.circuit = replacement.circuit;
@@ -1471,10 +1710,19 @@ impl OverlayRuntime {
                         if let (Some(mq), Some(id)) = (&mut self.multiquery, d.mq_id) {
                             mq.reregister(id, &d.circuit, &d.placement, &self.space);
                         }
+                        self.relevance.mark_dirty(handle);
                         swaps += 1;
+                    } else if self.config.incremental_reopt {
+                        let d = &self.circuits[i];
+                        let hosts = circuit_hosts(&d.circuit, &d.placement);
+                        self.relevance.record_clean(
+                            ReoptKind::Full,
+                            handle,
+                            ReadSet { spans: obs.spans, hosts, whole_space: obs.whole_space },
+                        );
                     }
                 }
-                self.control.reopt_ns += t0.elapsed().as_nanos();
+                self.control.full_reopt_ns += t0.elapsed().as_nanos();
                 s.report.replacements += swaps;
                 s.report.adaptation_cost += swaps as f64 * self.config.replacement_penalty;
                 if let Some(interval) = self.config.full_reopt_interval_ms {
@@ -1517,7 +1765,20 @@ impl OverlayRuntime {
                         self.space.set_vector_coord(node, &state.coord);
                     }
                 }
-                self.mapper.as_dyn().add_node(&self.space, node);
+                // The arrival's catalog registration can change lookups
+                // whose scanned region covers its key: invalidate exactly
+                // those clean records (everything, under the oracle scan).
+                match &mut self.mapper {
+                    MapperState::Dht(m) => {
+                        let (old, new) = m.update_node_traced(&self.space, node);
+                        debug_assert!(old.is_none(), "a joining node cannot be registered yet");
+                        self.relevance.touch_key(new);
+                    }
+                    MapperState::Oracle(m) => {
+                        m.add_node(&self.space, node);
+                        self.relevance.touch_all();
+                    }
+                }
                 joined += 1;
             }
             self.control.nodes_joined += joined;
@@ -1553,7 +1814,24 @@ impl OverlayRuntime {
         };
         for (&node, vals) in dirty.iter().zip(&values) {
             if self.space.apply_scalars(node, vals) {
-                self.mapper.as_dyn().update_node(&self.space, node);
+                // Relevance invalidation rides the mapper sync: the moved
+                // registration stabs clean records whose scanned ring
+                // region covers either key, and the changed cost point
+                // stabs every record that read this host's estimate.
+                match &mut self.mapper {
+                    MapperState::Dht(m) => {
+                        let (old, new) = m.update_node_traced(&self.space, node);
+                        if let Some(old) = old {
+                            self.relevance.touch_key(old);
+                        }
+                        self.relevance.touch_key(new);
+                    }
+                    MapperState::Oracle(m) => {
+                        m.update_node(&self.space, node);
+                        self.relevance.touch_all();
+                    }
+                }
+                self.relevance.touch_host(node);
                 self.control.points_updated += 1;
             }
         }

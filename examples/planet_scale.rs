@@ -119,7 +119,7 @@ impl Tier {
         }
     }
 
-    fn config(&self, threads: usize) -> RuntimeConfig {
+    fn config(&self, threads: usize, incremental: bool) -> RuntimeConfig {
         RuntimeConfig::builder()
             .tick_ms(1_000.0)
             .horizon_ms(self.horizon_ms)
@@ -143,6 +143,9 @@ impl Tier {
                 joins_per_tick: self.joins_per_tick,
             })
             .threads(threads)
+            // Dirty-driven re-optimization (the default); `false` restores
+            // the evaluate-everything scan for the equivalence smoke.
+            .incremental_reopt(incremental)
             .build()
     }
 }
@@ -150,10 +153,17 @@ impl Tier {
 /// Builds the runtime, deploys the tier's query set, and runs to the
 /// horizon. Deterministic in `seed` (and, by the parallel-tick contract,
 /// in `threads`).
-fn run_tier(tier: &Tier, topo: &Topology, seed: u64, threads: usize, chatty: bool) -> RunReport {
+fn run_tier(
+    tier: &Tier,
+    topo: &Topology,
+    seed: u64,
+    threads: usize,
+    incremental: bool,
+    chatty: bool,
+) -> RunReport {
     let n = topo.num_nodes();
     let start = Instant::now();
-    let mut rt = OverlayRuntime::new(topo, seed, tier.config(threads));
+    let mut rt = OverlayRuntime::new(topo, seed, tier.config(threads, incremental));
     if chatty {
         let warmup = rt.lazy_latency_stats().expect("lazy backend");
         println!(
@@ -249,8 +259,20 @@ fn run_tier(tier: &Tier, topo: &Topology, seed: u64, threads: usize, chatty: boo
         cp.points_updated as f64 / cp.ticks.max(1) as f64,
     );
     println!(
-        "  re-optimization + mapping: {:.2} ms total over the run's re-opt/rewrite events",
-        cp.reopt_ns as f64 / 1e6
+        "  re-optimization + mapping: {:.2} ms total — local {:.2} ms, rewrite {:.2} ms, \
+         full {:.2} ms, evacuation {:.2} ms",
+        cp.adaptation_ns() as f64 / 1e6,
+        cp.local_reopt_ns as f64 / 1e6,
+        cp.rewrite_ns as f64 / 1e6,
+        cp.full_reopt_ns as f64 / 1e6,
+        cp.evac_ns as f64 / 1e6,
+    );
+    println!(
+        "  dirty-driven skipping: {} circuit evaluations run, {} skipped as provably clean \
+         ({:.0}% of candidacies)",
+        cp.reopt_evaluated,
+        cp.reopt_skipped,
+        100.0 * cp.reopt_skipped as f64 / (cp.reopt_evaluated + cp.reopt_skipped).max(1) as f64,
     );
     println!(
         "  latency-provider reads (usage accounting): {:.2} ms total",
@@ -307,7 +329,7 @@ fn main() {
         tier.joins_per_tick,
         if parallel_threads == 0 { "auto".to_string() } else { parallel_threads.to_string() }
     );
-    let report = run_tier(&tier, &topo, seed, parallel_threads, true);
+    let report = run_tier(&tier, &topo, seed, parallel_threads, true, true);
 
     // ── Determinism pin: the serial run must be bit-identical ────────────
     // The parallel-tick contract: sharding per-source row computation and
@@ -315,13 +337,31 @@ fn main() {
     // `RunReport` equality is bit-for-bit over every sample and counter.
     println!("\nre-running the tier serially (threads: 1) to pin determinism...");
     let start = Instant::now();
-    let serial = run_tier(&tier, &topo, seed, 1, false);
+    let serial = run_tier(&tier, &topo, seed, 1, true, false);
     println!("  serial run finished in {:.2} s", start.elapsed().as_secs_f64());
     assert_eq!(
         report, serial,
         "parallel and serial runs of the same tier must produce bit-identical RunReports"
     );
     println!("  parallel ≡ serial: RunReports are bit-identical ✓");
+
+    // ── Incremental-vs-full equivalence pin (XL smoke) ───────────────────
+    // Dirty-driven re-optimization skips only circuits whose last no-op
+    // evaluation provably had unchanged inputs, so the run must be
+    // bit-identical to the evaluate-everything scan. Asserted on the
+    // reduced 100k-tier shape; the full tier relies on the same contract.
+    if smoke_xl {
+        println!("\nre-running with incremental re-opt disabled (full scan) to pin equivalence...");
+        let start = Instant::now();
+        let full_scan = run_tier(&tier, &topo, seed, parallel_threads, false, false);
+        println!("  full-scan run finished in {:.2} s", start.elapsed().as_secs_f64());
+        assert_eq!(
+            report, full_scan,
+            "dirty-driven and evaluate-everything re-optimization must produce bit-identical \
+             RunReports"
+        );
+        println!("  incremental ≡ full scan: RunReports are bit-identical ✓");
+    }
 
     // ── The dense baseline at the same scale (extrapolated) ──────────────
     // A full all-pairs precompute at this scale runs for hours; time a few

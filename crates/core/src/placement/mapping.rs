@@ -25,10 +25,18 @@
 //! * [`VectorOnlyOracleMapper`] — nearest in the *latency dimensions only*,
 //!   ignoring load: the naive mapper that picks node N1 in Figure 3. Used
 //!   as the baseline that shows why scalar dimensions matter.
+//! * [`RoutedMapper`] — the [`DhtMapper`] catalog wrapped in the
+//!   message-passing control plane ([`sbon_dht::proto`]): lookups answer
+//!   synchronously (bit-identical to the DHT backend) but are additionally
+//!   replayed as routed `ControlMsg` traffic on the simulated underlay when
+//!   the owner calls [`RoutedMapper::settle`], yielding *experienced*
+//!   per-query latency instead of abstract hop counts.
 
 use sbon_dht::catalog::CoordinateCatalog;
+use sbon_dht::proto::{LinkFn, ProtoConfig, QueryId, RoutedCatalog, RoutedLookup, RoutedStats};
 use sbon_hilbert::{HilbertCurve, Quantizer};
 use sbon_netsim::graph::NodeId;
+use sbon_netsim::sim::SimTime;
 
 use crate::circuit::{Circuit, Placement, ServicePin};
 use crate::costspace::{CostPoint, CostSpace};
@@ -382,6 +390,208 @@ impl DhtMapper {
     /// Applies a traffic delta observed by a read view.
     pub fn charge_stats(&mut self, delta: sbon_dht::catalog::CatalogStats) {
         self.catalog.charge_stats(delta);
+    }
+}
+
+/// The message-passing mapper: a [`DhtMapper`] catalog driven through
+/// [`RoutedCatalog`], so every lookup and registration also runs as routed
+/// control traffic over the simulated underlay.
+///
+/// [`PhysicalMapper::map_point`] has no access to link latencies (and must
+/// stay synchronous for the optimizer), so the split is:
+///
+/// * **Answering** is immediate and omniscient-catalog-exact — the same
+///   `lookup_closest` the [`DhtMapper`] backend runs, so placements are
+///   bit-identical across the two backends. Each answered point is parked
+///   in an outbox.
+/// * **Experiencing** happens when the owner calls
+///   [`RoutedMapper::settle`] with the live link function: every parked
+///   lookup is re-issued as a routed query from the coordinator and the
+///   event queue is driven to quiescence, accumulating messages, hop
+///   histograms, and per-query experienced latency in
+///   [`RoutedMapper::routed_stats`].
+///
+/// Registrations follow the runtime's synchronous contract
+/// (`register_direct`, keeping catalog evolution identical to the DHT
+/// backend) and charge their message cost as `Register`/`Ack` refresh round
+/// trips on the next settle. Removals are synchronous only — the failure
+/// detector that notices a dead node is out of scope for the catalog's own
+/// traffic accounting.
+pub struct RoutedMapper {
+    routed: RoutedCatalog<HilbertCurve>,
+    /// Origin member for settled lookups (the query coordinator).
+    coordinator: NodeId,
+    /// Ideal points answered since the last settle.
+    pending_lookups: Vec<Vec<f64>>,
+    /// Members re-registered since the last settle (refresh cost pending).
+    pending_refresh: Vec<NodeId>,
+}
+
+impl RoutedMapper {
+    /// Builds the routed mapper over the same quantizer sizing as
+    /// [`DhtMapper::build_with_members`]; `proto` sets the timeout/retry
+    /// policy. The first member acts as the query coordinator.
+    pub fn build_with_members(
+        space: &CostSpace,
+        config: &DhtMapperConfig,
+        proto: ProtoConfig,
+        members: &[NodeId],
+    ) -> Self {
+        let dht = DhtMapper::build_with_members(space, config, members);
+        RoutedMapper {
+            routed: RoutedCatalog::from_catalog(dht.catalog, proto),
+            coordinator: members.first().copied().unwrap_or(NodeId(0)),
+            pending_lookups: Vec::new(),
+            pending_refresh: Vec::new(),
+        }
+    }
+
+    /// Builds over every node of the space.
+    pub fn build_with(space: &CostSpace, config: &DhtMapperConfig, proto: ProtoConfig) -> Self {
+        let members: Vec<NodeId> = (0..space.num_nodes() as u32).map(NodeId).collect();
+        Self::build_with_members(space, config, proto, &members)
+    }
+
+    /// The underlying routed catalog (partition scenarios sever/heal here).
+    pub fn routed(&self) -> &RoutedCatalog<HilbertCurve> {
+        &self.routed
+    }
+
+    /// Mutable routed-catalog access (sever/heal, manual traffic).
+    pub fn routed_mut(&mut self) -> &mut RoutedCatalog<HilbertCurve> {
+        &mut self.routed
+    }
+
+    /// Accumulated omniscient-catalog statistics (hops, candidates).
+    pub fn stats(&self) -> sbon_dht::catalog::CatalogStats {
+        self.routed.catalog().stats()
+    }
+
+    /// Accumulated control-plane traffic statistics (messages, retries,
+    /// experienced latency percentiles).
+    pub fn routed_stats(&self) -> &RoutedStats {
+        self.routed.stats()
+    }
+
+    /// Registered members still in the catalog.
+    pub fn len(&self) -> usize {
+        self.routed.catalog().len()
+    }
+
+    /// True when every member has been removed.
+    pub fn is_empty(&self) -> bool {
+        self.routed.catalog().is_empty()
+    }
+
+    /// The origin member settled lookups are issued from.
+    pub fn coordinator(&self) -> NodeId {
+        self.coordinator
+    }
+
+    /// Lookups and refreshes parked for the next [`RoutedMapper::settle`].
+    pub fn pending_traffic(&self) -> usize {
+        self.pending_lookups.len() + self.pending_refresh.len()
+    }
+
+    /// A read-only view for one circuit evaluation — the same
+    /// [`DhtMapperReadView`] the DHT backend hands out, over the routed
+    /// catalog's state. **Does not** park outbox entries: the owner settles
+    /// view traffic by re-issuing the observed lookups itself if it wants
+    /// them experienced (the runtime charges view stats back and settles
+    /// only live-path lookups).
+    pub fn read_view(&self, memo: bool) -> DhtMapperReadView<'_> {
+        DhtMapperReadView {
+            catalog: self.routed.catalog(),
+            stats: sbon_dht::catalog::CatalogStats::default(),
+            spans: Vec::new(),
+            memo: if memo { Some(std::collections::BTreeMap::new()) } else { None },
+        }
+    }
+
+    /// [`PhysicalMapper::update_node`] reporting the exact `(old, new)` ring
+    /// keys touched, for relevance-index invalidation. Applies
+    /// synchronously (`register_direct`) and parks a refresh round trip.
+    pub fn update_node_traced(
+        &mut self,
+        space: &CostSpace,
+        node: NodeId,
+    ) -> (Option<sbon_dht::RingKey>, sbon_dht::RingKey) {
+        self.pending_refresh.push(node);
+        self.routed.register_direct(node.0, space.point(node).as_slice().to_vec())
+    }
+
+    /// [`PhysicalMapper::remove_node`] reporting the ring key the node was
+    /// registered under.
+    pub fn remove_node_traced(&mut self, node: NodeId) -> Option<sbon_dht::RingKey> {
+        self.routed.remove_direct(node.0)
+    }
+
+    /// Applies a traffic delta observed by a read view.
+    pub fn charge_stats(&mut self, delta: sbon_dht::catalog::CatalogStats) {
+        self.routed.catalog_mut().charge_stats(delta);
+    }
+
+    /// Parks an ideal point for the next settle without answering it — for
+    /// owners that resolved the point through a read view but still want it
+    /// experienced as routed traffic.
+    pub fn park_lookup(&mut self, ideal: &CostPoint) {
+        self.pending_lookups.push(ideal.as_slice().to_vec());
+    }
+
+    /// Replays everything parked since the last settle as routed control
+    /// traffic at simulated time `at`: refresh round trips for
+    /// re-registrations, then one routed query per answered point, issued
+    /// from the coordinator, driving the event queue to quiescence.
+    /// Returns the completed lookups in completion order.
+    pub fn settle(&mut self, at: SimTime, link: &LinkFn) -> Vec<(QueryId, RoutedLookup)> {
+        let origin = self.origin_member();
+        for node in std::mem::take(&mut self.pending_refresh) {
+            // Dropped silently only if the member was removed again before
+            // the settle — there is no owner to refresh against then.
+            let _ = self.routed.enqueue_refresh(node.0, at, link);
+        }
+        let lookups = std::mem::take(&mut self.pending_lookups);
+        if let Some(origin) = origin {
+            for target in &lookups {
+                let _ = self.routed.lookup_routed(origin, target, at, link);
+            }
+        }
+        self.routed.run_to_quiescence(link)
+    }
+
+    /// The coordinator if it is still registered, else the first member
+    /// clockwise from key 0 — settled lookups always have a live origin.
+    fn origin_member(&self) -> Option<sbon_dht::ring::MemberId> {
+        let coord = self.coordinator.0;
+        if self.routed.catalog().registered_key(coord).is_some() {
+            return Some(coord);
+        }
+        self.routed.catalog().ring().successor(0).map(|(_, m)| m)
+    }
+}
+
+impl PhysicalMapper for RoutedMapper {
+    fn map_point(&mut self, space: &CostSpace, ideal: &CostPoint) -> (NodeId, usize) {
+        let _ = space; // coordinates were registered at build/update time
+        self.pending_lookups.push(ideal.as_slice().to_vec());
+        let (member, hops) = self
+            .routed
+            .catalog_mut()
+            .lookup_closest(ideal.as_slice())
+            .expect("catalog is non-empty by construction");
+        (NodeId(member), hops)
+    }
+
+    fn name(&self) -> &'static str {
+        "routed-dht"
+    }
+
+    fn update_node(&mut self, space: &CostSpace, node: NodeId) {
+        self.update_node_traced(space, node);
+    }
+
+    fn remove_node(&mut self, node: NodeId) {
+        self.remove_node_traced(node);
     }
 }
 
@@ -929,6 +1139,87 @@ mod tests {
         let dht = DhtMapper::build(&space, 10, 8);
         let mut view = dht.read_view(false);
         view.update_node(&space, NodeId(0));
+    }
+
+    /// Deterministic per-link latency for routed-mapper tests: symmetric,
+    /// zero diagonal.
+    fn test_link(a: u32, b: u32) -> f64 {
+        if a == b {
+            return 0.0;
+        }
+        let (lo, hi) = if a < b { (a as u64, b as u64) } else { (b as u64, a as u64) };
+        5.0 + ((lo.wrapping_mul(2_654_435_761).wrapping_add(hi.wrapping_mul(40_503))) % 90) as f64
+    }
+
+    #[test]
+    fn routed_mapper_answers_bit_identical_to_dht_mapper() {
+        let space = figure3_space();
+        let circuit = figure3_circuit();
+        let vp = RelaxationPlacer::default().place(&circuit, &space);
+        let join = circuit.unpinned_services()[0];
+        let ideal = space.ideal_point(vp.coord_of(join));
+        let config = DhtMapperConfig::default();
+        let mut dht = DhtMapper::build_with(&space, &config);
+        let mut routed = RoutedMapper::build_with(&space, &config, ProtoConfig::default());
+        assert_eq!(routed.map_point(&space, &ideal), dht.map_point(&space, &ideal));
+        // Maintenance keeps them in lock-step too.
+        let mut attrs = sbon_netsim::load::NodeAttrs::idle(5);
+        attrs.set(NodeId(4), sbon_netsim::load::Attr::CpuLoad, 0.95);
+        let mut space2 = figure3_space();
+        space2.refresh_scalars(&attrs);
+        dht.update_node(&space2, NodeId(4));
+        routed.update_node(&space2, NodeId(4));
+        dht.remove_node(NodeId(0));
+        routed.remove_node(NodeId(0));
+        assert_eq!(routed.map_point(&space2, &ideal), dht.map_point(&space2, &ideal));
+        assert_eq!(routed.len(), dht.len());
+    }
+
+    #[test]
+    fn routed_mapper_settle_experiences_parked_traffic() {
+        let space = figure3_space();
+        let circuit = figure3_circuit();
+        let vp = RelaxationPlacer::default().place(&circuit, &space);
+        let join = circuit.unpinned_services()[0];
+        let ideal = space.ideal_point(vp.coord_of(join));
+        let mut routed =
+            RoutedMapper::build_with(&space, &DhtMapperConfig::default(), ProtoConfig::default());
+        let (answered, _) = routed.map_point(&space, &ideal);
+        routed.update_node(&space, NodeId(1));
+        assert_eq!(routed.pending_traffic(), 2);
+
+        let link = |a: u32, b: u32| test_link(a, b);
+        let done = routed.settle(sbon_netsim::sim::SimTime::ZERO, &link);
+        assert_eq!(routed.pending_traffic(), 0);
+        assert_eq!(done.len(), 1);
+        let (_, lookup) = done[0];
+        assert_eq!(NodeId(lookup.member), answered, "routed answer matches the sync answer");
+        let stats = routed.routed_stats();
+        assert_eq!(stats.lookups, 1);
+        assert_eq!(stats.registrations, 1, "refresh round trip charged");
+        assert_eq!(stats.timeouts, 0, "healthy network, no retries");
+        assert!(routed.routed().is_quiescent());
+        if lookup.hops > 0 {
+            assert!(lookup.latency_ms > 0.0, "experienced latency accumulates per round trip");
+        }
+        assert_eq!(stats.p50_latency_ms(), Some(lookup.latency_ms));
+    }
+
+    #[test]
+    fn routed_mapper_read_view_matches_live_answers() {
+        let space = figure3_space();
+        let circuit = figure3_circuit();
+        let vp = RelaxationPlacer::default().place(&circuit, &space);
+        let join = circuit.unpinned_services()[0];
+        let ideal = space.ideal_point(vp.coord_of(join));
+        let mut routed =
+            RoutedMapper::build_with(&space, &DhtMapperConfig::default(), ProtoConfig::default());
+        let live = routed.map_point(&space, &ideal);
+        let mut view = routed.read_view(false);
+        assert_eq!(view.map_point(&space, &ideal), live);
+        let obs = view.into_observation();
+        routed.charge_stats(obs.stats);
+        assert_eq!(routed.stats().lookups, 2);
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub use gradient::{GradientConfig, GradientPlacer};
 pub use mapping::{
     map_circuit, DhtMapper, DhtMapperConfig, DhtMapperReadView, LiveOracleMapper,
     LiveOracleReadView, MappedCircuit, MappedService, MapperReadView, OracleMapper, PhysicalMapper,
-    ReadObservation, VectorOnlyOracleMapper,
+    ReadObservation, RoutedMapper, VectorOnlyOracleMapper,
 };
 pub use relaxation::{RelaxationConfig, RelaxationPlacer};
 pub use traits::{VirtualPlacement, VirtualPlacer};

@@ -135,6 +135,23 @@ impl<C: SpaceFillingCurve> CoordinateCatalog<C> {
         self.stats
     }
 
+    /// The underlying Chord ring (read-only) — the shared structure the
+    /// routed control plane derives per-node routing state from.
+    pub fn ring(&self) -> &DhtRing {
+        &self.ring
+    }
+
+    /// The ring key `member` is currently registered under (the exact
+    /// post-collision-probing key), if registered.
+    pub fn registered_key(&self, member: MemberId) -> Option<RingKey> {
+        self.keys.get(member as usize).copied().flatten()
+    }
+
+    /// Neighborhood size examined around a lookup's landing point.
+    pub fn scan_width(&self) -> usize {
+        self.scan_width
+    }
+
     /// The ring key a coordinate maps to.
     pub fn key_of(&self, coord: &[f64]) -> RingKey {
         let cell = self.quantizer.quantize(coord);
@@ -287,7 +304,7 @@ impl<C: SpaceFillingCurve> CoordinateCatalog<C> {
     }
 
     /// Euclidean distance from a member's registered coordinate to `target`.
-    fn distance_to(&self, member: MemberId, target: &[f64]) -> f64 {
+    pub(crate) fn distance_to(&self, member: MemberId, target: &[f64]) -> f64 {
         match self.coord_of(member) {
             Some(c) => c.iter().zip(target).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt(),
             // Stale ring entry without a coordinate: rank it last.

@@ -18,13 +18,19 @@
 //!   resolves a target coordinate to the nearest registered node, and
 //!   `k_nearest` implements the paper's radius search ("use the Hilbert DHT
 //!   to look up the closest n nodes", Section 3.4).
+//! * [`proto`] — the message-passing control plane: the same lookups and
+//!   registrations executed as routed `ControlMsg` traffic on the
+//!   simulated underlay, with experienced latency, timeout/retry, and
+//!   partition semantics.
 
 #![forbid(unsafe_code)]
 
 pub mod catalog;
 pub mod id;
+pub mod proto;
 pub mod ring;
 
 pub use catalog::{CatalogStats, CoordinateCatalog};
 pub use id::RingKey;
+pub use proto::{ControlMsg, ProtoConfig, RoutedCatalog, RoutedLookup, RoutedStats, Stamp};
 pub use ring::{DhtConfig, DhtRing, LookupOutcome};

@@ -1,0 +1,1399 @@
+//! The message-passing control plane: catalog lookups and registrations
+//! executed as routed messages on `sbon_netsim`'s deterministic
+//! [`EventQueue`], instead of direct method calls on shared structures.
+//!
+//! # Message grammar
+//!
+//! The wire protocol is exactly five message kinds ([`ControlMsg`]):
+//!
+//! ```text
+//! Lookup      querier → hop      "what is your routing step for key k?"
+//! LookupReply hop → querier      Forward{next hop} | Answer{member}
+//! Register    registrant → owner (member, coord, stamp) to apply
+//! Unregister  registrant → owner (member, stamp) to drop
+//! Ack         owner → registrant registration applied (or stale-rejected)
+//! ```
+//!
+//! Lookups are **iterative and querier-driven** (classic Chord): the
+//! querier contacts each hop directly, the hop answers from its *local*
+//! routing state, and the querier follows the returned step. Each hop's
+//! local state is its successor set plus Hilbert-greedy finger entries —
+//! derived on demand from the shared [`DhtRing`] via `O(log n)` ordered
+//! queries scoped to that hop's own key (`successor(key + 2^i)`), which is
+//! exactly what a maintained finger table would contain on a quiescent
+//! ring. No step ever scans the whole ring. Conceptually the `Lookup`
+//! message also carries the target key and the querier's suspect list
+//! (hops it has found unreachable); the simulator keeps both in the
+//! pending-lookup table instead of re-serializing them per hop.
+//!
+//! Registrations go directly to the key's current owner (the registrant
+//! resolves it from its local routing state) and are acknowledged; the
+//! hop-by-hop cost of owner discovery is what the `Lookup` path measures.
+//!
+//! # Timeout / retry contract
+//!
+//! Every request send arms a sender-side retransmit timer. Attempt `k`
+//! (1-based) times out after `timeout_ms · 2^(k-1)` — deterministic
+//! exponential backoff. A reply cancels the timer (stale timers are
+//! matched against a per-contact counter and ignored). After
+//! `1 + max_retries` sends with no reply the peer is *suspected*: a
+//! suspected lookup hop is excluded from all further routing steps of that
+//! lookup and the querier re-routes from its own state; a registration
+//! whose owner never answers is parked on a deferred list and re-sent by
+//! [`RoutedCatalog::heal`]. Registrations resolve races by
+//! last-writer-wins on a [`Stamp`] `(SimTime, seq)` pair — an apply
+//! carrying an older stamp than the member's current registration is
+//! detected as a stale read and rejected (counted, acknowledged,
+//! idempotent), so duplicate deliveries from retries are harmless.
+//!
+//! # Determinism argument
+//!
+//! Runs are bit-reproducible because every source of ordering is
+//! deterministic: the event queue pops by `(time, insertion seq)` (pinned
+//! by `drain_until_preserves_equal_time_insertion_order` in
+//! `sbon_netsim`), link latencies come from the deterministic provider,
+//! timeout schedules are pure functions of the config, suspect sets are
+//! kept sorted, and per-lookup latency arithmetic happens in a fixed
+//! order along each lookup's own message chain (concurrent lookups never
+//! exchange state, so interleaving cannot change any per-lookup result).
+//! On a quiescent, unpartitioned network the routed answer is *identical*
+//! to the omniscient [`CoordinateCatalog`] answer: both rank the same
+//! `scan_width` ring neighborhood of the target key by true cost-space
+//! distance with first-wins ties. [`RoutedCatalog::lookup_quiescent`] is a
+//! pure transcription of the queue-driven automaton (kept in lock-step by
+//! the `queue_path_matches_pure_path` tests) for read-only parallel
+//! passes.
+
+use std::collections::BTreeMap;
+
+use sbon_hilbert::SpaceFillingCurve;
+use sbon_netsim::sim::{EventQueue, SimTime};
+
+use crate::catalog::CoordinateCatalog;
+use crate::id::{in_open_closed, in_open_open};
+use crate::ring::{DhtRing, MemberId};
+use crate::RingKey;
+
+/// Identifier of one in-flight (or completed) routed lookup.
+pub type QueryId = u64;
+
+/// Identifier of one in-flight routed registration.
+pub type RegSeq = u64;
+
+/// Per-link one-way latency in milliseconds. Implementations must be
+/// symmetric and zero on the diagonal (self-contacts are free).
+pub type LinkFn<'a> = dyn Fn(MemberId, MemberId) -> f64 + 'a;
+
+/// Timeout / retry policy for the routed control plane.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProtoConfig {
+    /// Base retransmit timeout for attempt 1; attempt `k` waits
+    /// `timeout_ms · 2^(k-1)`. Must exceed the worst-case round trip or
+    /// reachable peers will be spuriously retried.
+    pub timeout_ms: f64,
+    /// Retransmissions after the first send before a peer is suspected
+    /// (so `1 + max_retries` sends total).
+    pub max_retries: u32,
+}
+
+impl Default for ProtoConfig {
+    fn default() -> Self {
+        // 3 s is far above any simulated WAN round trip, so on a healthy
+        // network the timer never fires; partitioned peers are suspected
+        // after 3 s + 6 s + 12 s + 24 s = 45 s of simulated backoff.
+        ProtoConfig { timeout_ms: 3_000.0, max_retries: 3 }
+    }
+}
+
+impl ProtoConfig {
+    /// The retransmit delay armed for attempt `k` (1-based).
+    fn backoff_ms(&self, attempt: u32) -> f64 {
+        self.timeout_ms * (1u64 << attempt.saturating_sub(1).min(10)) as f64
+    }
+}
+
+/// Last-writer-wins registration stamp: simulated send time plus a
+/// process-wide sequence number to break exact-time ties.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Stamp {
+    /// Simulated time the registration was issued, in milliseconds.
+    pub time_ms: f64,
+    /// Tie-break sequence (monotone per catalog).
+    pub seq: u64,
+}
+
+impl Stamp {
+    /// Strict "newer than" in `(time, seq)` lexicographic order. Times are
+    /// finite (they come off the event clock), so `total_cmp` agrees with
+    /// numeric order.
+    pub fn newer_than(self, other: Stamp) -> bool {
+        self.time_ms.total_cmp(&other.time_ms).then_with(|| self.seq.cmp(&other.seq)).is_gt()
+    }
+}
+
+/// One routing step returned by a contacted hop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LookupStep {
+    /// The hop does not own the key: contact `member` next (its closest
+    /// preceding finger, its successor, or the key's direct successor).
+    Forward {
+        /// Ring key of the next hop.
+        key: RingKey,
+        /// The next hop to contact.
+        member: MemberId,
+    },
+    /// The hop owns the key and answers from its neighborhood.
+    Answer {
+        /// The registered member closest to the target in cost space
+        /// among the owner's reachable neighborhood.
+        member: MemberId,
+        /// Neighborhood candidates the owner examined.
+        candidates: u32,
+    },
+}
+
+/// The control-plane wire grammar. See the [module docs](self) for the
+/// full protocol; payload fields that a real deployment would serialize
+/// but the simulator keeps in its pending tables (target key, suspect
+/// hints, coordinates, stamps) are noted per variant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ControlMsg {
+    /// Routing/lookup request from the querier, delivered at `at`. On the
+    /// wire this also carries the target key and the querier's suspect
+    /// hints.
+    Lookup {
+        /// The lookup this request belongs to.
+        query: QueryId,
+        /// The hop being contacted.
+        at: MemberId,
+    },
+    /// A hop's reply travelling back to the querier.
+    LookupReply {
+        /// The lookup this reply belongs to.
+        query: QueryId,
+        /// The hop that produced the step.
+        from: MemberId,
+        /// The routing step or final answer.
+        step: LookupStep,
+    },
+    /// Registration request travelling to the key's owner. On the wire
+    /// this also carries the coordinate and the [`Stamp`].
+    Register {
+        /// The registration this request belongs to.
+        reg: RegSeq,
+        /// The resolved owner it is addressed to.
+        owner: MemberId,
+    },
+    /// Unregistration request travelling to the departing member's
+    /// successor. Carries the stamp on the wire.
+    Unregister {
+        /// The registration this request belongs to.
+        reg: RegSeq,
+        /// The resolved owner it is addressed to.
+        owner: MemberId,
+    },
+    /// Owner's acknowledgement travelling back to the registrant.
+    Ack {
+        /// The registration being acknowledged.
+        reg: RegSeq,
+        /// The registrant it returns to.
+        to: MemberId,
+    },
+}
+
+/// Queue payload: a delivered wire message or a sender-local retransmit
+/// timer (timers are clock events at the sender, not network messages, so
+/// they live outside the [`ControlMsg`] grammar).
+#[derive(Clone, Debug)]
+enum Event {
+    Deliver(ControlMsg),
+    LookupTimer { query: QueryId, contact: u32, attempt: u32 },
+    RegTimer { reg: RegSeq, attempt: u32 },
+}
+
+/// The completed record of one routed lookup: the answer plus every cost
+/// the querier experienced obtaining it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RoutedLookup {
+    /// The member answered (identical to the omniscient catalog's answer
+    /// on a quiescent, unpartitioned network).
+    pub member: MemberId,
+    /// Completed round trips (0 when the querier owned the key itself).
+    pub hops: u32,
+    /// Control messages sent on this lookup's behalf.
+    pub messages: u64,
+    /// Retransmissions after first sends.
+    pub retries: u64,
+    /// Retransmit timers that fired.
+    pub timeouts: u64,
+    /// Experienced wall latency in simulated milliseconds: issue time to
+    /// final answer delivery, including every timeout the querier waited
+    /// out.
+    pub latency_ms: f64,
+    /// Neighborhood candidates the answering owner examined.
+    pub candidates: u32,
+}
+
+/// Aggregated control-plane traffic statistics.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RoutedStats {
+    /// Completed routed lookups.
+    pub lookups: u64,
+    /// Issued routed registrations (including cost-only refreshes).
+    pub registrations: u64,
+    /// Issued routed unregistrations.
+    pub unregistrations: u64,
+    /// Control messages sent (requests, replies, acks).
+    pub messages: u64,
+    /// Retransmit timers that fired.
+    pub timeouts: u64,
+    /// Retransmissions after first sends.
+    pub retries: u64,
+    /// Registration applies rejected as stale by last-writer-wins.
+    pub stale_rejected: u64,
+    /// Registrations parked for [`RoutedCatalog::heal`] after exhausting
+    /// retries against an unreachable owner.
+    pub deferred: u64,
+    /// `hop_histogram[h]` = completed lookups that took `h` round trips.
+    pub hop_histogram: Vec<u64>,
+    latencies_ms: Vec<f64>,
+}
+
+impl RoutedStats {
+    fn record_lookup(&mut self, done: &RoutedLookup) {
+        self.lookups += 1;
+        self.messages += done.messages;
+        self.timeouts += done.timeouts;
+        self.retries += done.retries;
+        let bucket = done.hops as usize;
+        if self.hop_histogram.len() <= bucket {
+            self.hop_histogram.resize(bucket + 1, 0);
+        }
+        self.hop_histogram[bucket] += 1;
+        self.latencies_ms.push(done.latency_ms);
+    }
+
+    /// Experienced per-lookup latencies, in completion order.
+    pub fn lookup_latencies_ms(&self) -> &[f64] {
+        &self.latencies_ms
+    }
+
+    /// Nearest-rank percentile (`q` in `[0, 1]`) of experienced lookup
+    /// latency; `None` before the first completed lookup.
+    pub fn latency_percentile_ms(&self, q: f64) -> Option<f64> {
+        if self.latencies_ms.is_empty() {
+            return None;
+        }
+        let mut sorted = self.latencies_ms.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).max(1);
+        Some(sorted[rank.min(sorted.len()) - 1])
+    }
+
+    /// Median experienced lookup latency.
+    pub fn p50_latency_ms(&self) -> Option<f64> {
+        self.latency_percentile_ms(0.50)
+    }
+
+    /// Tail experienced lookup latency.
+    pub fn p99_latency_ms(&self) -> Option<f64> {
+        self.latency_percentile_ms(0.99)
+    }
+
+    /// Mean hops per completed lookup.
+    pub fn mean_hops(&self) -> f64 {
+        if self.lookups == 0 {
+            return 0.0;
+        }
+        let total: u64 = self.hop_histogram.iter().enumerate().map(|(h, &n)| h as u64 * n).sum();
+        total as f64 / self.lookups as f64
+    }
+}
+
+/// Querier-side routing decision computed from a member's local state.
+enum Step {
+    /// The member at `at_key` owns the target and should answer.
+    Owns,
+    /// Forward to this entry.
+    Forward { key: RingKey, member: MemberId },
+}
+
+struct PendingLookup {
+    origin: MemberId,
+    origin_key: RingKey,
+    target_key: RingKey,
+    target: Vec<f64>,
+    current: MemberId,
+    current_key: RingKey,
+    /// Monotone per-lookup contact counter — retransmit timers match on it
+    /// so a timer armed for an abandoned contact can never fire against a
+    /// later one.
+    contact: u32,
+    attempt: u32,
+    suspects: Vec<RingKey>,
+    hops: u32,
+    messages: u64,
+    retries: u64,
+    timeouts: u64,
+    started: f64,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum RegOp {
+    /// Apply this coordinate at the owner (last-writer-wins).
+    Register(Vec<f64>),
+    /// Drop the member's registration at the owner (last-writer-wins).
+    Unregister,
+    /// Cost-only refresh: the state is already applied (the runtime's
+    /// synchronous path); only the message traffic is simulated.
+    Refresh,
+}
+
+struct PendingReg {
+    member: MemberId,
+    op: RegOp,
+    key: RingKey,
+    owner: MemberId,
+    stamp: Stamp,
+    attempt: u32,
+}
+
+/// A [`CoordinateCatalog`] whose control traffic is executed as routed
+/// messages over the simulated underlay. See the [module docs](self).
+pub struct RoutedCatalog<C: SpaceFillingCurve> {
+    catalog: CoordinateCatalog<C>,
+    queue: EventQueue<Event>,
+    config: ProtoConfig,
+    pending_lookups: BTreeMap<QueryId, PendingLookup>,
+    pending_regs: BTreeMap<RegSeq, PendingReg>,
+    deferred: Vec<PendingReg>,
+    /// `stamps[member]` = stamp of the member's applied registration.
+    stamps: Vec<Option<Stamp>>,
+    /// `severed[member]` = true while the member is on the severed side of
+    /// the partition. Messages crossing the boundary are dropped.
+    severed: Vec<bool>,
+    next_query: QueryId,
+    next_seq: u64,
+    stats: RoutedStats,
+    completed: Vec<(QueryId, RoutedLookup)>,
+}
+
+impl<C: SpaceFillingCurve> RoutedCatalog<C> {
+    /// Wraps an already-populated catalog (bootstrap registrations are part
+    /// of deployment, not runtime message traffic).
+    pub fn from_catalog(catalog: CoordinateCatalog<C>, config: ProtoConfig) -> Self {
+        assert!(config.timeout_ms.is_finite() && config.timeout_ms > 0.0);
+        RoutedCatalog {
+            catalog,
+            queue: EventQueue::new(),
+            config,
+            pending_lookups: BTreeMap::new(),
+            pending_regs: BTreeMap::new(),
+            deferred: Vec::new(),
+            stamps: Vec::new(),
+            severed: Vec::new(),
+            next_query: 0,
+            next_seq: 0,
+            stats: RoutedStats::default(),
+            completed: Vec::new(),
+        }
+    }
+
+    /// The authoritative catalog state.
+    pub fn catalog(&self) -> &CoordinateCatalog<C> {
+        &self.catalog
+    }
+
+    /// Mutable catalog access for the runtime's synchronous paths
+    /// (bootstrap, read-view stat charging). Registrations applied here
+    /// bypass the protocol — pair with [`RoutedCatalog::enqueue_refresh`]
+    /// to charge their message cost.
+    pub fn catalog_mut(&mut self) -> &mut CoordinateCatalog<C> {
+        &mut self.catalog
+    }
+
+    /// Timeout / retry policy in force.
+    pub fn config(&self) -> ProtoConfig {
+        self.config
+    }
+
+    /// Aggregated traffic statistics.
+    pub fn stats(&self) -> &RoutedStats {
+        &self.stats
+    }
+
+    /// Current simulated control-plane time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// True when no messages, timers, or unflushed registrations are
+    /// outstanding (deferred registrations wait for [`RoutedCatalog::heal`]
+    /// and do not count).
+    pub fn is_quiescent(&self) -> bool {
+        self.queue.is_empty() && self.pending_lookups.is_empty() && self.pending_regs.is_empty()
+    }
+
+    /// Directly applies a registration with a fresh stamp, bypassing the
+    /// message protocol — the runtime's synchronous path (bootstrap and
+    /// tick-quiescent churn), which keeps catalog evolution bit-identical
+    /// to the omniscient backend. Returns the traced key pair.
+    pub fn register_direct(
+        &mut self,
+        member: MemberId,
+        coord: Vec<f64>,
+    ) -> (Option<RingKey>, RingKey) {
+        let stamp = self.fresh_stamp();
+        self.set_stamp(member, stamp);
+        self.catalog.insert_traced(member, coord)
+    }
+
+    /// Directly removes a registration with a fresh stamp (synchronous
+    /// path). Returns the key the member held.
+    pub fn remove_direct(&mut self, member: MemberId) -> Option<RingKey> {
+        let stamp = self.fresh_stamp();
+        self.set_stamp(member, stamp);
+        self.catalog.remove_traced(member)
+    }
+
+    /// Marks `members` as severed: every message between a severed and an
+    /// unsevered member is dropped until [`RoutedCatalog::heal`].
+    pub fn sever(&mut self, members: impl IntoIterator<Item = MemberId>) {
+        for m in members {
+            let idx = m as usize;
+            if self.severed.len() <= idx {
+                self.severed.resize(idx + 1, false);
+            }
+            self.severed[idx] = true;
+        }
+    }
+
+    /// True while `member` sits on the severed side.
+    pub fn is_severed(&self, member: MemberId) -> bool {
+        self.severed.get(member as usize).copied().unwrap_or(false)
+    }
+
+    /// Heals the partition and re-sends every deferred registration (with
+    /// its original stamp, so anything re-registered since the deferral
+    /// wins by last-writer-wins). Returns how many were flushed.
+    pub fn heal(&mut self, at: SimTime, link: &LinkFn) -> usize {
+        self.severed.clear();
+        let deferred = std::mem::take(&mut self.deferred);
+        let flushed = deferred.len();
+        let at = self.clamp(at);
+        for mut p in deferred {
+            // Re-resolve the owner: the ring may have changed while the
+            // registration was parked.
+            let excl = [p.key];
+            let probe = if matches!(p.op, RegOp::Unregister) { &excl[..] } else { &[][..] };
+            if let Some((_, owner)) = first_live(self.catalog.ring(), p.key.wrapping_add(1), probe)
+            {
+                p.owner = owner;
+                p.attempt = 1;
+                let reg = self.next_seq;
+                self.next_seq += 1;
+                self.send_reg(reg, p, at, link);
+            }
+        }
+        flushed
+    }
+
+    fn fresh_stamp(&mut self) -> Stamp {
+        let stamp = Stamp { time_ms: self.queue.now().millis(), seq: self.next_seq };
+        self.next_seq += 1;
+        stamp
+    }
+
+    fn set_stamp(&mut self, member: MemberId, stamp: Stamp) {
+        let idx = member as usize;
+        if self.stamps.len() <= idx {
+            self.stamps.resize(idx + 1, None);
+        }
+        self.stamps[idx] = Some(stamp);
+    }
+
+    fn stamp_of(&self, member: MemberId) -> Option<Stamp> {
+        self.stamps.get(member as usize).copied().flatten()
+    }
+
+    fn reachable(&self, a: MemberId, b: MemberId) -> bool {
+        self.is_severed(a) == self.is_severed(b)
+    }
+
+    fn clamp(&self, at: SimTime) -> SimTime {
+        SimTime(at.millis().max(self.queue.now().millis()))
+    }
+
+    fn max_hops(&self) -> u32 {
+        (2 * self.catalog.ring().finger_bits()).max(8)
+    }
+
+    /// Issues a routed lookup of `target` from `origin` at simulated time
+    /// `at` (clamped to the queue clock). The result is delivered by
+    /// [`RoutedCatalog::run_to_quiescence`]. `None` when the catalog is
+    /// empty or `origin` is not registered.
+    pub fn lookup_routed(
+        &mut self,
+        origin: MemberId,
+        target: &[f64],
+        at: SimTime,
+        link: &LinkFn,
+    ) -> Option<QueryId> {
+        let origin_key = self.catalog.registered_key(origin)?;
+        let target_key = self.catalog.key_of(target);
+        let at = self.clamp(at);
+        let query = self.next_query;
+        self.next_query += 1;
+        let mut p = PendingLookup {
+            origin,
+            origin_key,
+            target_key,
+            target: target.to_vec(),
+            current: origin,
+            current_key: origin_key,
+            contact: 0,
+            attempt: 0,
+            suspects: Vec::new(),
+            hops: 0,
+            messages: 0,
+            retries: 0,
+            timeouts: 0,
+            started: at.millis(),
+        };
+        match self.choose_contact(&p, None) {
+            None => {
+                // The querier owns the key: answer locally, zero traffic.
+                let (member, candidates) = self.answer_at(origin, target_key, target);
+                let done = RoutedLookup {
+                    member,
+                    hops: 0,
+                    messages: 0,
+                    retries: 0,
+                    timeouts: 0,
+                    latency_ms: 0.0,
+                    candidates,
+                };
+                self.stats.record_lookup(&done);
+                self.completed.push((query, done));
+            }
+            Some((key, member)) => {
+                self.contact(query, &mut p, key, member, at, link);
+                self.pending_lookups.insert(query, p);
+            }
+        }
+        Some(query)
+    }
+
+    /// Issues a routed registration of `coord` for `member`: the coordinate
+    /// is applied at the owner *when the `Register` message is delivered*
+    /// (last-writer-wins on the issue-time stamp), not synchronously.
+    pub fn register_routed(
+        &mut self,
+        member: MemberId,
+        coord: Vec<f64>,
+        at: SimTime,
+        link: &LinkFn,
+    ) -> Option<RegSeq> {
+        let key = self.catalog.key_of(&coord);
+        self.issue_reg(member, RegOp::Register(coord), key, at, link)
+    }
+
+    /// Issues a routed unregistration for `member` (applied at delivery,
+    /// last-writer-wins). `None` when the member is not registered.
+    pub fn unregister_routed(
+        &mut self,
+        member: MemberId,
+        at: SimTime,
+        link: &LinkFn,
+    ) -> Option<RegSeq> {
+        let key = self.catalog.registered_key(member)?;
+        self.issue_reg(member, RegOp::Unregister, key, at, link)
+    }
+
+    /// Charges the message cost of a registration that was already applied
+    /// synchronously via [`RoutedCatalog::register_direct`] — a `Register`
+    /// / `Ack` round trip to the owner of the member's registered key,
+    /// with the full timeout/retry contract but no state change.
+    pub fn enqueue_refresh(
+        &mut self,
+        member: MemberId,
+        at: SimTime,
+        link: &LinkFn,
+    ) -> Option<RegSeq> {
+        let key = self.catalog.registered_key(member)?;
+        self.issue_reg(member, RegOp::Refresh, key, at, link)
+    }
+
+    fn issue_reg(
+        &mut self,
+        member: MemberId,
+        op: RegOp,
+        key: RingKey,
+        at: SimTime,
+        link: &LinkFn,
+    ) -> Option<RegSeq> {
+        let at = self.clamp(at);
+        let stamp = Stamp { time_ms: at.millis(), seq: self.next_seq };
+        self.next_seq += 1;
+        // The registrant resolves the owner from its local routing state:
+        // the key's live successor. A departing member excludes itself.
+        let own = [key];
+        let excl = if matches!(op, RegOp::Unregister) { &own[..] } else { &[][..] };
+        let (_, owner) = first_live(self.catalog.ring(), key.wrapping_add(1), excl)?;
+        match op {
+            RegOp::Register(_) => self.stats.registrations += 1,
+            RegOp::Unregister => self.stats.unregistrations += 1,
+            RegOp::Refresh => self.stats.registrations += 1,
+        }
+        let reg = self.next_seq;
+        self.next_seq += 1;
+        self.send_reg(reg, PendingReg { member, op, key, owner, stamp, attempt: 1 }, at, link);
+        Some(reg)
+    }
+
+    fn send_reg(&mut self, reg: RegSeq, p: PendingReg, at: SimTime, link: &LinkFn) {
+        self.stats.messages += 1;
+        let msg = match p.op {
+            RegOp::Unregister => ControlMsg::Unregister { reg, owner: p.owner },
+            _ => ControlMsg::Register { reg, owner: p.owner },
+        };
+        if self.reachable(p.member, p.owner) {
+            self.queue.schedule(at.after(link(p.member, p.owner)), Event::Deliver(msg));
+        }
+        self.queue.schedule(
+            at.after(self.config.backoff_ms(p.attempt)),
+            Event::RegTimer { reg, attempt: p.attempt },
+        );
+        self.pending_regs.insert(reg, p);
+    }
+
+    /// Drives the queue until no message or timer is outstanding, handling
+    /// each event with the live `link` latencies, and returns the lookups
+    /// completed since the last drain (in completion order).
+    pub fn run_to_quiescence(&mut self, link: &LinkFn) -> Vec<(QueryId, RoutedLookup)> {
+        while let Some((t, ev)) = self.queue.pop() {
+            match ev {
+                Event::Deliver(msg) => self.deliver(t, msg, link),
+                Event::LookupTimer { query, contact, attempt } => {
+                    self.lookup_timer(t, query, contact, attempt, link)
+                }
+                Event::RegTimer { reg, attempt } => self.reg_timer(t, reg, attempt, link),
+            }
+        }
+        std::mem::take(&mut self.completed)
+    }
+
+    fn deliver(&mut self, t: SimTime, msg: ControlMsg, link: &LinkFn) {
+        match msg {
+            ControlMsg::Lookup { query, at } => {
+                let Some(p) = self.pending_lookups.get(&query) else { return };
+                if p.current != at {
+                    return; // stale delivery from an abandoned retransmit
+                }
+                let step = match member_step(
+                    self.catalog.ring(),
+                    p.current_key,
+                    p.target_key,
+                    &p.suspects,
+                ) {
+                    Some(Step::Owns) => {
+                        let (member, candidates) = self.answer_at(at, p.target_key, &p.target);
+                        LookupStep::Answer { member, candidates }
+                    }
+                    Some(Step::Forward { key, member }) => LookupStep::Forward { key, member },
+                    None => return,
+                };
+                let p = self.pending_lookups.get_mut(&query).expect("checked above");
+                p.messages += 1;
+                let origin = p.origin;
+                let reply = ControlMsg::LookupReply { query, from: at, step };
+                if self.reachable(at, origin) {
+                    self.queue.schedule(t.after(link(at, origin)), Event::Deliver(reply));
+                }
+            }
+            ControlMsg::LookupReply { query, from, step } => {
+                let Some(p) = self.pending_lookups.get_mut(&query) else { return };
+                if p.current != from {
+                    return;
+                }
+                p.hops += 1;
+                match step {
+                    LookupStep::Answer { member, candidates } => {
+                        let p = self.pending_lookups.remove(&query).expect("present");
+                        let done = RoutedLookup {
+                            member,
+                            hops: p.hops,
+                            messages: p.messages,
+                            retries: p.retries,
+                            timeouts: p.timeouts,
+                            latency_ms: t.millis() - p.started,
+                            candidates,
+                        };
+                        self.stats.record_lookup(&done);
+                        self.completed.push((query, done));
+                    }
+                    LookupStep::Forward { key, member } => {
+                        let mut p = self.pending_lookups.remove(&query).expect("present");
+                        let (key, member) = self
+                            .choose_contact(&p, Some((key, member)))
+                            .expect("forward step always yields a contact");
+                        self.contact(query, &mut p, key, member, t, link);
+                        self.pending_lookups.insert(query, p);
+                    }
+                }
+            }
+            ControlMsg::Register { reg, owner } | ControlMsg::Unregister { reg, owner } => {
+                let Some(p) = self.pending_regs.get(&reg) else { return };
+                let (member, op, stamp) = (p.member, p.op.clone(), p.stamp);
+                let stale = self.stamp_of(member).is_some_and(|cur| cur.newer_than(stamp));
+                if stale {
+                    self.stats.stale_rejected += 1;
+                } else {
+                    match &op {
+                        RegOp::Register(coord) => {
+                            self.set_stamp(member, stamp);
+                            self.catalog.insert_traced(member, coord.clone());
+                        }
+                        RegOp::Unregister => {
+                            self.set_stamp(member, stamp);
+                            self.catalog.remove_traced(member);
+                        }
+                        RegOp::Refresh => {}
+                    }
+                }
+                self.stats.messages += 1;
+                let ack = ControlMsg::Ack { reg, to: member };
+                if self.reachable(owner, member) {
+                    self.queue.schedule(t.after(link(owner, member)), Event::Deliver(ack));
+                }
+            }
+            ControlMsg::Ack { reg, .. } => {
+                self.pending_regs.remove(&reg);
+            }
+        }
+    }
+
+    fn lookup_timer(
+        &mut self,
+        t: SimTime,
+        query: QueryId,
+        contact: u32,
+        attempt: u32,
+        link: &LinkFn,
+    ) {
+        let Some(p) = self.pending_lookups.get_mut(&query) else { return };
+        if p.contact != contact || p.attempt != attempt {
+            return; // a reply (or later retransmit) superseded this timer
+        }
+        p.timeouts += 1;
+        if attempt <= self.config.max_retries {
+            // Retransmit to the same hop with doubled timeout.
+            p.attempt = attempt + 1;
+            p.retries += 1;
+            p.messages += 1;
+            let (origin, current) = (p.origin, p.current);
+            let next_attempt = attempt + 1;
+            if self.reachable(origin, current) {
+                self.queue.schedule(
+                    t.after(link(origin, current)),
+                    Event::Deliver(ControlMsg::Lookup { query, at: current }),
+                );
+            }
+            self.queue.schedule(
+                t.after(self.config.backoff_ms(next_attempt)),
+                Event::LookupTimer { query, contact, attempt: next_attempt },
+            );
+        } else {
+            // Retries exhausted: suspect the hop and re-route from the
+            // querier's own state.
+            let mut p = self.pending_lookups.remove(&query).expect("present");
+            let suspect = p.current_key;
+            if let Err(pos) = p.suspects.binary_search(&suspect) {
+                p.suspects.insert(pos, suspect);
+            }
+            match self.choose_contact(&p, None) {
+                None => {
+                    let (member, candidates) = self.answer_at(p.origin, p.target_key, &p.target);
+                    let done = RoutedLookup {
+                        member,
+                        hops: p.hops,
+                        messages: p.messages,
+                        retries: p.retries,
+                        timeouts: p.timeouts,
+                        latency_ms: t.millis() - p.started,
+                        candidates,
+                    };
+                    self.stats.record_lookup(&done);
+                    self.completed.push((query, done));
+                }
+                Some((key, member)) => {
+                    self.contact(query, &mut p, key, member, t, link);
+                    self.pending_lookups.insert(query, p);
+                }
+            }
+        }
+    }
+
+    fn reg_timer(&mut self, t: SimTime, reg: RegSeq, attempt: u32, link: &LinkFn) {
+        let Some(p) = self.pending_regs.get_mut(&reg) else { return };
+        if p.attempt != attempt {
+            return;
+        }
+        self.stats.timeouts += 1;
+        if attempt <= self.config.max_retries {
+            p.attempt = attempt + 1;
+            self.stats.retries += 1;
+            self.stats.messages += 1;
+            let (member, owner) = (p.member, p.owner);
+            let msg = match p.op {
+                RegOp::Unregister => ControlMsg::Unregister { reg, owner },
+                _ => ControlMsg::Register { reg, owner },
+            };
+            let next_attempt = attempt + 1;
+            if self.reachable(member, owner) {
+                self.queue.schedule(t.after(link(member, owner)), Event::Deliver(msg));
+            }
+            self.queue.schedule(
+                t.after(self.config.backoff_ms(next_attempt)),
+                Event::RegTimer { reg, attempt: next_attempt },
+            );
+        } else {
+            let p = self.pending_regs.remove(&reg).expect("present");
+            self.stats.deferred += 1;
+            self.deferred.push(p);
+        }
+    }
+
+    /// Sends `Lookup` to `(key, member)` and arms the attempt-1 timer.
+    fn contact(
+        &mut self,
+        query: QueryId,
+        p: &mut PendingLookup,
+        key: RingKey,
+        member: MemberId,
+        at: SimTime,
+        link: &LinkFn,
+    ) {
+        p.current = member;
+        p.current_key = key;
+        p.contact += 1;
+        p.attempt = 1;
+        p.messages += 1;
+        if self.reachable(p.origin, member) {
+            self.queue.schedule(
+                at.after(link(p.origin, member)),
+                Event::Deliver(ControlMsg::Lookup { query, at: member }),
+            );
+        }
+        self.queue.schedule(
+            at.after(self.config.backoff_ms(1)),
+            Event::LookupTimer { query, contact: p.contact, attempt: 1 },
+        );
+    }
+
+    /// Querier-side choice of the next hop to contact. `hint` is the
+    /// forward step from the last reply (`None` when starting or
+    /// re-routing from the querier's own state). `None` result = the
+    /// querier owns the key and answers locally.
+    fn choose_contact(
+        &self,
+        p: &PendingLookup,
+        hint: Option<(RingKey, MemberId)>,
+    ) -> Option<(RingKey, MemberId)> {
+        if p.hops >= self.max_hops() {
+            // Termination backstop, mirroring `DhtRing::lookup`: contact
+            // the key's live successor directly — it owns by construction.
+            return Some(
+                first_live(self.catalog.ring(), p.target_key, &p.suspects)
+                    .expect("querier itself is always live"),
+            );
+        }
+        if let Some(h) = hint {
+            return Some(h);
+        }
+        match member_step(self.catalog.ring(), p.origin_key, p.target_key, &p.suspects)? {
+            Step::Owns => None,
+            Step::Forward { key, member } => Some((key, member)),
+        }
+    }
+
+    /// The owner-side answer: the registered member closest to `target`
+    /// among the `scan_width` ring neighborhood of `target_key`, filtered
+    /// to members the answerer can reach. First-wins ties in neighborhood
+    /// order — identical ranking to the omniscient
+    /// `lookup_closest_traced`, which makes the two answers equal on an
+    /// unpartitioned network.
+    fn answer_at(
+        &self,
+        answerer: MemberId,
+        target_key: RingKey,
+        target: &[f64],
+    ) -> (MemberId, u32) {
+        let hood = self.catalog.ring().neighbors(target_key, self.catalog.scan_width());
+        let mut best: Option<(f64, MemberId)> = None;
+        let mut candidates = 0u32;
+        for &(_, m) in &hood {
+            if !self.reachable(answerer, m) {
+                continue;
+            }
+            candidates += 1;
+            let d = self.catalog.distance_to(m, target);
+            if best.as_ref().is_none_or(|(bd, _)| d.total_cmp(bd).is_lt()) {
+                best = Some((d, m));
+            }
+        }
+        match best {
+            Some((_, m)) => (m, candidates),
+            // Degenerate: nothing reachable in the neighborhood — the
+            // answerer vouches for itself.
+            None => (answerer, 0),
+        }
+    }
+
+    /// Pure transcription of the queue-driven lookup automaton: the exact
+    /// answer, hop count, message count, and experienced latency a routed
+    /// lookup issued at time `at` would complete with — without touching
+    /// the queue or the statistics. Kept in lock-step with the handlers
+    /// above (pinned by the `queue_path_matches_pure_path` tests); safe
+    /// for read-only parallel passes because it takes `&self`.
+    pub fn lookup_quiescent(
+        &self,
+        origin: MemberId,
+        target: &[f64],
+        at: SimTime,
+        link: &LinkFn,
+    ) -> Option<RoutedLookup> {
+        let ring = self.catalog.ring();
+        let origin_key = self.catalog.registered_key(origin)?;
+        let target_key = self.catalog.key_of(target);
+        let started = self.clamp(at).millis();
+        let mut t = started;
+        let mut suspects: Vec<RingKey> = Vec::new();
+        let (mut hops, mut messages, mut retries, mut timeouts) = (0u32, 0u64, 0u64, 0u64);
+        let max_hops = self.max_hops();
+
+        // Querier-local first decision (mirrors `lookup_routed`).
+        let mut next = match member_step(ring, origin_key, target_key, &suspects)? {
+            Step::Owns => {
+                let (member, candidates) = self.answer_at(origin, target_key, target);
+                return Some(RoutedLookup {
+                    member,
+                    hops: 0,
+                    messages: 0,
+                    retries: 0,
+                    timeouts: 0,
+                    latency_ms: 0.0,
+                    candidates,
+                });
+            }
+            Step::Forward { key, member } => (key, member),
+        };
+        loop {
+            let (ck, cm) = next;
+            if !self.reachable(origin, cm) {
+                // Full retry ladder, then suspect and re-route — mirrors
+                // `contact` + `lookup_timer`. Clock arithmetic matches the
+                // queue's incremental `after` additions exactly.
+                messages += 1;
+                for attempt in 1..=(1 + self.config.max_retries) {
+                    t += self.config.backoff_ms(attempt);
+                    timeouts += 1;
+                    if attempt <= self.config.max_retries {
+                        retries += 1;
+                        messages += 1;
+                    }
+                }
+                if let Err(pos) = suspects.binary_search(&ck) {
+                    suspects.insert(pos, ck);
+                }
+                if hops >= max_hops {
+                    next = first_live(ring, target_key, &suspects)
+                        .expect("querier itself is always live");
+                    continue;
+                }
+                match member_step(ring, origin_key, target_key, &suspects)? {
+                    Step::Owns => {
+                        let (member, candidates) = self.answer_at(origin, target_key, target);
+                        return Some(RoutedLookup {
+                            member,
+                            hops,
+                            messages,
+                            retries,
+                            timeouts,
+                            latency_ms: t - started,
+                            candidates,
+                        });
+                    }
+                    Step::Forward { key, member } => next = (key, member),
+                }
+                continue;
+            }
+            // Round trip: request out, reply back (self-contacts cost 0).
+            messages += 2;
+            t = (t + link(origin, cm)) + link(cm, origin);
+            hops += 1;
+            match member_step(ring, ck, target_key, &suspects)? {
+                Step::Owns => {
+                    let (member, candidates) = self.answer_at(cm, target_key, target);
+                    return Some(RoutedLookup {
+                        member,
+                        hops,
+                        messages,
+                        retries,
+                        timeouts,
+                        latency_ms: t - started,
+                        candidates,
+                    });
+                }
+                Step::Forward { key, member } => {
+                    next = if hops >= max_hops {
+                        first_live(ring, target_key, &suspects)
+                            .expect("querier itself is always live")
+                    } else {
+                        (key, member)
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// The first live (non-excluded) ring entry clockwise from `from`
+/// (inclusive). `excl` must be sorted. `None` only when every member is
+/// excluded or the ring is empty.
+fn first_live(ring: &DhtRing, from: RingKey, excl: &[RingKey]) -> Option<(RingKey, MemberId)> {
+    let mut probe = from;
+    for _ in 0..=excl.len() {
+        let (k, m) = ring.successor(probe)?;
+        if excl.binary_search(&k).is_err() {
+            return Some((k, m));
+        }
+        probe = k.wrapping_add(1);
+    }
+    None
+}
+
+/// The routing decision the member at `at_key` makes about `target` from
+/// its local state (live successor + Hilbert-greedy fingers), excluding
+/// suspected keys. Mirrors the loop body of `DhtRing::lookup` exactly
+/// when `excl` is empty: successor-ownership check, then the largest
+/// finger strictly inside `(at, target)`, then the target's direct
+/// successor.
+fn member_step(ring: &DhtRing, at_key: RingKey, target: RingKey, excl: &[RingKey]) -> Option<Step> {
+    // Ownership: am I the target's first live successor?
+    let (owner_key, owner_member) = first_live(ring, target, excl)?;
+    if owner_key == at_key {
+        return Some(Step::Owns);
+    }
+    // Chord: if target ∈ (me, successor] the successor owns it.
+    let (succ_key, succ_member) = first_live(ring, at_key.wrapping_add(1), excl)?;
+    if in_open_closed(target, at_key, succ_key) {
+        return Some(Step::Forward { key: succ_key, member: succ_member });
+    }
+    // Largest finger strictly inside (me, target).
+    for i in (0..ring.finger_bits()).rev() {
+        let probe = at_key.wrapping_add(1u128 << i);
+        let (fk, fm) = first_live(ring, probe, excl)?;
+        if fk != at_key && in_open_open(fk, at_key, target) {
+            return Some(Step::Forward { key: fk, member: fm });
+        }
+    }
+    // No finger precedes the target: its live successor is the owner.
+    Some(Step::Forward { key: owner_key, member: owner_member })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use sbon_hilbert::{HilbertCurve, Quantizer};
+    use sbon_netsim::rng::rng_from_seed;
+
+    fn unit_catalog(scan: usize) -> CoordinateCatalog<HilbertCurve> {
+        CoordinateCatalog::new(
+            HilbertCurve::new(2, 8),
+            Quantizer::new(vec![0.0, 0.0], vec![1.0, 1.0], 8),
+            scan,
+        )
+    }
+
+    fn populated(n: u32, seed: u64, scan: usize) -> RoutedCatalog<HilbertCurve> {
+        let mut rng = rng_from_seed(seed);
+        let mut routed = RoutedCatalog::from_catalog(unit_catalog(scan), ProtoConfig::default());
+        for m in 0..n {
+            routed.register_direct(m, vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]);
+        }
+        routed
+    }
+
+    /// Deterministic synthetic link latency: symmetric, zero diagonal.
+    fn link(a: MemberId, b: MemberId) -> f64 {
+        if a == b {
+            return 0.0;
+        }
+        let (lo, hi) = (a.min(b) as u64, a.max(b) as u64);
+        5.0 + ((lo * 2_654_435_761 + hi * 40_503) % 90) as f64
+    }
+
+    #[test]
+    fn routed_answer_matches_omniscient_on_quiescent_network() {
+        let mut rng = rng_from_seed(3);
+        let mut routed = populated(200, 3, 8);
+        for trial in 0..150 {
+            let target = [rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)];
+            let origin = rng.gen_range(0..200);
+            let omniscient = routed.catalog().lookup_closest_traced(&target).unwrap();
+            let q = routed.lookup_routed(origin, &target, SimTime::ZERO, &link).unwrap();
+            let done = routed.run_to_quiescence(&link);
+            let (qid, res) = done.last().copied().unwrap();
+            assert_eq!(qid, q);
+            assert_eq!(res.member, omniscient.member, "trial {trial} origin {origin}");
+            assert_eq!(res.retries, 0, "healthy network must not retry");
+            assert!(res.hops == 0 || res.latency_ms > 0.0);
+        }
+        assert!(routed.is_quiescent());
+        assert_eq!(routed.stats().lookups, 150);
+        assert_eq!(routed.stats().timeouts, 0);
+    }
+
+    #[test]
+    fn queue_path_matches_pure_path_bit_for_bit() {
+        let mut rng = rng_from_seed(4);
+        let mut routed = populated(120, 4, 6);
+        for _ in 0..100 {
+            let target = [rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)];
+            let origin = rng.gen_range(0..120);
+            let at = routed.now();
+            let pure = routed.lookup_quiescent(origin, &target, at, &link).unwrap();
+            routed.lookup_routed(origin, &target, at, &link).unwrap();
+            let (_, queued) = routed.run_to_quiescence(&link).last().copied().unwrap();
+            assert_eq!(queued, pure);
+        }
+    }
+
+    #[test]
+    fn queue_path_matches_pure_path_under_partition() {
+        let mut rng = rng_from_seed(5);
+        for trial in 0..20 {
+            let mut routed = populated(80, 100 + trial, 6);
+            let severed: Vec<MemberId> = (0..80).filter(|_| rng.gen_bool(0.3)).collect();
+            if severed.len() == 80 {
+                continue;
+            }
+            routed.sever(severed.iter().copied());
+            let target = [rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)];
+            let origin = rng.gen_range(0..80);
+            let at = routed.now();
+            let pure = routed.lookup_quiescent(origin, &target, at, &link).unwrap();
+            routed.lookup_routed(origin, &target, at, &link).unwrap();
+            let (_, queued) = routed.run_to_quiescence(&link).last().copied().unwrap();
+            assert_eq!(queued, pure, "trial {trial} origin {origin}");
+            assert_eq!(
+                routed.is_severed(queued.member),
+                routed.is_severed(origin),
+                "answer must come from the querier's side"
+            );
+        }
+    }
+
+    #[test]
+    fn local_owner_answers_with_zero_messages() {
+        let mut routed = populated(40, 6, 4);
+        // Look up a member's own coordinate from that member: it owns its
+        // own key (exact hit) and answers locally.
+        let coord: Vec<f64> = routed.catalog().coord_of(7).unwrap().to_vec();
+        routed.lookup_routed(7, &coord, SimTime::ZERO, &link).unwrap();
+        let (_, res) = routed.run_to_quiescence(&link).last().copied().unwrap();
+        assert_eq!(res.hops, 0);
+        assert_eq!(res.messages, 0);
+        assert_eq!(res.latency_ms, 0.0);
+        assert_eq!(res.member, 7);
+    }
+
+    #[test]
+    fn registration_race_resolves_last_writer_wins() {
+        let mut routed = populated(30, 7, 4);
+        // Two racing re-registrations for member 5: the older stamp is
+        // issued first but (with a huge first-hop latency) arrives after
+        // the newer one. LWW must keep the newer coordinate and count a
+        // stale rejection for the straggler.
+        let old_coord = vec![0.1, 0.1];
+        let new_coord = vec![0.9, 0.9];
+        let slow_link =
+            |a: MemberId, b: MemberId| if a == 5 || b == 5 { 500.0 } else { link(a, b) };
+        routed.register_routed(5, old_coord, SimTime(0.0), &slow_link).unwrap();
+        routed.register_routed(5, new_coord.clone(), SimTime(1.0), &link).unwrap();
+        routed.run_to_quiescence(&link);
+        assert!(routed.is_quiescent());
+        assert_eq!(routed.catalog().coord_of(5).unwrap(), new_coord.as_slice());
+        assert_eq!(routed.stats().stale_rejected, 1);
+    }
+
+    #[test]
+    fn duplicate_register_delivery_is_idempotent() {
+        let mut routed = populated(20, 8, 4);
+        let before = routed.catalog().registered_key(3);
+        // A refresh exercises the Register/Ack path without state change.
+        routed.enqueue_refresh(3, SimTime::ZERO, &link).unwrap();
+        routed.run_to_quiescence(&link);
+        assert_eq!(routed.catalog().registered_key(3), before);
+        assert_eq!(routed.stats().messages, 2, "Register + Ack");
+        assert!(routed.is_quiescent());
+    }
+
+    #[test]
+    fn severed_lookup_fails_over_and_reconverges_after_heal() {
+        let mut rng = rng_from_seed(9);
+        let mut routed = populated(100, 9, 8);
+        // Sever members 0..30. A lookup from the severed side whose
+        // omniscient answer is unsevered must fail over to a severed
+        // member, paying timeouts.
+        routed.sever(0..30);
+        let mut exercised = false;
+        for _ in 0..40 {
+            let target = [rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)];
+            // Pick a target whose ring owner sits across the partition, so
+            // the querier is guaranteed to suspect it.
+            let key = routed.catalog().key_of(&target);
+            let owner = first_live(routed.catalog().ring(), key, &[]).unwrap().1;
+            if owner < 30 {
+                continue;
+            }
+            let origin = rng.gen_range(0..30);
+            routed.lookup_routed(origin, &target, routed.now(), &link).unwrap();
+            let (_, res) = routed.run_to_quiescence(&link).last().copied().unwrap();
+            assert!(res.member < 30, "failover answer must be reachable");
+            assert!(res.timeouts > 0, "crossing the partition must time out");
+            exercised = true;
+            // After heal the same lookup matches the omniscient answer.
+            let omniscient = routed.catalog().lookup_closest_traced(&target).unwrap().member;
+            let mut healed = populated(100, 9, 8);
+            healed.lookup_routed(origin, &target, SimTime::ZERO, &link).unwrap();
+            let (_, post) = healed.run_to_quiescence(&link).last().copied().unwrap();
+            assert_eq!(post.member, omniscient);
+            break;
+        }
+        assert!(exercised, "no cross-partition lookup was exercised");
+        assert!(routed.stats().timeouts > 0);
+        assert!(routed.stats().retries > 0);
+    }
+
+    #[test]
+    fn partitioned_registration_defers_and_flushes_on_heal() {
+        let mut routed = populated(60, 10, 6);
+        // Member 2 re-registers under a coordinate whose key is owned
+        // across the partition: the Register exhausts its retries and is
+        // parked, leaving the catalog unchanged.
+        let coord = vec![0.42, 0.42];
+        let key = routed.catalog().key_of(&coord);
+        let (_, owner) = first_live(routed.catalog().ring(), key.wrapping_add(1), &[]).unwrap();
+        let severed: Vec<MemberId> = (0..60).filter(|&m| m != owner).collect();
+        assert_ne!(owner, 2, "owner must sit across the partition from 2");
+        routed.sever(severed);
+        let before = routed.catalog().coord_of(2).unwrap().to_vec();
+        routed.register_routed(2, coord.clone(), routed.now(), &link).unwrap();
+        routed.run_to_quiescence(&link);
+        assert!(routed.is_quiescent());
+        assert_eq!(routed.stats().deferred, 1);
+        assert_eq!(routed.catalog().coord_of(2).unwrap(), before.as_slice());
+        // Heal: the deferred registration flushes and applies.
+        assert_eq!(routed.heal(routed.now(), &link), 1);
+        routed.run_to_quiescence(&link);
+        assert_eq!(routed.catalog().coord_of(2).unwrap(), coord.as_slice());
+    }
+
+    #[test]
+    fn deferred_flush_loses_to_newer_registration() {
+        let mut routed = populated(60, 10, 6);
+        let coord = vec![0.42, 0.42];
+        let key = routed.catalog().key_of(&coord);
+        let (_, owner) = first_live(routed.catalog().ring(), key.wrapping_add(1), &[]).unwrap();
+        routed.sever((0..60).filter(|&m| m != owner));
+        routed.register_routed(2, coord, routed.now(), &link).unwrap();
+        routed.run_to_quiescence(&link);
+        assert_eq!(routed.stats().deferred, 1);
+        // While the old registration is parked, member 2 registers again
+        // with a newer stamp via the direct path.
+        let newer = vec![0.7, 0.2];
+        routed.register_direct(2, newer.clone());
+        routed.heal(routed.now(), &link);
+        routed.run_to_quiescence(&link);
+        // The stale flush must lose by last-writer-wins.
+        assert_eq!(routed.catalog().coord_of(2).unwrap(), newer.as_slice());
+        assert_eq!(routed.stats().stale_rejected, 1);
+    }
+
+    #[test]
+    fn stats_percentiles_and_histogram_accumulate() {
+        let mut rng = rng_from_seed(11);
+        let mut routed = populated(150, 11, 8);
+        for _ in 0..60 {
+            let target = [rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)];
+            let origin = rng.gen_range(0..150);
+            routed.lookup_routed(origin, &target, routed.now(), &link).unwrap();
+        }
+        routed.run_to_quiescence(&link);
+        let stats = routed.stats().clone();
+        assert_eq!(stats.lookups, 60);
+        assert_eq!(stats.hop_histogram.iter().sum::<u64>(), 60);
+        assert_eq!(stats.lookup_latencies_ms().len(), 60);
+        let p50 = stats.p50_latency_ms().unwrap();
+        let p99 = stats.p99_latency_ms().unwrap();
+        assert!(p50 <= p99, "p50 {p50} must not exceed p99 {p99}");
+        assert!(stats.mean_hops() > 0.0);
+        let mut sorted = stats.lookup_latencies_ms().to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(stats.latency_percentile_ms(1.0), sorted.last().copied());
+    }
+
+    #[test]
+    fn identical_runs_produce_identical_stats() {
+        let run = || {
+            let mut rng = rng_from_seed(12);
+            let mut routed = populated(90, 12, 6);
+            routed.sever(0..20);
+            for _ in 0..40 {
+                let target = [rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)];
+                let origin = rng.gen_range(0..90);
+                routed.lookup_routed(origin, &target, routed.now(), &link).unwrap();
+                if rng.gen_bool(0.3) {
+                    let m = rng.gen_range(0..90);
+                    let c = vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)];
+                    routed.register_routed(m, c, routed.now(), &link);
+                }
+            }
+            routed.run_to_quiescence(&link);
+            routed.heal(routed.now(), &link);
+            routed.run_to_quiescence(&link);
+            routed.stats().clone()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn interleaved_lookups_match_isolated_results() {
+        // Concurrent lookups share the queue but never exchange state:
+        // issuing N lookups before draining must produce the same
+        // per-lookup records as issuing and draining one at a time.
+        let mut rng = rng_from_seed(13);
+        let mut batch = populated(100, 13, 6);
+        let cases: Vec<(MemberId, [f64; 2])> = (0..30)
+            .map(|_| (rng.gen_range(0..100), [rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]))
+            .collect();
+        for (origin, target) in &cases {
+            batch.lookup_routed(*origin, target, SimTime::ZERO, &link).unwrap();
+        }
+        let mut batched: Vec<(QueryId, RoutedLookup)> = batch.run_to_quiescence(&link);
+        batched.sort_by_key(|&(q, _)| q);
+        assert_eq!(batched.len(), cases.len());
+        for (i, (origin, target)) in cases.iter().enumerate() {
+            // A fresh catalog per case keeps the clock at zero, so the
+            // isolated lookup's latency arithmetic starts from the same
+            // origin time as the batched one.
+            let mut solo = populated(100, 13, 6);
+            solo.lookup_routed(*origin, target, SimTime::ZERO, &link).unwrap();
+            let (_, res) = solo.run_to_quiescence(&link).last().copied().unwrap();
+            assert_eq!(batched[i].1, res, "case {i}");
+        }
+    }
+}

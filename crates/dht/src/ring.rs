@@ -89,6 +89,11 @@ impl DhtRing {
         self.members.len()
     }
 
+    /// Finger levels used in greedy routing (see [`DhtConfig`]).
+    pub fn finger_bits(&self) -> u32 {
+        self.config.finger_bits
+    }
+
     /// True when the ring has no members.
     pub fn is_empty(&self) -> bool {
         self.members.is_empty()

@@ -46,8 +46,6 @@ pub mod traffic;
 
 pub use dataplane::{simulate_circuit, DataPlaneConfig, DataPlaneReport};
 pub use report::{RunReport, Sample};
-#[allow(deprecated)]
-pub use runtime::LatencyJitter;
 pub use runtime::{
     CircuitHandle, ControlPlaneStats, DeploymentModel, JitterModel, LatencyBackend, MapperBackend,
     OverlayRuntime, QueryLifecycleStats, RunSession, RuntimeConfig, RuntimeConfigBuilder,

@@ -48,11 +48,12 @@ use sbon_core::multiquery::{CircuitId, MultiQueryOptimizer, ReuseScope};
 use sbon_core::optimizer::{IntegratedOptimizer, OptimizerConfig, QuerySpec};
 use sbon_core::placement::{
     DhtMapper, DhtMapperConfig, LiveOracleMapper, MapperReadView, PhysicalMapper, ReadObservation,
-    RelaxationPlacer,
+    RelaxationPlacer, RoutedMapper,
 };
 use sbon_core::reopt::relevance::{ReadSet, RelevanceIndex, ReoptKind};
 use sbon_core::reopt::{reoptimize_full, reoptimize_local, FullReoptOutcome, ReoptPolicy};
 use sbon_dht::catalog::CatalogStats;
+use sbon_dht::proto::{ProtoConfig, RoutedStats};
 use sbon_netsim::dijkstra::all_pairs_latency;
 use sbon_netsim::graph::{EdgeId, Graph, NodeId};
 use sbon_netsim::latency::{LatencyMatrix, LatencyProvider};
@@ -96,12 +97,6 @@ impl Default for JitterModel {
     }
 }
 
-/// Former name of [`JitterModel`], from when the dense backend perturbed
-/// end-to-end node *pairs* instead of underlay edges. The pair-granular
-/// path is gone; both backends now share the edge-granular model.
-#[deprecated(note = "renamed to `JitterModel`; jitter is edge-granular on every backend")]
-pub type LatencyJitter = JitterModel;
-
 /// Ground-truth latency data structure used by the runtime.
 ///
 /// `Dense` materializes the all-pairs matrix up front — `O(n²)` memory,
@@ -125,7 +120,7 @@ pub enum LatencyBackend {
 /// (deltas via `update_node`, failures via `remove_node`) and threads it
 /// through every control-plane path: deployment, local re-optimization,
 /// plan rewriting, full re-optimization, and failure evacuation.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum MapperBackend {
     /// The paper-faithful decentralized mapper: Hilbert-keyed DHT catalog,
     /// `O(log n)` routed hops per mapped service. The default.
@@ -142,6 +137,21 @@ pub enum MapperBackend {
     /// The centralized verification backend the DHT answers are measured
     /// against.
     Oracle,
+    /// The DHT catalog driven through the message-passing control plane
+    /// ([`sbon_dht::proto`]): placements stay bit-identical to
+    /// [`MapperBackend::Dht`], but every lookup and registration is also
+    /// replayed as routed `ControlMsg` traffic over the live latency
+    /// provider, surfacing *experienced* per-query latency (ms), message
+    /// counts, and retry behaviour through
+    /// [`ControlPlaneStats`] / [`OverlayRuntime::routed_stats`].
+    Routed {
+        /// Per-dimension grid resolution (capped like the `Dht` variant).
+        bits: u32,
+        /// Successor-list correction window.
+        scan_width: usize,
+        /// Timeout / retry policy for the routed messages.
+        proto: ProtoConfig,
+    },
 }
 
 impl Default for MapperBackend {
@@ -182,43 +192,43 @@ pub enum DeploymentModel {
 #[derive(Clone, Debug)]
 pub struct RuntimeConfig {
     /// Simulation tick (ms): churn + accounting granularity.
-    pub tick_ms: f64,
+    tick_ms: f64,
     /// Run length (ms).
-    pub horizon_ms: f64,
+    horizon_ms: f64,
     /// Local re-optimization cadence (ms); `None` disables adaptation.
-    pub reopt_interval_ms: Option<f64>,
+    reopt_interval_ms: Option<f64>,
     /// Full re-optimization cadence (ms); `None` disables full re-opt.
-    pub full_reopt_interval_ms: Option<f64>,
+    full_reopt_interval_ms: Option<f64>,
     /// Local plan-rewrite cadence (ms); `None` disables rewriting. The
     /// paper's "limited plan re-writing" (§3.3): cheaper than full re-opt,
     /// explores only the rewrite neighbourhood of the running plan.
-    pub rewrite_interval_ms: Option<f64>,
+    rewrite_interval_ms: Option<f64>,
     /// Thresholds for migrations / replacements.
-    pub policy: ReoptPolicy,
+    policy: ReoptPolicy,
     /// Load churn process applied each tick.
-    pub churn: ChurnProcess,
+    churn: ChurnProcess,
     /// Optional latency jitter applied each tick.
-    pub latency_jitter: Option<JitterModel>,
+    latency_jitter: Option<JitterModel>,
     /// Usage·seconds charged per migration (state transfer).
-    pub migration_penalty: f64,
+    migration_penalty: f64,
     /// Usage·seconds charged per full replacement.
-    pub replacement_penalty: f64,
+    replacement_penalty: f64,
     /// Initial load model.
-    pub initial_load: LoadModel,
+    initial_load: LoadModel,
     /// Scalar scale of the latency+load cost space.
-    pub load_scale: f64,
+    load_scale: f64,
     /// Vivaldi settings for the embedding built at start-up.
-    pub vivaldi: VivaldiConfig,
+    vivaldi: VivaldiConfig,
     /// Ground-truth latency backend.
-    pub latency_backend: LatencyBackend,
+    latency_backend: LatencyBackend,
     /// Cap on resident shortest-path rows under [`LatencyBackend::Lazy`]
     /// (`None` = unbounded). Bounds steady-state latency memory at
     /// `O(cap · n)` instead of `O(n²)`; ignored by the dense backend.
-    pub lazy_row_cache: Option<usize>,
+    lazy_row_cache: Option<usize>,
     /// Physical-mapping backend for the runtime-owned mapper.
-    pub mapper_backend: MapperBackend,
+    mapper_backend: MapperBackend,
     /// Membership bring-up model (all-at-once or deployment wave).
-    pub deployment: DeploymentModel,
+    deployment: DeploymentModel,
     /// Multi-query reuse scope for arriving queries.
     ///
     /// Anything other than [`ReuseScope::None`] routes every `deploy`
@@ -234,7 +244,7 @@ pub struct RuntimeConfig {
     /// shared subtrees or have subscribed instances) — replacing such a
     /// plan would strand its tenants. Untenanted circuits still adapt,
     /// re-registering their instances after the swap.
-    pub reuse: ReuseScope,
+    reuse: ReuseScope,
     /// Worker threads for the embarrassingly parallel per-tick work
     /// (shortest-path row computation, scalar cost refresh): `0` sizes the
     /// pool to the machine's available parallelism, `1` runs everything on
@@ -243,7 +253,7 @@ pub struct RuntimeConfig {
     /// Thread count never changes results: parallel stages compute pure
     /// values and commit them serially in a deterministic order, so a run
     /// at any `threads` setting is bit-identical to a serial one.
-    pub threads: usize,
+    threads: usize,
     /// Dirty-driven re-optimization (default `true`): each adaptation pass
     /// evaluates only circuits whose re-opt inputs changed since their last
     /// no-op evaluation, per the runtime-maintained
@@ -252,13 +262,13 @@ pub struct RuntimeConfig {
     /// [`sbon_core::reopt`] module docs for the closed-input-set argument);
     /// `false` restores the evaluate-everything scan, useful as the
     /// equivalence baseline.
-    pub incremental_reopt: bool,
+    incremental_reopt: bool,
     /// Per-evaluation mapping memo (default `true`): within one circuit
     /// evaluation, repeated physical-mapping lookups of bit-identical ideal
     /// points are answered from a local memo instead of re-routing through
     /// the catalog. Answers are identical by construction (the catalog
     /// never mutates mid-evaluation); only the per-lookup traffic changes.
-    pub mapping_memo: bool,
+    mapping_memo: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -291,11 +301,115 @@ impl Default for RuntimeConfig {
 
 impl RuntimeConfig {
     /// Starts a [`RuntimeConfigBuilder`] seeded with the defaults — the
-    /// preferred construction path. The struct's fields stay `pub` for one
-    /// deprecation cycle, but new knobs are only guaranteed a builder
-    /// setter.
+    /// construction path. The fields are private; read access goes through
+    /// the getters below.
     pub fn builder() -> RuntimeConfigBuilder {
         RuntimeConfigBuilder { config: RuntimeConfig::default() }
+    }
+
+    /// Simulation tick (ms).
+    pub fn tick_ms(&self) -> f64 {
+        self.tick_ms
+    }
+
+    /// Run length (ms).
+    pub fn horizon_ms(&self) -> f64 {
+        self.horizon_ms
+    }
+
+    /// Local re-optimization cadence (ms); `None` = adaptation disabled.
+    pub fn reopt_interval_ms(&self) -> Option<f64> {
+        self.reopt_interval_ms
+    }
+
+    /// Full re-optimization cadence (ms); `None` = disabled.
+    pub fn full_reopt_interval_ms(&self) -> Option<f64> {
+        self.full_reopt_interval_ms
+    }
+
+    /// Plan-rewrite cadence (ms); `None` = disabled.
+    pub fn rewrite_interval_ms(&self) -> Option<f64> {
+        self.rewrite_interval_ms
+    }
+
+    /// Migration / replacement thresholds.
+    pub fn policy(&self) -> ReoptPolicy {
+        self.policy
+    }
+
+    /// Load churn process applied each tick.
+    pub fn churn(&self) -> &ChurnProcess {
+        &self.churn
+    }
+
+    /// Per-tick latency jitter; `None` = disabled.
+    pub fn latency_jitter(&self) -> Option<JitterModel> {
+        self.latency_jitter
+    }
+
+    /// Usage·seconds charged per migration.
+    pub fn migration_penalty(&self) -> f64 {
+        self.migration_penalty
+    }
+
+    /// Usage·seconds charged per full replacement.
+    pub fn replacement_penalty(&self) -> f64 {
+        self.replacement_penalty
+    }
+
+    /// Initial load model.
+    pub fn initial_load(&self) -> &LoadModel {
+        &self.initial_load
+    }
+
+    /// Scalar scale of the latency+load cost space.
+    pub fn load_scale(&self) -> f64 {
+        self.load_scale
+    }
+
+    /// Vivaldi settings for the start-up embedding.
+    pub fn vivaldi(&self) -> &VivaldiConfig {
+        &self.vivaldi
+    }
+
+    /// Ground-truth latency backend.
+    pub fn latency_backend(&self) -> LatencyBackend {
+        self.latency_backend
+    }
+
+    /// Resident-row cap under [`LatencyBackend::Lazy`].
+    pub fn lazy_row_cache(&self) -> Option<usize> {
+        self.lazy_row_cache
+    }
+
+    /// Physical-mapping backend.
+    pub fn mapper_backend(&self) -> MapperBackend {
+        self.mapper_backend
+    }
+
+    /// Membership bring-up model.
+    pub fn deployment(&self) -> DeploymentModel {
+        self.deployment
+    }
+
+    /// Multi-query reuse scope.
+    pub fn reuse(&self) -> ReuseScope {
+        self.reuse
+    }
+
+    /// Worker-thread count (`0` = auto, `1` = serial).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether dirty-driven re-optimization is on.
+    pub fn incremental_reopt(&self) -> bool {
+        self.incremental_reopt
+    }
+
+    /// Whether the per-evaluation mapping memo is on.
+    pub fn mapping_memo(&self) -> bool {
+        self.mapping_memo
     }
 }
 
@@ -313,8 +427,8 @@ impl RuntimeConfig {
 ///     .latency_jitter(JitterModel { edges_per_tick: 50, ..Default::default() })
 ///     .reopt_interval_ms(None)
 ///     .build();
-/// assert_eq!(config.horizon_ms, 30_000.0);
-/// assert!(config.reopt_interval_ms.is_none());
+/// assert_eq!(config.horizon_ms(), 30_000.0);
+/// assert!(config.reopt_interval_ms().is_none());
 /// ```
 #[derive(Clone, Debug)]
 pub struct RuntimeConfigBuilder {
@@ -585,6 +699,7 @@ enum Event {
 enum MapperState {
     Dht(DhtMapper),
     Oracle(LiveOracleMapper),
+    Routed(RoutedMapper),
 }
 
 impl MapperState {
@@ -592,23 +707,30 @@ impl MapperState {
         match self {
             MapperState::Dht(m) => m,
             MapperState::Oracle(m) => m,
+            MapperState::Routed(m) => m,
         }
     }
 
     /// A read-only view for one circuit evaluation: answers exactly like
     /// the live mapper, accumulates traffic/read-set observations locally.
+    /// The routed backend hands out the same catalog-only view the DHT
+    /// backend does — routed traffic is replayed only for live-path
+    /// lookups, on the serial settle points.
     fn read_view(&self, memo: bool) -> MapperReadView<'_> {
         match self {
             MapperState::Dht(m) => MapperReadView::Dht(m.read_view(memo)),
             MapperState::Oracle(m) => MapperReadView::Oracle(m.read_view()),
+            MapperState::Routed(m) => MapperReadView::Dht(m.read_view(memo)),
         }
     }
 
     /// Folds a read view's deferred catalog traffic back onto the live
     /// mapper (a no-op for the oracle, which has no traffic counters).
     fn charge_observed(&mut self, obs: &ReadObservation) {
-        if let MapperState::Dht(m) = self {
-            m.charge_stats(obs.stats);
+        match self {
+            MapperState::Dht(m) => m.charge_stats(obs.stats),
+            MapperState::Oracle(_) => {}
+            MapperState::Routed(m) => m.charge_stats(obs.stats),
         }
     }
 }
@@ -617,7 +739,7 @@ impl MapperState {
 /// *maintaining* the optimizer's view (coordinate refresh + mapper sync)
 /// is visible separately from the cost of *using* it (re-optimization and
 /// evacuation mapping) and from plain latency-provider reads.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct ControlPlaneStats {
     /// Churn ticks processed.
     pub ticks: usize,
@@ -654,6 +776,24 @@ pub struct ControlPlaneStats {
     /// Wall time reading the ground-truth latency provider for usage
     /// accounting (the data-plane proxy, for comparison).
     pub usage_ns: u128,
+    /// Routed control-plane messages sent (requests, replies, acks).
+    /// Populated only under [`MapperBackend::Routed`], from the settled
+    /// message traffic; zero otherwise.
+    pub routed_messages: u64,
+    /// Routed lookups completed.
+    pub routed_lookups: u64,
+    /// Routed retransmissions after first sends.
+    pub routed_retries: u64,
+    /// Routed retransmit timers that fired.
+    pub routed_timeouts: u64,
+    /// `routed_hop_histogram[h]` = routed lookups that took `h` round
+    /// trips.
+    pub routed_hop_histogram: Vec<u64>,
+    /// Median experienced routed-lookup latency (simulated ms); `None`
+    /// before the first settled lookup (and always under other backends).
+    pub routed_p50_latency_ms: Option<f64>,
+    /// Tail (p99) experienced routed-lookup latency (simulated ms).
+    pub routed_p99_latency_ms: Option<f64>,
 }
 
 impl ControlPlaneStats {
@@ -948,6 +1088,15 @@ impl OverlayRuntime {
             MapperBackend::Oracle => {
                 MapperState::Oracle(LiveOracleMapper::with_members(n, members))
             }
+            MapperBackend::Routed { bits, scan_width, proto } => {
+                let bits = bits.min((128 / space.dims() as u32).max(1));
+                MapperState::Routed(RoutedMapper::build_with_members(
+                    &space,
+                    &DhtMapperConfig { bits, scan_width, ..DhtMapperConfig::default() },
+                    proto,
+                    &members,
+                ))
+            }
         };
         let multiquery = match config.reuse {
             ReuseScope::None => None,
@@ -1028,6 +1177,11 @@ impl OverlayRuntime {
             MapperState::Oracle(m) => {
                 m.remove_node(node);
                 self.relevance.touch_all();
+            }
+            MapperState::Routed(m) => {
+                if let Some(key) = m.remove_node_traced(node) {
+                    self.relevance.touch_key(key);
+                }
             }
         }
         self.relevance.touch_host(node);
@@ -1213,6 +1367,7 @@ impl OverlayRuntime {
         match &self.mapper {
             MapperState::Dht(m) => m.name(),
             MapperState::Oracle(m) => m.name(),
+            MapperState::Routed(m) => m.name(),
         }
     }
 
@@ -1222,13 +1377,51 @@ impl OverlayRuntime {
         match &self.mapper {
             MapperState::Dht(m) => Some(m.stats()),
             MapperState::Oracle(_) => None,
+            MapperState::Routed(m) => Some(m.stats()),
+        }
+    }
+
+    /// Message-traffic statistics of the routed control plane; `None`
+    /// under the other backends.
+    pub fn routed_stats(&self) -> Option<&RoutedStats> {
+        match &self.mapper {
+            MapperState::Routed(m) => Some(m.routed_stats()),
+            _ => None,
         }
     }
 
     /// Accumulated control-plane accounting (refresh vs mapping vs
-    /// latency-read time).
+    /// latency-read time). Under [`MapperBackend::Routed`] the routed
+    /// message-traffic summary (experienced latency percentiles, hop
+    /// histogram, retries) is folded in at call time.
     pub fn control_plane_stats(&self) -> ControlPlaneStats {
-        self.control
+        let mut cp = self.control.clone();
+        if let MapperState::Routed(m) = &self.mapper {
+            let rs = m.routed_stats();
+            cp.routed_messages = rs.messages;
+            cp.routed_lookups = rs.lookups;
+            cp.routed_retries = rs.retries;
+            cp.routed_timeouts = rs.timeouts;
+            cp.routed_hop_histogram = rs.hop_histogram.clone();
+            cp.routed_p50_latency_ms = rs.p50_latency_ms();
+            cp.routed_p99_latency_ms = rs.p99_latency_ms();
+        }
+        cp
+    }
+
+    /// Replays lookups and registrations parked by the routed mapper as
+    /// message traffic on the live latency provider, driving the control
+    /// plane's event queue to quiescence. A no-op under the other
+    /// backends. Runs only on serial paths (tick boundaries, deploy,
+    /// failure handling), so thread count never touches the routed clock.
+    fn settle_routed(&mut self, at: SimTime) {
+        let MapperState::Routed(m) = &mut self.mapper else { return };
+        if m.pending_traffic() == 0 && m.routed().is_quiescent() {
+            return;
+        }
+        let provider = self.latency.provider();
+        let link = |a: u32, b: u32| provider.latency(NodeId(a), NodeId(b));
+        m.settle(at, &link);
     }
 
     /// Demand-computes every shortest-path row the next usage accounting
@@ -1361,6 +1554,10 @@ impl OverlayRuntime {
             mq_id,
             shared,
         });
+        // Routed backend: the deployment's mapping lookups are parked in
+        // the mapper's outbox — replay them as message traffic now (the
+        // routed clock carries the time forward between run ticks).
+        self.settle_routed(SimTime::ZERO);
         Some(handle)
     }
 
@@ -1497,6 +1694,11 @@ impl OverlayRuntime {
         match event {
             Event::Tick => {
                 self.apply_churn();
+                // Routed backend: replay the tick's parked registrations
+                // (and any deploy-time lookups since the last boundary) as
+                // message traffic over the *current* (possibly jittered)
+                // latencies.
+                self.settle_routed(now);
                 // Accrue usage over the elapsed tick (usage·seconds). The
                 // prewarm shards the tick's missing shortest-path rows
                 // across the pool; the accounting pass then reads cached
@@ -1664,6 +1866,9 @@ impl OverlayRuntime {
             Event::Fail(node) => {
                 let t0 = Instant::now();
                 let evacuated = self.fail_node(node);
+                // Evacuation lookups ran through the live mapper: replay
+                // them as routed traffic at the failure time.
+                self.settle_routed(now);
                 self.control.evac_ns += t0.elapsed().as_nanos();
                 // Evacuations are migrations: charge the same penalty.
                 s.report.migrations += evacuated;
@@ -1778,6 +1983,11 @@ impl OverlayRuntime {
                         m.add_node(&self.space, node);
                         self.relevance.touch_all();
                     }
+                    MapperState::Routed(m) => {
+                        let (old, new) = m.update_node_traced(&self.space, node);
+                        debug_assert!(old.is_none(), "a joining node cannot be registered yet");
+                        self.relevance.touch_key(new);
+                    }
                 }
                 joined += 1;
             }
@@ -1829,6 +2039,13 @@ impl OverlayRuntime {
                     MapperState::Oracle(m) => {
                         m.update_node(&self.space, node);
                         self.relevance.touch_all();
+                    }
+                    MapperState::Routed(m) => {
+                        let (old, new) = m.update_node_traced(&self.space, node);
+                        if let Some(old) = old {
+                            self.relevance.touch_key(old);
+                        }
+                        self.relevance.touch_key(new);
                     }
                 }
                 self.relevance.touch_host(node);
@@ -2913,5 +3130,135 @@ mod tests {
         rt.schedule_failure(2_000.0, victim);
         rt.run();
         assert!(!rt.is_alive(victim));
+    }
+
+    fn routed_backend() -> MapperBackend {
+        MapperBackend::Routed { bits: 12, scan_width: 8, proto: ProtoConfig::default() }
+    }
+
+    /// The routed backend answers every mapping from the same catalog state
+    /// as the Dht backend, so whole runs — placements, samples, migrations —
+    /// must be bit-identical; only the traffic accounting differs.
+    #[test]
+    fn routed_backend_run_is_bit_identical_to_dht_backend() {
+        let topo = small_world(50);
+        let run = |backend| {
+            let mut rt = OverlayRuntime::new(
+                &topo,
+                50,
+                RuntimeConfig::builder()
+                    .horizon_ms(10_000.0)
+                    .mapper_backend(backend)
+                    .churn(ChurnProcess::SparseWalk { nodes_per_tick: 8, std_dev: 0.15 })
+                    .latency_jitter(JitterModel { edges_per_tick: 25, ..Default::default() })
+                    .reopt_interval_ms(2_000.0)
+                    .build(),
+            );
+            let handle = rt.deploy(demo_query(&topo)).unwrap();
+            let report = rt.run();
+            let placement = rt.placement(handle).cloned();
+            (report, placement, rt.control_plane_stats())
+        };
+        let (dht_report, dht_placement, dht_cp) =
+            run(MapperBackend::Dht { bits: 12, scan_width: 8 });
+        let (routed_report, routed_placement, routed_cp) = run(routed_backend());
+        assert_eq!(dht_report, routed_report, "routed answers must match the omniscient-state Dht");
+        assert_eq!(dht_placement, routed_placement);
+        // The Dht backend experiences nothing; the routed backend replayed
+        // every deploy/reopt lookup and churn refresh over the underlay.
+        assert_eq!(dht_cp.routed_messages, 0);
+        assert!(routed_cp.routed_messages > 0, "routed traffic must be charged");
+        assert!(routed_cp.routed_lookups > 0);
+        assert!(routed_cp.routed_p50_latency_ms.is_some());
+        let p50 = routed_cp.routed_p50_latency_ms.unwrap();
+        let p99 = routed_cp.routed_p99_latency_ms.unwrap();
+        assert!(p50 > 0.0 && p99 >= p50, "experienced latency must be positive: {p50} / {p99}");
+        assert!(routed_cp.routed_hop_histogram.iter().sum::<u64>() > 0);
+    }
+
+    /// The routed protocol settles only on serial paths (tick boundary,
+    /// failures, deploy), so its clock and stats — like the run itself —
+    /// must not depend on the worker-pool width.
+    #[test]
+    fn routed_run_is_bit_identical_across_thread_counts() {
+        let topo = small_world(51);
+        let run = |threads: usize| {
+            let mut rt = OverlayRuntime::new(
+                &topo,
+                51,
+                RuntimeConfig::builder()
+                    .horizon_ms(8_000.0)
+                    .threads(threads)
+                    .mapper_backend(routed_backend())
+                    .churn(ChurnProcess::SparseWalk { nodes_per_tick: 10, std_dev: 0.15 })
+                    .latency_jitter(JitterModel { edges_per_tick: 20, ..Default::default() })
+                    .reopt_interval_ms(2_000.0)
+                    .build(),
+            );
+            rt.deploy(demo_query(&topo)).unwrap();
+            let report = rt.run();
+            let routed = rt.routed_stats().cloned().unwrap();
+            (report, rt.control_plane_stats(), routed)
+        };
+        let (serial, serial_cp, serial_routed) = run(1);
+        let (parallel, parallel_cp, parallel_routed) = run(8);
+        assert_eq!(serial, parallel, "thread count must not change a routed run");
+        // ControlPlaneStats carries wall-clock timing fields; compare the
+        // deterministic routed summary only.
+        assert_eq!(
+            (
+                serial_cp.routed_messages,
+                serial_cp.routed_lookups,
+                serial_cp.routed_retries,
+                serial_cp.routed_timeouts,
+                &serial_cp.routed_hop_histogram,
+                serial_cp.routed_p50_latency_ms,
+                serial_cp.routed_p99_latency_ms,
+            ),
+            (
+                parallel_cp.routed_messages,
+                parallel_cp.routed_lookups,
+                parallel_cp.routed_retries,
+                parallel_cp.routed_timeouts,
+                &parallel_cp.routed_hop_histogram,
+                parallel_cp.routed_p50_latency_ms,
+                parallel_cp.routed_p99_latency_ms,
+            ),
+            "routed control-plane summary must match across thread counts"
+        );
+        assert_eq!(serial_routed, parallel_routed, "full routed stats must match bit-for-bit");
+        assert!(serial_routed.messages > 0);
+    }
+
+    /// A node failure under the routed backend re-maps the evacuated
+    /// services through the live protocol and the catalog converges on
+    /// surviving nodes only.
+    #[test]
+    fn routed_backend_survives_failures_and_reconverges() {
+        let topo = small_world(52);
+        let mut rt = OverlayRuntime::new(
+            &topo,
+            52,
+            RuntimeConfig::builder()
+                .horizon_ms(8_000.0)
+                .mapper_backend(routed_backend())
+                .churn(ChurnProcess::None)
+                .build(),
+        );
+        assert_eq!(rt.mapper_name(), "routed-dht");
+        let handles: Vec<_> =
+            [demo_query(&topo)].into_iter().map(|q| rt.deploy(q).unwrap()).collect();
+        let victim = topo.host_candidates()[60];
+        rt.schedule_failure(3_000.0, victim);
+        rt.run();
+        assert!(!rt.is_alive(victim));
+        for &h in &handles {
+            if let Some(p) = rt.placement(h) {
+                assert!(p.as_slice().iter().all(|&n| rt.is_alive(n)));
+            }
+        }
+        let routed = rt.routed_stats().unwrap();
+        assert!(routed.messages > 0, "failure evacuation must re-register over the wire");
+        assert_eq!(routed.timeouts, 0, "an unpartitioned underlay never times out");
     }
 }

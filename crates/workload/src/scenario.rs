@@ -149,7 +149,7 @@ impl Scenario {
 
         let baseline_usage = rt.instantaneous_usage();
         let mut wl_rng = derive_rng(self.seed, 0x3070_AD01);
-        let tick_ms = self.runtime.tick_ms;
+        let tick_ms = self.runtime.tick_ms();
         let cap = self.workload.max_arrivals.unwrap_or(usize::MAX);
 
         let mut session = rt.start_run();
@@ -164,7 +164,7 @@ impl Scenario {
             // only when that tick will actually run: the window past the
             // final tick must not admit phantom queries that exist for
             // zero simulated time.
-            let will_tick = now_ms + tick_ms <= self.runtime.horizon_ms;
+            let will_tick = now_ms + tick_ms <= self.runtime.horizon_ms();
             let mut count = if will_tick {
                 self.workload.arrival.sample_arrivals(now_ms, tick_ms, &mut wl_rng)
             } else {

@@ -26,6 +26,13 @@
 //!   pinned so a parallel run is *bit-identical* to a serial one, which
 //!   this example asserts by running the same tier twice.
 //!
+//! A final **routed control-plane pass** re-runs a tier under
+//! `MapperBackend::Routed` (a dedicated ~10k-node tier in the full run):
+//! catalog lookups and registrations travel as messages over the simulated
+//! underlay, the run must stay bit-identical to the omniscient backend,
+//! and the per-query *experienced* latency distribution (p50/p99 ms, hop
+//! histogram, messages) is reported.
+//!
 //! ```sh
 //! cargo run --release --example planet_scale            # full 100,000 nodes
 //! SBON_SMOKE=1 cargo run --release --example planet_scale     # CI-sized
@@ -41,11 +48,13 @@ use std::time::Instant;
 use rand::seq::SliceRandom;
 
 use sbon::core::reopt::ReoptPolicy;
+use sbon::dht::ProtoConfig;
 use sbon::netsim::dijkstra::single_source;
 use sbon::netsim::graph::NodeId;
 use sbon::netsim::rng::derive_rng;
 use sbon::overlay::{
-    DeploymentModel, JitterModel, LatencyBackend, OverlayRuntime, RunReport, RuntimeConfig,
+    DeploymentModel, JitterModel, LatencyBackend, MapperBackend, OverlayRuntime, RunReport,
+    RuntimeConfig,
 };
 use sbon::prelude::*;
 
@@ -105,6 +114,28 @@ impl Tier {
         }
     }
 
+    /// The ~10k-node tier the routed control-plane pass runs end-to-end:
+    /// big enough that lookup paths take real hops, small enough to run
+    /// twice (omniscient + routed) alongside the 100k tier.
+    fn routed_10k() -> Self {
+        Tier {
+            label: "routed (~10k nodes)",
+            topo: TransitStubConfig {
+                transit_domains: 8,
+                transit_nodes_per_domain: 8,
+                stub_domains_per_transit_node: 8,
+                stub_nodes_per_domain: 19,
+                ..Default::default()
+            },
+            horizon_ms: 30_000.0,
+            queries: 8,
+            landmarks: 64,
+            initial: 2_000,
+            joins_per_tick: 300,
+            jitter_edges: 200,
+        }
+    }
+
     /// The `SBON_SMOKE=1` CI tier.
     fn smoke() -> Self {
         Tier {
@@ -119,8 +150,9 @@ impl Tier {
         }
     }
 
-    fn config(&self, threads: usize, incremental: bool) -> RuntimeConfig {
+    fn config(&self, threads: usize, incremental: bool, backend: MapperBackend) -> RuntimeConfig {
         RuntimeConfig::builder()
+            .mapper_backend(backend)
             .tick_ms(1_000.0)
             .horizon_ms(self.horizon_ms)
             .reopt_interval_ms(5_000.0)
@@ -159,11 +191,12 @@ fn run_tier(
     seed: u64,
     threads: usize,
     incremental: bool,
+    backend: MapperBackend,
     chatty: bool,
 ) -> RunReport {
     let n = topo.num_nodes();
     let start = Instant::now();
-    let mut rt = OverlayRuntime::new(topo, seed, tier.config(threads, incremental));
+    let mut rt = OverlayRuntime::new(topo, seed, tier.config(threads, incremental, backend));
     if chatty {
         let warmup = rt.lazy_latency_stats().expect("lazy backend");
         println!(
@@ -287,6 +320,34 @@ fn run_tier(
             (n as f64).log2()
         );
     }
+    if let Some(rs) = rt.routed_stats() {
+        // The message-passing control plane: the same lookups and
+        // registrations, but *experienced* over the live underlay —
+        // per-query latency in simulated milliseconds, not a hop counter.
+        println!(
+            "  experienced control-plane cost: {} messages for {} lookups + {} registrations",
+            rs.messages,
+            rs.lookups,
+            rs.registrations + rs.unregistrations,
+        );
+        println!(
+            "  per-query experienced latency: p50 {:.1} ms, p99 {:.1} ms; {:.1} hops/lookup; \
+             {} timeouts, {} retries",
+            rs.p50_latency_ms().unwrap_or(0.0),
+            rs.p99_latency_ms().unwrap_or(0.0),
+            rs.mean_hops(),
+            rs.timeouts,
+            rs.retries,
+        );
+        let hist: Vec<String> = rs
+            .hop_histogram
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(h, &c)| format!("{h}:{c}"))
+            .collect();
+        println!("  lookup hop histogram (hops:count): {}", hist.join(" "));
+    }
     report
 }
 
@@ -329,7 +390,8 @@ fn main() {
         tier.joins_per_tick,
         if parallel_threads == 0 { "auto".to_string() } else { parallel_threads.to_string() }
     );
-    let report = run_tier(&tier, &topo, seed, parallel_threads, true, true);
+    let report =
+        run_tier(&tier, &topo, seed, parallel_threads, true, MapperBackend::default(), true);
 
     // ── Determinism pin: the serial run must be bit-identical ────────────
     // The parallel-tick contract: sharding per-source row computation and
@@ -337,7 +399,7 @@ fn main() {
     // `RunReport` equality is bit-for-bit over every sample and counter.
     println!("\nre-running the tier serially (threads: 1) to pin determinism...");
     let start = Instant::now();
-    let serial = run_tier(&tier, &topo, seed, 1, true, false);
+    let serial = run_tier(&tier, &topo, seed, 1, true, MapperBackend::default(), false);
     println!("  serial run finished in {:.2} s", start.elapsed().as_secs_f64());
     assert_eq!(
         report, serial,
@@ -353,7 +415,8 @@ fn main() {
     if smoke_xl {
         println!("\nre-running with incremental re-opt disabled (full scan) to pin equivalence...");
         let start = Instant::now();
-        let full_scan = run_tier(&tier, &topo, seed, parallel_threads, false, false);
+        let full_scan =
+            run_tier(&tier, &topo, seed, parallel_threads, false, MapperBackend::default(), false);
         println!("  full-scan run finished in {:.2} s", start.elapsed().as_secs_f64());
         assert_eq!(
             report, full_scan,
@@ -362,6 +425,42 @@ fn main() {
         );
         println!("  incremental ≡ full scan: RunReports are bit-identical ✓");
     }
+
+    // ── Routed control-plane pass: the message-passing backend ───────────
+    // `MapperBackend::Routed` answers placements from the same catalog
+    // state as the omniscient Dht backend — the RunReports must be
+    // bit-identical — but replays every lookup and registration as routed
+    // messages over the live underlay, so the control plane's cost is
+    // *experienced* (per-query milliseconds of link delay), not estimated.
+    // Smoke modes reuse their tier; the full run gets a dedicated ~10k-node
+    // tier so lookup paths take real hops without doubling the 100k cost.
+    let routed_tier;
+    let routed_topo;
+    let (tier_r, topo_r) = if smoke || smoke_xl {
+        (&tier, &topo)
+    } else {
+        routed_tier = Tier::routed_10k();
+        println!("\ngenerating the ~10k-node underlay for the routed control-plane pass...");
+        routed_topo = transit_stub::generate(&routed_tier.topo, seed);
+        (&routed_tier, &routed_topo)
+    };
+    println!(
+        "\nrouted control-plane pass ({}, {} nodes): omniscient vs message-passing backend...",
+        tier_r.label,
+        topo_r.num_nodes()
+    );
+    let start = Instant::now();
+    let omniscient =
+        run_tier(tier_r, topo_r, seed, parallel_threads, true, MapperBackend::default(), false);
+    let routed_backend =
+        MapperBackend::Routed { bits: 12, scan_width: 8, proto: ProtoConfig::default() };
+    let routed = run_tier(tier_r, topo_r, seed, parallel_threads, true, routed_backend, true);
+    println!("  routed pass finished in {:.2} s", start.elapsed().as_secs_f64());
+    assert_eq!(
+        omniscient, routed,
+        "routed and omniscient mapper backends must produce bit-identical RunReports"
+    );
+    println!("  routed ≡ omniscient: RunReports are bit-identical ✓");
 
     // ── The dense baseline at the same scale (extrapolated) ──────────────
     // A full all-pairs precompute at this scale runs for hours; time a few

@@ -63,12 +63,11 @@ fn failure_recovery_keeps_all_surviving_circuits_running() {
     let mut rt = OverlayRuntime::new(
         &topo,
         5,
-        RuntimeConfig {
-            horizon_ms: 20_000.0,
-            churn: ChurnProcess::None,
-            reopt_interval_ms: None,
-            ..Default::default()
-        },
+        RuntimeConfig::builder()
+            .horizon_ms(20_000.0)
+            .churn(ChurnProcess::None)
+            .reopt_interval_ms(None)
+            .build(),
     );
     let handles: Vec<_> = queries(&topo, 3).into_iter().map(|q| rt.deploy(q).unwrap()).collect();
     // Kill the hosts of every unpinned service of circuit 0 at t=5s, 10s.

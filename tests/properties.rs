@@ -13,8 +13,8 @@ use sbon::core::placement::{
     map_circuit, optimal_tree_placement, DhtMapper, OracleMapper, PhysicalMapper, RelaxationPlacer,
     VirtualPlacer,
 };
-use sbon::dht::{DhtConfig, DhtRing, RingKey};
-use sbon::hilbert::Quantizer;
+use sbon::dht::{CoordinateCatalog, DhtConfig, DhtRing, ProtoConfig, RingKey, RoutedCatalog};
+use sbon::hilbert::{HilbertCurve, Quantizer};
 use sbon::netsim::dijkstra::all_pairs_latency;
 use sbon::netsim::graph::{EdgeId, NodeId};
 use sbon::netsim::latency::{EuclideanLatency, LatencyProvider};
@@ -592,6 +592,134 @@ proptest! {
         // Final sweep: the full ring orders identically.
         let btree_members: Vec<(RingKey, u32)> = ring.iter().collect();
         prop_assert_eq!(btree_members, reference.members);
+    }
+
+    /// The routed control plane, driven over the simulated underlay to
+    /// quiescence after every mutation, must hold **exactly** the catalog
+    /// state of an omniscient shared-structure catalog fed the same
+    /// operation sequence — same registered keys, same ring order, same
+    /// lookup answers — across random topologies, register / churn /
+    /// unregister interleavings, scan widths, and link-latency functions.
+    /// This is the contract that makes `MapperBackend::Routed` a drop-in
+    /// for `MapperBackend::Dht` whose only observable difference is the
+    /// experienced-latency accounting.
+    #[test]
+    fn routed_catalog_matches_omniscient_after_quiescence(
+        seed in 0u64..1_000_000,
+        nodes in 3u32..32,
+        ops in 1usize..48,
+    ) {
+        let mut rng = derive_rng(seed, 0x207ED);
+        let scan = 1 + (seed % 8) as usize;
+        let fresh = || CoordinateCatalog::new(
+            HilbertCurve::new(2, 8),
+            Quantizer::new(vec![0.0, 0.0], vec![1.0, 1.0], 8),
+            scan,
+        );
+        // Seed-derived symmetric link latency with a zero diagonal.
+        let salt = seed.wrapping_mul(0x9E37_79B9);
+        let link = move |a: u32, b: u32| -> f64 {
+            if a == b {
+                return 0.0;
+            }
+            let (lo, hi) = (a.min(b) as u64, a.max(b) as u64);
+            1.0 + ((lo.wrapping_mul(2_654_435_761).wrapping_add(hi.wrapping_mul(40_503))
+                ^ salt) % 120) as f64
+        };
+        let mut routed = RoutedCatalog::from_catalog(fresh(), ProtoConfig::default());
+        let mut omni = fresh();
+        let mut live: Vec<u32> = Vec::new();
+        let mut next_member: u32 = 0;
+        let coord = |rng: &mut _| -> Vec<f64> {
+            let r: &mut rand::rngs::StdRng = rng;
+            vec![r.gen_range(0.0..1.0), r.gen_range(0.0..1.0)]
+        };
+        // Bootstrap membership over the wire: the very first member has no
+        // owner to talk to, so it self-installs (direct), mirroring a DHT
+        // bootstrap node; everyone after joins through the protocol.
+        for _ in 0..nodes {
+            let c = coord(&mut rng);
+            if routed.catalog().is_empty() {
+                routed.register_direct(next_member, c.clone());
+            } else {
+                let at = routed.now();
+                prop_assert!(
+                    routed.register_routed(next_member, c.clone(), at, &link).is_some()
+                );
+                routed.run_to_quiescence(&link);
+            }
+            omni.insert(next_member, c);
+            live.push(next_member);
+            next_member += 1;
+        }
+        for _ in 0..ops {
+            match rng.gen_range(0..5) {
+                // Churn: a live member refines its coordinate.
+                0..=1 => {
+                    let m = live[rng.gen_range(0..live.len())];
+                    let c = coord(&mut rng);
+                    let at = routed.now();
+                    prop_assert!(routed.register_routed(m, c.clone(), at, &link).is_some());
+                    routed.run_to_quiescence(&link);
+                    omni.insert(m, c);
+                }
+                // Join of a brand-new member.
+                2 => {
+                    let c = coord(&mut rng);
+                    let at = routed.now();
+                    prop_assert!(
+                        routed.register_routed(next_member, c.clone(), at, &link).is_some()
+                    );
+                    routed.run_to_quiescence(&link);
+                    omni.insert(next_member, c);
+                    live.push(next_member);
+                    next_member += 1;
+                }
+                // Departure over the wire (the last member must stay: an
+                // unregistration has no surviving owner to address).
+                3 if live.len() > 1 => {
+                    let m = live.swap_remove(rng.gen_range(0..live.len()));
+                    let at = routed.now();
+                    prop_assert!(routed.unregister_routed(m, at, &link).is_some());
+                    routed.run_to_quiescence(&link);
+                    omni.remove(m);
+                }
+                // Lookup probe mid-sequence.
+                _ => {
+                    let target = [rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)];
+                    let origin = live[rng.gen_range(0..live.len())];
+                    let truth = omni.lookup_closest_traced(&target).unwrap();
+                    let at = routed.now();
+                    let res = routed.lookup_quiescent(origin, &target, at, &link).unwrap();
+                    prop_assert_eq!(res.member, truth.member);
+                    prop_assert!(res.hops == 0 || res.latency_ms > 0.0);
+                }
+            }
+            prop_assert!(routed.is_quiescent());
+        }
+        // Structural equivalence: identical membership under identical
+        // post-collision keys, in identical ring order.
+        prop_assert_eq!(routed.catalog().len(), omni.len());
+        let routed_members: Vec<(RingKey, u32)> = routed.catalog().ring().iter().collect();
+        let omni_members: Vec<(RingKey, u32)> = omni.ring().iter().collect();
+        prop_assert_eq!(routed_members, omni_members);
+        for &m in &live {
+            prop_assert_eq!(routed.catalog().registered_key(m), omni.registered_key(m));
+        }
+        // Behavioural equivalence: a final sweep of lookups agrees.
+        for _ in 0..12 {
+            let target = [rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)];
+            let origin = live[rng.gen_range(0..live.len())];
+            let truth = omni.lookup_closest_traced(&target).unwrap();
+            let res = routed
+                .lookup_quiescent(origin, &target, routed.now(), &link)
+                .unwrap();
+            prop_assert_eq!(res.member, truth.member);
+        }
+        // A healthy underlay never times out, retries, or defers.
+        prop_assert_eq!(routed.stats().timeouts, 0);
+        prop_assert_eq!(routed.stats().retries, 0);
+        prop_assert_eq!(routed.stats().deferred, 0);
     }
 
     /// Statistical plan costs reported by the DP agree with the

@@ -68,6 +68,7 @@ use std::collections::BTreeMap;
 
 use sbon_hilbert::SpaceFillingCurve;
 use sbon_netsim::sim::{EventQueue, SimTime};
+use sbon_obs::Histogram;
 
 use crate::catalog::CoordinateCatalog;
 use crate::id::{in_open_closed, in_open_open};
@@ -254,9 +255,12 @@ pub struct RoutedStats {
     /// Registrations parked for [`RoutedCatalog::heal`] after exhausting
     /// retries against an unreachable owner.
     pub deferred: u64,
-    /// `hop_histogram[h]` = completed lookups that took `h` round trips.
-    pub hop_histogram: Vec<u64>,
-    latencies_ms: Vec<f64>,
+    /// Round trips per completed lookup (exact samples; the legacy
+    /// `hop_histogram[h]` view is [`RoutedStats::hop_histogram`]).
+    pub hops: Histogram,
+    /// Experienced per-lookup latency in simulated milliseconds, in
+    /// completion order.
+    pub latency_ms: Histogram,
 }
 
 impl RoutedStats {
@@ -265,29 +269,25 @@ impl RoutedStats {
         self.messages += done.messages;
         self.timeouts += done.timeouts;
         self.retries += done.retries;
-        let bucket = done.hops as usize;
-        if self.hop_histogram.len() <= bucket {
-            self.hop_histogram.resize(bucket + 1, 0);
-        }
-        self.hop_histogram[bucket] += 1;
-        self.latencies_ms.push(done.latency_ms);
+        self.hops.record(done.hops as f64);
+        self.latency_ms.record(done.latency_ms);
+    }
+
+    /// `hop_histogram[h]` = completed lookups that took `h` round trips
+    /// (the pre-`sbon_obs` representation, derived from the exact samples).
+    pub fn hop_histogram(&self) -> Vec<u64> {
+        self.hops.unit_counts()
     }
 
     /// Experienced per-lookup latencies, in completion order.
     pub fn lookup_latencies_ms(&self) -> &[f64] {
-        &self.latencies_ms
+        self.latency_ms.samples()
     }
 
     /// Nearest-rank percentile (`q` in `[0, 1]`) of experienced lookup
     /// latency; `None` before the first completed lookup.
     pub fn latency_percentile_ms(&self, q: f64) -> Option<f64> {
-        if self.latencies_ms.is_empty() {
-            return None;
-        }
-        let mut sorted = self.latencies_ms.clone();
-        sorted.sort_by(|a, b| a.total_cmp(b));
-        let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).max(1);
-        Some(sorted[rank.min(sorted.len()) - 1])
+        self.latency_ms.quantile_nearest_rank(q)
     }
 
     /// Median experienced lookup latency.
@@ -305,8 +305,36 @@ impl RoutedStats {
         if self.lookups == 0 {
             return 0.0;
         }
-        let total: u64 = self.hop_histogram.iter().enumerate().map(|(h, &n)| h as u64 * n).sum();
-        total as f64 / self.lookups as f64
+        // Hop counts are small integers, so the f64 sum is exact and this
+        // equals the historical `Σ h · hop_histogram[h] / lookups`.
+        self.hops.sum() / self.lookups as f64
+    }
+
+    /// One-paragraph human-readable summary of the experienced control
+    /// traffic (used by the examples in place of hand-rolled printing).
+    pub fn summary(&self) -> String {
+        format!(
+            "{} lookups, {} registrations, {} unregistrations over {} messages; \
+             experienced latency p50 {:.1} ms, p99 {:.1} ms; {:.1} hops/lookup; \
+             {} timeouts -> {} retries, {} deferred, {} stale-rejected",
+            self.lookups,
+            self.registrations,
+            self.unregistrations,
+            self.messages,
+            self.p50_latency_ms().unwrap_or(0.0),
+            self.p99_latency_ms().unwrap_or(0.0),
+            self.mean_hops(),
+            self.timeouts,
+            self.retries,
+            self.deferred,
+            self.stale_rejected,
+        )
+    }
+}
+
+impl std::fmt::Display for RoutedStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.summary())
     }
 }
 
@@ -1335,7 +1363,7 @@ mod tests {
         routed.run_to_quiescence(&link);
         let stats = routed.stats().clone();
         assert_eq!(stats.lookups, 60);
-        assert_eq!(stats.hop_histogram.iter().sum::<u64>(), 60);
+        assert_eq!(stats.hop_histogram().iter().sum::<u64>(), 60);
         assert_eq!(stats.lookup_latencies_ms().len(), 60);
         let p50 = stats.p50_latency_ms().unwrap();
         let p99 = stats.p99_latency_ms().unwrap();

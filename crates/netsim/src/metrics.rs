@@ -1,4 +1,9 @@
 //! Statistics helpers shared by the experiments.
+//!
+//! The percentile math lives in [`sbon_obs::hist`] — the single histogram
+//! implementation every distribution in the workspace goes through; the
+//! entry points here keep their historical signatures (and their
+//! linear-interpolation convention) and delegate.
 
 /// Summary statistics of a sample.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -67,18 +72,7 @@ impl Summary {
 /// Percentile of an already-sorted slice with linear interpolation.
 /// `q` in `[0, 1]`.
 pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&q));
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    if sorted.len() == 1 {
-        return sorted[0];
-    }
-    let pos = q * (sorted.len() - 1) as f64;
-    let lo = pos.floor() as usize;
-    let hi = pos.ceil() as usize;
-    let frac = pos - lo as f64;
-    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    sbon_obs::hist::interpolated_sorted(sorted, q)
 }
 
 /// Percentile of an unsorted slice (copies and sorts).

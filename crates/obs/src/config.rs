@@ -1,0 +1,76 @@
+//! Declarative observability configuration, threaded through
+//! `RuntimeConfig::builder()`.
+//!
+//! The config is plain data (`Clone + Debug + PartialEq`) — sinks are
+//! described, not constructed, so a `RuntimeConfig` holding an
+//! [`ObsConfig`] stays cloneable and comparable. The runtime materializes
+//! the tracer/recorder from the spec at construction time.
+
+use std::path::PathBuf;
+
+use crate::trace::Sampler;
+
+/// Where trace events go.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SinkSpec {
+    /// Count events, emit nothing (overhead and invisibility testing).
+    Null,
+    /// Append JSON-lines to this file (truncated at open).
+    JsonlFile(PathBuf),
+}
+
+/// Span-tracing configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceSpec {
+    /// Sampler seed — decisions are a pure function of
+    /// `(seed, kind, per-kind sequence)`.
+    pub seed: u64,
+    /// Keep 1 in `default_rate` events per kind (0 drops all, 1 keeps all).
+    pub default_rate: u64,
+    /// Per-kind rate overrides.
+    pub rates: Vec<(String, u64)>,
+    /// Destination sink.
+    pub sink: SinkSpec,
+}
+
+impl TraceSpec {
+    /// Keep-everything tracing into a counting null sink.
+    pub fn null(seed: u64) -> TraceSpec {
+        TraceSpec { seed, default_rate: 1, rates: Vec::new(), sink: SinkSpec::Null }
+    }
+
+    /// Keep-everything tracing into a JSONL file.
+    pub fn jsonl(seed: u64, path: PathBuf) -> TraceSpec {
+        TraceSpec { seed, default_rate: 1, rates: Vec::new(), sink: SinkSpec::JsonlFile(path) }
+    }
+
+    /// The sampler this spec describes.
+    pub fn sampler(&self) -> Sampler {
+        Sampler::new(self.seed, self.default_rate, self.rates.clone())
+    }
+}
+
+/// Top-level observability switchboard. `Default` is everything off: no
+/// tracer, no flight recorder, and the metrics registry alone (which the
+/// runtime keeps regardless, as the backing store of its stats views).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ObsConfig {
+    /// Span tracing; `None` disables it (the zero-cost path).
+    pub trace: Option<TraceSpec>,
+    /// Flight-recorder capacity in events; 0 disables recording.
+    pub flight_capacity: usize,
+}
+
+impl ObsConfig {
+    /// Everything off.
+    pub fn disabled() -> ObsConfig {
+        ObsConfig::default()
+    }
+
+    /// Keep-everything tracing to a counting null sink plus a default
+    /// flight recorder — the fully instrumented configuration the
+    /// invisibility tests run under.
+    pub fn full_null(seed: u64) -> ObsConfig {
+        ObsConfig { trace: Some(TraceSpec::null(seed)), flight_capacity: 256 }
+    }
+}

@@ -1,0 +1,165 @@
+//! The flight recorder: a bounded ring of recent structured events, kept
+//! cheaply during normal operation and dumped when something goes wrong.
+//!
+//! Planet-scale failures used to die as bare panics with no context; the
+//! recorder gives the last N control-plane events (ticks, deploys,
+//! failures, anomalies) leading up to a panic, failed assertion, or
+//! detected anomaly. Recording never affects the run — events are written
+//! into a pre-sized ring, nothing is read back into control flow, and the
+//! capacity bound keeps memory constant over arbitrarily long runs.
+
+/// One recorded event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FlightEvent {
+    /// Virtual timestamp in simulated milliseconds.
+    pub time_ms: f64,
+    /// Owning subsystem (`"runtime"`, `"routed"`, …).
+    pub subsystem: &'static str,
+    /// Short machine-readable event code (`"tick"`, `"node_fail"`,
+    /// `"timeout_storm"`, …).
+    pub code: &'static str,
+    /// Free-form detail for the human reading the dump.
+    pub detail: String,
+}
+
+/// A fixed-capacity ring buffer of [`FlightEvent`]s. When full, the oldest
+/// event is overwritten.
+#[derive(Clone, Debug)]
+pub struct FlightRecorder {
+    cap: usize,
+    buf: Vec<FlightEvent>,
+    /// Index the next event will be written at once the ring has wrapped.
+    next: usize,
+    total: u64,
+    anomalies: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder holding at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        let cap = capacity.max(1);
+        FlightRecorder { cap, buf: Vec::with_capacity(cap), next: 0, total: 0, anomalies: 0 }
+    }
+
+    /// Records one event.
+    pub fn record(
+        &mut self,
+        time_ms: f64,
+        subsystem: &'static str,
+        code: &'static str,
+        detail: String,
+    ) {
+        let ev = FlightEvent { time_ms, subsystem, code, detail };
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.next] = ev;
+            self.next = (self.next + 1) % self.cap;
+        }
+        self.total += 1;
+    }
+
+    /// Records an anomaly — an event the runtime flags as "should not
+    /// happen under healthy operation" (timeout storm, refcount underflow).
+    /// Counted separately so callers can decide to dump.
+    pub fn record_anomaly(
+        &mut self,
+        time_ms: f64,
+        subsystem: &'static str,
+        code: &'static str,
+        detail: String,
+    ) {
+        self.anomalies += 1;
+        self.record(time_ms, subsystem, code, detail);
+    }
+
+    /// Events currently retained (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events ever recorded (including those overwritten).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Anomalies ever recorded.
+    pub fn anomalies(&self) -> u64 {
+        self.anomalies
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<&FlightEvent> {
+        let (older, newer) = self.buf.split_at(self.next.min(self.buf.len()));
+        newer.iter().chain(older.iter()).collect()
+    }
+
+    /// Renders the retained tail for a crash report.
+    pub fn dump(&self) -> String {
+        let mut out = format!(
+            "flight recorder: last {} of {} events ({} anomalies)\n",
+            self.len(),
+            self.total,
+            self.anomalies
+        );
+        for ev in self.events() {
+            out.push_str(&format!(
+                "  [{:>12.3} ms] {}.{}: {}\n",
+                ev.time_ms, ev.subsystem, ev.code, ev.detail
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraparound_keeps_the_newest_events_in_order() {
+        let mut r = FlightRecorder::new(3);
+        for i in 0..7u32 {
+            r.record(i as f64, "t", "ev", format!("e{i}"));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.total(), 7);
+        let tail: Vec<&str> = r.events().iter().map(|e| e.detail.as_str()).collect();
+        assert_eq!(tail, ["e4", "e5", "e6"], "oldest-first, only the newest cap events");
+    }
+
+    #[test]
+    fn wraparound_is_exact_at_the_boundary() {
+        let mut r = FlightRecorder::new(2);
+        r.record(0.0, "t", "ev", "a".into());
+        assert_eq!(r.events().iter().map(|e| &e.detail).collect::<Vec<_>>(), ["a"]);
+        r.record(1.0, "t", "ev", "b".into());
+        assert_eq!(r.events().iter().map(|e| &e.detail).collect::<Vec<_>>(), ["a", "b"]);
+        r.record(2.0, "t", "ev", "c".into());
+        assert_eq!(r.events().iter().map(|e| &e.detail).collect::<Vec<_>>(), ["b", "c"]);
+    }
+
+    #[test]
+    fn dump_mentions_totals_and_anomalies() {
+        let mut r = FlightRecorder::new(8);
+        r.record(1.0, "runtime", "tick", "t=1".into());
+        r.record_anomaly(2.0, "routed", "timeout_storm", "17 timeouts in one settle".into());
+        let d = r.dump();
+        assert!(d.contains("last 2 of 2 events (1 anomalies)"), "{d}");
+        assert!(d.contains("routed.timeout_storm"), "{d}");
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut r = FlightRecorder::new(0);
+        r.record(0.0, "t", "ev", "only".into());
+        r.record(1.0, "t", "ev", "kept".into());
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.events()[0].detail, "kept");
+    }
+}

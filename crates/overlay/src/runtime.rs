@@ -29,13 +29,7 @@
 //! [`MapperReadView`]s) and shard across the worker pool; mutations commit
 //! serially in circuit order, so thread count never changes results.
 
-// Wall-clock reads here are the per-tick elapsed-time *stats* the runtime
-// reports; they never feed control-plane decisions (sbon_lint: wall-clock
-// allowlist, clippy disallowed_methods mirror).
-#![allow(clippy::disallowed_methods)]
-
 use std::collections::{HashMap, VecDeque};
-use std::time::Instant;
 
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -62,6 +56,11 @@ use sbon_netsim::load::{ChurnProcess, LoadModel, NodeAttrs};
 use sbon_netsim::rng::derive_rng;
 use sbon_netsim::sim::{EventQueue, SimTime};
 use sbon_netsim::topology::Topology;
+use sbon_obs::{
+    CounterId, FieldValue, FlightRecorder, GaugeId, HistId, Histogram, HistogramSnapshot,
+    JsonlSink, MetricsRegistry, MetricsSnapshot, NullSink, ObsConfig, SinkSpec, SpanId, TraceSink,
+    Tracer, WallTimer,
+};
 
 use crate::report::{RunReport, Sample};
 
@@ -269,6 +268,13 @@ pub struct RuntimeConfig {
     /// the catalog. Answers are identical by construction (the catalog
     /// never mutates mid-evaluation); only the per-lookup traffic changes.
     mapping_memo: bool,
+    /// Observability: virtual-time span tracing and the flight recorder
+    /// (see [`sbon_obs::ObsConfig`]). Defaults to everything off — the
+    /// metrics registry backing the stats views runs regardless, at the
+    /// cost of the plain field increments it replaced. Instrumentation is
+    /// **bit-invisible**: an instrumented run's [`RunReport`] is identical
+    /// to an uninstrumented one.
+    obs: ObsConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -295,6 +301,7 @@ impl Default for RuntimeConfig {
             threads: 0,
             incremental_reopt: true,
             mapping_memo: true,
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -410,6 +417,11 @@ impl RuntimeConfig {
     /// Whether the per-evaluation mapping memo is on.
     pub fn mapping_memo(&self) -> bool {
         self.mapping_memo
+    }
+
+    /// Observability configuration (tracing, flight recorder).
+    pub fn obs(&self) -> &ObsConfig {
+        &self.obs
     }
 }
 
@@ -563,6 +575,13 @@ impl RuntimeConfigBuilder {
     /// [`RuntimeConfig::mapping_memo`].
     pub fn mapping_memo(mut self, v: bool) -> Self {
         self.config.mapping_memo = v;
+        self
+    }
+
+    /// Sets the observability configuration — see [`sbon_obs::ObsConfig`].
+    /// Instrumentation never changes results, only what gets reported.
+    pub fn obs(mut self, v: ObsConfig) -> Self {
+        self.config.obs = v;
         self
     }
 
@@ -802,6 +821,225 @@ impl ControlPlaneStats {
     pub fn adaptation_ns(&self) -> u128 {
         self.local_reopt_ns + self.rewrite_ns + self.full_reopt_ns + self.evac_ns
     }
+
+    /// A multi-line human-readable breakdown: maintenance volume, wall time
+    /// per control-plane phase, re-opt dirty-filter effectiveness, and —
+    /// when the routed backend ran — the experienced message traffic. The
+    /// examples print this instead of hand-rolling their own tables.
+    pub fn summary(&self) -> String {
+        let ms = |ns: u128| ns as f64 / 1e6;
+        let mut out = format!(
+            "control plane: {} ticks, {} dirty nodes, {} points re-registered, {} joined\n",
+            self.ticks, self.dirty_nodes, self.points_updated, self.nodes_joined
+        );
+        out.push_str(&format!(
+            "  wall time (ms): join {:.1} | refresh {:.1} | local re-opt {:.1} | rewrite {:.1} \
+             | full re-opt {:.1} | evac {:.1} | usage reads {:.1}\n",
+            ms(self.join_ns),
+            ms(self.refresh_ns),
+            ms(self.local_reopt_ns),
+            ms(self.rewrite_ns),
+            ms(self.full_reopt_ns),
+            ms(self.evac_ns),
+            ms(self.usage_ns),
+        ));
+        let candidates = self.reopt_evaluated + self.reopt_skipped;
+        if candidates > 0 {
+            out.push_str(&format!(
+                "  re-opt: {} evaluated, {} skipped clean ({:.1}% saved)\n",
+                self.reopt_evaluated,
+                self.reopt_skipped,
+                100.0 * self.reopt_skipped as f64 / candidates as f64,
+            ));
+        }
+        if self.routed_messages > 0 {
+            let hops: u64 =
+                self.routed_hop_histogram.iter().enumerate().map(|(h, &c)| h as u64 * c).sum();
+            let mean_hops = if self.routed_lookups > 0 {
+                hops as f64 / self.routed_lookups as f64
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "  routed: {} messages, {} lookups ({:.2} hops/lookup), {} retries, \
+                 {} timeouts, p50 {:.2} ms, p99 {:.2} ms\n",
+                self.routed_messages,
+                self.routed_lookups,
+                mean_hops,
+                self.routed_retries,
+                self.routed_timeouts,
+                self.routed_p50_latency_ms.unwrap_or(0.0),
+                self.routed_p99_latency_ms.unwrap_or(0.0),
+            ));
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for ControlPlaneStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.summary())
+    }
+}
+
+/// Registry handles for every control-plane and lifecycle counter the
+/// runtime maintains. Resolved once at construction; the hot paths
+/// increment through these (a plain `Vec` index in the registry), so the
+/// migration off ad-hoc struct fields costs nothing measurable.
+struct StatHandles {
+    ticks: CounterId,
+    dirty_nodes: CounterId,
+    points_updated: CounterId,
+    nodes_joined: CounterId,
+    join_ns: CounterId,
+    refresh_ns: CounterId,
+    local_reopt_ns: CounterId,
+    rewrite_ns: CounterId,
+    full_reopt_ns: CounterId,
+    evac_ns: CounterId,
+    reopt_evaluated: CounterId,
+    reopt_skipped: CounterId,
+    usage_ns: CounterId,
+    arrivals: CounterId,
+    departures: CounterId,
+    reuse_hits: CounterId,
+    reused_services: CounterId,
+    marginal_usage: GaugeId,
+    standalone_usage: GaugeId,
+    dirty_per_tick: HistId,
+}
+
+/// The runtime's observability state: the metrics registry backing the
+/// [`ControlPlaneStats`] / [`QueryLifecycleStats`] views, the optional
+/// virtual-time tracer, and the optional flight recorder.
+///
+/// **Bit-invisibility contract:** nothing in here feeds back into the
+/// simulation. Counters are written, never read by control flow; spans are
+/// emitted only from the serial orchestration paths with `SimTime`
+/// stamps; the flight recorder is written and dumped, never consulted.
+/// An instrumented run's [`RunReport`] is bit-identical to a bare one.
+struct RuntimeObs {
+    registry: MetricsRegistry,
+    h: StatHandles,
+    tracer: Option<Tracer>,
+    flight: Option<FlightRecorder>,
+    /// Virtual time (ms) of the event currently being processed; deploys
+    /// and undeploys between ticks stamp at the last processed event.
+    now_ms: f64,
+}
+
+impl RuntimeObs {
+    fn new(config: &ObsConfig) -> RuntimeObs {
+        let mut registry = MetricsRegistry::new();
+        let h = StatHandles {
+            ticks: registry.counter("control_plane", "ticks"),
+            dirty_nodes: registry.counter("control_plane", "dirty_nodes"),
+            points_updated: registry.counter("control_plane", "points_updated"),
+            nodes_joined: registry.counter("control_plane", "nodes_joined"),
+            join_ns: registry.counter("control_plane", "join_ns"),
+            refresh_ns: registry.counter("control_plane", "refresh_ns"),
+            local_reopt_ns: registry.counter("control_plane", "local_reopt_ns"),
+            rewrite_ns: registry.counter("control_plane", "rewrite_ns"),
+            full_reopt_ns: registry.counter("control_plane", "full_reopt_ns"),
+            evac_ns: registry.counter("control_plane", "evac_ns"),
+            reopt_evaluated: registry.counter("control_plane", "reopt_evaluated"),
+            reopt_skipped: registry.counter("control_plane", "reopt_skipped"),
+            usage_ns: registry.counter("control_plane", "usage_ns"),
+            arrivals: registry.counter("lifecycle", "arrivals"),
+            departures: registry.counter("lifecycle", "departures"),
+            reuse_hits: registry.counter("lifecycle", "reuse_hits"),
+            reused_services: registry.counter("lifecycle", "reused_services"),
+            marginal_usage: registry.gauge("lifecycle", "marginal_usage"),
+            standalone_usage: registry.gauge("lifecycle", "standalone_usage"),
+            dirty_per_tick: registry.histogram_with(
+                sbon_obs::MetricKey::plain("control_plane", "dirty_per_tick"),
+                Histogram::with_bounds(vec![8.0, 32.0, 128.0, 512.0, 4096.0]),
+            ),
+        };
+        let tracer = config.trace.as_ref().map(|spec| {
+            let mut t = Tracer::new(spec.sampler());
+            match &spec.sink {
+                SinkSpec::Null => t.add_sink(Box::new(NullSink::default())),
+                SinkSpec::JsonlFile(path) => {
+                    let file = std::fs::File::create(path)
+                        .unwrap_or_else(|e| panic!("create trace file {}: {e}", path.display()));
+                    t.add_sink(Box::new(JsonlSink::new(std::io::BufWriter::new(file))));
+                }
+            }
+            t
+        });
+        let flight =
+            (config.flight_capacity > 0).then(|| FlightRecorder::new(config.flight_capacity));
+        RuntimeObs { registry, h, tracer, flight, now_ms: 0.0 }
+    }
+
+    /// Opens a span at the current virtual time. The fields closure runs
+    /// only when tracing is on and the sampler keeps the span, so the
+    /// disabled path costs one branch.
+    #[inline]
+    fn span_start(
+        &mut self,
+        kind: &'static str,
+        fields: impl FnOnce() -> Vec<(&'static str, FieldValue)>,
+    ) -> Option<SpanId> {
+        let t = self.tracer.as_mut()?;
+        t.span_start(kind, self.now_ms, fields())
+    }
+
+    /// Closes a span; `None` (tracing off or sampled out) is free.
+    #[inline]
+    fn span_end(
+        &mut self,
+        span: Option<SpanId>,
+        fields: impl FnOnce() -> Vec<(&'static str, FieldValue)>,
+    ) {
+        if span.is_some() {
+            if let Some(t) = self.tracer.as_mut() {
+                t.span_end(span, self.now_ms, fields());
+            }
+        }
+    }
+
+    /// Emits an instantaneous event at the current virtual time.
+    #[inline]
+    fn point(
+        &mut self,
+        kind: &'static str,
+        fields: impl FnOnce() -> Vec<(&'static str, FieldValue)>,
+    ) {
+        if let Some(t) = self.tracer.as_mut() {
+            t.point(kind, self.now_ms, fields());
+        }
+    }
+
+    /// Records a flight-recorder event (detail rendered only when one is
+    /// configured).
+    #[inline]
+    fn flight(
+        &mut self,
+        subsystem: &'static str,
+        code: &'static str,
+        detail: impl FnOnce() -> String,
+    ) {
+        let now = self.now_ms;
+        if let Some(f) = self.flight.as_mut() {
+            f.record(now, subsystem, code, detail());
+        }
+    }
+
+    /// Records a flight-recorder anomaly.
+    #[inline]
+    fn flight_anomaly(
+        &mut self,
+        subsystem: &'static str,
+        code: &'static str,
+        detail: impl FnOnce() -> String,
+    ) {
+        let now = self.now_ms;
+        if let Some(f) = self.flight.as_mut() {
+            f.record_anomaly(now, subsystem, code, detail());
+        }
+    }
 }
 
 /// Backend-selected ground-truth latency state.
@@ -927,15 +1165,14 @@ pub struct OverlayRuntime {
     multiquery: Option<MultiQueryOptimizer>,
     /// Departed circuits' subtrees still running for their subscribers.
     retained: Vec<RetainedShared>,
-    /// Query-lifecycle accounting.
-    lifecycle: QueryLifecycleStats,
     /// The single long-lived physical mapper, kept in sync with `space`.
     mapper: MapperState,
     /// Dirty tracking for re-optimization: which circuits each adaptation
     /// pass may skip, and which control-plane deltas invalidate them.
     relevance: RelevanceIndex,
-    /// Control-plane accounting.
-    control: ControlPlaneStats,
+    /// Observability: the metrics registry behind the control-plane and
+    /// lifecycle stats views, plus the optional tracer/flight recorder.
+    obs: RuntimeObs,
     /// `alive[node]` — failed nodes host nothing and map to nothing.
     alive: Vec<bool>,
     /// `arrived[node]` — nodes still waiting in the deployment wave host
@@ -1102,6 +1339,7 @@ impl OverlayRuntime {
             ReuseScope::None => None,
             _ => Some(MultiQueryOptimizer::new(OptimizerConfig::default())),
         };
+        let obs = RuntimeObs::new(&config.obs);
         OverlayRuntime {
             optimizer: IntegratedOptimizer::new(OptimizerConfig::default()),
             config,
@@ -1116,10 +1354,9 @@ impl OverlayRuntime {
             rng,
             multiquery,
             retained: Vec::new(),
-            lifecycle: QueryLifecycleStats::default(),
             mapper,
             relevance: RelevanceIndex::new(),
-            control: ControlPlaneStats::default(),
+            obs,
             alive: vec![true; n],
             arrived,
             pending_joins,
@@ -1316,17 +1553,19 @@ impl OverlayRuntime {
     /// skipped — they were never candidates.
     fn dirty_circuits(&mut self, kind: ReoptKind, skip_entangled: bool) -> Vec<usize> {
         let mut eval = Vec::new();
+        let mut skipped = 0u64;
         for (i, d) in self.circuits.iter().enumerate() {
             if skip_entangled && Self::is_entangled(&self.multiquery, d) {
                 continue;
             }
             if self.config.incremental_reopt && !self.relevance.is_dirty(kind, d.handle.0 as u64) {
-                self.control.reopt_skipped += 1;
+                skipped += 1;
                 continue;
             }
             eval.push(i);
         }
-        self.control.reopt_evaluated += eval.len();
+        self.obs.registry.inc(self.obs.h.reopt_skipped, skipped);
+        self.obs.registry.inc(self.obs.h.reopt_evaluated, eval.len() as u64);
         eval
     }
 
@@ -1391,22 +1630,85 @@ impl OverlayRuntime {
     }
 
     /// Accumulated control-plane accounting (refresh vs mapping vs
-    /// latency-read time). Under [`MapperBackend::Routed`] the routed
-    /// message-traffic summary (experienced latency percentiles, hop
-    /// histogram, retries) is folded in at call time.
+    /// latency-read time), assembled as a view over the metrics registry.
+    /// Under [`MapperBackend::Routed`] the routed message-traffic summary
+    /// (experienced latency percentiles, hop histogram, retries) is folded
+    /// in at call time.
     pub fn control_plane_stats(&self) -> ControlPlaneStats {
-        let mut cp = self.control.clone();
+        let r = &self.obs.registry;
+        let h = &self.obs.h;
+        let mut cp = ControlPlaneStats {
+            ticks: r.counter_value(h.ticks) as usize,
+            dirty_nodes: r.counter_value(h.dirty_nodes) as usize,
+            points_updated: r.counter_value(h.points_updated) as usize,
+            nodes_joined: r.counter_value(h.nodes_joined) as usize,
+            join_ns: u128::from(r.counter_value(h.join_ns)),
+            refresh_ns: u128::from(r.counter_value(h.refresh_ns)),
+            local_reopt_ns: u128::from(r.counter_value(h.local_reopt_ns)),
+            rewrite_ns: u128::from(r.counter_value(h.rewrite_ns)),
+            full_reopt_ns: u128::from(r.counter_value(h.full_reopt_ns)),
+            evac_ns: u128::from(r.counter_value(h.evac_ns)),
+            reopt_evaluated: r.counter_value(h.reopt_evaluated) as usize,
+            reopt_skipped: r.counter_value(h.reopt_skipped) as usize,
+            usage_ns: u128::from(r.counter_value(h.usage_ns)),
+            routed_messages: 0,
+            routed_lookups: 0,
+            routed_retries: 0,
+            routed_timeouts: 0,
+            routed_hop_histogram: Vec::new(),
+            routed_p50_latency_ms: None,
+            routed_p99_latency_ms: None,
+        };
         if let MapperState::Routed(m) = &self.mapper {
             let rs = m.routed_stats();
             cp.routed_messages = rs.messages;
             cp.routed_lookups = rs.lookups;
             cp.routed_retries = rs.retries;
             cp.routed_timeouts = rs.timeouts;
-            cp.routed_hop_histogram = rs.hop_histogram.clone();
+            cp.routed_hop_histogram = rs.hop_histogram();
             cp.routed_p50_latency_ms = rs.p50_latency_ms();
             cp.routed_p99_latency_ms = rs.p99_latency_ms();
         }
         cp
+    }
+
+    /// A point-in-time snapshot of the runtime's metrics registry. Under
+    /// [`MapperBackend::Routed`] the routed traffic counters and the
+    /// hop/latency histograms are folded in under `routed.*` keys. Two
+    /// snapshots [`MetricsSnapshot::diff`] into a per-interval view.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.obs.registry.snapshot();
+        if let MapperState::Routed(m) = &self.mapper {
+            let rs = m.routed_stats();
+            snap.counters.insert("routed.messages".into(), rs.messages);
+            snap.counters.insert("routed.lookups".into(), rs.lookups);
+            snap.counters.insert("routed.registrations".into(), rs.registrations);
+            snap.counters.insert("routed.unregistrations".into(), rs.unregistrations);
+            snap.counters.insert("routed.retries".into(), rs.retries);
+            snap.counters.insert("routed.timeouts".into(), rs.timeouts);
+            snap.histograms.insert("routed.hops".into(), HistogramSnapshot::of(&rs.hops));
+            snap.histograms
+                .insert("routed.latency_ms".into(), HistogramSnapshot::of(&rs.latency_ms));
+        }
+        snap
+    }
+
+    /// The flight recorder's retained tail, when one is configured.
+    pub fn flight_dump(&self) -> Option<String> {
+        self.obs.flight.as_ref().map(|f| f.dump())
+    }
+
+    /// Trace events emitted so far; `None` when tracing is off.
+    pub fn trace_events_emitted(&self) -> Option<u64> {
+        self.obs.tracer.as_ref().map(|t| t.emitted)
+    }
+
+    /// Finishes tracing: flushes every sink and detaches them (subsequent
+    /// spans are dropped). Returns the sinks for inspection. Dropping the
+    /// runtime flushes implicitly; call this to read a trace file while
+    /// the runtime is still alive.
+    pub fn finish_trace(&mut self) -> Option<Vec<Box<dyn TraceSink>>> {
+        self.obs.tracer.take().map(Tracer::finish)
     }
 
     /// Replays lookups and registrations parked by the routed mapper as
@@ -1419,9 +1721,34 @@ impl OverlayRuntime {
         if m.pending_traffic() == 0 && m.routed().is_quiescent() {
             return;
         }
+        let before = {
+            let rs = m.routed_stats();
+            (rs.messages, rs.lookups, rs.registrations, rs.timeouts)
+        };
         let provider = self.latency.provider();
         let link = |a: u32, b: u32| provider.latency(NodeId(a), NodeId(b));
         m.settle(at, &link);
+        let (msgs, lookups, regs, timeouts) = {
+            let rs = m.routed_stats();
+            (
+                rs.messages - before.0,
+                rs.lookups - before.1,
+                rs.registrations - before.2,
+                rs.timeouts - before.3,
+            )
+        };
+        self.obs.point("routed.settle", || {
+            vec![
+                ("messages", msgs.into()),
+                ("lookups", lookups.into()),
+                ("registrations", regs.into()),
+            ]
+        });
+        if timeouts > 0 {
+            self.obs.flight_anomaly("routed", "timeout_storm", || {
+                format!("{timeouts} routed timeouts fired in one settle")
+            });
+        }
     }
 
     /// Demand-computes every shortest-path row the next usage accounting
@@ -1504,6 +1831,24 @@ impl OverlayRuntime {
     /// attachment subscribes to (refcounts) the instance and pins it in its
     /// owner's circuit so re-optimization stops migrating it.
     pub fn deploy(&mut self, query: QuerySpec) -> Option<CircuitHandle> {
+        let sp = self.obs.span_start("deploy", Vec::new);
+        let deployed = self.deploy_inner(query);
+        match deployed {
+            Some(handle) => {
+                self.obs.span_end(sp, || vec![("handle", handle.0.into())]);
+                self.obs.flight("runtime", "deploy", || format!("handle {}", handle.0));
+            }
+            None => {
+                self.obs.span_end(sp, || vec![("failed", 1u64.into())]);
+                self.obs.flight_anomaly("runtime", "deploy_failed", || {
+                    "optimizer produced no deployable plan".to_string()
+                });
+            }
+        }
+        deployed
+    }
+
+    fn deploy_inner(&mut self, query: QuerySpec) -> Option<CircuitHandle> {
         let (running_plan, circuit, placement, mq_id, shared, reused) = match &mut self.multiquery {
             Some(mq) => {
                 let out = mq.optimize_and_deploy_with_mapper(
@@ -1513,12 +1858,16 @@ impl OverlayRuntime {
                     self.config.reuse,
                     self.mapper.as_dyn(),
                 )?;
-                self.lifecycle.marginal_usage += out.marginal_cost.network_usage;
-                self.lifecycle.standalone_usage += out.standalone_cost.network_usage;
+                self.obs
+                    .registry
+                    .gauge_add(self.obs.h.marginal_usage, out.marginal_cost.network_usage);
+                self.obs
+                    .registry
+                    .gauge_add(self.obs.h.standalone_usage, out.standalone_cost.network_usage);
                 if !out.reused.is_empty() {
-                    self.lifecycle.reuse_hits += 1;
+                    self.obs.registry.inc(self.obs.h.reuse_hits, 1);
                 }
-                self.lifecycle.reused_services += out.reused.len();
+                self.obs.registry.inc(self.obs.h.reused_services, out.reused.len() as u64);
                 (out.plan, out.circuit, out.placement, Some(out.id), out.shared, out.reused)
             }
             None => {
@@ -1528,8 +1877,8 @@ impl OverlayRuntime {
                     self.latency.provider(),
                     self.mapper.as_dyn(),
                 )?;
-                self.lifecycle.marginal_usage += placed.cost.network_usage;
-                self.lifecycle.standalone_usage += placed.cost.network_usage;
+                self.obs.registry.gauge_add(self.obs.h.marginal_usage, placed.cost.network_usage);
+                self.obs.registry.gauge_add(self.obs.h.standalone_usage, placed.cost.network_usage);
                 (placed.plan, placed.circuit, placed.placement, None, Vec::new(), Vec::new())
             }
         };
@@ -1544,7 +1893,7 @@ impl OverlayRuntime {
         }
         let handle = CircuitHandle(self.next_handle);
         self.next_handle += 1;
-        self.lifecycle.arrivals += 1;
+        self.obs.registry.inc(self.obs.h.arrivals, 1);
         self.circuits.push(Deployed {
             handle,
             query,
@@ -1572,7 +1921,8 @@ impl OverlayRuntime {
             return false;
         };
         let d = self.circuits.remove(idx);
-        self.lifecycle.departures += 1;
+        self.obs.registry.inc(self.obs.h.departures, 1);
+        self.obs.point("undeploy", || vec![("handle", handle.0.into())]);
         self.relevance.remove(d.handle.0 as u64);
         if let (Some(mq), Some(mq_id)) = (&mut self.multiquery, d.mq_id) {
             if let Some(rep) = mq.release(mq_id) {
@@ -1605,9 +1955,19 @@ impl OverlayRuntime {
         self.retained.len()
     }
 
-    /// Query-lifecycle accounting so far.
+    /// Query-lifecycle accounting so far, assembled as a view over the
+    /// metrics registry.
     pub fn lifecycle_stats(&self) -> QueryLifecycleStats {
-        self.lifecycle
+        let r = &self.obs.registry;
+        let h = &self.obs.h;
+        QueryLifecycleStats {
+            arrivals: r.counter_value(h.arrivals) as usize,
+            departures: r.counter_value(h.departures) as usize,
+            reuse_hits: r.counter_value(h.reuse_hits) as usize,
+            reused_services: r.counter_value(h.reused_services) as usize,
+            marginal_usage: r.gauge_value(h.marginal_usage),
+            standalone_usage: r.gauge_value(h.standalone_usage),
+        }
     }
 
     /// The reuse registry, when [`RuntimeConfig::reuse`] is enabled — for
@@ -1683,16 +2043,21 @@ impl OverlayRuntime {
     /// report.
     pub fn finish_run(&mut self, session: RunSession) -> RunReport {
         let mut report = session.report;
-        report.arrivals = self.lifecycle.arrivals;
-        report.departures = self.lifecycle.departures;
-        report.reuse_hits = self.lifecycle.reuse_hits;
+        let lifecycle = self.lifecycle_stats();
+        report.arrivals = lifecycle.arrivals;
+        report.departures = lifecycle.departures;
+        report.reuse_hits = lifecycle.reuse_hits;
         report
     }
 
     /// Processes one simulation event.
     fn handle_event(&mut self, s: &mut RunSession, now: SimTime, event: Event) {
+        // Spans are stamped with *virtual* time: the event's simulation
+        // clock, never the wall clock.
+        self.obs.now_ms = now.millis();
         match event {
             Event::Tick => {
+                let sp = self.obs.span_start("tick", Vec::new);
                 self.apply_churn();
                 // Routed backend: replay the tick's parked registrations
                 // (and any deploy-time lookups since the last boundary) as
@@ -1703,10 +2068,12 @@ impl OverlayRuntime {
                 // prewarm shards the tick's missing shortest-path rows
                 // across the pool; the accounting pass then reads cached
                 // rows only, so both phases bill to `usage_ns`.
-                let t_usage = Instant::now();
+                let t_usage = WallTimer::start();
                 self.prewarm_usage_rows();
                 let usage = self.instantaneous_usage();
-                self.control.usage_ns += t_usage.elapsed().as_nanos();
+                self.obs.registry.inc(self.obs.h.usage_ns, t_usage.elapsed_ns());
+                let active = self.circuits.len();
+                self.obs.span_end(sp, || vec![("usage", usage.into()), ("active", active.into())]);
                 s.cumulative += usage * self.config.tick_ms / 1_000.0;
                 s.report.samples.push(Sample {
                     time_ms: now.millis(),
@@ -1721,7 +2088,8 @@ impl OverlayRuntime {
                 }
             }
             Event::LocalReopt => {
-                let t0 = Instant::now();
+                let t0 = WallTimer::start();
+                let sp = self.obs.span_start("reopt.local", Vec::new);
                 let placer = RelaxationPlacer::default();
                 // Dirty filter: clean circuits would reproduce their last
                 // no-op evaluation exactly, so they are skipped outright.
@@ -1785,7 +2153,11 @@ impl OverlayRuntime {
                     self.relevance.mark_dirty(handle);
                     moved += outcome.migrations.len();
                 }
-                self.control.local_reopt_ns += t0.elapsed().as_nanos();
+                self.obs.registry.inc(self.obs.h.local_reopt_ns, t0.elapsed_ns());
+                let evaluated = eval_idx.len();
+                self.obs.span_end(sp, || {
+                    vec![("evaluated", evaluated.into()), ("migrations", moved.into())]
+                });
                 s.report.migrations += moved;
                 s.report.adaptation_cost += moved as f64 * self.config.migration_penalty;
                 if let Some(interval) = self.config.reopt_interval_ms {
@@ -1795,7 +2167,8 @@ impl OverlayRuntime {
                 }
             }
             Event::Rewrite => {
-                let t0 = Instant::now();
+                let t0 = WallTimer::start();
+                let sp = self.obs.span_start("reopt.rewrite", Vec::new);
                 let placer = RelaxationPlacer::default();
                 // Tenancy-entangled circuits are not rewritten (a plan swap
                 // under live subscriptions would strand tenants); clean ones
@@ -1854,7 +2227,11 @@ impl OverlayRuntime {
                         );
                     }
                 }
-                self.control.rewrite_ns += t0.elapsed().as_nanos();
+                self.obs.registry.inc(self.obs.h.rewrite_ns, t0.elapsed_ns());
+                let evaluated = eval_idx.len();
+                self.obs.span_end(sp, || {
+                    vec![("evaluated", evaluated.into()), ("swaps", swaps.into())]
+                });
                 s.report.replacements += swaps;
                 s.report.adaptation_cost += swaps as f64 * self.config.replacement_penalty;
                 if let Some(interval) = self.config.rewrite_interval_ms {
@@ -1864,18 +2241,25 @@ impl OverlayRuntime {
                 }
             }
             Event::Fail(node) => {
-                let t0 = Instant::now();
+                let t0 = WallTimer::start();
+                let sp =
+                    self.obs.span_start("fail", || vec![("node", (node.index() as u64).into())]);
                 let evacuated = self.fail_node(node);
                 // Evacuation lookups ran through the live mapper: replay
                 // them as routed traffic at the failure time.
                 self.settle_routed(now);
-                self.control.evac_ns += t0.elapsed().as_nanos();
+                self.obs.registry.inc(self.obs.h.evac_ns, t0.elapsed_ns());
+                self.obs.span_end(sp, || vec![("evacuated", evacuated.into())]);
+                self.obs.flight("runtime", "node_fail", || {
+                    format!("node {} failed; {evacuated} operators evacuated", node.index())
+                });
                 // Evacuations are migrations: charge the same penalty.
                 s.report.migrations += evacuated;
                 s.report.adaptation_cost += evacuated as f64 * self.config.migration_penalty;
             }
             Event::FullReopt => {
-                let t0 = Instant::now();
+                let t0 = WallTimer::start();
+                let sp = self.obs.span_start("reopt.full", Vec::new);
                 // See the rewrite pass: no plan swaps under tenancy, and
                 // clean circuits skip the whole optimizer run.
                 let eval_idx = self.dirty_circuits(ReoptKind::Full, true);
@@ -1927,7 +2311,11 @@ impl OverlayRuntime {
                         );
                     }
                 }
-                self.control.full_reopt_ns += t0.elapsed().as_nanos();
+                self.obs.registry.inc(self.obs.h.full_reopt_ns, t0.elapsed_ns());
+                let evaluated = eval_idx.len();
+                self.obs.span_end(sp, || {
+                    vec![("evaluated", evaluated.into()), ("swaps", swaps.into())]
+                });
                 s.report.replacements += swaps;
                 s.report.adaptation_cost += swaps as f64 * self.config.replacement_penalty;
                 if let Some(interval) = self.config.full_reopt_interval_ms {
@@ -1951,7 +2339,7 @@ impl OverlayRuntime {
         // frozen landmarks that gives the node its vector coordinate the
         // moment it becomes mappable.
         if let DeploymentModel::Wave { joins_per_tick, .. } = self.config.deployment {
-            let t_join = Instant::now();
+            let t_join = WallTimer::start();
             let mut joined = 0;
             while joined < joins_per_tick {
                 let Some(node) = self.pending_joins.pop_front() else { break };
@@ -1991,15 +2379,19 @@ impl OverlayRuntime {
                 }
                 joined += 1;
             }
-            self.control.nodes_joined += joined;
-            self.control.join_ns += t_join.elapsed().as_nanos();
+            self.obs.registry.inc(self.obs.h.nodes_joined, joined as u64);
+            self.obs.registry.inc(self.obs.h.join_ns, t_join.elapsed_ns());
+            if joined > 0 {
+                self.obs.point("join.admit", || vec![("joined", joined.into())]);
+            }
         }
         let dirty = self.config.churn.tick_dirty(&mut self.attrs, &mut self.rng);
         // Timing starts after the churn simulation itself: refresh_ns bills
         // only the control plane's reaction (point refresh + mapper sync).
-        let t0 = Instant::now();
-        self.control.ticks += 1;
-        self.control.dirty_nodes += dirty.len();
+        let t0 = WallTimer::start();
+        self.obs.registry.inc(self.obs.h.ticks, 1);
+        self.obs.registry.inc(self.obs.h.dirty_nodes, dirty.len() as u64);
+        self.obs.registry.observe(self.obs.h.dirty_per_tick, dirty.len() as f64);
         // Dead nodes must not be re-registered with the mapper — their
         // catalog entry was removed on failure — and nodes still waiting
         // in the deployment wave are not registered yet.
@@ -2022,6 +2414,7 @@ impl OverlayRuntime {
                 _ => dirty.iter().map(compute).collect(),
             }
         };
+        let mut updated = 0u64;
         for (&node, vals) in dirty.iter().zip(&values) {
             if self.space.apply_scalars(node, vals) {
                 // Relevance invalidation rides the mapper sync: the moved
@@ -2049,10 +2442,15 @@ impl OverlayRuntime {
                     }
                 }
                 self.relevance.touch_host(node);
-                self.control.points_updated += 1;
+                updated += 1;
             }
         }
-        self.control.refresh_ns += t0.elapsed().as_nanos();
+        self.obs.registry.inc(self.obs.h.points_updated, updated);
+        self.obs.registry.inc(self.obs.h.refresh_ns, t0.elapsed_ns());
+        let dirty_count = dirty.len();
+        self.obs.point("churn.refresh", || {
+            vec![("dirty", dirty_count.into()), ("updated", updated.into())]
+        });
         let Some(jitter) = self.config.latency_jitter else {
             return;
         };
@@ -2073,14 +2471,51 @@ impl OverlayRuntime {
         if deltas.is_empty() {
             return;
         }
+        let delta_count = deltas.len();
         match &mut self.latency {
             LatencyState::Dense { current, graph, .. } => {
                 for &(e, w) in &deltas {
                     graph.set_edge_latency(e, w);
                 }
                 *current = all_pairs_latency(graph);
+                self.obs.point("latency.repair", || {
+                    vec![("edges", delta_count.into()), ("dense_rebuild", 1u64.into())]
+                });
             }
-            LatencyState::Lazy(lazy) => lazy.apply_edge_deltas(&deltas),
+            LatencyState::Lazy(lazy) => {
+                let before = lazy.stats();
+                lazy.apply_edge_deltas(&deltas);
+                let after = lazy.stats();
+                let repaired = after.rows_repaired - before.rows_repaired;
+                let rebuilt = after.rows_rebuilt - before.rows_rebuilt;
+                self.obs.point("latency.repair", || {
+                    vec![
+                        ("edges", delta_count.into()),
+                        ("rows_repaired", repaired.into()),
+                        ("rows_rebuilt", rebuilt.into()),
+                    ]
+                });
+            }
+        }
+    }
+}
+
+impl Drop for OverlayRuntime {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            // Post-mortem: dump the flight recorder's ring to stderr so the
+            // last control-plane decisions survive the crash. The trace is
+            // deliberately NOT finished here — flushing a sink can itself
+            // panic, and a panic-during-panic aborts the process.
+            if let Some(flight) = &self.obs.flight {
+                if !flight.is_empty() {
+                    eprintln!("{}", flight.dump());
+                }
+            }
+        } else if let Some(tracer) = self.obs.tracer.take() {
+            // Clean shutdown without an explicit `finish_trace()` call:
+            // flush buffered trace events so JSONL files are complete.
+            tracer.finish();
         }
     }
 }

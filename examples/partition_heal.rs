@@ -105,16 +105,8 @@ fn main() {
     }
     let healthy = routed.stats().clone();
     assert_eq!(healthy.timeouts, 0, "a healthy underlay never times out");
-    println!("\nphase 1 — healthy ({} lookups):", healthy.lookups);
-    println!(
-        "  experienced latency p50 {:.1} ms, p99 {:.1} ms; {:.1} hops/lookup (log2 n = {:.1}); \
-         {} messages",
-        healthy.p50_latency_ms().unwrap_or(0.0),
-        healthy.p99_latency_ms().unwrap_or(0.0),
-        healthy.mean_hops(),
-        (n as f64).log2(),
-        healthy.messages,
-    );
+    println!("\nphase 1 — healthy (log2 n = {:.1}):", (n as f64).log2());
+    println!("  {healthy}");
     println!("  every answer equals the omniscient catalog's ✓");
 
     // ── Phase 2: partition ───────────────────────────────────────────────
@@ -205,12 +197,5 @@ fn main() {
          omniscient twin ✓",
         lookups / 4,
     );
-    println!(
-        "\ntotals: {} messages, {} lookups, {} registrations, {} timeouts, {} retries",
-        healed.messages,
-        healed.lookups,
-        healed.registrations + healed.unregistrations,
-        healed.timeouts,
-        healed.retries,
-    );
+    println!("\ntotals: {healed}");
 }

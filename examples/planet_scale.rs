@@ -43,6 +43,7 @@
 // Example: wall-clock progress reporting only, never control-plane input.
 #![allow(clippy::disallowed_methods)]
 
+use std::path::PathBuf;
 use std::time::Instant;
 
 use rand::seq::SliceRandom;
@@ -53,8 +54,8 @@ use sbon::netsim::dijkstra::single_source;
 use sbon::netsim::graph::NodeId;
 use sbon::netsim::rng::derive_rng;
 use sbon::overlay::{
-    DeploymentModel, JitterModel, LatencyBackend, MapperBackend, OverlayRuntime, RunReport,
-    RuntimeConfig,
+    DeploymentModel, JitterModel, LatencyBackend, MapperBackend, ObsConfig, OverlayRuntime,
+    RunReport, RuntimeConfig, TraceSpec,
 };
 use sbon::prelude::*;
 
@@ -150,8 +151,15 @@ impl Tier {
         }
     }
 
-    fn config(&self, threads: usize, incremental: bool, backend: MapperBackend) -> RuntimeConfig {
+    fn config(
+        &self,
+        threads: usize,
+        incremental: bool,
+        backend: MapperBackend,
+        obs: ObsConfig,
+    ) -> RuntimeConfig {
         RuntimeConfig::builder()
+            .obs(obs)
             .mapper_backend(backend)
             .tick_ms(1_000.0)
             .horizon_ms(self.horizon_ms)
@@ -185,6 +193,7 @@ impl Tier {
 /// Builds the runtime, deploys the tier's query set, and runs to the
 /// horizon. Deterministic in `seed` (and, by the parallel-tick contract,
 /// in `threads`).
+#[allow(clippy::too_many_arguments)] // flat knob list keeps the call sites greppable
 fn run_tier(
     tier: &Tier,
     topo: &Topology,
@@ -193,10 +202,11 @@ fn run_tier(
     incremental: bool,
     backend: MapperBackend,
     chatty: bool,
+    obs: ObsConfig,
 ) -> RunReport {
     let n = topo.num_nodes();
     let start = Instant::now();
-    let mut rt = OverlayRuntime::new(topo, seed, tier.config(threads, incremental, backend));
+    let mut rt = OverlayRuntime::new(topo, seed, tier.config(threads, incremental, backend, obs));
     if chatty {
         let warmup = rt.lazy_latency_stats().expect("lazy backend");
         println!(
@@ -272,45 +282,10 @@ fn run_tier(
     );
 
     // ── Per-tick control-plane breakdown ─────────────────────────────────
-    let cp = rt.control_plane_stats();
-    println!("\ncontrol plane ({} mapper):", rt.mapper_name());
-    println!(
-        "  wave joins: {} nodes admitted over {} ticks in {:.2} ms total \
-         ({:.1} µs/join — one landmark placement + one O(log n) catalog registration each)",
-        cp.nodes_joined,
-        cp.ticks,
-        cp.join_ns as f64 / 1e6,
-        cp.join_ns as f64 / 1e3 / cp.nodes_joined.max(1) as f64,
-    );
-    println!(
-        "  coordinate maintenance: {:.2} ms total ({:.0} µs/tick) — {} dirty reports, \
-         {} point updates ({:.1}/tick at {n} nodes)",
-        cp.refresh_ns as f64 / 1e6,
-        cp.refresh_ns as f64 / 1e3 / cp.ticks.max(1) as f64,
-        cp.dirty_nodes,
-        cp.points_updated,
-        cp.points_updated as f64 / cp.ticks.max(1) as f64,
-    );
-    println!(
-        "  re-optimization + mapping: {:.2} ms total — local {:.2} ms, rewrite {:.2} ms, \
-         full {:.2} ms, evacuation {:.2} ms",
-        cp.adaptation_ns() as f64 / 1e6,
-        cp.local_reopt_ns as f64 / 1e6,
-        cp.rewrite_ns as f64 / 1e6,
-        cp.full_reopt_ns as f64 / 1e6,
-        cp.evac_ns as f64 / 1e6,
-    );
-    println!(
-        "  dirty-driven skipping: {} circuit evaluations run, {} skipped as provably clean \
-         ({:.0}% of candidacies)",
-        cp.reopt_evaluated,
-        cp.reopt_skipped,
-        100.0 * cp.reopt_skipped as f64 / (cp.reopt_evaluated + cp.reopt_skipped).max(1) as f64,
-    );
-    println!(
-        "  latency-provider reads (usage accounting): {:.2} ms total",
-        cp.usage_ns as f64 / 1e6
-    );
+    // Every counter below lives in the runtime's metrics registry; the
+    // stats structs are read-only views that print themselves.
+    println!("\n[{} mapper]", rt.mapper_name());
+    print!("{}", rt.control_plane_stats());
     if let Some(dht) = rt.dht_stats() {
         println!(
             "  catalog traffic: {} lookups, {} routed hops ({:.1} hops/lookup ~ log₂ n = {:.1})",
@@ -324,29 +299,18 @@ fn run_tier(
         // The message-passing control plane: the same lookups and
         // registrations, but *experienced* over the live underlay —
         // per-query latency in simulated milliseconds, not a hop counter.
-        println!(
-            "  experienced control-plane cost: {} messages for {} lookups + {} registrations",
-            rs.messages,
-            rs.lookups,
-            rs.registrations + rs.unregistrations,
-        );
-        println!(
-            "  per-query experienced latency: p50 {:.1} ms, p99 {:.1} ms; {:.1} hops/lookup; \
-             {} timeouts, {} retries",
-            rs.p50_latency_ms().unwrap_or(0.0),
-            rs.p99_latency_ms().unwrap_or(0.0),
-            rs.mean_hops(),
-            rs.timeouts,
-            rs.retries,
-        );
+        println!("  experienced: {rs}");
         let hist: Vec<String> = rs
-            .hop_histogram
+            .hop_histogram()
             .iter()
             .enumerate()
             .filter(|(_, &c)| c > 0)
             .map(|(h, &c)| format!("{h}:{c}"))
             .collect();
         println!("  lookup hop histogram (hops:count): {}", hist.join(" "));
+    }
+    if let Some(emitted) = rt.trace_events_emitted() {
+        println!("  trace: {emitted} events emitted");
     }
     report
 }
@@ -390,8 +354,22 @@ fn main() {
         tier.joins_per_tick,
         if parallel_threads == 0 { "auto".to_string() } else { parallel_threads.to_string() }
     );
+    // SBON_TRACE=<path>: record this run's control-plane spans as JSONL.
+    // The determinism pin below still holds — the serial re-run goes
+    // untraced, so `assert_eq!` doubles as a live bit-invisibility check.
+    let obs = match std::env::var_os("SBON_TRACE") {
+        Some(path) => ObsConfig {
+            trace: Some(TraceSpec::jsonl(seed, PathBuf::from(&path))),
+            flight_capacity: 256,
+        },
+        None => ObsConfig::disabled(),
+    };
+    let traced = obs.trace.is_some();
     let report =
-        run_tier(&tier, &topo, seed, parallel_threads, true, MapperBackend::default(), true);
+        run_tier(&tier, &topo, seed, parallel_threads, true, MapperBackend::default(), true, obs);
+    if traced {
+        println!("  wrote JSONL span trace to {:?}", std::env::var_os("SBON_TRACE").unwrap());
+    }
 
     // ── Determinism pin: the serial run must be bit-identical ────────────
     // The parallel-tick contract: sharding per-source row computation and
@@ -399,7 +377,16 @@ fn main() {
     // `RunReport` equality is bit-for-bit over every sample and counter.
     println!("\nre-running the tier serially (threads: 1) to pin determinism...");
     let start = Instant::now();
-    let serial = run_tier(&tier, &topo, seed, 1, true, MapperBackend::default(), false);
+    let serial = run_tier(
+        &tier,
+        &topo,
+        seed,
+        1,
+        true,
+        MapperBackend::default(),
+        false,
+        ObsConfig::disabled(),
+    );
     println!("  serial run finished in {:.2} s", start.elapsed().as_secs_f64());
     assert_eq!(
         report, serial,
@@ -415,8 +402,16 @@ fn main() {
     if smoke_xl {
         println!("\nre-running with incremental re-opt disabled (full scan) to pin equivalence...");
         let start = Instant::now();
-        let full_scan =
-            run_tier(&tier, &topo, seed, parallel_threads, false, MapperBackend::default(), false);
+        let full_scan = run_tier(
+            &tier,
+            &topo,
+            seed,
+            parallel_threads,
+            false,
+            MapperBackend::default(),
+            false,
+            ObsConfig::disabled(),
+        );
         println!("  full-scan run finished in {:.2} s", start.elapsed().as_secs_f64());
         assert_eq!(
             report, full_scan,
@@ -450,11 +445,28 @@ fn main() {
         topo_r.num_nodes()
     );
     let start = Instant::now();
-    let omniscient =
-        run_tier(tier_r, topo_r, seed, parallel_threads, true, MapperBackend::default(), false);
+    let omniscient = run_tier(
+        tier_r,
+        topo_r,
+        seed,
+        parallel_threads,
+        true,
+        MapperBackend::default(),
+        false,
+        ObsConfig::disabled(),
+    );
     let routed_backend =
         MapperBackend::Routed { bits: 12, scan_width: 8, proto: ProtoConfig::default() };
-    let routed = run_tier(tier_r, topo_r, seed, parallel_threads, true, routed_backend, true);
+    let routed = run_tier(
+        tier_r,
+        topo_r,
+        seed,
+        parallel_threads,
+        true,
+        routed_backend,
+        true,
+        ObsConfig::disabled(),
+    );
     println!("  routed pass finished in {:.2} s", start.elapsed().as_secs_f64());
     assert_eq!(
         omniscient, routed,

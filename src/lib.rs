@@ -28,6 +28,10 @@
 //!   processes (Poisson / flash crowd / diurnal), session-duration
 //!   distributions, Zipf query templates over a stream catalog, and the
 //!   declarative `Scenario` driver.
+//! * [`obs`] — deterministic observability: the metrics registry behind
+//!   every stats view, virtual-time span tracing with deterministic
+//!   sampling, and the crash-context flight recorder. Bit-invisible by
+//!   contract: instrumentation never changes a run's results.
 //!
 //! ## Quickstart
 //!
@@ -61,6 +65,7 @@ pub use sbon_core as core;
 pub use sbon_dht as dht;
 pub use sbon_hilbert as hilbert;
 pub use sbon_netsim as netsim;
+pub use sbon_obs as obs;
 pub use sbon_overlay as overlay;
 pub use sbon_query as query;
 pub use sbon_workload as workload;
